@@ -1,0 +1,216 @@
+// E10 — Cost-asymmetry microbenchmarks (real CPU time, google-benchmark).
+//
+// Paper claim (Section 3.4): the auditor outruns slaves because it skips
+// the per-read signature and reply; signing dominates hashing by orders of
+// magnitude. These microbenchmarks measure the real costs of every
+// primitive on the read path and thereby ground the CostModel constants
+// used by the virtual-time experiments.
+#include <benchmark/benchmark.h>
+
+#include "src/core/pledge.h"
+#include "src/crypto/ed25519.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha2.h"
+#include "src/merkle/merkle_tree.h"
+#include "src/store/executor.h"
+#include "src/util/rng.h"
+#include "src/workload/workload.h"
+
+namespace sdr {
+namespace {
+
+void BM_Sha1(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(2);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sha512(benchmark::State& state) {
+  Rng rng(3);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(4);
+  Bytes key = rng.NextBytes(32);
+  Bytes data = rng.NextBytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_Ed25519KeyGen(benchmark::State& state) {
+  Rng rng(5);
+  Bytes seed = rng.NextBytes(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519PublicKey(seed));
+  }
+}
+BENCHMARK(BM_Ed25519KeyGen);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  Rng rng(6);
+  Bytes seed = rng.NextBytes(32);
+  Bytes msg = rng.NextBytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519Sign(seed, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  Rng rng(7);
+  Bytes seed = rng.NextBytes(32);
+  Bytes pub = Ed25519PublicKey(seed);
+  Bytes msg = rng.NextBytes(256);
+  Bytes sig = Ed25519Sign(seed, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519Verify(pub, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+// The slave's per-read crypto (hash result + sign pledge) vs the auditor's
+// (hash only) — the core asymmetry.
+void BM_SlavePerReadCrypto(benchmark::State& state) {
+  Rng rng(8);
+  KeyPair kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  Signer signer(kp);
+  KeyPair master_kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  Signer master(master_kp);
+  VersionToken token = MakeVersionToken(master, 2, 5, 1000);
+  Bytes result = rng.NextBytes(1024);
+  Query query = Query::Get("item/00001");
+  for (auto _ : state) {
+    Bytes digest = Sha1::Hash(result);
+    benchmark::DoNotOptimize(MakePledge(signer, 9, query, digest, token));
+  }
+}
+BENCHMARK(BM_SlavePerReadCrypto);
+
+void BM_AuditorPerReadCrypto(benchmark::State& state) {
+  Rng rng(9);
+  Bytes result = rng.NextBytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(result));
+  }
+}
+BENCHMARK(BM_AuditorPerReadCrypto);
+
+void BM_ClientVerifyRead(benchmark::State& state) {
+  // Client-side acceptance cost: hash + pledge sig + token sig.
+  Rng rng(10);
+  KeyPair slave_kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  KeyPair master_kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  Signer slave(slave_kp);
+  Signer master(master_kp);
+  VersionToken token = MakeVersionToken(master, 2, 5, 1000);
+  Bytes result = rng.NextBytes(1024);
+  Bytes digest = Sha1::Hash(result);
+  Pledge pledge = MakePledge(slave, 9, Query::Get("k"), digest, token);
+  for (auto _ : state) {
+    bool ok = Sha1::Hash(result) == pledge.result_sha1 &&
+              VerifyPledgeSignature(SignatureScheme::kEd25519,
+                                    slave_kp.public_key, pledge) &&
+              VerifyVersionToken(SignatureScheme::kEd25519,
+                                 master_kp.public_key, pledge.token);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ClientVerifyRead);
+
+// Query execution by cost class, on a 1000-item catalogue.
+class ExecFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const ::benchmark::State&) override {
+    if (store.size() == 0) {
+      Rng rng(11);
+      CorpusConfig config;
+      config.n_items = 1000;
+      store = BuildCatalogCorpus(config, rng);
+    }
+  }
+  DocumentStore store;
+  QueryExecutor exec;
+};
+
+BENCHMARK_F(ExecFixture, QueryGet)(benchmark::State& state) {
+  Query q = Query::Get(ItemKey(500));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(store, q));
+  }
+}
+
+BENCHMARK_F(ExecFixture, QueryScan100)(benchmark::State& state) {
+  Query q = Query::Scan(ItemKey(100), ItemKey(200));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(store, q));
+  }
+}
+
+BENCHMARK_F(ExecFixture, QueryGrepAll)(benchmark::State& state) {
+  Query q = Query::Grep("widget", "item/", "item0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(store, q));
+  }
+}
+
+BENCHMARK_F(ExecFixture, QuerySumAll)(benchmark::State& state) {
+  Query q = Query::Aggregate(QueryKind::kSum, "price/", "price0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(store, q));
+  }
+}
+
+void BM_MerkleBuild(benchmark::State& state) {
+  Rng rng(12);
+  CorpusConfig config;
+  config.n_items = static_cast<size_t>(state.range(0));
+  DocumentStore store = BuildCatalogCorpus(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::Build(store));
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(100)->Arg(1000);
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  Rng rng(13);
+  CorpusConfig config;
+  config.n_items = 1000;
+  DocumentStore store = BuildCatalogCorpus(config, rng);
+  MerkleTree tree = MerkleTree::Build(store);
+  for (auto _ : state) {
+    auto proof = tree.Prove(ItemKey(123));
+    benchmark::DoNotOptimize(MerkleTree::VerifyProof(*proof, tree.root()));
+  }
+}
+BENCHMARK(BM_MerkleProveVerify);
+
+}  // namespace
+}  // namespace sdr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,221 @@
+// E11 — Lazy state updates vs Byzantine-tolerant eager ordering
+// (paper Section 3, the design-choice ablation DESIGN.md calls out).
+//
+// Claim: "a total ordering broadcast protocol including the slaves would
+// have to be resistant to byzantine failures, and implementing such an
+// algorithm over a WAN is extremely expensive. 'Lazy' state updates make
+// the write protocol much more efficient."
+//
+// We measure the per-write cost of the two designs as the slave count
+// grows:
+//   - LAZY (the paper): sequencer total-order among the small trusted
+//     master set, then one signed state-update push per slave — O(m + s)
+//     messages, s+1 signatures;
+//   - EAGER (BFT): PBFT-style three-phase agreement over masters + slaves
+//     — O(n^2) messages, each carrying an authenticator, and commit
+//     latency gated by the quorum round trips.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/broadcast/bft_order.h"
+#include "src/core/cluster.h"
+
+namespace sdr {
+namespace {
+
+// --- EAGER: a group of BFT members ordering writes. ---
+
+class BftMember : public Node {
+ public:
+  void Init(Simulator* sim, BftOrderBroadcast::Config config) {
+    bcast_ = std::make_unique<BftOrderBroadcast>(
+        sim, this, std::move(config),
+        [this](NodeId to, const Bytes& payload) {
+          network()->Send(id(), to, payload);
+        },
+        [this](uint64_t seq, NodeId, const Bytes&) { last_seq_ = seq; });
+  }
+  void Start() override { bcast_->Start(); }
+  void HandleMessage(NodeId from, const Bytes& payload) override {
+    bcast_->OnMessage(from, payload);
+  }
+  BftOrderBroadcast& bcast() { return *bcast_; }
+  uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  std::unique_ptr<BftOrderBroadcast> bcast_;
+  uint64_t last_seq_ = 0;
+};
+
+struct EagerResult {
+  double messages_per_write = 0;
+  double auth_ops_per_write = 0;
+  double commit_latency_ms = 0;
+};
+
+EagerResult RunEager(int n, uint64_t seed) {
+  Simulator sim(seed);
+  Network net(&sim, LinkModel::Wan());
+  std::vector<std::unique_ptr<BftMember>> members;
+  BftOrderBroadcast::Config config;
+  for (int i = 0; i < n; ++i) {
+    members.push_back(std::make_unique<BftMember>());
+    config.group.push_back(net.AddNode(members.back().get()));
+  }
+  for (auto& m : members) {
+    m->Init(&sim, config);
+  }
+  net.StartAll();
+
+  const int kWrites = 20;
+  Percentiles latency;
+  for (int i = 0; i < kWrites; ++i) {
+    SimTime start = sim.Now();
+    members[1]->bcast().Broadcast(ToBytes("w" + std::to_string(i)));
+    // Run until every member delivered this write.
+    uint64_t want = static_cast<uint64_t>(i + 1);
+    while (true) {
+      bool all = true;
+      for (const auto& m : members) {
+        if (m->last_seq() < want) {
+          all = false;
+        }
+      }
+      if (all) {
+        break;
+      }
+      if (!sim.Step()) {
+        break;
+      }
+    }
+    latency.Add(static_cast<double>(sim.Now() - start));
+  }
+  uint64_t messages = 0, auths = 0;
+  for (const auto& m : members) {
+    messages += m->bcast().protocol_messages_sent();
+    auths += m->bcast().authenticators_computed();
+  }
+  EagerResult r;
+  r.messages_per_write = static_cast<double>(messages) / kWrites;
+  r.auth_ops_per_write = static_cast<double>(auths) / kWrites;
+  r.commit_latency_ms = latency.Median() / 1000.0;
+  return r;
+}
+
+// --- LAZY: the real system; count write-path messages per commit. ---
+
+struct LazyResult {
+  double messages_per_write = 0;
+  double signatures_per_write = 0;
+  double commit_latency_ms = 0;
+  double slave_sync_ms = 0;  // write visible (applied) at every slave
+};
+
+LazyResult RunLazy(int masters, int slaves_total, uint64_t seed) {
+  ClusterConfig config;
+  config.seed = seed;
+  config.num_masters = masters;
+  config.slaves_per_master = slaves_total / masters;
+  config.num_clients = 1;
+  config.corpus.n_items = 20;
+  config.params.scheme = SignatureScheme::kHmacSha256;
+  config.params.max_latency = 300 * kMillisecond;  // allow frequent writes
+  config.params.keepalive_period = 150 * kMillisecond;
+  config.default_link = LinkModel::Wan();
+  config.client_mode = Client::LoadMode::kManual;
+  config.track_ground_truth = false;
+  Cluster cluster(config);
+  cluster.RunFor(2 * kSecond);
+
+  const int kWrites = 20;
+  uint64_t messages_before = cluster.net().messages_sent();
+  Percentiles commit_latency;
+  Percentiles sync_latency;
+  for (int i = 0; i < kWrites; ++i) {
+    SimTime start = cluster.sim().Now();
+    bool committed = false;
+    cluster.client(0).IssueWrite(
+        {WriteOp::Put("k" + std::to_string(i), "v")},
+        [&](bool ok, uint64_t) { committed = ok; });
+    while (!committed && cluster.sim().Step()) {
+    }
+    commit_latency.Add(static_cast<double>(cluster.sim().Now() - start));
+    // Run until every slave applied the write.
+    uint64_t want = static_cast<uint64_t>(i + 1);
+    while (true) {
+      bool all = true;
+      for (int s = 0; s < cluster.num_slaves(); ++s) {
+        if (cluster.slave(s).applied_version() < want) {
+          all = false;
+        }
+      }
+      if (all) {
+        break;
+      }
+      if (!cluster.sim().Step()) {
+        break;
+      }
+    }
+    sync_latency.Add(static_cast<double>(cluster.sim().Now() - start));
+    // Space the writes past the max_latency commit spacing so each write's
+    // commit latency reflects the protocol round, not the pacing queue.
+    cluster.RunFor(config.params.max_latency);
+  }
+  LazyResult r;
+  // Keep-alives and gossip run regardless of writes; to isolate the write
+  // path we charge: broadcast among masters (+auditor) + state updates +
+  // acks. Approximate by total message delta minus the idle baseline.
+  {
+    // Measure the idle baseline over the same virtual duration.
+    ClusterConfig idle_config = config;
+    idle_config.seed = seed + 1;
+    Cluster idle(std::move(idle_config));
+    idle.RunFor(2 * kSecond);
+    uint64_t idle_before = idle.net().messages_sent();
+    idle.RunFor(cluster.sim().Now() - 2 * kSecond);
+    uint64_t idle_messages = idle.net().messages_sent() - idle_before;
+    uint64_t total = cluster.net().messages_sent() - messages_before;
+    r.messages_per_write =
+        static_cast<double>(total > idle_messages ? total - idle_messages : 0) /
+        kWrites;
+  }
+  // Signatures on the write path: each master signs the token on its state
+  // updates to its slaves — slaves_total in aggregate per write.
+  r.signatures_per_write = static_cast<double>(slaves_total);
+  r.commit_latency_ms = commit_latency.Median() / 1000.0;
+  r.slave_sync_ms = sync_latency.Median() / 1000.0;
+  return r;
+}
+
+}  // namespace
+}  // namespace sdr
+
+int main() {
+  using namespace sdr;
+  PrintHeader("E11: lazy state updates vs eager BFT ordering (Section 3)");
+  Note("WAN links (40ms +/- 10ms one-way); 20 writes per cell");
+
+  Row("%-28s %10s %12s %12s %14s", "design", "members", "msgs/write",
+      "auth/write", "commitLat ms");
+  for (int slaves : {3, 6, 12, 24}) {
+    // EAGER: all masters (2) + auditor + slaves participate in BFT.
+    int n = 3 + slaves;
+    EagerResult eager = RunEager(n, 61);
+    Row("%-28s %10d %12.1f %12.1f %14.1f",
+        ("eager BFT (n=" + std::to_string(n) + ")").c_str(), n,
+        eager.messages_per_write, eager.auth_ops_per_write,
+        eager.commit_latency_ms);
+
+    LazyResult lazy = RunLazy(2, slaves, 62);
+    Row("%-28s %10d %12.1f %12.1f %14.1f  (all slaves synced in %.1f ms)",
+        ("lazy (2 masters+" + std::to_string(slaves) + " slaves)").c_str(),
+        3 + slaves, lazy.messages_per_write, lazy.signatures_per_write,
+        lazy.commit_latency_ms, lazy.slave_sync_ms);
+  }
+  Note("shape: eager messages and authenticator operations grow");
+  Note("quadratically with the replica count and the commit needs three");
+  Note("WAN phases; lazy cost grows linearly in the slave count and the");
+  Note("commit needs one master round, with propagation bounded by");
+  Note("max_latency in the background — the paper's efficiency argument.");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// E5 — Audit lag under diurnal load (paper Section 3.4).
+//
+// Claim: "Assuming that read requests show daily peak patterns (few
+// requests at 3AM in the night for example), it is possible that the
+// auditor will seriously lag behind during peak hours, but catch up during
+// the night. However, it is essential that in the long run the auditor is
+// able to keep up... If the auditor is over-used, the solution is to
+// either add extra auditors, or weaken the security guarantees by
+// verifying only a randomly chosen fraction of all reads."
+//
+// We run 48 virtual hours of diurnally-shaped open-loop read traffic and
+// sample the auditor's backlog every 30 virtual minutes, for three
+// provisionings: adequate, undersized, and undersized-with-sampling.
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+
+namespace sdr {
+namespace {
+
+struct Series {
+  std::vector<double> hours;
+  std::vector<double> load;
+  std::vector<double> backlog;
+  uint64_t received = 0;
+  uint64_t audited = 0;
+  size_t final_backlog = 0;
+};
+
+Series Run(double auditor_speed, double sample_fraction, bool use_cache,
+           uint64_t seed) {
+  ClusterConfig config;
+  config.seed = seed;
+  config.num_masters = 1;
+  config.slaves_per_master = 2;
+  config.num_clients = 2;
+  config.corpus.n_items = 100;
+  config.params.scheme = SignatureScheme::kHmacSha256;
+  config.params.double_check_probability = 0.0;
+  config.params.audit_sample_fraction = sample_fraction;
+  config.cost.auditor_speed = auditor_speed;
+  config.auditor_use_cache = use_cache;
+  // Queries cost ~60ms of slave time on average under this mix; the
+  // auditor's *relative* speed is the sweep variable: at 0.15x its mean
+  // audit takes ~0.4s, putting it over capacity at the daytime peak
+  // (utilization ~1.2) but under it on the daily average (~0.65) — it must
+  // use the night to catch up. At 0.075x even the daily average exceeds
+  // capacity and the backlog diverges.
+  config.cost.work_unit_us = 1000.0;
+  config.mix.get_weight = 0.4;
+  config.mix.scan_weight = 0.2;
+  config.mix.grep_weight = 0.25;
+  config.mix.agg_weight = 0.15;
+  config.client_mode = Client::LoadMode::kOpenLoop;
+  config.client_reads_per_second = 1.5;
+  DiurnalShape shape;
+  config.client_rate_multiplier = [shape](SimTime t) {
+    return shape.Multiplier(t);
+  };
+  config.track_ground_truth = false;
+
+  Cluster cluster(config);
+  Series s;
+  DiurnalShape probe;
+  const SimTime kTotal = 48 * kHour;
+  const SimTime kSample = 30 * kMinute;
+  for (SimTime t = 0; t < kTotal; t += kSample) {
+    cluster.RunFor(kSample);
+    s.hours.push_back(static_cast<double>(cluster.sim().Now()) / kHour);
+    s.load.push_back(probe.Multiplier(cluster.sim().Now()));
+    s.backlog.push_back(static_cast<double>(cluster.auditor().backlog()));
+  }
+  s.received = cluster.auditor().metrics().pledges_received;
+  s.audited = cluster.auditor().metrics().pledges_audited;
+  s.final_backlog = cluster.auditor().backlog();
+  return s;
+}
+
+void PrintSeries(const char* name, const Series& s) {
+  Row("\n  [%s] pledges received=%llu audited=%llu final backlog=%zu", name,
+      static_cast<unsigned long long>(s.received),
+      static_cast<unsigned long long>(s.audited), s.final_backlog);
+  Row("  %6s %6s %9s  %s", "hour", "load", "backlog", "");
+  double max_backlog = 1;
+  for (double b : s.backlog) {
+    max_backlog = std::max(max_backlog, b);
+  }
+  for (size_t i = 0; i < s.hours.size(); i += 4) {  // print every 2 hours
+    int bar = static_cast<int>(s.backlog[i] / max_backlog * 40);
+    std::string bars(static_cast<size_t>(bar), '#');
+    Row("  %6.1f %6.2f %9.0f  %s", s.hours[i], s.load[i], s.backlog[i],
+        bars.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sdr
+
+int main() {
+  using namespace sdr;
+  PrintHeader("E5: auditor backlog under diurnal load, 48 virtual hours");
+  Note("open-loop clients, raised-cosine diurnal curve with 3AM trough");
+
+  Series cached = Run(/*speed=*/0.15, /*sample=*/1.0, /*cache=*/true, 31);
+  PrintSeries("auditor with result cache (Section 3.4's optimization)",
+              cached);
+
+  Series nocache = Run(/*speed=*/0.15, /*sample=*/1.0, /*cache=*/false, 31);
+  PrintSeries("no cache: lags at the daytime peak, catches up at night",
+              nocache);
+
+  Series undersized =
+      Run(/*speed=*/0.075, /*sample=*/1.0, /*cache=*/false, 31);
+  PrintSeries("no cache, half speed: over-used, diverges across days",
+              undersized);
+
+  Series sampling =
+      Run(/*speed=*/0.075, /*sample=*/0.35, /*cache=*/false, 31);
+  PrintSeries("no cache, half speed + 35% sampling (the paper's fallback)",
+              sampling);
+
+  Note("shape: the cached auditor keeps up trivially; without the cache the");
+  Note("backlog swells at daytime peak and drains overnight; an over-used");
+  Note("auditor diverges day over day; sampling restores stability at");
+  Note("reduced coverage.");
+  return 0;
+}

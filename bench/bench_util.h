@@ -1,0 +1,35 @@
+// Shared helpers for the experiment benchmark binaries (E1..E9): aligned
+// table printing and common cluster settings. The experiment binaries print
+// paper-style tables; bench_e10_micro uses google-benchmark directly.
+#ifndef SDR_BENCH_BENCH_UTIL_H_
+#define SDR_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sdr {
+
+// Prints a header like:
+//   === E2: double-check probability sweep ===
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Fixed-width row printing: Row("%-10s %8.2f", ...).
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::fputc('\n', stdout);
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+}  // namespace sdr
+
+#endif  // SDR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+// Byzantine-slave walkthrough: one CDN slave starts returning wrong
+// answers with internally consistent pledges (undetectable at the client).
+// Watch both detection paths from the paper fire:
+//   - immediate discovery: a probabilistic double-check catches the lie
+//     red-handed and the master excludes the slave on the spot;
+//   - delayed discovery: the background auditor re-executes forwarded
+//     pledges, finds mismatches, and has the slave excluded even when no
+//     double-check ever sampled a lie.
+//
+//   ./build/examples/byzantine_slave
+#include <cstdio>
+
+#include "src/core/cluster.h"
+
+using namespace sdr;
+
+namespace {
+
+void RunScenario(const char* title, double double_check_p, bool audit) {
+  std::printf("\n--- %s (p=%.2f, audit %s) ---\n", title, double_check_p,
+              audit ? "on" : "off");
+  ClusterConfig config;
+  config.params.audit_enabled = audit;
+  config.seed = 1234;
+  config.num_masters = 1;
+  config.slaves_per_master = 2;
+  config.num_clients = 2;
+  config.corpus.n_items = 100;
+  config.params.double_check_probability = double_check_p;
+  config.params.max_latency = 1 * kSecond;
+  config.client_mode = Client::LoadMode::kClosedLoop;
+  config.client_think_time = 50 * kMillisecond;
+  config.client_write_fraction = 0.01;  // keep versions moving
+  // Slave 0 lies on 20% of reads — with a correctly signed pledge over the
+  // corrupted result, so clients cannot tell.
+  config.slave_behavior = [](int index) {
+    Slave::Behavior b;
+    if (index == 0) {
+      b.lie_probability = 0.2;
+    }
+    return b;
+  };
+
+  Cluster cluster(config);
+  NodeId liar = 0;
+  cluster.RunFor(100 * kMillisecond);
+  liar = cluster.slave(0).id();
+
+  SimTime caught_at = -1;
+  for (int step = 0; step < 1200; ++step) {
+    cluster.RunFor(250 * kMillisecond);
+    if (cluster.master(0).IsExcluded(liar)) {
+      caught_at = cluster.sim().Now();
+      break;
+    }
+  }
+
+  const SlaveMetrics& sm = cluster.slave(0).metrics();
+  const AuditorMetrics& am = cluster.auditor().metrics();
+  if (caught_at >= 0) {
+    std::printf("slave node%u EXCLUDED after %.1f virtual seconds\n", liar,
+                static_cast<double>(caught_at) / kSecond);
+  } else {
+    std::printf("slave node%u not caught within the run\n", liar);
+  }
+  std::printf("  lies told: %llu, reads served: %llu\n",
+              static_cast<unsigned long long>(sm.lies_told),
+              static_cast<unsigned long long>(sm.reads_served));
+  uint64_t dc_catches = 0, reassigned = 0;
+  for (int c = 0; c < cluster.num_clients(); ++c) {
+    dc_catches += cluster.client(c).metrics().double_check_mismatches;
+    reassigned += cluster.client(c).metrics().reassignments;
+  }
+  std::printf("  caught by double-check: %llu, by audit: %llu mismatches\n",
+              static_cast<unsigned long long>(dc_catches),
+              static_cast<unsigned long long>(am.mismatches_found));
+  std::printf("  clients reassigned to honest slaves: %llu\n",
+              static_cast<unsigned long long>(reassigned));
+  std::printf("  wrong answers accepted before exclusion: %llu"
+              " (the paper's optimistic trade-off)\n",
+              static_cast<unsigned long long>(cluster.accepted_wrong()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A slave starts lying with consistent pledges...\n");
+  RunScenario("immediate discovery via double-checks", 0.10, false);
+  RunScenario("delayed discovery via the auditor only", 0.00, true);
+  std::printf("\nEither way the signed pledge is irrefutable evidence and the "
+              "slave is evicted.\n");
+  return 0;
+}

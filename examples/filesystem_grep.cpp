@@ -1,0 +1,93 @@
+// The paper's file-system example, verbatim (Section 2): the replicated
+// content "should not only support operations of the type `read FileName`,
+// but also operations of the type `grep Expression Path`".
+//
+// Files become documents keyed by path; `read` is a GET and
+// `grep Expression Path` is a GREP over the half-open key range
+// [Path/, Path0) — '0' is the successor of '/' in ASCII, so the range is
+// exactly the subtree. The slave executes the whole scan and pledges the
+// result; the client verifies before trusting a single matched line.
+//
+//   ./build/examples/filesystem_grep
+#include <cstdio>
+
+#include "src/core/cluster.h"
+
+using namespace sdr;
+
+namespace {
+
+// `grep Expression Path` as a Query.
+Query GrepPath(const std::string& expression, const std::string& path) {
+  return Query::Grep(expression, path + "/", path + "0");
+}
+
+}  // namespace
+
+int main() {
+  ClusterConfig config;
+  config.seed = 7;
+  config.num_masters = 1;
+  config.slaves_per_master = 2;
+  config.num_clients = 1;
+  config.corpus.n_items = 0;  // we install our own tree below
+  config.client_mode = Client::LoadMode::kManual;
+  Cluster cluster(config);
+  cluster.RunFor(2 * kSecond);
+
+  // Populate a small source tree through the write protocol.
+  WriteBatch tree = {
+      WriteOp::Put("src/main.c", "int main(void) { return run(); }"),
+      WriteOp::Put("src/run.c", "int run(void) { /* TODO: fix leak */ }"),
+      WriteOp::Put("src/util/log.c", "void log(const char* m) { puts(m); }"),
+      WriteOp::Put("docs/README", "build with make; see TODO list"),
+      WriteOp::Put("docs/TODO", "fix leak in run(); add tests"),
+  };
+  bool committed = false;
+  cluster.client(0).IssueWrite(tree, [&](bool ok, uint64_t version) {
+    committed = ok;
+    std::printf("installed %zu files at content_version %llu\n", tree.size(),
+                static_cast<unsigned long long>(version));
+  });
+  cluster.RunFor(3 * kSecond);
+  if (!committed) {
+    std::printf("write failed\n");
+    return 1;
+  }
+
+  // read FileName
+  cluster.client(0).IssueRead(
+      Query::Get("src/main.c"), [](bool ok, const QueryResult& result) {
+        std::printf("read src/main.c -> %s: \"%s\"\n",
+                    ok ? "verified" : "failed",
+                    ok && !result.rows.empty() ? result.rows[0].second.c_str()
+                                               : "");
+      });
+  cluster.RunFor(2 * kSecond);
+
+  // grep Expression Path — served by the untrusted slave, pledge-verified.
+  struct Case {
+    const char* expression;
+    const char* path;
+  };
+  for (const Case& c : {Case{"TODO", "src"}, Case{"TODO", "docs"},
+                        Case{"leak", "src"}, Case{"leak", "docs"}}) {
+    cluster.client(0).IssueRead(
+        GrepPath(c.expression, c.path),
+        [c](bool ok, const QueryResult& result) {
+          std::printf("grep %-5s %-5s -> %s, %zu match(es)\n", c.expression,
+                      c.path, ok ? "verified" : "failed", result.rows.size());
+          for (const auto& [file, line] : result.rows) {
+            std::printf("    %s: %s\n", file.c_str(), line.c_str());
+          }
+        });
+    cluster.RunFor(2 * kSecond);
+  }
+
+  std::printf("\nevery grep above was computed by a marginally-trusted slave "
+              "and accepted only\nafter hash + pledge-signature + freshness "
+              "verification (%llu pledges audited).\n",
+              static_cast<unsigned long long>(
+                  cluster.auditor().metrics().pledges_received));
+  return 0;
+}

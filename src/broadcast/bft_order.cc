@@ -1,0 +1,282 @@
+#include "src/broadcast/bft_order.h"
+
+#include <cassert>
+
+namespace sdr {
+
+BftOrderBroadcast::BftOrderBroadcast(Simulator* sim, Node* owner,
+                                     Config config, SendFn send,
+                                     DeliverFn deliver)
+    : sim_(sim),
+      owner_(owner),
+      config_(std::move(config)),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {
+  assert(!config_.group.empty());
+}
+
+void BftOrderBroadcast::Start() {
+  started_ = true;
+  RetransmitTick();
+}
+
+void BftOrderBroadcast::SendTo(NodeId to, const Bytes& payload) {
+  ++messages_sent_;
+  ++auth_ops_;  // every PBFT message carries an authenticator
+  send_(to, payload);
+}
+
+void BftOrderBroadcast::SendToAll(const Bytes& payload) {
+  for (NodeId member : config_.group) {
+    if (member != owner_->id()) {
+      SendTo(member, payload);
+    }
+  }
+}
+
+void BftOrderBroadcast::Broadcast(Bytes payload) {
+  uint64_t local_id = next_local_id_++;
+  pending_[local_id] = payload;
+
+  Writer w;
+  w.U8(kRequest);
+  w.U32(owner_->id());
+  w.U64(local_id);
+  w.Blob(payload);
+  if (IsPrimary()) {
+    Bytes wire = w.Take();
+    Reader r(wire);
+    r.U8();
+    HandleRequest(owner_->id(), r);
+  } else {
+    SendTo(primary(), w.Take());
+  }
+}
+
+void BftOrderBroadcast::OnMessage(NodeId from, const Bytes& payload) {
+  if (!started_ || !owner_->up()) {
+    return;
+  }
+  ++auth_ops_;  // verify the sender's authenticator
+  Reader r(payload);
+  uint8_t type = r.U8();
+  switch (type) {
+    case kRequest:
+      HandleRequest(from, r);
+      break;
+    case kPrePrepare:
+      HandlePrePrepare(r);
+      break;
+    case kPrepare:
+      HandlePrepare(from, r);
+      break;
+    case kCommit:
+      HandleCommit(from, r);
+      break;
+    default:
+      break;
+  }
+}
+
+void BftOrderBroadcast::HandleRequest(NodeId /*from*/, Reader& r) {
+  NodeId origin = r.U32();
+  uint64_t local_id = r.U64();
+  Bytes payload = r.Blob();
+  if (!r.ok() || !IsPrimary()) {
+    return;
+  }
+  auto key = std::make_pair(origin, local_id);
+  uint64_t seq;
+  auto it = assigned_.find(key);
+  if (it != assigned_.end()) {
+    seq = it->second;  // duplicate: re-announce the same pre-prepare
+  } else {
+    seq = next_seq_++;
+    assigned_[key] = seq;
+    Instance& inst = instances_[seq];
+    inst.origin = origin;
+    inst.payload = payload;
+    inst.have_preprepare = true;
+  }
+  if (origin == owner_->id()) {
+    pending_.erase(local_id);  // the primary's own request is now ordered
+  }
+  Writer w;
+  w.U8(kPrePrepare);
+  w.U64(seq);
+  w.U32(origin);
+  w.U64(local_id);
+  w.Blob(payload);
+  SendToAll(w.Take());
+  MaybeProgress(seq);
+}
+
+void BftOrderBroadcast::HandlePrePrepare(Reader& r) {
+  uint64_t seq = r.U64();
+  NodeId origin = r.U32();
+  uint64_t local_id = r.U64();
+  Bytes payload = r.Blob();
+  if (!r.ok()) {
+    return;
+  }
+  if (origin == owner_->id()) {
+    pending_.erase(local_id);
+  }
+  Instance& inst = instances_[seq];
+  if (!inst.have_preprepare) {
+    inst.origin = origin;
+    inst.payload = std::move(payload);
+    inst.have_preprepare = true;
+  }
+  MaybeProgress(seq);
+}
+
+void BftOrderBroadcast::HandlePrepare(NodeId from, Reader& r) {
+  uint64_t seq = r.U64();
+  if (!r.ok()) {
+    return;
+  }
+  Instance& inst = instances_[seq];
+  inst.prepares.insert(from);
+  if (inst.delivered) {
+    HelpLaggard(from, seq);
+    return;
+  }
+  MaybeProgress(seq);
+}
+
+void BftOrderBroadcast::HandleCommit(NodeId from, Reader& r) {
+  uint64_t seq = r.U64();
+  if (!r.ok()) {
+    return;
+  }
+  Instance& inst = instances_[seq];
+  inst.commits.insert(from);
+  // Commits never trigger help replies — that would let two delivered
+  // members ping-pong forever.
+  if (inst.delivered) {
+    return;
+  }
+  MaybeProgress(seq);
+}
+
+void BftOrderBroadcast::HelpLaggard(NodeId peer, uint64_t seq) {
+  // A peer is still (re)transmitting a PREPARE for an instance we already
+  // delivered: it lost phase messages and everyone else moved on. Send our
+  // COMMIT directly (and the pre-prepare if we are the primary). Only
+  // prepares trigger this, and the reply is a commit, which never triggers
+  // a reply itself — so helped exchanges always terminate.
+  const Instance& inst = instances_[seq];
+  if (IsPrimary() && inst.have_preprepare) {
+    Writer w;
+    w.U8(kPrePrepare);
+    w.U64(seq);
+    w.U32(inst.origin);
+    w.U64(0);
+    w.Blob(inst.payload);
+    SendTo(peer, w.Take());
+  }
+  Writer wc;
+  wc.U8(kCommit);
+  wc.U64(seq);
+  SendTo(peer, wc.Take());
+}
+
+void BftOrderBroadcast::MaybeProgress(uint64_t seq) {
+  Instance& inst = instances_[seq];
+  if (!inst.have_preprepare) {
+    return;
+  }
+  // Prepare phase: every replica (including the primary) multicasts
+  // PREPARE once it holds the pre-prepare.
+  if (!inst.sent_prepare) {
+    inst.sent_prepare = true;
+    inst.prepares.insert(owner_->id());
+    Writer w;
+    w.U8(kPrepare);
+    w.U64(seq);
+    SendToAll(w.Take());
+  }
+  // Commit phase: prepared == pre-prepare + 2f matching prepares.
+  if (!inst.sent_commit &&
+      static_cast<int>(inst.prepares.size()) >= 2 * f() + 1) {
+    inst.sent_commit = true;
+    inst.commits.insert(owner_->id());
+    Writer w;
+    w.U8(kCommit);
+    w.U64(seq);
+    SendToAll(w.Take());
+  }
+  // Committed: 2f+1 commits. Deliver in sequence order.
+  if (!inst.delivered && static_cast<int>(inst.commits.size()) >= quorum()) {
+    inst.delivered = true;
+    DeliverReady();
+  }
+}
+
+void BftOrderBroadcast::DeliverReady() {
+  for (;;) {
+    auto it = instances_.find(delivered_seq_ + 1);
+    if (it == instances_.end() || !it->second.delivered) {
+      return;
+    }
+    ++delivered_seq_;
+    deliver_(delivered_seq_, it->second.origin, it->second.payload);
+  }
+}
+
+void BftOrderBroadcast::RetransmitTick() {
+  sim_->ScheduleAfter(config_.retransmit_timeout, [this] { RetransmitTick(); });
+  if (!started_ || !owner_->up()) {
+    return;
+  }
+  // Recover lost phase messages: re-multicast our phase votes (and the
+  // pre-prepare, if we are the primary) for every undelivered instance.
+  for (auto& [seq, inst] : instances_) {
+    if (inst.delivered) {
+      continue;
+    }
+    if (IsPrimary() && inst.have_preprepare) {
+      Writer w;
+      w.U8(kPrePrepare);
+      w.U64(seq);
+      w.U32(inst.origin);
+      w.U64(0);  // local_id only matters for the origin's dedup bookkeeping
+      w.Blob(inst.payload);
+      SendToAll(w.Take());
+    }
+    if (inst.sent_prepare) {
+      Writer w;
+      w.U8(kPrepare);
+      w.U64(seq);
+      SendToAll(w.Take());
+    }
+    if (inst.sent_commit) {
+      Writer w;
+      w.U8(kCommit);
+      w.U64(seq);
+      SendToAll(w.Take());
+    }
+  }
+
+  // HandleRequest can erase from pending_, so iterate a snapshot.
+  std::vector<std::pair<uint64_t, Bytes>> snapshot(pending_.begin(),
+                                                   pending_.end());
+  for (const auto& [local_id, payload] : snapshot) {
+    Writer w;
+    w.U8(kRequest);
+    w.U32(owner_->id());
+    w.U64(local_id);
+    w.Blob(payload);
+    if (IsPrimary()) {
+      Bytes wire = w.Take();
+      Reader r(wire);
+      r.U8();
+      HandleRequest(owner_->id(), r);
+    } else {
+      SendTo(primary(), w.Take());
+    }
+  }
+}
+
+}  // namespace sdr

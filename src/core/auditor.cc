@@ -1,0 +1,258 @@
+#include "src/core/auditor.h"
+
+#include "src/util/logging.h"
+
+namespace sdr {
+
+Auditor::Auditor(Options options)
+    : options_(std::move(options)),
+      signer_(options_.key_pair),
+      rng_(1),
+      oplog_(options_.snapshot_interval),
+      executor_(/*cache_regex=*/options_.use_result_cache) {}
+
+void Auditor::Start() {
+  queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.auditor_speed);
+  rng_ = sim()->rng().Fork();
+
+  TotalOrderBroadcast::Config bc = options_.broadcast;
+  bc.group = options_.group;
+  broadcast_ = std::make_unique<TotalOrderBroadcast>(
+      sim(), this, bc,
+      [this](NodeId to, const Bytes& payload) {
+        network()->Send(id(), to,
+                        WithType(MsgType::kBroadcastEnvelope, payload));
+      },
+      [this](uint64_t seq, NodeId origin, const Bytes& payload) {
+        OnDelivered(seq, origin, payload);
+      });
+  broadcast_->Start();
+
+  // Liveness gossip (empty slave set — the auditor has none) and periodic
+  // finalization checks.
+  GossipAndFinalizeTick();
+}
+
+void Auditor::GossipAndFinalizeTick() {
+  sim()->ScheduleAfter(options_.params.gossip_period,
+                       [this] { GossipAndFinalizeTick(); });
+  if (!up()) {
+    return;
+  }
+  TobGossip gossip;
+  gossip.master = id();
+  broadcast_->Broadcast(WithTobType(TobPayloadType::kGossip, gossip.Encode()));
+  TryFinalizeVersions();
+  metrics_.backlog_depth.Add(static_cast<double>(queue_->depth()));
+  metrics_.version_lag.Add(static_cast<double>(version_lag()));
+}
+
+void Auditor::HandleMessage(NodeId from, const Bytes& payload) {
+  auto type = PeekType(payload);
+  if (!type.ok()) {
+    return;
+  }
+  Bytes body(payload.begin() + 1, payload.end());
+  switch (*type) {
+    case MsgType::kAuditSubmit:
+      HandleAuditSubmit(from, body);
+      break;
+    case MsgType::kBroadcastEnvelope:
+      broadcast_->OnMessage(from, body);
+      break;
+    default:
+      break;
+  }
+}
+
+void Auditor::OnDelivered(uint64_t /*seq*/, NodeId /*origin*/,
+                          const Bytes& payload) {
+  auto type = PeekTobType(payload);
+  if (!type.ok()) {
+    return;
+  }
+  Bytes body(payload.begin() + 1, payload.end());
+  switch (*type) {
+    case TobPayloadType::kWrite: {
+      auto write = TobWrite::Decode(body);
+      if (!write.ok()) {
+        return;
+      }
+      uint64_t version = oplog_.head_version() + 1;
+      oplog_.Append(version, write->batch);
+      commit_times_[version] = sim()->Now();
+      // Pledges that were waiting for this version can now be audited.
+      std::deque<std::pair<Pledge, NodeId>> still_future;
+      while (!future_.empty()) {
+        auto [p, submitter] = std::move(future_.front());
+        future_.pop_front();
+        if (p.token.content_version <= oplog_.head_version()) {
+          AuditOne(std::move(p), submitter);
+        } else {
+          still_future.emplace_back(std::move(p), submitter);
+        }
+      }
+      future_ = std::move(still_future);
+      break;
+    }
+    case TobPayloadType::kGossip: {
+      auto gossip = TobGossip::Decode(body);
+      if (!gossip.ok()) {
+        return;
+      }
+      for (const Certificate& cert : gossip->slave_certs) {
+        known_slave_certs_[cert.subject] = cert;
+        slave_owner_[cert.subject] = gossip->master;
+      }
+      break;
+    }
+  }
+}
+
+void Auditor::HandleAuditSubmit(NodeId from, const Bytes& body) {
+  auto msg = AuditSubmit::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  ++metrics_.pledges_received;
+  if (options_.params.audit_sample_fraction < 1.0 &&
+      !rng_.NextBool(options_.params.audit_sample_fraction)) {
+    ++metrics_.pledges_skipped_sampling;
+    return;
+  }
+  if (msg->pledge.token.content_version > oplog_.head_version()) {
+    // The slave answered at a version whose commit has not reached us yet.
+    future_.emplace_back(std::move(msg->pledge), from);
+    return;
+  }
+  AuditOne(std::move(msg->pledge), from);
+}
+
+void Auditor::AuditOne(Pledge pledge, NodeId submitter) {
+  uint64_t version = pledge.token.content_version;
+  ++in_flight_[version];
+
+  // Cost: a cache hit is nearly free; otherwise re-execute and hash — but
+  // never sign and never build a client reply (Section 3.4's advantages).
+  Bytes query_key = pledge.query.Encode();
+  auto cache_it = options_.use_result_cache
+                      ? cache_.find({version, query_key})
+                      : cache_.end();
+  bool cache_hit = cache_it != cache_.end();
+
+  SimTime service_time;
+  Bytes correct_hash;
+  if (cache_hit) {
+    ++metrics_.cache_hits;
+    service_time = static_cast<SimTime>(options_.cost.audit_cache_hit_us);
+    correct_hash = cache_it->second;
+  } else {
+    auto at_version = oplog_.MaterializeAt(version);
+    if (!at_version.ok()) {
+      // Version pruned (pledge arrived long after finalization) — the
+      // audit window guarantee makes this a protocol violation by the
+      // client or extreme delay; skip.
+      --in_flight_[version];
+      return;
+    }
+    auto outcome = executor_.Execute(*at_version, pledge.query);
+    if (!outcome.ok()) {
+      --in_flight_[version];
+      return;
+    }
+    metrics_.work_units_executed += outcome->cost;
+    correct_hash = outcome->result.Sha1Digest();
+    service_time = options_.cost.ExecuteTime(
+        outcome->cost, outcome->result.Encode().size());
+    if (options_.use_result_cache) {
+      cache_[{version, query_key}] = correct_hash;
+    }
+  }
+
+  queue_->Enqueue(service_time, [this, pledge = std::move(pledge),
+                                 correct_hash = std::move(correct_hash),
+                                 version, submitter] {
+    ++metrics_.pledges_audited;
+    --in_flight_[version];
+    if (correct_hash != pledge.result_sha1) {
+      // Check the signature before accusing: an unsigned "pledge" proves
+      // nothing and forwarding it would let clients frame slaves.
+      auto cert = known_slave_certs_.find(pledge.slave);
+      if (cert == known_slave_certs_.end() ||
+          !VerifyPledgeSignature(options_.params.scheme,
+                                 cert->second.subject_public_key, pledge)) {
+        ++metrics_.pledges_bad_signature;
+        return;
+      }
+      ++metrics_.mismatches_found;
+      RaiseAccusation(pledge);
+      NotifyVictim(submitter, pledge, correct_hash);
+    }
+    TryFinalizeVersions();
+  });
+}
+
+void Auditor::RaiseAccusation(const Pledge& pledge) {
+  auto owner = slave_owner_.find(pledge.slave);
+  if (owner == slave_owner_.end()) {
+    return;
+  }
+  ++metrics_.accusations_sent;
+  Accusation msg;
+  msg.pledge = pledge;
+  network()->Send(id(), owner->second,
+                  WithType(MsgType::kAccusation, msg.Encode()));
+}
+
+void Auditor::NotifyVictim(NodeId client, const Pledge& pledge,
+                           const Bytes& correct_sha1) {
+  // Delayed discovery: this client already accepted the bad answer; tell
+  // it so the application can roll back (Section 3.5).
+  ++metrics_.bad_read_notices_sent;
+  BadReadNotice notice;
+  notice.pledge = pledge;
+  notice.correct_sha1 = correct_sha1;
+  network()->Send(id(), client,
+                  WithType(MsgType::kBadReadNotice, notice.Encode()));
+}
+
+void Auditor::TryFinalizeVersions() {
+  // Finalize version v (move to v+1) once:
+  //   - v+1 has committed,
+  //   - more than max_latency + slack has passed since that commit (no
+  //     client will accept a version-v read any more, and its pledge has
+  //     had time to arrive),
+  //   - no audit for any version <= v is still in flight.
+  for (;;) {
+    uint64_t next = audited_version_ + 1;
+    auto commit = commit_times_.find(next);
+    if (commit == commit_times_.end()) {
+      return;
+    }
+    if (sim()->Now() <=
+        commit->second + options_.params.max_latency +
+            options_.params.audit_slack) {
+      return;
+    }
+    for (auto it = in_flight_.begin();
+         it != in_flight_.end() && it->first < next; ++it) {
+      if (it->second > 0) {
+        return;
+      }
+    }
+    // Every pledge for versions < next has been audited (queued audits are
+    // counted in in_flight_ from acceptance), so those versions are closed.
+    audited_version_ = next;
+    ++metrics_.versions_finalized;
+    // Reclaim memory for closed versions.
+    commit_times_.erase(commit_times_.begin(),
+                        commit_times_.lower_bound(audited_version_));
+    auto cache_end = cache_.lower_bound({audited_version_, Bytes()});
+    cache_.erase(cache_.begin(), cache_end);
+    oplog_.PruneBelow(audited_version_);
+    in_flight_.erase(in_flight_.begin(),
+                     in_flight_.lower_bound(audited_version_));
+  }
+}
+
+}  // namespace sdr

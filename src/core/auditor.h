@@ -1,0 +1,119 @@
+// The auditor (paper Section 3.4): the trusted server, elected from the
+// master set, that has no slave set and whose "only duty is to check the
+// validity of pledge packets, by re-executing the read request in the
+// packet and comparing the secure hash of the result to the hash in the
+// packet".
+//
+// It participates in the total-order broadcast like any master, so it sees
+// every committed write and every slave-list gossip; but it applies writes
+// lazily — it moves to content_version v+1 only after auditing every pledge
+// for version v and after more than max_latency (plus slack) has passed
+// since v+1 committed, so no client can still accept a read for the old
+// version.
+//
+// Throughput advantages over slaves, each individually toggleable for the
+// ablation benchmark (E4):
+//   - it produces no signatures,
+//   - it sends no answers back to clients,
+//   - it caches results of repeated queries,
+//   - it spreads work over idle periods (it is a background queue).
+#ifndef SDR_SRC_CORE_AUDITOR_H_
+#define SDR_SRC_CORE_AUDITOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "src/broadcast/total_order.h"
+#include "src/core/config.h"
+#include "src/core/messages.h"
+#include "src/core/metrics.h"
+#include "src/core/service_queue.h"
+#include "src/sim/network.h"
+#include "src/store/executor.h"
+#include "src/store/oplog.h"
+
+namespace sdr {
+
+class Auditor : public Node {
+ public:
+  struct Options {
+    ProtocolParams params;
+    CostModel cost;
+    KeyPair key_pair;
+    std::vector<NodeId> group;  // total-order group (masters + this node)
+    std::map<NodeId, Bytes> master_keys;
+    uint64_t snapshot_interval = 16;
+    TotalOrderBroadcast::Config broadcast;
+    // Ablation toggles (all true = the paper's auditor).
+    bool use_result_cache = true;
+  };
+
+  explicit Auditor(Options options);
+
+  void Start() override;
+  void HandleMessage(NodeId from, const Bytes& payload) override;
+
+  // Installs initial content at version 0 (must match the masters').
+  void SetBaseContent(const DocumentStore& base) {
+    oplog_.SetBaseSnapshot(base);
+  }
+
+  const OpLog& oplog() const { return oplog_; }
+  const AuditorMetrics& metrics() const { return metrics_; }
+  uint64_t head_version() const { return oplog_.head_version(); }
+  uint64_t audited_version() const { return audited_version_; }
+  // Audits accepted but not yet completed (queued on the simulated CPU),
+  // plus pledges parked for not-yet-committed versions.
+  size_t backlog() const { return queue_->depth() + future_.size(); }
+  const ServiceQueue& service_queue() const { return *queue_; }
+
+  // Current lag between the committed head and the fully audited version.
+  uint64_t version_lag() const {
+    return oplog_.head_version() - audited_version_;
+  }
+
+ private:
+  void OnDelivered(uint64_t seq, NodeId origin, const Bytes& payload);
+  void HandleAuditSubmit(NodeId from, const Bytes& body);
+  void GossipAndFinalizeTick();
+  void AuditOne(Pledge pledge, NodeId submitter);
+  void TryFinalizeVersions();
+  void RaiseAccusation(const Pledge& pledge);
+  void NotifyVictim(NodeId client, const Pledge& pledge,
+                    const Bytes& correct_sha1);
+
+  Options options_;
+  Signer signer_;
+  Rng rng_;
+  std::unique_ptr<TotalOrderBroadcast> broadcast_;
+  std::unique_ptr<ServiceQueue> queue_;
+
+  OpLog oplog_;
+  QueryExecutor executor_;
+  std::map<uint64_t, SimTime> commit_times_;  // version -> delivery time
+
+  // Versions strictly below audited_version_ are closed: every pledge for
+  // them has been audited and no client can accept a read for them any
+  // more. audited_version_ itself is the oldest possibly-active version.
+  uint64_t audited_version_ = 0;
+  // Pledges for versions we have not yet seen committed (with their
+  // submitting client, for delayed-discovery rollback notices).
+  std::deque<std::pair<Pledge, NodeId>> future_;
+  // Count of in-flight audits on the service queue for each version — a
+  // version cannot finalize while its audits are in flight.
+  std::map<uint64_t, uint64_t> in_flight_;
+  bool pump_armed_ = false;
+
+  // Result cache: (version, query-encoding) -> result SHA-1.
+  std::map<std::pair<uint64_t, Bytes>, Bytes> cache_;
+
+  std::map<NodeId, Certificate> known_slave_certs_;
+  std::map<NodeId, NodeId> slave_owner_;
+
+  AuditorMetrics metrics_;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CORE_AUDITOR_H_

@@ -1,0 +1,58 @@
+#include "src/core/certificate.h"
+
+namespace sdr {
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kMaster:
+      return "master";
+    case Role::kSlave:
+      return "slave";
+    case Role::kAuditor:
+      return "auditor";
+  }
+  return "?";
+}
+
+Bytes Certificate::SignedBody() const {
+  Writer w;
+  w.Blob(std::string_view("sdr-cert-v1"));
+  w.U32(subject);
+  w.U8(static_cast<uint8_t>(role));
+  w.Blob(subject_public_key);
+  return w.Take();
+}
+
+void Certificate::EncodeTo(Writer& w) const {
+  w.U32(subject);
+  w.U8(static_cast<uint8_t>(role));
+  w.Blob(subject_public_key);
+  w.Blob(signature);
+}
+
+Certificate Certificate::DecodeFrom(Reader& r) {
+  Certificate c;
+  c.subject = r.U32();
+  c.role = static_cast<Role>(r.U8());
+  c.subject_public_key = r.Blob();
+  c.signature = r.Blob();
+  return c;
+}
+
+Certificate IssueCertificate(const Signer& issuer, NodeId subject, Role role,
+                             const Bytes& subject_public_key) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.role = role;
+  cert.subject_public_key = subject_public_key;
+  cert.signature = issuer.Sign(cert.SignedBody());
+  return cert;
+}
+
+bool VerifyCertificate(SignatureScheme scheme, const Bytes& issuer_public_key,
+                       const Certificate& cert) {
+  return VerifySignature(scheme, issuer_public_key, cert.SignedBody(),
+                         cert.signature);
+}
+
+}  // namespace sdr

@@ -1,0 +1,566 @@
+#include "src/core/client.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace sdr {
+
+Client::Client(Options options)
+    : options_(std::move(options)), rng_(options_.rng_seed) {}
+
+void Client::Start() {
+  rng_ = Rng(options_.rng_seed ^ (static_cast<uint64_t>(id()) << 32));
+  BeginSetup();
+}
+
+const Bytes* Client::MasterKey(NodeId master) const {
+  for (const Certificate& cert : master_certs_) {
+    if (cert.subject == master) {
+      return &cert.subject_public_key;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Setup phase (Section 2).
+// ---------------------------------------------------------------------------
+
+void Client::BeginSetup() {
+  phase_ = Phase::kAwaitDirectory;
+  ++setup_attempts_;
+  DirectoryLookup lookup;
+  lookup.content_public_key = options_.content.content_public_key;
+  network()->Send(id(), options_.directory,
+                  WithType(MsgType::kDirectoryLookup, lookup.Encode()));
+  sim()->Cancel(setup_timeout_);
+  setup_timeout_ = sim()->ScheduleAfter(options_.params.client_timeout, [this] {
+    if (phase_ != Phase::kReady) {
+      BeginSetup();
+    }
+  });
+}
+
+void Client::HandleDirectoryReply(const Bytes& body) {
+  if (phase_ != Phase::kAwaitDirectory) {
+    return;
+  }
+  auto msg = DirectoryLookupReply::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  // Keep only certificates that verify against the content key — the
+  // directory itself is untrusted.
+  std::vector<Certificate> verified;
+  for (const Certificate& cert : msg->master_certs) {
+    if (cert.role == Role::kMaster &&
+        VerifyCertificate(options_.content.scheme,
+                          options_.content.content_public_key, cert)) {
+      verified.push_back(cert);
+    }
+  }
+  if (verified.empty()) {
+    return;  // setup timeout will retry
+  }
+  master_certs_ = std::move(verified);
+
+  // Pick a master; avoid the one that just went silent on us, if any.
+  std::vector<NodeId> candidates;
+  for (const Certificate& cert : master_certs_) {
+    if (cert.subject != master_ || master_certs_.size() == 1) {
+      candidates.push_back(cert.subject);
+    }
+  }
+  if (candidates.empty()) {
+    candidates.push_back(master_certs_[0].subject);
+  }
+  master_ = candidates[rng_.NextBounded(candidates.size())];
+
+  phase_ = Phase::kAwaitHello;
+  setup_nonce_ = rng_.NextBytes(16);
+  ClientHello hello;
+  hello.client_nonce = setup_nonce_;
+  network()->Send(id(), master_,
+                  WithType(MsgType::kClientHello, hello.Encode()));
+}
+
+void Client::HandleHelloReply(NodeId from, const Bytes& body) {
+  if (phase_ != Phase::kAwaitHello || from != master_) {
+    return;
+  }
+  auto msg = ClientHelloReply::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  const Bytes* master_key = MasterKey(master_);
+  if (master_key == nullptr ||
+      !VerifySignature(options_.params.scheme, *master_key,
+                       msg->SignedBody(setup_nonce_), msg->signature)) {
+    return;
+  }
+  // The slave certificate must chain to the master that assigned it.
+  if (msg->slave_cert.role != Role::kSlave ||
+      !VerifyCertificate(options_.params.scheme, *master_key,
+                         msg->slave_cert)) {
+    return;
+  }
+  slave_cert_ = msg->slave_cert;
+  auditor_ = msg->auditor;
+  phase_ = Phase::kReady;
+  sim()->Cancel(setup_timeout_);
+  ++metrics_.setups_completed;
+
+  // Re-issue anything that was in flight when the old master died.
+  for (auto& [request_id, read] : reads_) {
+    if (!read.awaiting_double_check) {
+      SendRead(request_id);
+    }
+  }
+  for (auto& [request_id, write] : writes_) {
+    (void)write;
+    SendWrite(request_id);
+  }
+  if (options_.mode != LoadMode::kManual && metrics_.setups_completed == 1) {
+    ScheduleNextOp();
+  }
+}
+
+void Client::HandleReassignment(NodeId from, const Bytes& body) {
+  if (from != master_) {
+    return;
+  }
+  auto msg = Reassignment::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  const Bytes* master_key = MasterKey(master_);
+  if (master_key == nullptr ||
+      !VerifySignature(options_.params.scheme, *master_key, msg->SignedBody(),
+                       msg->signature) ||
+      !VerifyCertificate(options_.params.scheme, *master_key,
+                         msg->new_slave_cert)) {
+    return;
+  }
+  slave_cert_ = msg->new_slave_cert;
+  if (msg->auditor != kInvalidNode) {
+    auditor_ = msg->auditor;  // the new slave may audit elsewhere
+  }
+  ++metrics_.reassignments;
+  // Outstanding reads retry toward the new slave on their next attempt.
+}
+
+void Client::HandleBadReadNotice(const Bytes& body) {
+  auto msg = BadReadNotice::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  // Sanity: the embedded token must be signed by a certified master —
+  // otherwise anyone could spam clients into rolling back.
+  const Bytes* master_key = MasterKey(msg->pledge.token.master);
+  if (master_key == nullptr ||
+      !VerifyVersionToken(options_.params.scheme, *master_key,
+                          msg->pledge.token)) {
+    return;
+  }
+  ++metrics_.bad_read_notices;
+  if (on_bad_read) {
+    on_bad_read(msg->pledge.query, msg->pledge.token.content_version);
+  }
+}
+
+void Client::MasterSuspect() {
+  // The master has gone silent: redo the setup phase with another master
+  // ("all the clients connected to the crashed server will have to go
+  // through the setup process again", Section 3).
+  if (phase_ == Phase::kReady) {
+    phase_ = Phase::kIdle;
+    BeginSetup();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reads (Sections 3.2-3.4).
+// ---------------------------------------------------------------------------
+
+void Client::IssueRead(Query query, ReadCallback cb) {
+  uint64_t request_id = next_request_id_++;
+  PendingRead read;
+  read.query = std::move(query);
+  read.first_issued = sim()->Now();
+  read.cb = std::move(cb);
+  reads_.emplace(request_id, std::move(read));
+  ++metrics_.reads_issued;
+  SendRead(request_id);
+}
+
+void Client::SendRead(uint64_t request_id) {
+  auto it = reads_.find(request_id);
+  if (it == reads_.end() || !slave_cert_.has_value()) {
+    return;
+  }
+  PendingRead& read = it->second;
+  ++read.attempts;
+  if (read.attempts > 1) {
+    ++metrics_.retries;
+  }
+  ReadRequest msg;
+  msg.request_id = request_id;
+  msg.query = read.query;
+  network()->Send(id(), slave_cert_->subject,
+                  WithType(MsgType::kReadRequest, msg.Encode()));
+  sim()->Cancel(read.timeout);
+  read.timeout =
+      sim()->ScheduleAfter(options_.params.client_timeout, [this, request_id] {
+        auto it = reads_.find(request_id);
+        if (it == reads_.end() || it->second.awaiting_double_check) {
+          return;
+        }
+        if (it->second.attempts > options_.max_read_retries) {
+          ++metrics_.reads_timed_out;
+          FailRead(request_id);
+          return;
+        }
+        SendRead(request_id);
+      });
+}
+
+void Client::HandleReadReply(NodeId from, const Bytes& body) {
+  auto msg = ReadReply::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  auto it = reads_.find(msg->request_id);
+  if (it == reads_.end() || it->second.awaiting_double_check) {
+    return;
+  }
+  if (!slave_cert_.has_value() || from != slave_cert_->subject) {
+    return;  // stale reply from a slave we no longer trust/use
+  }
+  PendingRead& read = it->second;
+
+  if (!msg->ok) {
+    // Honest decline (slave out of sync). Back off and retry.
+    ++metrics_.reads_failed_declined;
+    RetryRead(msg->request_id, options_.retry_backoff);
+    return;
+  }
+
+  const Pledge& pledge = msg->pledge;
+
+  // 1. Result hash must match the pledge.
+  if (msg->result.Sha1Digest() != pledge.result_sha1) {
+    ++metrics_.reads_rejected_hash;
+    RetryRead(msg->request_id, 0);
+    return;
+  }
+  // 2. Pledge must be signed by the slave we were assigned.
+  if (pledge.slave != slave_cert_->subject ||
+      !VerifyPledgeSignature(options_.params.scheme,
+                             slave_cert_->subject_public_key, pledge)) {
+    ++metrics_.reads_rejected_bad_sig;
+    RetryRead(msg->request_id, 0);
+    return;
+  }
+  // 3. Version token must be signed by a certified master.
+  const Bytes* master_key = MasterKey(pledge.token.master);
+  if (master_key == nullptr ||
+      !VerifyVersionToken(options_.params.scheme, *master_key, pledge.token)) {
+    ++metrics_.reads_rejected_bad_sig;
+    RetryRead(msg->request_id, 0);
+    return;
+  }
+  // 4. Freshness: reject results older than (the client's) max_latency.
+  if (!TokenIsFresh(pledge.token, sim()->Now(), effective_max_latency())) {
+    ++metrics_.reads_rejected_stale;
+    RetryRead(msg->request_id, options_.retry_backoff);
+    return;
+  }
+
+  // Probabilistic checking: greedy clients double-check everything.
+  bool double_check =
+      options_.greedy ||
+      rng_.NextBool(options_.params.double_check_probability);
+  if (double_check) {
+    read.awaiting_double_check = true;
+    double_checking_[msg->request_id] = {msg->result, pledge};
+    ++metrics_.double_checks_sent;
+    DoubleCheckRequest dc;
+    dc.request_id = msg->request_id;
+    dc.pledge = pledge;
+    network()->Send(id(), master_,
+                    WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
+    sim()->Cancel(read.timeout);
+    read.timeout = sim()->ScheduleAfter(
+        options_.params.client_timeout, [this, request_id = msg->request_id] {
+          // Master silent on a double-check: treat the (already verified)
+          // read as accepted and re-setup toward a live master.
+          auto dc = double_checking_.find(request_id);
+          if (dc == double_checking_.end()) {
+            return;
+          }
+          auto copy = dc->second;
+          double_checking_.erase(dc);
+          AcceptRead(request_id, copy.first, copy.second);
+          MasterSuspect();
+        });
+    return;
+  }
+
+  // No double-check: forward the pledge to the auditor, then accept
+  // ("clients accept read results only after they have forwarded the
+  // corresponding pledges to the auditor", Section 3.4).
+  if (options_.params.audit_enabled && auditor_ != kInvalidNode) {
+    AuditSubmit submit;
+    submit.pledge = pledge;
+    ++metrics_.pledges_forwarded;
+    network()->Send(id(), auditor_,
+                    WithType(MsgType::kAuditSubmit, submit.Encode()));
+  }
+  AcceptRead(msg->request_id, msg->result, pledge);
+}
+
+void Client::HandleDoubleCheckReply(const Bytes& body) {
+  auto msg = DoubleCheckReply::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  auto dc = double_checking_.find(msg->request_id);
+  if (dc == double_checking_.end()) {
+    return;
+  }
+  auto [result, pledge] = dc->second;
+  double_checking_.erase(dc);
+
+  auto read_it = reads_.find(msg->request_id);
+  if (read_it == reads_.end()) {
+    return;
+  }
+  read_it->second.awaiting_double_check = false;
+  sim()->Cancel(read_it->second.timeout);
+
+  if (!msg->served) {
+    // Quota-throttled (or version unavailable). The read itself passed all
+    // client-side checks; accept it.
+    ++metrics_.double_checks_unserved;
+    AcceptRead(msg->request_id, result, pledge);
+    return;
+  }
+  if (msg->matches) {
+    AcceptRead(msg->request_id, result, pledge);
+    return;
+  }
+  // Caught red-handed (immediate discovery): the master has the pledge from
+  // the double-check request and will exclude the slave and reassign us;
+  // retry the read, which will land on the new slave.
+  ++metrics_.double_check_mismatches;
+  RetryRead(msg->request_id, options_.retry_backoff);
+}
+
+void Client::RetryRead(uint64_t request_id, SimTime delay) {
+  auto it = reads_.find(request_id);
+  if (it == reads_.end()) {
+    return;
+  }
+  if (it->second.attempts > options_.max_read_retries) {
+    ++metrics_.reads_timed_out;
+    FailRead(request_id);
+    return;
+  }
+  sim()->Cancel(it->second.timeout);
+  if (delay <= 0) {
+    SendRead(request_id);
+  } else {
+    sim()->ScheduleAfter(delay, [this, request_id] { SendRead(request_id); });
+  }
+}
+
+void Client::AcceptRead(uint64_t request_id, const QueryResult& result,
+                        const Pledge& pledge) {
+  auto it = reads_.find(request_id);
+  if (it == reads_.end()) {
+    return;
+  }
+  ++metrics_.reads_accepted;
+  metrics_.read_latency_us.Add(
+      static_cast<double>(sim()->Now() - it->second.first_issued));
+  sim()->Cancel(it->second.timeout);
+  if (on_accept) {
+    on_accept(it->second.query, pledge.token.content_version, result);
+  }
+  ReadCallback cb = std::move(it->second.cb);
+  reads_.erase(it);
+  if (cb) {
+    cb(true, result);
+  }
+  if (options_.mode == LoadMode::kClosedLoop) {
+    ScheduleNextOp();
+  }
+}
+
+void Client::FailRead(uint64_t request_id) {
+  auto it = reads_.find(request_id);
+  if (it == reads_.end()) {
+    return;
+  }
+  sim()->Cancel(it->second.timeout);
+  ReadCallback cb = std::move(it->second.cb);
+  reads_.erase(it);
+  double_checking_.erase(request_id);
+  if (cb) {
+    cb(false, QueryResult{});
+  }
+  if (options_.mode == LoadMode::kClosedLoop) {
+    ScheduleNextOp();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writes (Section 3.1).
+// ---------------------------------------------------------------------------
+
+void Client::IssueWrite(WriteBatch batch, WriteCallback cb) {
+  uint64_t request_id = next_request_id_++;
+  PendingWrite write;
+  write.batch = std::move(batch);
+  write.first_issued = sim()->Now();
+  write.cb = std::move(cb);
+  writes_.emplace(request_id, std::move(write));
+  ++metrics_.writes_issued;
+  SendWrite(request_id);
+}
+
+void Client::SendWrite(uint64_t request_id) {
+  auto it = writes_.find(request_id);
+  if (it == writes_.end()) {
+    return;
+  }
+  PendingWrite& write = it->second;
+  ++write.attempts;
+  WriteRequest msg;
+  msg.request_id = request_id;
+  msg.batch = write.batch;
+  network()->Send(id(), master_,
+                  WithType(MsgType::kWriteRequest, msg.Encode()));
+  sim()->Cancel(write.timeout);
+  write.timeout =
+      sim()->ScheduleAfter(options_.params.client_timeout, [this, request_id] {
+        auto it = writes_.find(request_id);
+        if (it == writes_.end()) {
+          return;
+        }
+        if (it->second.attempts > 3) {
+          // Master presumed dead: go through setup again; the write is
+          // re-sent once the new master is in place.
+          it->second.attempts = 0;
+          MasterSuspect();
+          return;
+        }
+        SendWrite(request_id);
+      });
+}
+
+void Client::HandleWriteReply(const Bytes& body) {
+  auto msg = WriteReply::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  auto it = writes_.find(msg->request_id);
+  if (it == writes_.end()) {
+    return;
+  }
+  sim()->Cancel(it->second.timeout);
+  if (msg->ok) {
+    ++metrics_.writes_committed;
+    metrics_.write_latency_us.Add(
+        static_cast<double>(sim()->Now() - it->second.first_issued));
+  } else {
+    ++metrics_.writes_rejected;
+  }
+  WriteCallback cb = std::move(it->second.cb);
+  uint64_t version = msg->committed_version;
+  bool ok = msg->ok;
+  writes_.erase(it);
+  if (cb) {
+    cb(ok, version);
+  }
+  if (options_.mode == LoadMode::kClosedLoop) {
+    ScheduleNextOp();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Load generation.
+// ---------------------------------------------------------------------------
+
+void Client::ScheduleNextOp() {
+  if (options_.mode == LoadMode::kClosedLoop) {
+    sim()->ScheduleAfter(options_.think_time, [this] { IssueGeneratedOp(); });
+    return;
+  }
+  if (options_.mode == LoadMode::kOpenLoop) {
+    double rate = options_.reads_per_second;
+    if (options_.rate_multiplier) {
+      rate *= options_.rate_multiplier(sim()->Now());
+    }
+    rate = std::max(rate, 1e-6);
+    SimTime gap = static_cast<SimTime>(
+        rng_.NextExponential(static_cast<double>(kSecond) / rate));
+    sim()->ScheduleAfter(gap, [this] {
+      IssueGeneratedOp();
+      ScheduleNextOp();  // open loop: arrivals independent of completions
+    });
+  }
+}
+
+void Client::IssueGeneratedOp() {
+  if (phase_ != Phase::kReady) {
+    // Mid re-setup: postpone one think-time.
+    sim()->ScheduleAfter(options_.think_time, [this] { IssueGeneratedOp(); });
+    return;
+  }
+  bool write = options_.write_fraction > 0.0 && options_.write_source &&
+               rng_.NextBool(options_.write_fraction);
+  if (write) {
+    IssueWrite(options_.write_source(rng_));
+  } else {
+    IssueRead(options_.query_source(rng_));
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void Client::HandleMessage(NodeId from, const Bytes& payload) {
+  auto type = PeekType(payload);
+  if (!type.ok()) {
+    return;
+  }
+  Bytes body(payload.begin() + 1, payload.end());
+  switch (*type) {
+    case MsgType::kDirectoryLookupReply:
+      HandleDirectoryReply(body);
+      break;
+    case MsgType::kClientHelloReply:
+      HandleHelloReply(from, body);
+      break;
+    case MsgType::kReadReply:
+      HandleReadReply(from, body);
+      break;
+    case MsgType::kDoubleCheckReply:
+      HandleDoubleCheckReply(body);
+      break;
+    case MsgType::kWriteReply:
+      HandleWriteReply(body);
+      break;
+    case MsgType::kReassignment:
+      HandleReassignment(from, body);
+      break;
+    case MsgType::kBadReadNotice:
+      HandleBadReadNotice(body);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace sdr

@@ -1,0 +1,168 @@
+// The client (paper Sections 2, 3.2, 3.3): performs the setup phase
+// through the directory and one master, then issues reads to its assigned
+// slave and writes to its master. For every read it
+//   - checks the result hash against the pledge,
+//   - verifies the slave's pledge signature and the master's version-token
+//     signature,
+//   - enforces the freshness window (token no older than max_latency —
+//     optionally a client-chosen value, Section 3.2's relaxed variant),
+//   - with probability p double-checks the answer with the master, else
+//     forwards the pledge to the auditor and only then accepts.
+// On a double-check mismatch it forwards the incriminating pledge
+// (immediate discovery, Section 3.5) and retries the read after the master
+// reassigns it to a new slave. A silent master triggers a fresh setup
+// (master crash, Section 3).
+#ifndef SDR_SRC_CORE_CLIENT_H_
+#define SDR_SRC_CORE_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/messages.h"
+#include "src/core/metrics.h"
+#include "src/sim/network.h"
+#include "src/store/executor.h"
+#include "src/store/query.h"
+
+namespace sdr {
+
+class Client : public Node {
+ public:
+  enum class LoadMode {
+    kManual,      // the harness calls IssueRead/IssueWrite explicitly
+    kClosedLoop,  // next operation `think_time` after the previous finishes
+    kOpenLoop,    // Poisson arrivals at reads_per_second (x rate multiplier)
+  };
+
+  struct Options {
+    ProtocolParams params;
+    ContentIdentity content;
+    NodeId directory = kInvalidNode;
+
+    LoadMode mode = LoadMode::kManual;
+    std::function<Query(Rng&)> query_source;       // required unless manual
+    std::function<WriteBatch(Rng&)> write_source;  // required if writing
+    SimTime think_time = 100 * kMillisecond;
+    double reads_per_second = 1.0;
+    // Optional diurnal shaping for open-loop arrivals (multiplies the rate).
+    std::function<double(SimTime)> rate_multiplier;
+    double write_fraction = 0.0;
+
+    // A greedy client double-checks every read (Section 3.3's abuse case).
+    bool greedy = false;
+    // 0 = use params.max_latency; otherwise the client-chosen freshness
+    // bound of the relaxed consistency variant.
+    SimTime max_latency_override = 0;
+    int max_read_retries = 8;
+    SimTime retry_backoff = 200 * kMillisecond;
+    uint64_t rng_seed = 1;
+  };
+
+  explicit Client(Options options);
+
+  void Start() override;
+  void HandleMessage(NodeId from, const Bytes& payload) override;
+
+  // Manual-mode entry points (also used internally by the load loops).
+  // Completion callbacks are optional.
+  using ReadCallback =
+      std::function<void(bool accepted, const QueryResult& result)>;
+  using WriteCallback = std::function<void(bool committed, uint64_t version)>;
+  void IssueRead(Query query, ReadCallback cb = nullptr);
+  void IssueWrite(WriteBatch batch, WriteCallback cb = nullptr);
+
+  // Invoked on every accepted read with the pledged version — the harness
+  // uses it to validate accepted results against ground truth.
+  std::function<void(const Query&, uint64_t version, const QueryResult&)>
+      on_accept;
+
+  // Invoked when the auditor reports that a read this client already
+  // accepted was wrong (delayed discovery, Section 3.5). The application
+  // uses this to roll back whatever depended on the read.
+  std::function<void(const Query&, uint64_t version)> on_bad_read;
+
+  bool ready() const { return phase_ == Phase::kReady; }
+  NodeId master() const { return master_; }
+  NodeId assigned_slave() const { return slave_cert_ ? slave_cert_->subject
+                                                     : kInvalidNode; }
+  const ClientMetrics& metrics() const { return metrics_; }
+  SimTime effective_max_latency() const {
+    return options_.max_latency_override > 0 ? options_.max_latency_override
+                                             : options_.params.max_latency;
+  }
+
+ private:
+  enum class Phase { kIdle, kAwaitDirectory, kAwaitHello, kReady };
+
+  struct PendingRead {
+    Query query;
+    SimTime first_issued = 0;
+    int attempts = 0;
+    EventId timeout = 0;
+    ReadCallback cb;
+    bool awaiting_double_check = false;
+  };
+  struct PendingWrite {
+    WriteBatch batch;
+    SimTime first_issued = 0;
+    int attempts = 0;
+    EventId timeout = 0;
+    WriteCallback cb;
+  };
+
+  // Setup phase.
+  void BeginSetup();
+  void HandleDirectoryReply(const Bytes& body);
+  void HandleHelloReply(NodeId from, const Bytes& body);
+  void HandleReassignment(NodeId from, const Bytes& body);
+  void HandleBadReadNotice(const Bytes& body);
+
+  // Reads.
+  void SendRead(uint64_t request_id);
+  void HandleReadReply(NodeId from, const Bytes& body);
+  void HandleDoubleCheckReply(const Bytes& body);
+  void RetryRead(uint64_t request_id, SimTime delay);
+  void AcceptRead(uint64_t request_id, const QueryResult& result,
+                  const Pledge& pledge);
+  void FailRead(uint64_t request_id);
+
+  // Writes.
+  void SendWrite(uint64_t request_id);
+  void HandleWriteReply(const Bytes& body);
+
+  // Load generation.
+  void ScheduleNextOp();
+  void IssueGeneratedOp();
+
+  // Master-silence recovery.
+  void MasterSuspect();
+
+  const Bytes* MasterKey(NodeId master) const;
+
+  Options options_;
+  Rng rng_;
+  Phase phase_ = Phase::kIdle;
+
+  std::vector<Certificate> master_certs_;
+  NodeId master_ = kInvalidNode;
+  std::optional<Certificate> slave_cert_;
+  NodeId auditor_ = kInvalidNode;
+  Bytes setup_nonce_;
+  EventId setup_timeout_ = 0;
+  int setup_attempts_ = 0;
+
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, PendingRead> reads_;
+  std::map<uint64_t, PendingWrite> writes_;
+  // Reads accepted pending their double-check verdict: request_id -> result.
+  std::map<uint64_t, std::pair<QueryResult, Pledge>> double_checking_;
+
+  ClientMetrics metrics_;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CORE_CLIENT_H_

@@ -1,0 +1,234 @@
+#include "src/core/cluster.h"
+
+#include <cstdlib>
+
+#include "src/util/logging.h"
+
+namespace sdr {
+
+namespace {
+// Node ids are precomputed so that Options can reference them before the
+// nodes exist; abort loudly if the layout assumption ever breaks.
+void CheckId(NodeId got, NodeId expected) {
+  if (got != expected) {
+    SDR_LOG(kError) << "cluster roster mismatch: got " << got << " expected "
+                    << expected;
+    std::abort();
+  }
+}
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      net_(&sim_, config_.default_link) {
+  Rng key_rng = sim_.rng().Fork();
+
+  // --- Content owner: content key and identity. ---
+  KeyPair content_key = KeyPair::Generate(config_.params.scheme, key_rng);
+  Signer owner(content_key);
+  content_.scheme = config_.params.scheme;
+  content_.content_public_key = content_key.public_key;
+
+  // Node ids are assigned sequentially by AddNode; lay the roster out
+  // deterministically: directory, masters, auditor, slaves, clients.
+  const NodeId directory_id = 1;
+  std::vector<NodeId> master_ids;
+  for (int i = 0; i < config_.num_masters; ++i) {
+    master_ids.push_back(static_cast<NodeId>(2 + i));
+  }
+  std::vector<NodeId> auditor_ids;
+  for (int i = 0; i < std::max(1, config_.num_auditors); ++i) {
+    auditor_ids.push_back(static_cast<NodeId>(2 + config_.num_masters + i));
+  }
+
+  std::vector<NodeId> group = master_ids;
+  for (NodeId a : auditor_ids) {
+    group.push_back(a);
+  }
+
+  // --- Keys and certificates. ---
+  std::vector<KeyPair> master_keys;
+  std::map<NodeId, Bytes> master_key_map;
+  std::vector<Certificate> master_certs;
+  for (int i = 0; i < config_.num_masters; ++i) {
+    master_keys.push_back(KeyPair::Generate(config_.params.scheme, key_rng));
+    master_key_map[master_ids[i]] = master_keys.back().public_key;
+    master_certs.push_back(IssueCertificate(
+        owner, master_ids[i], Role::kMaster, master_keys.back().public_key));
+  }
+  std::vector<KeyPair> auditor_keys;
+  for (size_t i = 0; i < auditor_ids.size(); ++i) {
+    auditor_keys.push_back(KeyPair::Generate(config_.params.scheme, key_rng));
+  }
+
+  // --- Initial content. ---
+  Rng corpus_rng = sim_.rng().Fork();
+  DocumentStore base = BuildCatalogCorpus(config_.corpus, corpus_rng);
+
+  // --- Directory. ---
+  directory_ = std::make_unique<Directory>();
+  NodeId got = net_.AddNode(directory_.get());
+  CheckId(got, directory_id);
+  directory_->Publish(content_.content_public_key, master_certs);
+
+  // --- Masters. ---
+  for (int i = 0; i < config_.num_masters; ++i) {
+    Master::Options opts;
+    opts.params = config_.params;
+    opts.cost = config_.cost;
+    opts.key_pair = master_keys[i];
+    opts.content = content_;
+    opts.group = group;
+    opts.auditors = auditor_ids;
+    opts.master_keys = master_key_map;
+    opts.snapshot_interval = config_.snapshot_interval;
+    opts.broadcast = config_.broadcast;
+    masters_.push_back(std::make_unique<Master>(&sim_, std::move(opts)));
+    got = net_.AddNode(masters_.back().get());
+    CheckId(got, master_ids[i]);
+    masters_.back()->SetBaseContent(base);
+  }
+
+  // --- Auditors (the elected trusted servers without slave sets). ---
+  for (size_t i = 0; i < auditor_ids.size(); ++i) {
+    Auditor::Options opts;
+    opts.params = config_.params;
+    opts.cost = config_.cost;
+    opts.key_pair = auditor_keys[i];
+    opts.group = group;
+    opts.master_keys = master_key_map;
+    opts.snapshot_interval = config_.snapshot_interval;
+    opts.broadcast = config_.broadcast;
+    opts.use_result_cache = config_.auditor_use_cache;
+    auditors_.push_back(std::make_unique<Auditor>(std::move(opts)));
+    got = net_.AddNode(auditors_.back().get());
+    CheckId(got, auditor_ids[i]);
+    auditors_.back()->SetBaseContent(base);
+  }
+
+  // --- Slaves. ---
+  int slave_index = 0;
+  for (int m = 0; m < config_.num_masters; ++m) {
+    Signer master_signer(master_keys[m]);
+    for (int s = 0; s < config_.slaves_per_master; ++s, ++slave_index) {
+      Slave::Options opts;
+      opts.params = config_.params;
+      opts.cost = config_.cost;
+      opts.key_pair = KeyPair::Generate(config_.params.scheme, key_rng);
+      opts.master_keys = master_key_map;
+      opts.rng_seed = config_.seed * 1000003 + slave_index;
+      if (config_.slave_behavior) {
+        opts.behavior = config_.slave_behavior(slave_index);
+      }
+      slaves_.push_back(std::make_unique<Slave>(std::move(opts)));
+      NodeId sid = net_.AddNode(slaves_.back().get());
+      slaves_.back()->SetBaseContent(base);
+      masters_[m]->AddSlave(IssueCertificate(master_signer, sid, Role::kSlave,
+                                             slaves_.back()->public_key()));
+    }
+  }
+
+  // --- Clients. ---
+  for (int c = 0; c < config_.num_clients; ++c) {
+    Client::Options opts;
+    opts.params = config_.params;
+    opts.content = content_;
+    opts.directory = directory_id;
+    opts.mode = config_.client_mode;
+    opts.think_time = config_.client_think_time;
+    opts.reads_per_second = config_.client_reads_per_second;
+    opts.rate_multiplier = config_.client_rate_multiplier;
+    opts.write_fraction = config_.client_write_fraction;
+    opts.rng_seed = config_.seed * 7919 + c;
+    QueryMix mix = config_.mix;
+    mix.n_items = config_.corpus.n_items;
+    opts.query_source = [mix](Rng& rng) { return mix.Generate(rng); };
+    WriteGen write_gen = config_.write_gen;
+    write_gen.n_items = config_.corpus.n_items;
+    opts.write_source = [write_gen](Rng& rng) {
+      return write_gen.Generate(rng);
+    };
+    if (config_.tweak_client) {
+      config_.tweak_client(c, opts);
+    }
+    clients_.push_back(std::make_unique<Client>(std::move(opts)));
+    net_.AddNode(clients_.back().get());
+    if (config_.track_ground_truth) {
+      clients_.back()->on_accept = [this](const Query& query, uint64_t version,
+                                          const QueryResult& result) {
+        ValidateAcceptedRead(query, version, result);
+      };
+    }
+  }
+
+  net_.StartAll();
+}
+
+void Cluster::RunFor(SimTime duration) {
+  sim_.RunUntil(sim_.Now() + duration);
+}
+
+void Cluster::ValidateAcceptedRead(const Query& query, uint64_t version,
+                                   const QueryResult& result) {
+  // Prefer a live master's full op log; fall back to the auditor's (which
+  // prunes closed versions).
+  const OpLog* log = nullptr;
+  for (const auto& m : masters_) {
+    if (m->up() && m->oplog().head_version() >= version) {
+      log = &m->oplog();
+      break;
+    }
+  }
+  if (log == nullptr && auditors_[0]->oplog().head_version() >= version) {
+    log = &auditors_[0]->oplog();
+  }
+  if (log == nullptr) {
+    ++accepted_uncheckable_;
+    return;
+  }
+  auto at_version = log->MaterializeAt(version);
+  if (!at_version.ok()) {
+    ++accepted_uncheckable_;
+    return;
+  }
+  auto outcome = truth_executor_.Execute(*at_version, query);
+  if (!outcome.ok()) {
+    ++accepted_uncheckable_;
+    return;
+  }
+  ++accepted_checked_;
+  if (!(outcome->result == result)) {
+    ++accepted_wrong_;
+  }
+}
+
+Cluster::Totals Cluster::ComputeTotals() const {
+  Totals t;
+  for (const auto& c : clients_) {
+    const ClientMetrics& m = c->metrics();
+    t.reads_issued += m.reads_issued;
+    t.reads_accepted += m.reads_accepted;
+    t.reads_rejected_stale += m.reads_rejected_stale;
+    t.retries += m.retries;
+    t.double_checks_sent += m.double_checks_sent;
+    t.double_check_mismatches += m.double_check_mismatches;
+    t.pledges_forwarded += m.pledges_forwarded;
+    t.writes_committed_clients += m.writes_committed;
+  }
+  for (const auto& s : slaves_) {
+    t.slave_work_units += s->metrics().work_units_executed;
+    t.lies_told += s->metrics().lies_told;
+  }
+  for (const auto& m : masters_) {
+    t.master_work_units += m->metrics().work_units_executed;
+    t.slaves_excluded += m->metrics().slaves_excluded;
+  }
+  for (const auto& a : auditors_) {
+    t.auditor_work_units += a->metrics().work_units_executed;
+    t.auditor_mismatches += a->metrics().mismatches_found;
+  }
+  return t;
+}
+
+}  // namespace sdr

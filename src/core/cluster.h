@@ -1,0 +1,133 @@
+// The cluster harness: builds a full deployment — directory, masters,
+// auditor, slaves, clients — on the simulated network, wires up keys and
+// certificates the way the content owner would, installs the initial
+// content, and (optionally) validates every client-accepted read against
+// ground truth. This is the entry point examples, integration tests and
+// benchmarks use.
+#ifndef SDR_SRC_CORE_CLUSTER_H_
+#define SDR_SRC_CORE_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/auditor.h"
+#include "src/core/client.h"
+#include "src/core/directory.h"
+#include "src/core/master.h"
+#include "src/core/slave.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workload.h"
+
+namespace sdr {
+
+struct ClusterConfig {
+  uint64_t seed = 1;
+  int num_masters = 2;       // serving masters (auditors are additional)
+  int num_auditors = 1;      // Section 3.4: "add extra auditors" to scale
+  int slaves_per_master = 2;
+  int num_clients = 4;
+
+  ProtocolParams params;
+  CostModel cost;
+  LinkModel default_link = LinkModel{5 * kMillisecond, 2 * kMillisecond, 0.0};
+
+  CorpusConfig corpus;
+  QueryMix mix;
+  WriteGen write_gen;
+
+  // Template applied to every client (directory/content/query sources are
+  // filled in by the cluster); customize per client via tweak_client.
+  Client::LoadMode client_mode = Client::LoadMode::kManual;
+  SimTime client_think_time = 100 * kMillisecond;
+  double client_reads_per_second = 2.0;
+  double client_write_fraction = 0.0;
+  std::function<double(SimTime)> client_rate_multiplier;
+  std::function<void(int index, Client::Options&)> tweak_client;
+
+  // Behaviour by global slave index (default honest).
+  std::function<Slave::Behavior(int index)> slave_behavior;
+
+  // Validate accepted reads against ground truth (costs host CPU).
+  bool track_ground_truth = true;
+
+  // The auditor's result cache (Section 3.4 "query optimization"); E5
+  // ablates it.
+  bool auditor_use_cache = true;
+
+  uint64_t snapshot_interval = 16;
+  TotalOrderBroadcast::Config broadcast;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  // Advances virtual time by `duration`.
+  void RunFor(SimTime duration);
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  Directory& directory() { return *directory_; }
+  Master& master(int i) { return *masters_[i]; }
+  Auditor& auditor(int i = 0) { return *auditors_[i]; }
+  Slave& slave(int i) { return *slaves_[i]; }
+  Client& client(int i) { return *clients_[i]; }
+  int num_masters() const { return static_cast<int>(masters_.size()); }
+  int num_auditors() const { return static_cast<int>(auditors_.size()); }
+  int num_slaves() const { return static_cast<int>(slaves_.size()); }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+
+  const ContentIdentity& content() const { return content_; }
+  const ClusterConfig& config() const { return config_; }
+
+  // Ground-truth accounting (only meaningful with track_ground_truth).
+  uint64_t accepted_checked() const { return accepted_checked_; }
+  uint64_t accepted_wrong() const { return accepted_wrong_; }
+  uint64_t accepted_uncheckable() const { return accepted_uncheckable_; }
+
+  // Aggregates across nodes, for benches and quick assertions.
+  struct Totals {
+    uint64_t reads_issued = 0;
+    uint64_t reads_accepted = 0;
+    uint64_t reads_rejected_stale = 0;
+    uint64_t retries = 0;
+    uint64_t double_checks_sent = 0;
+    uint64_t double_check_mismatches = 0;
+    uint64_t pledges_forwarded = 0;
+    uint64_t writes_committed_clients = 0;
+    uint64_t slave_work_units = 0;
+    uint64_t master_work_units = 0;
+    uint64_t auditor_work_units = 0;
+    uint64_t slaves_excluded = 0;
+    uint64_t auditor_mismatches = 0;
+    uint64_t lies_told = 0;
+  };
+  Totals ComputeTotals() const;
+
+ private:
+  void ValidateAcceptedRead(const Query& query, uint64_t version,
+                            const QueryResult& result);
+
+  ClusterConfig config_;
+  Simulator sim_;
+  Network net_;
+  ContentIdentity content_;
+
+  std::unique_ptr<Directory> directory_;
+  std::vector<std::unique_ptr<Master>> masters_;
+  std::vector<std::unique_ptr<Auditor>> auditors_;
+  std::vector<std::unique_ptr<Slave>> slaves_;
+  std::vector<std::unique_ptr<Client>> clients_;
+
+  QueryExecutor truth_executor_;
+  uint64_t accepted_checked_ = 0;
+  uint64_t accepted_wrong_ = 0;
+  uint64_t accepted_uncheckable_ = 0;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CORE_CLUSTER_H_

@@ -1,0 +1,31 @@
+#include "src/core/directory.h"
+
+#include "src/util/logging.h"
+
+namespace sdr {
+
+void Directory::Publish(const Bytes& content_public_key,
+                        std::vector<Certificate> master_certs) {
+  by_content_[content_public_key] = std::move(master_certs);
+}
+
+void Directory::HandleMessage(NodeId from, const Bytes& payload) {
+  auto type = PeekType(payload);
+  if (!type.ok() || *type != MsgType::kDirectoryLookup) {
+    return;
+  }
+  auto msg = DirectoryLookup::Decode(Bytes(payload.begin() + 1, payload.end()));
+  if (!msg.ok()) {
+    return;
+  }
+  DirectoryLookupReply reply;
+  auto it = by_content_.find(msg->content_public_key);
+  if (it != by_content_.end()) {
+    reply.master_certs = it->second;
+  }
+  ++lookups_served_;
+  network()->Send(id(), from,
+                  WithType(MsgType::kDirectoryLookupReply, reply.Encode()));
+}
+
+}  // namespace sdr

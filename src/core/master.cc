@@ -1,0 +1,614 @@
+#include "src/core/master.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace sdr {
+
+Master::Master(Simulator* /*sim*/, Options options)
+    : options_(std::move(options)),
+      signer_(options_.key_pair),
+      rng_(options_.key_pair.public_key.empty()
+               ? 1
+               : static_cast<uint64_t>(options_.key_pair.public_key[0]) + 1),
+      oplog_(options_.snapshot_interval),
+      last_commit_time_(0) {}
+
+void Master::Start() {
+  queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.master_speed);
+  rng_ = sim()->rng().Fork();
+
+  TotalOrderBroadcast::Config bc = options_.broadcast;
+  bc.group = options_.group;
+  broadcast_ = std::make_unique<TotalOrderBroadcast>(
+      sim(), this, bc,
+      [this](NodeId to, const Bytes& payload) {
+        network()->Send(id(), to,
+                        WithType(MsgType::kBroadcastEnvelope, payload));
+      },
+      [this](uint64_t seq, NodeId origin, const Bytes& payload) {
+        OnDelivered(seq, origin, payload);
+      });
+  broadcast_->Start();
+
+  // Allow the very first write to commit immediately.
+  last_commit_time_ = sim()->Now() - options_.params.max_latency;
+
+  for (NodeId peer : options_.group) {
+    if (peer != id()) {
+      peer_last_gossip_[peer] = sim()->Now();
+    }
+  }
+
+  SendKeepAlives();
+  GossipTick();
+}
+
+void Master::AddSlave(const Certificate& cert) {
+  my_slaves_[cert.subject] = SlaveState{cert, 0};
+  slave_owner_[cert.subject] = id();
+  known_slave_certs_[cert.subject] = cert;
+}
+
+void Master::SetBaseContent(const DocumentStore& base) {
+  oplog_.SetBaseSnapshot(base);
+}
+
+VersionToken Master::CurrentToken() {
+  return MakeVersionToken(signer_, id(), oplog_.head_version(), sim()->Now());
+}
+
+void Master::HandleMessage(NodeId from, const Bytes& payload) {
+  auto type = PeekType(payload);
+  if (!type.ok()) {
+    return;
+  }
+  Bytes body(payload.begin() + 1, payload.end());
+  switch (*type) {
+    case MsgType::kClientHello:
+      HandleClientHello(from, body);
+      break;
+    case MsgType::kWriteRequest:
+      HandleWriteRequest(from, body);
+      break;
+    case MsgType::kDoubleCheckRequest:
+      HandleDoubleCheck(from, body);
+      break;
+    case MsgType::kAccusation:
+      HandleAccusation(from, body);
+      break;
+    case MsgType::kSlaveAck:
+      HandleSlaveAck(from, body);
+      break;
+    case MsgType::kBroadcastEnvelope:
+      broadcast_->OnMessage(from, body);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client setup (Section 2, setup phase).
+// ---------------------------------------------------------------------------
+
+NodeId Master::PickSlaveFor(NodeId client) {
+  (void)client;
+  // Least-loaded live slave; the paper suggests "the one closest to the
+  // client", which in the simulator degenerates to load balancing.
+  NodeId best = kInvalidNode;
+  size_t best_load = SIZE_MAX;
+  for (const auto& [slave_id, state] : my_slaves_) {
+    if (excluded_.count(slave_id) > 0) {
+      continue;
+    }
+    size_t load = 0;
+    for (const auto& [c, s] : client_slave_) {
+      if (s == slave_id) {
+        ++load;
+      }
+    }
+    if (load < best_load) {
+      best_load = load;
+      best = slave_id;
+    }
+  }
+  return best;
+}
+
+void Master::HandleClientHello(NodeId from, const Bytes& body) {
+  auto msg = ClientHello::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  NodeId slave = PickSlaveFor(from);
+  if (slave == kInvalidNode) {
+    // No live slaves; silence makes the client retry elsewhere.
+    return;
+  }
+  client_slave_[from] = slave;
+
+  ClientHelloReply reply;
+  reply.server_nonce = rng_.NextBytes(16);
+  reply.slave_cert = my_slaves_[slave].cert;
+  reply.auditor = AuditorFor(slave);
+  reply.signature = signer_.Sign(reply.SignedBody(msg->client_nonce));
+  network()->Send(id(), from,
+                  WithType(MsgType::kClientHelloReply, reply.Encode()));
+}
+
+// ---------------------------------------------------------------------------
+// Write protocol (Section 3.1).
+// ---------------------------------------------------------------------------
+
+void Master::HandleWriteRequest(NodeId from, const Bytes& body) {
+  auto msg = WriteRequest::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  ++metrics_.writes_received;
+  if (!options_.writers.empty() && options_.writers.count(from) == 0) {
+    ++metrics_.writes_denied_acl;
+    WriteReply reply;
+    reply.request_id = msg->request_id;
+    reply.ok = false;
+    reply.error_code = static_cast<uint8_t>(ErrorCode::kPermissionDenied);
+    network()->Send(id(), from,
+                    WithType(MsgType::kWriteReply, reply.Encode()));
+    return;
+  }
+  auto key = std::make_pair(from, msg->request_id);
+  auto done = committed_writes_.find(key);
+  if (done != committed_writes_.end()) {
+    // Retried request that already committed: resend the reply.
+    WriteReply reply;
+    reply.request_id = msg->request_id;
+    reply.ok = true;
+    reply.committed_version = done->second;
+    network()->Send(id(), from,
+                    WithType(MsgType::kWriteReply, reply.Encode()));
+    return;
+  }
+  if (!pending_writes_.insert(key).second) {
+    return;  // already in flight through the broadcast
+  }
+  TobWrite write;
+  write.origin_master = id();
+  write.client = from;
+  write.request_id = msg->request_id;
+  write.batch = std::move(msg->batch);
+  broadcast_->Broadcast(WithTobType(TobPayloadType::kWrite, write.Encode()));
+}
+
+void Master::OnDelivered(uint64_t /*seq*/, NodeId /*origin*/,
+                         const Bytes& payload) {
+  auto type = PeekTobType(payload);
+  if (!type.ok()) {
+    return;
+  }
+  Bytes body(payload.begin() + 1, payload.end());
+  switch (*type) {
+    case TobPayloadType::kWrite: {
+      auto write = TobWrite::Decode(body);
+      if (write.ok()) {
+        OnTobWrite(*write);
+      }
+      break;
+    }
+    case TobPayloadType::kGossip: {
+      auto gossip = TobGossip::Decode(body);
+      if (gossip.ok()) {
+        OnTobGossip(*gossip);
+      }
+      break;
+    }
+  }
+}
+
+void Master::OnTobWrite(const TobWrite& write) {
+  commit_queue_.push_back(write);
+  PumpCommitQueue();
+}
+
+void Master::PumpCommitQueue() {
+  if (commit_queue_.empty() || commit_timer_armed_) {
+    return;
+  }
+  SimTime earliest = last_commit_time_ + options_.params.max_latency;
+  if (sim()->Now() >= earliest) {
+    TobWrite write = std::move(commit_queue_.front());
+    commit_queue_.pop_front();
+    CommitWrite(write);
+    PumpCommitQueue();
+    return;
+  }
+  commit_timer_armed_ = true;
+  sim()->ScheduleAt(earliest, [this] {
+    commit_timer_armed_ = false;
+    PumpCommitQueue();
+  });
+}
+
+void Master::CommitWrite(const TobWrite& write) {
+  uint64_t version = oplog_.head_version() + 1;
+  metrics_.work_units_executed += write.batch.size();
+  oplog_.Append(version, write.batch);
+  last_commit_time_ = sim()->Now();
+  ++metrics_.writes_committed;
+
+  if (write.origin_master == id()) {
+    pending_writes_.erase({write.client, write.request_id});
+    committed_writes_[{write.client, write.request_id}] = version;
+    WriteReply reply;
+    reply.request_id = write.request_id;
+    reply.ok = true;
+    reply.committed_version = version;
+    network()->Send(id(), write.client,
+                    WithType(MsgType::kWriteReply, reply.Encode()));
+  }
+
+  // Lazy state propagation: updates go out only after the commit.
+  for (const auto& [slave_id, state] : my_slaves_) {
+    PushStateUpdate(slave_id, version);
+  }
+}
+
+void Master::PushStateUpdate(NodeId slave, uint64_t version) {
+  const WriteBatch* batch = oplog_.BatchFor(version);
+  if (batch == nullptr) {
+    return;
+  }
+  StateUpdate update;
+  update.version = version;
+  update.batch = *batch;
+  update.token = CurrentToken();
+  ++metrics_.state_updates_sent;
+  network()->Send(id(), slave,
+                  WithType(MsgType::kStateUpdate, update.Encode()));
+}
+
+void Master::HandleSlaveAck(NodeId from, const Bytes& body) {
+  auto msg = SlaveAck::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  auto it = my_slaves_.find(from);
+  if (it == my_slaves_.end()) {
+    return;
+  }
+  it->second.acked_version = msg->applied_version;
+  // Catch-up: push missing versions (bounded per ack; acks ratchet).
+  uint64_t head = oplog_.head_version();
+  uint64_t next = msg->applied_version + 1;
+  for (int i = 0; i < 8 && next <= head; ++i, ++next) {
+    PushStateUpdate(from, next);
+  }
+}
+
+void Master::SendKeepAlives() {
+  sim()->ScheduleAfter(options_.params.keepalive_period,
+                       [this] { SendKeepAlives(); });
+  if (!up()) {
+    return;
+  }
+  KeepAlive msg;
+  msg.token = CurrentToken();
+  Bytes wire = WithType(MsgType::kKeepAlive, msg.Encode());
+  for (const auto& [slave_id, state] : my_slaves_) {
+    ++metrics_.keepalives_sent;
+    network()->Send(id(), slave_id, wire);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gossip and master-crash recovery (Section 3).
+// ---------------------------------------------------------------------------
+
+void Master::GossipTick() {
+  sim()->ScheduleAfter(options_.params.gossip_period, [this] { GossipTick(); });
+  if (!up()) {
+    return;
+  }
+  TobGossip gossip;
+  gossip.master = id();
+  for (const auto& [slave_id, state] : my_slaves_) {
+    gossip.slave_certs.push_back(state.cert);
+  }
+  broadcast_->Broadcast(
+      WithTobType(TobPayloadType::kGossip, gossip.Encode()));
+  CheckPeerLiveness();
+}
+
+void Master::OnTobGossip(const TobGossip& gossip) {
+  peer_last_gossip_[gossip.master] = sim()->Now();
+  if (dead_masters_.count(gossip.master) > 0) {
+    // Peer resurrected: yield back the slaves we adopted from it.
+    dead_masters_.erase(gossip.master);
+    std::vector<NodeId> to_yield;
+    for (const auto& [slave_id, state] : my_slaves_) {
+      if (state.adopted_from == gossip.master) {
+        to_yield.push_back(slave_id);
+      }
+    }
+    for (NodeId slave_id : to_yield) {
+      RemoveSlaveAndReassignClients(slave_id, /*excluded=*/false);
+    }
+  }
+  if (gossip.master == id()) {
+    return;
+  }
+  for (const Certificate& cert : gossip.slave_certs) {
+    if (my_slaves_.count(cert.subject) > 0 &&
+        my_slaves_[cert.subject].adopted_from != gossip.master) {
+      continue;  // a slave of ours; the gossiper is stale
+    }
+    slave_owner_[cert.subject] = gossip.master;
+    known_slave_certs_[cert.subject] = cert;
+  }
+}
+
+void Master::CheckPeerLiveness() {
+  for (const auto& [peer, last] : peer_last_gossip_) {
+    if (dead_masters_.count(peer) > 0) {
+      continue;
+    }
+    if (sim()->Now() - last > options_.params.master_failure_timeout) {
+      dead_masters_.insert(peer);
+      SDR_LOG(kInfo) << "master " << id() << ": presumes master " << peer
+                     << " crashed, dividing its slave set";
+      AdoptOrphanedSlaves(peer);
+    }
+  }
+}
+
+NodeId Master::AuditorFor(NodeId slave) const {
+  if (options_.auditors.empty()) {
+    return kInvalidNode;
+  }
+  return options_.auditors[slave % options_.auditors.size()];
+}
+
+void Master::AdoptOrphanedSlaves(NodeId dead_master) {
+  // Survivors split the dead master's slaves deterministically: every
+  // survivor computes the same assignment from the shared gossip view.
+  std::vector<NodeId> survivors;
+  for (NodeId m : options_.group) {
+    bool is_auditor = false;
+    for (NodeId a : options_.auditors) {
+      if (a == m) {
+        is_auditor = true;
+      }
+    }
+    if (!is_auditor && dead_masters_.count(m) == 0) {
+      survivors.push_back(m);
+    }
+  }
+  std::sort(survivors.begin(), survivors.end());
+  if (survivors.empty()) {
+    return;
+  }
+  std::vector<NodeId> orphans;
+  for (const auto& [slave_id, owner] : slave_owner_) {
+    if (owner == dead_master && excluded_.count(slave_id) == 0) {
+      orphans.push_back(slave_id);
+    }
+  }
+  std::sort(orphans.begin(), orphans.end());
+  bool adopted_any = false;
+  for (size_t i = 0; i < orphans.size(); ++i) {
+    NodeId heir = survivors[i % survivors.size()];
+    slave_owner_[orphans[i]] = heir;
+    if (heir != id()) {
+      continue;
+    }
+    const Certificate& old_cert = known_slave_certs_[orphans[i]];
+    // Re-certify under our key so clients we assign it to can verify.
+    Certificate cert = IssueCertificate(signer_, orphans[i], Role::kSlave,
+                                        old_cert.subject_public_key);
+    known_slave_certs_[orphans[i]] = cert;
+    SlaveState state;
+    state.cert = cert;
+    state.adopted_from = dead_master;
+    my_slaves_[orphans[i]] = state;
+    adopted_any = true;
+    // Wake the adopted slave: keep-alive + ack-driven catch-up.
+    KeepAlive ka;
+    ka.token = CurrentToken();
+    network()->Send(id(), orphans[i],
+                    WithType(MsgType::kKeepAlive, ka.Encode()));
+  }
+  if (adopted_any) {
+    ++metrics_.slave_sets_adopted;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Probabilistic checking (Section 3.3).
+// ---------------------------------------------------------------------------
+
+bool Master::AllowDoubleCheck(NodeId client) {
+  if (!options_.params.greedy_policing_enabled) {
+    return true;
+  }
+  Bucket& bucket = greedy_buckets_[client];
+  SimTime now = sim()->Now();
+  if (bucket.last_refill == 0) {
+    bucket.tokens = options_.params.greedy_burst;
+  } else {
+    double elapsed_s =
+        static_cast<double>(now - bucket.last_refill) / kSecond;
+    bucket.tokens =
+        std::min(options_.params.greedy_burst,
+                 bucket.tokens +
+                     elapsed_s * options_.params.greedy_refill_per_second);
+  }
+  bucket.last_refill = now;
+  if (bucket.tokens < 1.0) {
+    return false;
+  }
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+void Master::HandleDoubleCheck(NodeId from, const Bytes& body) {
+  auto msg = DoubleCheckRequest::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  DoubleCheckReply reply;
+  reply.request_id = msg->request_id;
+
+  if (!AllowDoubleCheck(from)) {
+    ++metrics_.double_checks_throttled;
+    reply.served = false;
+    network()->Send(id(), from,
+                    WithType(MsgType::kDoubleCheckReply, reply.Encode()));
+    return;
+  }
+
+  const Pledge pledge = msg->pledge;
+  auto at_version = oplog_.MaterializeAt(pledge.token.content_version);
+  if (!at_version.ok()) {
+    reply.served = false;
+    network()->Send(id(), from,
+                    WithType(MsgType::kDoubleCheckReply, reply.Encode()));
+    return;
+  }
+  auto outcome = executor_.Execute(*at_version, pledge.query);
+  if (!outcome.ok()) {
+    reply.served = false;
+    network()->Send(id(), from,
+                    WithType(MsgType::kDoubleCheckReply, reply.Encode()));
+    return;
+  }
+  metrics_.work_units_executed += outcome->cost;
+  ++metrics_.double_checks_served;
+
+  Bytes correct_hash = outcome->result.Sha1Digest();
+  bool matches = correct_hash == pledge.result_sha1;
+
+  SimTime service_time = options_.cost.ExecuteTime(
+      outcome->cost, outcome->result.Encode().size());
+  queue_->Enqueue(service_time, [this, from, reply, matches,
+                                 result = std::move(outcome->result),
+                                 pledge]() mutable {
+    reply.served = true;
+    reply.matches = matches;
+    reply.correct_result = std::move(result);
+    network()->Send(id(), from,
+                    WithType(MsgType::kDoubleCheckReply, reply.Encode()));
+    if (!matches) {
+      ++metrics_.double_check_lies_found;
+      ProcessIncriminatingPledge(pledge);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Corrective action (Section 3.5).
+// ---------------------------------------------------------------------------
+
+void Master::HandleAccusation(NodeId /*from*/, const Bytes& body) {
+  auto msg = Accusation::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  ++metrics_.accusations_received;
+  if (ProcessIncriminatingPledge(msg->pledge)) {
+    ++metrics_.accusations_confirmed;
+  } else {
+    ++metrics_.accusations_unfounded;
+  }
+}
+
+bool Master::ProcessIncriminatingPledge(const Pledge& pledge) {
+  // 1. The pledge must really be signed by the slave — otherwise anyone
+  //    could frame an innocent server.
+  auto cert_it = known_slave_certs_.find(pledge.slave);
+  if (cert_it == known_slave_certs_.end()) {
+    return false;
+  }
+  if (!VerifyPledgeSignature(options_.params.scheme,
+                             cert_it->second.subject_public_key, pledge)) {
+    return false;
+  }
+  // 2. The embedded version token must be genuine — otherwise the "wrong"
+  //    answer might just be an answer to a different version.
+  auto master_key = options_.master_keys.find(pledge.token.master);
+  if (master_key == options_.master_keys.end() ||
+      !VerifyVersionToken(options_.params.scheme, master_key->second,
+                          pledge.token)) {
+    return false;
+  }
+  // 3. Re-execute at the pledged version and compare.
+  auto at_version = oplog_.MaterializeAt(pledge.token.content_version);
+  if (!at_version.ok()) {
+    return false;
+  }
+  auto outcome = executor_.Execute(*at_version, pledge.query);
+  if (!outcome.ok()) {
+    return false;
+  }
+  metrics_.work_units_executed += outcome->cost;
+  if (outcome->result.Sha1Digest() == pledge.result_sha1) {
+    return false;  // pledge checks out; nothing to punish
+  }
+  // Guilty. If it is ours, exclude; otherwise hand the proof to its owner.
+  if (!options_.params.exclusion_enabled) {
+    return true;  // proof confirmed, punishment disabled by configuration
+  }
+  if (my_slaves_.count(pledge.slave) > 0) {
+    if (excluded_.count(pledge.slave) == 0) {
+      ExcludeSlave(pledge.slave);
+    }
+    return true;
+  }
+  auto owner = slave_owner_.find(pledge.slave);
+  if (owner != slave_owner_.end() && owner->second != id()) {
+    Accusation fwd;
+    fwd.pledge = pledge;
+    network()->Send(id(), owner->second,
+                    WithType(MsgType::kAccusation, fwd.Encode()));
+    return true;
+  }
+  return false;
+}
+
+void Master::ExcludeSlave(NodeId slave) {
+  RemoveSlaveAndReassignClients(slave, /*excluded=*/true);
+}
+
+void Master::RemoveSlaveAndReassignClients(NodeId slave, bool excluded) {
+  if (excluded) {
+    excluded_.insert(slave);
+    ++metrics_.slaves_excluded;
+    SDR_LOG(kInfo) << "master " << id() << ": excluded slave " << slave;
+  }
+  my_slaves_.erase(slave);
+
+  std::vector<NodeId> affected;
+  for (const auto& [client, assigned] : client_slave_) {
+    if (assigned == slave) {
+      affected.push_back(client);
+    }
+  }
+  for (NodeId client : affected) {
+    NodeId replacement = PickSlaveFor(client);
+    if (replacement == kInvalidNode) {
+      client_slave_.erase(client);
+      continue;
+    }
+    client_slave_[client] = replacement;
+    ++metrics_.clients_reassigned;
+    Reassignment msg;
+    msg.new_slave_cert = my_slaves_[replacement].cert;
+    msg.auditor = AuditorFor(replacement);
+    msg.excluded_slave = excluded ? slave : kInvalidNode;
+    msg.signature = signer_.Sign(msg.SignedBody());
+    network()->Send(id(), client,
+                    WithType(MsgType::kReassignment, msg.Encode()));
+  }
+}
+
+}  // namespace sdr

@@ -1,0 +1,167 @@
+// The master server: a trusted host directly controlled by the content
+// owner (paper Section 2). Masters
+//   - serialize writes through the total-order broadcast and commit them
+//     with at least max_latency between consecutive commits (Section 3.1);
+//   - lazily push committed state updates and periodic signed keep-alive
+//     version tokens to their slave set;
+//   - set up clients (verify, assign a slave, hand over its certificate);
+//   - serve probabilistic double-check requests, with greedy-client
+//     policing (Section 3.3);
+//   - take corrective action on incriminating pledges: verify the proof,
+//     exclude the slave, reassign its clients (Section 3.5);
+//   - gossip their slave lists so that when a master crashes the survivors
+//     divide its slave set (Section 3).
+#ifndef SDR_SRC_CORE_MASTER_H_
+#define SDR_SRC_CORE_MASTER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/broadcast/total_order.h"
+#include "src/core/config.h"
+#include "src/core/messages.h"
+#include "src/core/metrics.h"
+#include "src/core/service_queue.h"
+#include "src/sim/network.h"
+#include "src/store/executor.h"
+#include "src/store/oplog.h"
+
+namespace sdr {
+
+class Master : public Node {
+ public:
+  struct Options {
+    ProtocolParams params;
+    CostModel cost;
+    KeyPair key_pair;
+    ContentIdentity content;
+    std::vector<NodeId> group;  // total-order group: all masters + auditor
+    // The elected auditors (Section 3.4 allows "extra auditors"); pledges
+    // for a slave go to auditors[slave % auditors.size()].
+    std::vector<NodeId> auditors;
+    // Public keys of every master in the group (for verifying version
+    // tokens embedded in pledges from other masters' slaves).
+    std::map<NodeId, Bytes> master_keys;
+    // Client ids allowed to write; empty set = every client may write.
+    std::set<NodeId> writers;
+    uint64_t snapshot_interval = 16;
+    TotalOrderBroadcast::Config broadcast;  // group is filled from `group`
+  };
+
+  explicit Master(Simulator* sim, Options options);
+
+  void Start() override;
+  void HandleMessage(NodeId from, const Bytes& payload) override;
+
+  // Pre-start wiring by the content owner / harness.
+  void AddSlave(const Certificate& cert);
+  void SetBaseContent(const DocumentStore& base);
+
+  // Accessors for tests and benchmarks.
+  uint64_t version() const { return oplog_.head_version(); }
+  const OpLog& oplog() const { return oplog_; }
+  const MasterMetrics& metrics() const { return metrics_; }
+  const Bytes& public_key() const { return signer_.public_key(); }
+  std::vector<Certificate> my_slave_certs() const {
+    std::vector<Certificate> certs;
+    for (const auto& [slave_id, state] : my_slaves_) {
+      certs.push_back(state.cert);
+    }
+    return certs;
+  }
+  std::vector<NodeId> my_slave_ids() const {
+    std::vector<NodeId> ids;
+    for (const auto& [slave_id, state] : my_slaves_) {
+      ids.push_back(slave_id);
+    }
+    return ids;
+  }
+  bool IsExcluded(NodeId slave) const { return excluded_.count(slave) > 0; }
+  const ServiceQueue& service_queue() const { return *queue_; }
+  size_t assigned_clients() const { return client_slave_.size(); }
+  const std::set<NodeId>& dead_masters() const { return dead_masters_; }
+
+ private:
+  struct SlaveState {
+    Certificate cert;
+    uint64_t acked_version = 0;
+    // The crashed master this slave was adopted from (kInvalidNode if the
+    // slave was originally assigned to us); yielded back on resurrection.
+    NodeId adopted_from = kInvalidNode;
+  };
+
+  // Message handlers.
+  void HandleClientHello(NodeId from, const Bytes& body);
+  void HandleWriteRequest(NodeId from, const Bytes& body);
+  void HandleDoubleCheck(NodeId from, const Bytes& body);
+  void HandleAccusation(NodeId from, const Bytes& body);
+  void HandleSlaveAck(NodeId from, const Bytes& body);
+
+  // Total-order deliveries.
+  void OnDelivered(uint64_t seq, NodeId origin, const Bytes& payload);
+  void OnTobWrite(const TobWrite& write);
+  void OnTobGossip(const TobGossip& gossip);
+
+  // Write pipeline: delivered writes queue up and commit spaced by
+  // max_latency.
+  void PumpCommitQueue();
+  void CommitWrite(const TobWrite& write);
+
+  // Slave management.
+  void PushStateUpdate(NodeId slave, uint64_t version);
+  void SendKeepAlives();
+  void GossipTick();
+  void CheckPeerLiveness();
+  void AdoptOrphanedSlaves(NodeId dead_master);
+  VersionToken CurrentToken();
+
+  // Corrective action (Section 3.5): returns true when the pledge proves
+  // the slave guilty and the exclusion was executed.
+  NodeId AuditorFor(NodeId slave) const;
+  bool ProcessIncriminatingPledge(const Pledge& pledge);
+  void ExcludeSlave(NodeId slave);
+  void RemoveSlaveAndReassignClients(NodeId slave, bool excluded);
+  NodeId PickSlaveFor(NodeId client);
+
+  // Greedy-client policing: token bucket per client.
+  bool AllowDoubleCheck(NodeId client);
+
+  Options options_;
+  Signer signer_;
+  Rng rng_;
+  std::unique_ptr<TotalOrderBroadcast> broadcast_;
+  std::unique_ptr<ServiceQueue> queue_;
+
+  OpLog oplog_;
+  QueryExecutor executor_;
+  SimTime last_commit_time_;
+  std::deque<TobWrite> commit_queue_;
+  bool commit_timer_armed_ = false;
+
+  std::map<NodeId, SlaveState> my_slaves_;
+  std::set<NodeId> excluded_;
+  // Write dedup: committed (client, request_id) -> version, and requests
+  // currently in flight through the broadcast.
+  std::map<std::pair<NodeId, uint64_t>, uint64_t> committed_writes_;
+  std::set<std::pair<NodeId, uint64_t>> pending_writes_;
+  std::map<NodeId, NodeId> client_slave_;      // client -> assigned slave
+  std::map<NodeId, NodeId> slave_owner_;       // global gossip view
+  std::map<NodeId, Certificate> known_slave_certs_;  // global gossip view
+  std::map<NodeId, SimTime> peer_last_gossip_;
+  std::set<NodeId> dead_masters_;
+
+  struct Bucket {
+    double tokens = 0;
+    SimTime last_refill = 0;
+  };
+  std::map<NodeId, Bucket> greedy_buckets_;
+
+  MasterMetrics metrics_;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CORE_MASTER_H_

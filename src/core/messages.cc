@@ -1,0 +1,392 @@
+#include "src/core/messages.h"
+
+namespace sdr {
+
+namespace {
+// Shared tail check for all Decode() functions.
+template <typename T>
+Result<T> FinishDecode(T msg, const Reader& r) {
+  if (!r.Done()) {
+    return Error(ErrorCode::kCorrupt, "bad message encoding");
+  }
+  return msg;
+}
+
+void EncodeCerts(Writer& w, const std::vector<Certificate>& certs) {
+  w.U32(static_cast<uint32_t>(certs.size()));
+  for (const Certificate& c : certs) {
+    c.EncodeTo(w);
+  }
+}
+
+std::vector<Certificate> DecodeCerts(Reader& r) {
+  uint32_t n = r.U32();
+  std::vector<Certificate> certs;
+  certs.reserve(std::min<uint32_t>(n, 256));
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    certs.push_back(Certificate::DecodeFrom(r));
+  }
+  return certs;
+}
+
+void EncodeResult(Writer& w, const QueryResult& result) {
+  w.Blob(result.Encode());
+}
+
+QueryResult DecodeResult(Reader& r) {
+  Bytes enc = r.Blob();
+  auto res = QueryResult::Decode(enc);
+  return res.ok() ? *res : QueryResult{};
+}
+}  // namespace
+
+Result<MsgType> PeekType(const Bytes& payload) {
+  if (payload.empty()) {
+    return Error(ErrorCode::kCorrupt, "empty payload");
+  }
+  return static_cast<MsgType>(payload[0]);
+}
+
+Bytes WithType(MsgType type, const Bytes& body) {
+  Bytes out;
+  out.reserve(body.size() + 1);
+  out.push_back(static_cast<uint8_t>(type));
+  Append(out, body);
+  return out;
+}
+
+Result<TobPayloadType> PeekTobType(const Bytes& payload) {
+  if (payload.empty()) {
+    return Error(ErrorCode::kCorrupt, "empty TOB payload");
+  }
+  return static_cast<TobPayloadType>(payload[0]);
+}
+
+Bytes WithTobType(TobPayloadType type, const Bytes& body) {
+  Bytes out;
+  out.reserve(body.size() + 1);
+  out.push_back(static_cast<uint8_t>(type));
+  Append(out, body);
+  return out;
+}
+
+// Bodies below never include the leading type byte; senders use WithType()
+// and receivers strip it before calling Decode.
+
+Bytes DirectoryLookup::Encode() const {
+  Writer w;
+  w.Blob(content_public_key);
+  return w.Take();
+}
+
+Result<DirectoryLookup> DirectoryLookup::Decode(const Bytes& body) {
+  Reader r(body);
+  DirectoryLookup m;
+  m.content_public_key = r.Blob();
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes DirectoryLookupReply::Encode() const {
+  Writer w;
+  EncodeCerts(w, master_certs);
+  return w.Take();
+}
+
+Result<DirectoryLookupReply> DirectoryLookupReply::Decode(const Bytes& body) {
+  Reader r(body);
+  DirectoryLookupReply m;
+  m.master_certs = DecodeCerts(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes ClientHello::Encode() const {
+  Writer w;
+  w.Blob(client_nonce);
+  return w.Take();
+}
+
+Result<ClientHello> ClientHello::Decode(const Bytes& body) {
+  Reader r(body);
+  ClientHello m;
+  m.client_nonce = r.Blob();
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes ClientHelloReply::SignedBody(const Bytes& client_nonce) const {
+  Writer w;
+  w.Blob(std::string_view("sdr-hello-v1"));
+  w.Blob(client_nonce);
+  w.Blob(server_nonce);
+  slave_cert.EncodeTo(w);
+  w.U32(auditor);
+  return w.Take();
+}
+
+Bytes ClientHelloReply::Encode() const {
+  Writer w;
+  w.Blob(server_nonce);
+  slave_cert.EncodeTo(w);
+  w.U32(auditor);
+  w.Blob(signature);
+  return w.Take();
+}
+
+Result<ClientHelloReply> ClientHelloReply::Decode(const Bytes& body) {
+  Reader r(body);
+  ClientHelloReply m;
+  m.server_nonce = r.Blob();
+  m.slave_cert = Certificate::DecodeFrom(r);
+  m.auditor = r.U32();
+  m.signature = r.Blob();
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes ReadRequest::Encode() const {
+  Writer w;
+  w.U64(request_id);
+  query.EncodeTo(w);
+  return w.Take();
+}
+
+Result<ReadRequest> ReadRequest::Decode(const Bytes& body) {
+  Reader r(body);
+  ReadRequest m;
+  m.request_id = r.U64();
+  m.query = Query::DecodeFrom(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes ReadReply::Encode() const {
+  Writer w;
+  w.U64(request_id);
+  w.Bool(ok);
+  EncodeResult(w, result);
+  pledge.EncodeTo(w);
+  return w.Take();
+}
+
+Result<ReadReply> ReadReply::Decode(const Bytes& body) {
+  Reader r(body);
+  ReadReply m;
+  m.request_id = r.U64();
+  m.ok = r.Bool();
+  m.result = DecodeResult(r);
+  m.pledge = Pledge::DecodeFrom(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes WriteRequest::Encode() const {
+  Writer w;
+  w.U64(request_id);
+  EncodeBatch(w, batch);
+  return w.Take();
+}
+
+Result<WriteRequest> WriteRequest::Decode(const Bytes& body) {
+  Reader r(body);
+  WriteRequest m;
+  m.request_id = r.U64();
+  m.batch = DecodeBatch(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes WriteReply::Encode() const {
+  Writer w;
+  w.U64(request_id);
+  w.Bool(ok);
+  w.U64(committed_version);
+  w.U8(error_code);
+  return w.Take();
+}
+
+Result<WriteReply> WriteReply::Decode(const Bytes& body) {
+  Reader r(body);
+  WriteReply m;
+  m.request_id = r.U64();
+  m.ok = r.Bool();
+  m.committed_version = r.U64();
+  m.error_code = r.U8();
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes DoubleCheckRequest::Encode() const {
+  Writer w;
+  w.U64(request_id);
+  pledge.EncodeTo(w);
+  return w.Take();
+}
+
+Result<DoubleCheckRequest> DoubleCheckRequest::Decode(const Bytes& body) {
+  Reader r(body);
+  DoubleCheckRequest m;
+  m.request_id = r.U64();
+  m.pledge = Pledge::DecodeFrom(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes DoubleCheckReply::Encode() const {
+  Writer w;
+  w.U64(request_id);
+  w.Bool(served);
+  w.Bool(matches);
+  EncodeResult(w, correct_result);
+  return w.Take();
+}
+
+Result<DoubleCheckReply> DoubleCheckReply::Decode(const Bytes& body) {
+  Reader r(body);
+  DoubleCheckReply m;
+  m.request_id = r.U64();
+  m.served = r.Bool();
+  m.matches = r.Bool();
+  m.correct_result = DecodeResult(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes Accusation::Encode() const {
+  Writer w;
+  pledge.EncodeTo(w);
+  return w.Take();
+}
+
+Result<Accusation> Accusation::Decode(const Bytes& body) {
+  Reader r(body);
+  Accusation m;
+  m.pledge = Pledge::DecodeFrom(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes Reassignment::SignedBody() const {
+  Writer w;
+  w.Blob(std::string_view("sdr-reassign-v1"));
+  new_slave_cert.EncodeTo(w);
+  w.U32(auditor);
+  w.U32(excluded_slave);
+  return w.Take();
+}
+
+Bytes Reassignment::Encode() const {
+  Writer w;
+  new_slave_cert.EncodeTo(w);
+  w.U32(auditor);
+  w.U32(excluded_slave);
+  w.Blob(signature);
+  return w.Take();
+}
+
+Result<Reassignment> Reassignment::Decode(const Bytes& body) {
+  Reader r(body);
+  Reassignment m;
+  m.new_slave_cert = Certificate::DecodeFrom(r);
+  m.auditor = r.U32();
+  m.excluded_slave = r.U32();
+  m.signature = r.Blob();
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes StateUpdate::Encode() const {
+  Writer w;
+  w.U64(version);
+  EncodeBatch(w, batch);
+  token.EncodeTo(w);
+  return w.Take();
+}
+
+Result<StateUpdate> StateUpdate::Decode(const Bytes& body) {
+  Reader r(body);
+  StateUpdate m;
+  m.version = r.U64();
+  m.batch = DecodeBatch(r);
+  m.token = VersionToken::DecodeFrom(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes KeepAlive::Encode() const {
+  Writer w;
+  token.EncodeTo(w);
+  return w.Take();
+}
+
+Result<KeepAlive> KeepAlive::Decode(const Bytes& body) {
+  Reader r(body);
+  KeepAlive m;
+  m.token = VersionToken::DecodeFrom(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes SlaveAck::Encode() const {
+  Writer w;
+  w.U64(applied_version);
+  return w.Take();
+}
+
+Result<SlaveAck> SlaveAck::Decode(const Bytes& body) {
+  Reader r(body);
+  SlaveAck m;
+  m.applied_version = r.U64();
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes AuditSubmit::Encode() const {
+  Writer w;
+  pledge.EncodeTo(w);
+  return w.Take();
+}
+
+Result<AuditSubmit> AuditSubmit::Decode(const Bytes& body) {
+  Reader r(body);
+  AuditSubmit m;
+  m.pledge = Pledge::DecodeFrom(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes BadReadNotice::Encode() const {
+  Writer w;
+  pledge.EncodeTo(w);
+  w.Blob(correct_sha1);
+  return w.Take();
+}
+
+Result<BadReadNotice> BadReadNotice::Decode(const Bytes& body) {
+  Reader r(body);
+  BadReadNotice m;
+  m.pledge = Pledge::DecodeFrom(r);
+  m.correct_sha1 = r.Blob();
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes TobWrite::Encode() const {
+  Writer w;
+  w.U32(origin_master);
+  w.U32(client);
+  w.U64(request_id);
+  EncodeBatch(w, batch);
+  return w.Take();
+}
+
+Result<TobWrite> TobWrite::Decode(const Bytes& body) {
+  Reader r(body);
+  TobWrite m;
+  m.origin_master = r.U32();
+  m.client = r.U32();
+  m.request_id = r.U64();
+  m.batch = DecodeBatch(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes TobGossip::Encode() const {
+  Writer w;
+  w.U32(master);
+  EncodeCerts(w, slave_certs);
+  return w.Take();
+}
+
+Result<TobGossip> TobGossip::Decode(const Bytes& body) {
+  Reader r(body);
+  TobGossip m;
+  m.master = r.U32();
+  m.slave_certs = DecodeCerts(r);
+  return FinishDecode(std::move(m), r);
+}
+
+}  // namespace sdr

@@ -1,0 +1,228 @@
+// Wire messages of the replication protocol. Every network payload is one
+// byte of MsgType followed by the message body. Encoding helpers keep the
+// node implementations readable; decoding returns Result so corrupt or
+// truncated payloads are rejected rather than trusted.
+#ifndef SDR_SRC_CORE_MESSAGES_H_
+#define SDR_SRC_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/certificate.h"
+#include "src/core/pledge.h"
+#include "src/store/document_store.h"
+#include "src/store/executor.h"
+#include "src/store/query.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace sdr {
+
+enum class MsgType : uint8_t {
+  // Directory.
+  kDirectoryLookup = 1,
+  kDirectoryLookupReply = 2,
+  // Client setup with a master.
+  kClientHello = 3,
+  kClientHelloReply = 4,
+  // Reads (client <-> slave).
+  kReadRequest = 5,
+  kReadReply = 6,
+  // Writes (client <-> master).
+  kWriteRequest = 7,
+  kWriteReply = 8,
+  // Probabilistic checking (client <-> master).
+  kDoubleCheckRequest = 9,
+  kDoubleCheckReply = 10,
+  // Corrective action.
+  kAccusation = 11,     // client or auditor -> master, carries the pledge
+  kReassignment = 12,   // master -> client: new slave assignment
+  // State propagation (master -> slave).
+  kStateUpdate = 13,
+  kKeepAlive = 14,
+  kSlaveAck = 15,       // slave -> master: highest applied version
+  // Auditing.
+  kAuditSubmit = 16,    // client -> auditor
+  // Master group internals.
+  kBroadcastEnvelope = 17,  // wraps TotalOrderBroadcast wire payloads
+  // Delayed discovery (Section 3.5): the auditor tells the client that a
+  // read it already accepted was wrong, so the application can roll back.
+  kBadReadNotice = 18,  // auditor -> client
+};
+
+// Payloads carried *inside* the total-order broadcast. The auditor is a
+// member of the master group (the paper's "only trusted server that does
+// not have a slave set"), so it learns writes and slave assignments from
+// the same ordered stream the masters use.
+enum class TobPayloadType : uint8_t {
+  kWrite = 1,   // a client write to be committed by every master
+  kGossip = 2,  // a master's current slave set (liveness + crash recovery)
+};
+
+// Returns the MsgType of a payload, or kCorrupt error when empty.
+Result<MsgType> PeekType(const Bytes& payload);
+
+// Prepends the type byte.
+Bytes WithType(MsgType type, const Bytes& body);
+
+// ---- Message structs -------------------------------------------------------
+
+struct DirectoryLookup {
+  Bytes content_public_key;
+  Bytes Encode() const;
+  static Result<DirectoryLookup> Decode(const Bytes& body);
+};
+
+struct DirectoryLookupReply {
+  std::vector<Certificate> master_certs;
+  Bytes Encode() const;
+  static Result<DirectoryLookupReply> Decode(const Bytes& body);
+};
+
+struct ClientHello {
+  Bytes client_nonce;
+  Bytes Encode() const;
+  static Result<ClientHello> Decode(const Bytes& body);
+};
+
+// The master's handshake reply: signed over (client_nonce || server_nonce ||
+// assignment payload); the payload is the slave certificate plus the id of
+// the auditor to forward pledges to.
+struct ClientHelloReply {
+  Bytes server_nonce;
+  Certificate slave_cert;
+  NodeId auditor = kInvalidNode;
+  Bytes signature;
+
+  Bytes SignedBody(const Bytes& client_nonce) const;
+  Bytes Encode() const;
+  static Result<ClientHelloReply> Decode(const Bytes& body);
+};
+
+struct ReadRequest {
+  uint64_t request_id = 0;
+  Query query;
+  Bytes Encode() const;
+  static Result<ReadRequest> Decode(const Bytes& body);
+};
+
+struct ReadReply {
+  uint64_t request_id = 0;
+  bool ok = false;          // false: slave declined (e.g. stale, excluded)
+  QueryResult result;
+  Pledge pledge;
+  Bytes Encode() const;
+  static Result<ReadReply> Decode(const Bytes& body);
+};
+
+struct WriteRequest {
+  uint64_t request_id = 0;
+  WriteBatch batch;
+  Bytes Encode() const;
+  static Result<WriteRequest> Decode(const Bytes& body);
+};
+
+struct WriteReply {
+  uint64_t request_id = 0;
+  bool ok = false;
+  uint64_t committed_version = 0;
+  uint8_t error_code = 0;  // ErrorCode when !ok
+  Bytes Encode() const;
+  static Result<WriteReply> Decode(const Bytes& body);
+};
+
+struct DoubleCheckRequest {
+  uint64_t request_id = 0;
+  Pledge pledge;
+  Bytes Encode() const;
+  static Result<DoubleCheckRequest> Decode(const Bytes& body);
+};
+
+struct DoubleCheckReply {
+  uint64_t request_id = 0;
+  bool served = false;   // false: quota exceeded / version unavailable
+  bool matches = false;  // master's hash == pledge hash
+  QueryResult correct_result;  // master's result (when served)
+  Bytes Encode() const;
+  static Result<DoubleCheckReply> Decode(const Bytes& body);
+};
+
+struct Accusation {
+  Pledge pledge;
+  Bytes Encode() const;
+  static Result<Accusation> Decode(const Bytes& body);
+};
+
+struct Reassignment {
+  Certificate new_slave_cert;
+  // The auditor responsible for the new slave's pledges.
+  NodeId auditor = kInvalidNode;
+  NodeId excluded_slave = kInvalidNode;  // kInvalidNode: master-initiated move
+  Bytes signature;                        // master's, over the body
+
+  Bytes SignedBody() const;
+  Bytes Encode() const;
+  static Result<Reassignment> Decode(const Bytes& body);
+};
+
+struct StateUpdate {
+  uint64_t version = 0;
+  WriteBatch batch;
+  VersionToken token;
+  Bytes Encode() const;
+  static Result<StateUpdate> Decode(const Bytes& body);
+};
+
+struct KeepAlive {
+  VersionToken token;
+  Bytes Encode() const;
+  static Result<KeepAlive> Decode(const Bytes& body);
+};
+
+struct SlaveAck {
+  uint64_t applied_version = 0;
+  Bytes Encode() const;
+  static Result<SlaveAck> Decode(const Bytes& body);
+};
+
+struct AuditSubmit {
+  Pledge pledge;
+  Bytes Encode() const;
+  static Result<AuditSubmit> Decode(const Bytes& body);
+};
+
+// "In some applications, the harm may be undone, by rolling back the
+// client to the state before that particular read" (Section 3.5). The
+// auditor sends the incriminating pledge back to the client that accepted
+// the bad read, together with the correct result hash.
+struct BadReadNotice {
+  Pledge pledge;
+  Bytes correct_sha1;
+  Bytes Encode() const;
+  static Result<BadReadNotice> Decode(const Bytes& body);
+};
+
+// ---- Total-order broadcast inner payloads ----------------------------------
+
+Result<TobPayloadType> PeekTobType(const Bytes& payload);
+Bytes WithTobType(TobPayloadType type, const Bytes& body);
+
+struct TobWrite {
+  NodeId origin_master = kInvalidNode;  // the master that accepted the write
+  NodeId client = kInvalidNode;         // for the reply
+  uint64_t request_id = 0;
+  WriteBatch batch;
+  Bytes Encode() const;
+  static Result<TobWrite> Decode(const Bytes& body);
+};
+
+struct TobGossip {
+  NodeId master = kInvalidNode;
+  std::vector<Certificate> slave_certs;
+  Bytes Encode() const;
+  static Result<TobGossip> Decode(const Bytes& body);
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CORE_MESSAGES_H_

@@ -1,0 +1,83 @@
+// Counters collected by the protocol roles. Each node owns its struct; the
+// cluster harness aggregates them for tests and benchmarks.
+#ifndef SDR_SRC_CORE_METRICS_H_
+#define SDR_SRC_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/util/stats.h"
+
+namespace sdr {
+
+struct ClientMetrics {
+  uint64_t reads_issued = 0;
+  uint64_t reads_accepted = 0;
+  uint64_t reads_rejected_stale = 0;     // token older than max_latency
+  uint64_t reads_rejected_bad_sig = 0;   // pledge/token signature invalid
+  uint64_t reads_rejected_hash = 0;      // result hash != pledge hash
+  uint64_t reads_failed_declined = 0;    // slave said "not in sync"
+  uint64_t reads_timed_out = 0;
+  uint64_t retries = 0;
+  uint64_t double_checks_sent = 0;
+  uint64_t double_check_mismatches = 0;  // caught a lie red-handed
+  uint64_t double_checks_unserved = 0;   // quota-throttled by the master
+  uint64_t pledges_forwarded = 0;        // to the auditor
+  uint64_t writes_issued = 0;
+  uint64_t writes_committed = 0;
+  uint64_t writes_rejected = 0;
+  uint64_t reassignments = 0;
+  uint64_t setups_completed = 0;
+  // Delayed discovery: accepted reads later reported wrong by the auditor.
+  uint64_t bad_read_notices = 0;
+  Percentiles read_latency_us;
+  Percentiles write_latency_us;
+};
+
+struct MasterMetrics {
+  uint64_t writes_received = 0;
+  uint64_t writes_committed = 0;
+  uint64_t writes_denied_acl = 0;
+  uint64_t double_checks_served = 0;
+  uint64_t double_checks_throttled = 0;
+  uint64_t double_check_lies_found = 0;
+  uint64_t accusations_received = 0;
+  uint64_t accusations_confirmed = 0;
+  uint64_t accusations_unfounded = 0;
+  uint64_t slaves_excluded = 0;
+  uint64_t clients_reassigned = 0;
+  uint64_t state_updates_sent = 0;
+  uint64_t keepalives_sent = 0;
+  uint64_t slave_sets_adopted = 0;  // from crashed peers
+  uint64_t work_units_executed = 0;
+};
+
+struct SlaveMetrics {
+  uint64_t reads_served = 0;
+  uint64_t reads_declined_stale = 0;  // honest slave out of sync
+  uint64_t lies_told = 0;             // malicious behaviour bookkeeping
+  uint64_t state_updates_applied = 0;
+  uint64_t keepalives_received = 0;
+  uint64_t work_units_executed = 0;
+};
+
+struct AuditorMetrics {
+  uint64_t pledges_received = 0;
+  uint64_t pledges_audited = 0;
+  uint64_t pledges_skipped_sampling = 0;
+  uint64_t pledges_bad_signature = 0;
+  uint64_t mismatches_found = 0;
+  uint64_t accusations_sent = 0;
+  uint64_t bad_read_notices_sent = 0;
+  uint64_t cache_hits = 0;
+  uint64_t versions_finalized = 0;
+  uint64_t work_units_executed = 0;
+  // Sampled at finalization: how far behind the head the auditor runs.
+  Percentiles version_lag;
+  Percentiles backlog_depth;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CORE_METRICS_H_

@@ -1,0 +1,226 @@
+#include "src/core/multiread_client.h"
+
+namespace sdr {
+
+MultiReadClient::MultiReadClient(Options options)
+    : options_(std::move(options)), rng_(options_.rng_seed) {}
+
+void MultiReadClient::Start() {
+  rng_ = Rng(options_.rng_seed ^ (static_cast<uint64_t>(id()) << 32));
+}
+
+const Certificate* MultiReadClient::CertFor(NodeId slave) const {
+  for (const Certificate& cert : options_.slave_certs) {
+    if (cert.subject == slave) {
+      return &cert;
+    }
+  }
+  return nullptr;
+}
+
+void MultiReadClient::IssueRead(const Query& query, Callback cb) {
+  uint64_t request_id = next_request_id_++;
+  PendingRead read;
+  read.query = query;
+  read.issued = sim()->Now();
+  read.expected = options_.slave_certs.size();
+  read.cb = std::move(cb);
+  ++metrics_.reads_issued;
+
+  ReadRequest msg;
+  msg.request_id = request_id;
+  msg.query = query;
+  Bytes wire = WithType(MsgType::kReadRequest, msg.Encode());
+  for (const Certificate& cert : options_.slave_certs) {
+    network()->Send(id(), cert.subject, wire);
+  }
+  read.timeout = sim()->ScheduleAfter(
+      options_.params.client_timeout,
+      [this, request_id] { Resolve(request_id); });
+  pending_.emplace(request_id, std::move(read));
+}
+
+void MultiReadClient::HandleMessage(NodeId from, const Bytes& payload) {
+  auto type = PeekType(payload);
+  if (!type.ok()) {
+    return;
+  }
+  Bytes body(payload.begin() + 1, payload.end());
+  switch (*type) {
+    case MsgType::kReadReply:
+      HandleReadReply(from, body);
+      break;
+    case MsgType::kDoubleCheckReply:
+      HandleDoubleCheckReply(body);
+      break;
+    default:
+      break;
+  }
+}
+
+void MultiReadClient::HandleReadReply(NodeId from, const Bytes& body) {
+  auto msg = ReadReply::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  auto it = pending_.find(msg->request_id);
+  if (it == pending_.end() || it->second.double_checking) {
+    return;
+  }
+  PendingRead& read = it->second;
+
+  const Certificate* cert = CertFor(from);
+  if (cert == nullptr) {
+    return;
+  }
+  if (!msg->ok) {
+    ++read.declines;
+    if (read.replies.size() + read.declines >= read.expected) {
+      sim()->Cancel(read.timeout);
+      Resolve(msg->request_id);
+    }
+    return;
+  }
+  const Pledge& pledge = msg->pledge;
+  // Per-reply verification mirrors the base protocol.
+  if (msg->result.Sha1Digest() != pledge.result_sha1 ||
+      pledge.slave != from ||
+      !VerifyPledgeSignature(options_.params.scheme, cert->subject_public_key,
+                             pledge)) {
+    return;
+  }
+  auto master_key = options_.master_keys.find(pledge.token.master);
+  if (master_key == options_.master_keys.end() ||
+      !VerifyVersionToken(options_.params.scheme, master_key->second,
+                          pledge.token) ||
+      !TokenIsFresh(pledge.token, sim()->Now(), options_.params.max_latency)) {
+    return;
+  }
+  read.replies[from] = {msg->result, pledge};
+  if (read.replies.size() + read.declines >= read.expected) {
+    sim()->Cancel(read.timeout);
+    Resolve(msg->request_id);
+  }
+}
+
+void MultiReadClient::Resolve(uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end() || it->second.double_checking) {
+    return;
+  }
+  PendingRead& read = it->second;
+  if (read.replies.empty()) {
+    ++metrics_.reads_failed;
+    Callback cb = std::move(read.cb);
+    pending_.erase(it);
+    if (cb) {
+      cb(false, QueryResult{});
+    }
+    return;
+  }
+  // "If all the answers are identical, the client proceeds as in the
+  // original algorithm" — declining slaves gave no answer, so unanimity is
+  // over the answers received. Replies for different (fresh) versions can
+  // legitimately differ; treat hash disagreement as suspicion anyway — the
+  // double-check resolves it either way.
+  bool unanimous = true;
+  const Bytes& first_hash = read.replies.begin()->second.second.result_sha1;
+  for (const auto& [slave, reply] : read.replies) {
+    if (reply.second.result_sha1 != first_hash) {
+      unanimous = false;
+      break;
+    }
+  }
+
+  if (unanimous && !rng_.NextBool(options_.params.double_check_probability)) {
+    ++metrics_.unanimous;
+    const auto& [result, pledge] = read.replies.begin()->second;
+    if (options_.params.audit_enabled && options_.auditor != kInvalidNode) {
+      AuditSubmit submit;
+      submit.pledge = pledge;
+      network()->Send(id(), options_.auditor,
+                      WithType(MsgType::kAuditSubmit, submit.Encode()));
+    }
+    Accept(request_id, result, pledge);
+    return;
+  }
+
+  // Disagreement (or sampled): mandatory double-check with the master,
+  // using the first pledge as the reference.
+  if (!unanimous) {
+    ++metrics_.disagreements;
+  }
+  read.double_checking = true;
+  ++metrics_.double_checks_sent;
+  DoubleCheckRequest dc;
+  dc.request_id = request_id;
+  dc.pledge = read.replies.begin()->second.second;
+  network()->Send(id(), options_.master,
+                  WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
+}
+
+void MultiReadClient::HandleDoubleCheckReply(const Bytes& body) {
+  auto msg = DoubleCheckReply::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  auto it = pending_.find(msg->request_id);
+  if (it == pending_.end() || !it->second.double_checking) {
+    return;
+  }
+  PendingRead& read = it->second;
+
+  if (!msg->served) {
+    // Cannot establish the truth: fail the read (rare).
+    ++metrics_.reads_failed;
+    Callback cb = std::move(read.cb);
+    pending_.erase(it);
+    if (cb) {
+      cb(false, QueryResult{});
+    }
+    return;
+  }
+  // The master's answer is the truth. Accuse every slave whose pledge
+  // disagrees with it — their own signatures convict them.
+  Bytes correct_hash = msg->correct_result.Sha1Digest();
+  Pledge reference;
+  bool have_reference = false;
+  for (const auto& [slave, reply] : read.replies) {
+    if (reply.second.result_sha1 != correct_hash) {
+      ++metrics_.accusations_sent;
+      Accusation accusation;
+      accusation.pledge = reply.second;
+      network()->Send(id(), options_.master,
+                      WithType(MsgType::kAccusation, accusation.Encode()));
+    } else if (!have_reference) {
+      reference = reply.second;
+      have_reference = true;
+    }
+  }
+  if (!have_reference) {
+    // No slave matched the master; synthesize acceptance on the master's
+    // result with the first pledge's version.
+    reference = read.replies.begin()->second.second;
+  }
+  Accept(msg->request_id, msg->correct_result, reference);
+}
+
+void MultiReadClient::Accept(uint64_t request_id, const QueryResult& result,
+                             const Pledge& pledge) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  ++metrics_.reads_accepted;
+  sim()->Cancel(it->second.timeout);
+  if (on_accept) {
+    on_accept(it->second.query, pledge.token.content_version, result);
+  }
+  Callback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  if (cb) {
+    cb(true, result);
+  }
+}
+
+}  // namespace sdr

@@ -1,0 +1,114 @@
+#include "src/core/pledge.h"
+
+namespace sdr {
+
+Bytes VersionToken::SignedBody() const {
+  Writer w;
+  w.Blob(std::string_view("sdr-vtok-v1"));
+  w.U64(content_version);
+  w.I64(timestamp);
+  w.U32(master);
+  return w.Take();
+}
+
+void VersionToken::EncodeTo(Writer& w) const {
+  w.U64(content_version);
+  w.I64(timestamp);
+  w.U32(master);
+  w.Blob(signature);
+}
+
+VersionToken VersionToken::DecodeFrom(Reader& r) {
+  VersionToken t;
+  t.content_version = r.U64();
+  t.timestamp = r.I64();
+  t.master = r.U32();
+  t.signature = r.Blob();
+  return t;
+}
+
+VersionToken MakeVersionToken(const Signer& master_signer, NodeId master,
+                              uint64_t version, SimTime now) {
+  VersionToken t;
+  t.content_version = version;
+  t.timestamp = now;
+  t.master = master;
+  t.signature = master_signer.Sign(t.SignedBody());
+  return t;
+}
+
+bool VerifyVersionToken(SignatureScheme scheme, const Bytes& master_public_key,
+                        const VersionToken& token) {
+  return VerifySignature(scheme, master_public_key, token.SignedBody(),
+                         token.signature);
+}
+
+bool TokenIsFresh(const VersionToken& token, SimTime now,
+                  SimTime max_latency) {
+  return now - token.timestamp <= max_latency;
+}
+
+Bytes Pledge::SignedBody() const {
+  Writer w;
+  w.Blob(std::string_view("sdr-pledge-v1"));
+  query.EncodeTo(w);
+  w.Blob(result_sha1);
+  // The token, including the master's signature, is part of the pledge: it
+  // pins exactly which version the slave claims to have answered at.
+  token.EncodeTo(w);
+  w.U32(slave);
+  return w.Take();
+}
+
+void Pledge::EncodeTo(Writer& w) const {
+  query.EncodeTo(w);
+  w.Blob(result_sha1);
+  token.EncodeTo(w);
+  w.U32(slave);
+  w.Blob(signature);
+}
+
+Bytes Pledge::Encode() const {
+  Writer w;
+  EncodeTo(w);
+  return w.Take();
+}
+
+Pledge Pledge::DecodeFrom(Reader& r) {
+  Pledge p;
+  p.query = Query::DecodeFrom(r);
+  p.result_sha1 = r.Blob();
+  p.token = VersionToken::DecodeFrom(r);
+  p.slave = r.U32();
+  p.signature = r.Blob();
+  return p;
+}
+
+Result<Pledge> Pledge::Decode(const Bytes& data) {
+  Reader r(data);
+  Pledge p = DecodeFrom(r);
+  if (!r.Done()) {
+    return Error(ErrorCode::kCorrupt, "bad pledge encoding");
+  }
+  return p;
+}
+
+Pledge MakePledge(const Signer& slave_signer, NodeId slave, const Query& query,
+                  const Bytes& result_sha1, const VersionToken& token) {
+  Pledge p;
+  p.query = query;
+  p.result_sha1 = result_sha1;
+  p.token = token;
+  p.slave = slave;
+  p.signature = slave_signer.Sign(p.SignedBody());
+  return p;
+}
+
+bool VerifyPledgeSignature(SignatureScheme scheme,
+                           const Bytes& slave_public_key,
+                           const Pledge& pledge) {
+  return VerifySignature(scheme, slave_public_key, pledge.SignedBody(),
+                         pledge.signature);
+}
+
+}  // namespace sdr

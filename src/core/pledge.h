@@ -1,0 +1,77 @@
+// Version tokens and pledge packets — the paper's two signed protocol
+// objects.
+//
+// A VersionToken is the "signed and time-stamped value of the
+// content_version variable" a master attaches to state updates and
+// keep-alives. A slave may serve reads only while its freshest token is
+// younger than max_latency.
+//
+// A Pledge is the packet a slave signs for every read: a copy of the
+// request, the SHA-1 of the result, and the latest master token. If the
+// slave lies about the result, the pledge is irrefutable proof of its
+// dishonesty (Section 3.3); honest slaves cannot be framed because framing
+// would require forging their signature.
+#ifndef SDR_SRC_CORE_PLEDGE_H_
+#define SDR_SRC_CORE_PLEDGE_H_
+
+#include <cstdint>
+
+#include "src/core/certificate.h"
+#include "src/crypto/signer.h"
+#include "src/sim/simulator.h"
+#include "src/store/query.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace sdr {
+
+struct VersionToken {
+  uint64_t content_version = 0;
+  SimTime timestamp = 0;   // master clock at signing
+  NodeId master = kInvalidNode;
+  Bytes signature;         // by the master key
+
+  Bytes SignedBody() const;
+  void EncodeTo(Writer& w) const;
+  static VersionToken DecodeFrom(Reader& r);
+
+  bool operator==(const VersionToken&) const = default;
+};
+
+VersionToken MakeVersionToken(const Signer& master_signer, NodeId master,
+                              uint64_t version, SimTime now);
+
+bool VerifyVersionToken(SignatureScheme scheme, const Bytes& master_public_key,
+                        const VersionToken& token);
+
+// Freshness predicate (Section 3.2): accepted only when the token is no
+// older than max_latency at local time `now`.
+bool TokenIsFresh(const VersionToken& token, SimTime now, SimTime max_latency);
+
+struct Pledge {
+  Query query;
+  Bytes result_sha1;   // SHA-1 of the canonical result encoding
+  VersionToken token;  // freshest token held by the slave
+  NodeId slave = kInvalidNode;
+  Bytes signature;     // by the slave key, over everything above
+
+  Bytes SignedBody() const;
+  Bytes Encode() const;
+  static Result<Pledge> Decode(const Bytes& data);
+  void EncodeTo(Writer& w) const;
+  static Pledge DecodeFrom(Reader& r);
+
+  bool operator==(const Pledge&) const = default;
+};
+
+Pledge MakePledge(const Signer& slave_signer, NodeId slave, const Query& query,
+                  const Bytes& result_sha1, const VersionToken& token);
+
+// Checks the slave's signature only (token checked separately, since it
+// needs the master key).
+bool VerifyPledgeSignature(SignatureScheme scheme,
+                           const Bytes& slave_public_key, const Pledge& pledge);
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CORE_PLEDGE_H_

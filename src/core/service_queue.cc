@@ -1,0 +1,38 @@
+#include "src/core/service_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdr {
+
+ServiceQueue::ServiceQueue(Simulator* sim, double speed)
+    : sim_(sim), speed_(speed) {
+  assert(speed_ > 0);
+}
+
+SimTime ServiceQueue::busy_until() const {
+  return std::max(busy_until_, sim_->Now());
+}
+
+void ServiceQueue::Enqueue(SimTime service_time, std::function<void()> done) {
+  SimTime scaled = std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(service_time) / speed_));
+  SimTime start = busy_until();
+  busy_until_ = start + scaled;
+  busy_time_ += scaled;
+  ++depth_;
+  sim_->ScheduleAt(busy_until_, [this, done = std::move(done)] {
+    --depth_;
+    ++jobs_completed_;
+    done();
+  });
+}
+
+double ServiceQueue::UtilizationSince(SimTime start, SimTime now) const {
+  if (now <= start) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_time_) / static_cast<double>(now - start);
+}
+
+}  // namespace sdr

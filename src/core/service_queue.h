@@ -1,0 +1,47 @@
+// A single-server FIFO work queue in virtual time. Servers (slaves,
+// masters, the auditor) push jobs with a service time from the CostModel;
+// completions fire in order once the simulated CPU gets to them. This is
+// what makes load arguments measurable: utilization, queueing delay, and
+// backlog all emerge from job costs.
+#ifndef SDR_SRC_CORE_SERVICE_QUEUE_H_
+#define SDR_SRC_CORE_SERVICE_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/simulator.h"
+
+namespace sdr {
+
+class ServiceQueue {
+ public:
+  // speed > 1.0 models a faster server (service times divided by speed).
+  ServiceQueue(Simulator* sim, double speed = 1.0);
+
+  // Enqueues a job; `done` runs when the server finishes it.
+  void Enqueue(SimTime service_time, std::function<void()> done);
+
+  // Jobs accepted but not yet completed.
+  size_t depth() const { return depth_; }
+
+  // Virtual time this server has spent busy (for utilization).
+  SimTime busy_time() const { return busy_time_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+
+  // Earliest time a new job could start.
+  SimTime busy_until() const;
+
+  double UtilizationSince(SimTime start, SimTime now) const;
+
+ private:
+  Simulator* sim_;
+  double speed_;
+  SimTime busy_until_ = 0;
+  SimTime busy_time_ = 0;
+  size_t depth_ = 0;
+  uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CORE_SERVICE_QUEUE_H_

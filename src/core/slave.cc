@@ -1,0 +1,192 @@
+#include "src/core/slave.h"
+
+#include "src/util/logging.h"
+
+namespace sdr {
+
+Slave::Slave(Options options)
+    : options_(std::move(options)),
+      signer_(options_.key_pair),
+      rng_(options_.rng_seed) {}
+
+void Slave::Start() {
+  queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.slave_speed);
+}
+
+void Slave::SetBaseContent(const DocumentStore& base) {
+  store_ = base;
+}
+
+void Slave::HandleMessage(NodeId from, const Bytes& payload) {
+  auto type = PeekType(payload);
+  if (!type.ok()) {
+    return;
+  }
+  Bytes body(payload.begin() + 1, payload.end());
+  switch (*type) {
+    case MsgType::kStateUpdate:
+      HandleStateUpdate(from, body);
+      break;
+    case MsgType::kKeepAlive:
+      HandleKeepAlive(from, body);
+      break;
+    case MsgType::kReadRequest:
+      HandleReadRequest(from, body);
+      break;
+    default:
+      break;
+  }
+}
+
+void Slave::MaybeAdoptToken(const VersionToken& token) {
+  // Verify the master's signature; reject tokens from unknown masters.
+  auto key = options_.master_keys.find(token.master);
+  if (key == options_.master_keys.end() ||
+      !VerifyVersionToken(options_.params.scheme, key->second, token)) {
+    return;
+  }
+  // A token is only usable if we actually hold the state it attests to.
+  if (token.content_version != applied_version_) {
+    return;
+  }
+  if (!token_.has_value() || token.timestamp > token_->timestamp) {
+    token_ = token;
+  }
+}
+
+void Slave::HandleStateUpdate(NodeId from, const Bytes& body) {
+  auto msg = StateUpdate::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  if (options_.behavior.ignore_updates) {
+    // Malicious/stuck replica: swallow the update. (It may still adopt
+    // keep-alive tokens for its stale version via serve_despite_stale.)
+    return;
+  }
+  if (msg->version > applied_version_) {
+    buffered_updates_[msg->version] = *msg;
+    ApplyBuffered();
+  }
+  MaybeAdoptToken(msg->token);
+  AckTo(from);
+}
+
+void Slave::ApplyBuffered() {
+  auto it = buffered_updates_.find(applied_version_ + 1);
+  while (it != buffered_updates_.end()) {
+    store_.ApplyBatch(it->second.batch);
+    ++applied_version_;
+    ++metrics_.state_updates_applied;
+    MaybeAdoptToken(it->second.token);
+    buffered_updates_.erase(it);
+    it = buffered_updates_.find(applied_version_ + 1);
+  }
+}
+
+void Slave::HandleKeepAlive(NodeId from, const Bytes& body) {
+  auto msg = KeepAlive::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  ++metrics_.keepalives_received;
+  MaybeAdoptToken(msg->token);
+  AckTo(from);
+}
+
+void Slave::AckTo(NodeId master) {
+  SlaveAck ack;
+  ack.applied_version = applied_version_;
+  network()->Send(id(), master, WithType(MsgType::kSlaveAck, ack.Encode()));
+}
+
+bool Slave::TokenFresh() const {
+  return token_.has_value() &&
+         TokenIsFresh(*token_, sim()->Now(), options_.params.max_latency);
+}
+
+void Slave::HandleReadRequest(NodeId from, const Bytes& body) {
+  auto msg = ReadRequest::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  if (options_.behavior.drop_probability > 0.0 &&
+      rng_.NextBool(options_.behavior.drop_probability)) {
+    return;
+  }
+  if (!token_.has_value() ||
+      (!TokenFresh() && !options_.behavior.serve_despite_stale)) {
+    // An honest slave that is out of sync "should stop handling user
+    // requests until they are back in sync" (Section 3).
+    ++metrics_.reads_declined_stale;
+    ReadReply reply;
+    reply.request_id = msg->request_id;
+    reply.ok = false;
+    network()->Send(id(), from,
+                    WithType(MsgType::kReadReply, reply.Encode()));
+    return;
+  }
+
+  auto outcome = executor_.Execute(store_, msg->query);
+  if (!outcome.ok()) {
+    ReadReply reply;
+    reply.request_id = msg->request_id;
+    reply.ok = false;
+    network()->Send(id(), from,
+                    WithType(MsgType::kReadReply, reply.Encode()));
+    return;
+  }
+
+  QueryResult result = std::move(outcome->result);
+  bool lied_consistently = false;
+  if (options_.behavior.lie_probability > 0.0 &&
+      rng_.NextBool(options_.behavior.lie_probability)) {
+    // The paper's threat: a wrong answer with an internally consistent
+    // pledge. Corrupt the result, then hash the corrupted bytes.
+    if (result.type == QueryResult::Type::kScalar) {
+      result.scalar += 1;
+    } else if (!result.rows.empty()) {
+      result.rows[0].second += "\x01";
+    } else {
+      result.rows.emplace_back("phantom", "entry");
+    }
+    lied_consistently = true;
+    ++metrics_.lies_told;
+  }
+
+  Bytes hashed = result.Sha1Digest();
+  if (!lied_consistently &&
+      options_.behavior.inconsistent_lie_probability > 0.0 &&
+      rng_.NextBool(options_.behavior.inconsistent_lie_probability)) {
+    // Clumsy lie: corrupt the result after hashing; clients catch this at
+    // the hash check without any master involvement.
+    if (result.type == QueryResult::Type::kScalar) {
+      result.scalar += 1;
+    } else {
+      result.rows.emplace_back("phantom", "entry");
+    }
+    ++metrics_.lies_told;
+  }
+
+  metrics_.work_units_executed += outcome->cost;
+  SimTime service_time =
+      options_.cost.ExecuteTime(outcome->cost, result.Encode().size()) +
+      options_.cost.SignTime();
+
+  // Capture everything needed — including the token the result was computed
+  // under — so a state update arriving mid-service cannot skew the pledge;
+  // the reply leaves when the simulated CPU has produced and signed it.
+  queue_->Enqueue(service_time, [this, from, request_id = msg->request_id,
+                                 query = msg->query, result = std::move(result),
+                                 hashed = std::move(hashed), token = *token_] {
+    ReadReply reply;
+    reply.request_id = request_id;
+    reply.ok = true;
+    reply.result = result;
+    reply.pledge = MakePledge(signer_, id(), query, hashed, token);
+    ++metrics_.reads_served;
+    network()->Send(id(), from, WithType(MsgType::kReadReply, reply.Encode()));
+  });
+}
+
+}  // namespace sdr

@@ -1,0 +1,95 @@
+// The slave server: holds a copy of the content, applies lazily pushed
+// state updates from its master, and answers client read queries with
+// signed pledge packets (paper Sections 2, 3.1, 3.2).
+//
+// Slaves are only marginally trusted, so the class also implements the
+// malicious behaviours the protocol must catch; which behaviour a slave
+// exhibits is part of the simulation configuration, invisible on the wire.
+#ifndef SDR_SRC_CORE_SLAVE_H_
+#define SDR_SRC_CORE_SLAVE_H_
+
+#include <map>
+#include <optional>
+
+#include "src/core/config.h"
+#include "src/core/messages.h"
+#include "src/core/metrics.h"
+#include "src/core/pledge.h"
+#include "src/core/service_queue.h"
+#include "src/sim/network.h"
+#include "src/store/document_store.h"
+#include "src/store/executor.h"
+
+namespace sdr {
+
+class Slave : public Node {
+ public:
+  // How this slave (mis)behaves. The default is honest.
+  struct Behavior {
+    // With this probability a read's result is silently corrupted while the
+    // pledge hash matches the corrupted result — the paper's core threat:
+    // undetectable at the client, caught only by double-check or audit.
+    double lie_probability = 0.0;
+    // Corrupt the result but leave the pledge hash computed over the
+    // correct result — clients detect this immediately at the hash check.
+    double inconsistent_lie_probability = 0.0;
+    // Stop applying state updates (an honest slave in this state declines
+    // reads once its token goes stale).
+    bool ignore_updates = false;
+    // Keep serving with the last (stale) token instead of declining —
+    // clients reject such pledges by the freshness check.
+    bool serve_despite_stale = false;
+    // Drop read requests with this probability (unresponsiveness).
+    double drop_probability = 0.0;
+  };
+
+  struct Options {
+    ProtocolParams params;
+    CostModel cost;
+    KeyPair key_pair;
+    Behavior behavior;
+    // Master public keys (master id -> key) for verifying version tokens.
+    std::map<NodeId, Bytes> master_keys;
+    uint64_t rng_seed = 1;
+  };
+
+  explicit Slave(Options options);
+
+  void Start() override;
+  void HandleMessage(NodeId from, const Bytes& payload) override;
+
+  // Installs initial content at version 0 (out-of-band distribution).
+  void SetBaseContent(const DocumentStore& base);
+
+  uint64_t applied_version() const { return applied_version_; }
+  const Bytes& public_key() const { return signer_.public_key(); }
+  const SlaveMetrics& metrics() const { return metrics_; }
+  const ServiceQueue& service_queue() const { return *queue_; }
+  const DocumentStore& store() const { return store_; }
+
+ private:
+  void HandleStateUpdate(NodeId from, const Bytes& body);
+  void HandleKeepAlive(NodeId from, const Bytes& body);
+  void HandleReadRequest(NodeId from, const Bytes& body);
+  void ApplyBuffered();
+  void MaybeAdoptToken(const VersionToken& token);
+  bool TokenFresh() const;
+  void AckTo(NodeId master);
+
+  Options options_;
+  Signer signer_;
+  Rng rng_;
+
+  DocumentStore store_;
+  QueryExecutor executor_;
+  uint64_t applied_version_ = 0;
+  std::map<uint64_t, StateUpdate> buffered_updates_;
+  std::optional<VersionToken> token_;
+  std::unique_ptr<ServiceQueue> queue_;
+
+  SlaveMetrics metrics_;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CORE_SLAVE_H_

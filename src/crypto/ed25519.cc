@@ -1,0 +1,580 @@
+#include "src/crypto/ed25519.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/crypto/sha2.h"
+
+namespace sdr {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Field arithmetic mod p = 2^255 - 19. Elements are 5 limbs of 51 bits.
+// ---------------------------------------------------------------------------
+
+struct Fe {
+  uint64_t v[5];
+};
+
+constexpr uint64_t kMask51 = (1ULL << 51) - 1;
+
+Fe FeZero() {
+  return Fe{{0, 0, 0, 0, 0}};
+}
+Fe FeOne() {
+  return Fe{{1, 0, 0, 0, 0}};
+}
+
+// No carry: inputs <= 2^52 keep the result <= 2^53, safe as fe_mul input.
+Fe FeAdd(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) {
+    r.v[i] = a.v[i] + b.v[i];
+  }
+  return r;
+}
+
+// a - b, biased by 2p limbwise so limbs never underflow (inputs <= 2^52).
+Fe FeSub(const Fe& a, const Fe& b) {
+  static constexpr uint64_t kTwoP[5] = {
+      0xfffffffffffdaULL, 0xffffffffffffeULL, 0xffffffffffffeULL,
+      0xffffffffffffeULL, 0xffffffffffffeULL};
+  Fe r;
+  for (int i = 0; i < 5; ++i) {
+    r.v[i] = a.v[i] + kTwoP[i] - b.v[i];
+  }
+  return r;
+}
+
+// Carries r so every limb is < 2^52 (not fully canonical; FeToBytes
+// freezes).
+void FeCarry(Fe& r) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 4; ++i) {
+      uint64_t c = r.v[i] >> 51;
+      r.v[i] &= kMask51;
+      r.v[i + 1] += c;
+    }
+    uint64_t c = r.v[4] >> 51;
+    r.v[4] &= kMask51;
+    r.v[0] += 19 * c;
+  }
+}
+
+Fe FeMul(const Fe& a, const Fe& b) {
+  using u128 = unsigned __int128;
+  const uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  // Terms that wrap past limb 4 are multiplied by 19 (since 2^255 = 19).
+  const uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe r;
+  uint64_t c;
+  r.v[0] = (uint64_t)t0 & kMask51;
+  c = (uint64_t)(t0 >> 51);
+  t1 += c;
+  r.v[1] = (uint64_t)t1 & kMask51;
+  c = (uint64_t)(t1 >> 51);
+  t2 += c;
+  r.v[2] = (uint64_t)t2 & kMask51;
+  c = (uint64_t)(t2 >> 51);
+  t3 += c;
+  r.v[3] = (uint64_t)t3 & kMask51;
+  c = (uint64_t)(t3 >> 51);
+  t4 += c;
+  r.v[4] = (uint64_t)t4 & kMask51;
+  c = (uint64_t)(t4 >> 51);
+  r.v[0] += 19 * c;
+  c = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += c;
+  return r;
+}
+
+Fe FeSq(const Fe& a) {
+  return FeMul(a, a);
+}
+
+Fe FeFromBytes(const uint8_t s[32]) {
+  auto load = [&s](int byte, int shift_bits, int nbytes) {
+    uint64_t v = 0;
+    for (int i = 0; i < nbytes; ++i) {
+      v |= (uint64_t)s[byte + i] << (8 * i);
+    }
+    return (v >> shift_bits) & kMask51;
+  };
+  Fe r;
+  r.v[0] = load(0, 0, 8);
+  r.v[1] = load(6, 3, 8);
+  r.v[2] = load(12, 6, 8);
+  r.v[3] = load(19, 1, 8);
+  // Limb 4 holds bits 204..254; the 51-bit mask in load() drops bit 255
+  // (the sign bit of point encodings), per RFC 8032.
+  r.v[4] = load(24, 12, 8);
+  return r;
+}
+
+// Fully reduces to [0, p) and serializes little-endian.
+void FeToBytes(uint8_t out[32], const Fe& a) {
+  Fe t = a;
+  FeCarry(t);
+  // Freeze: compute t mod p exactly. Add 19, propagate, then drop bit 255
+  // and add the wraparound; standard two-pass approach.
+  uint64_t q = (t.v[0] + 19) >> 51;
+  q = (t.v[1] + q) >> 51;
+  q = (t.v[2] + q) >> 51;
+  q = (t.v[3] + q) >> 51;
+  q = (t.v[4] + q) >> 51;  // q = 1 iff t >= p
+  t.v[0] += 19 * q;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t c = t.v[i] >> 51;
+    t.v[i] &= kMask51;
+    t.v[i + 1] += c;
+  }
+  t.v[4] &= kMask51;  // discard bit 255 (subtracts 2^255, completing -p)
+
+  uint64_t limbs[5] = {t.v[0], t.v[1], t.v[2], t.v[3], t.v[4]};
+  std::memset(out, 0, 32);
+  int bit = 0;
+  for (int i = 0; i < 5; ++i) {
+    for (int b = 0; b < 51; ++b, ++bit) {
+      if ((limbs[i] >> b) & 1) {
+        out[bit / 8] |= (uint8_t)(1 << (bit % 8));
+      }
+    }
+  }
+}
+
+bool FeIsNegative(const Fe& a) {
+  uint8_t s[32];
+  FeToBytes(s, a);
+  return (s[0] & 1) != 0;
+}
+
+bool FeIsZero(const Fe& a) {
+  uint8_t s[32];
+  FeToBytes(s, a);
+  for (int i = 0; i < 32; ++i) {
+    if (s[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FeEqual(const Fe& a, const Fe& b) {
+  return FeIsZero(FeSub(a, b));
+}
+
+Fe FeNeg(const Fe& a) {
+  return FeSub(FeZero(), a);
+}
+
+// base^e where e is given as 32 little-endian bytes.
+Fe FePow(const Fe& base, const uint8_t e[32]) {
+  Fe result = FeOne();
+  bool started = false;
+  for (int bit = 255; bit >= 0; --bit) {
+    if (started) {
+      result = FeSq(result);
+    }
+    if ((e[bit / 8] >> (bit % 8)) & 1) {
+      result = started ? FeMul(result, base) : base;
+      started = true;
+    }
+  }
+  return started ? result : FeOne();
+}
+
+Fe FeInvert(const Fe& a) {
+  // a^(p-2), p-2 = 2^255 - 21.
+  uint8_t e[32];
+  std::memset(e, 0xff, 32);
+  e[0] = 0xeb;  // 256 - 21 = 235 = 0xeb
+  e[31] = 0x7f;
+  return FePow(a, e);
+}
+
+// a^((p-5)/8) with (p-5)/8 = 2^252 - 3.
+Fe FePow2523(const Fe& a) {
+  uint8_t e[32];
+  std::memset(e, 0xff, 32);
+  e[0] = 0xfd;
+  e[31] = 0x0f;
+  return FePow(a, e);
+}
+
+// Lazily derived curve constants.
+struct Constants {
+  Fe d;        // -121665/121666
+  Fe d2;       // 2*d
+  Fe sqrtm1;   // sqrt(-1) = 2^((p-1)/4)
+};
+
+Fe FeFromU64(uint64_t x) {
+  Fe r = FeZero();
+  r.v[0] = x & kMask51;
+  r.v[1] = x >> 51;
+  return r;
+}
+
+const Constants& GetConstants() {
+  static const Constants c = [] {
+    Constants k;
+    Fe num = FeNeg(FeFromU64(121665));
+    Fe den = FeFromU64(121666);
+    k.d = FeMul(num, FeInvert(den));
+    k.d2 = FeAdd(k.d, k.d);
+    FeCarry(k.d2);
+    // sqrt(-1) = 2^((p-1)/4), (p-1)/4 = 2^253 - 5.
+    uint8_t e[32];
+    std::memset(e, 0xff, 32);
+    e[0] = 0xfb;
+    e[31] = 0x1f;
+    k.sqrtm1 = FePow(FeFromU64(2), e);
+    return k;
+  }();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Point arithmetic: extended coordinates (X, Y, Z, T), x = X/Z, y = Y/Z,
+// T = XY/Z on -x^2 + y^2 = 1 + d x^2 y^2.
+// ---------------------------------------------------------------------------
+
+struct Point {
+  Fe x, y, z, t;
+};
+
+Point PointIdentity() {
+  return Point{FeZero(), FeOne(), FeOne(), FeZero()};
+}
+
+// Unified addition (add-2008-hwcd-3); also correct for doubling.
+Point PointAdd(const Point& p, const Point& q) {
+  const Constants& k = GetConstants();
+  Fe a = FeMul(FeSub(p.y, p.x), FeSub(q.y, q.x));
+  Fe b = FeMul(FeAdd(p.y, p.x), FeAdd(q.y, q.x));
+  Fe c = FeMul(FeMul(p.t, k.d2), q.t);
+  Fe zz = FeMul(p.z, q.z);
+  Fe dd = FeAdd(zz, zz);
+  Fe e = FeSub(b, a);
+  Fe f = FeSub(dd, c);
+  Fe g = FeAdd(dd, c);
+  Fe h = FeAdd(b, a);
+  Point r;
+  r.x = FeMul(e, f);
+  r.y = FeMul(g, h);
+  r.t = FeMul(e, h);
+  r.z = FeMul(f, g);
+  return r;
+}
+
+// scalar given as 32 little-endian bytes; plain double-and-add.
+Point PointScalarMul(const Point& p, const uint8_t scalar[32]) {
+  Point r = PointIdentity();
+  for (int bit = 255; bit >= 0; --bit) {
+    r = PointAdd(r, r);
+    if ((scalar[bit / 8] >> (bit % 8)) & 1) {
+      r = PointAdd(r, p);
+    }
+  }
+  return r;
+}
+
+void PointCompress(uint8_t out[32], const Point& p) {
+  Fe zinv = FeInvert(p.z);
+  Fe x = FeMul(p.x, zinv);
+  Fe y = FeMul(p.y, zinv);
+  FeToBytes(out, y);
+  if (FeIsNegative(x)) {
+    out[31] |= 0x80;
+  }
+}
+
+// Decompresses a point; returns false for invalid encodings.
+bool PointDecompress(Point& out, const uint8_t in[32]) {
+  const Constants& k = GetConstants();
+  Fe y = FeFromBytes(in);
+  bool x_neg = (in[31] & 0x80) != 0;
+
+  // x^2 = (y^2 - 1) / (d y^2 + 1)
+  Fe y2 = FeSq(y);
+  Fe u = FeSub(y2, FeOne());
+  Fe v = FeAdd(FeMul(k.d, y2), FeOne());
+  FeCarry(v);
+
+  // Candidate root: x = u v^3 (u v^7)^((p-5)/8)
+  Fe v3 = FeMul(FeSq(v), v);
+  Fe v7 = FeMul(FeSq(v3), v);
+  Fe x = FeMul(FeMul(u, v3), FePow2523(FeMul(u, v7)));
+
+  Fe vx2 = FeMul(v, FeSq(x));
+  if (!FeEqual(vx2, u)) {
+    if (FeEqual(vx2, FeNeg(u))) {
+      x = FeMul(x, k.sqrtm1);
+    } else {
+      return false;
+    }
+  }
+  if (FeIsZero(x) && x_neg) {
+    return false;  // -0 is not a valid encoding
+  }
+  if (FeIsNegative(x) != x_neg) {
+    x = FeNeg(x);
+  }
+  out.x = x;
+  out.y = y;
+  out.z = FeOne();
+  out.t = FeMul(x, y);
+  return true;
+}
+
+const Point& BasePoint() {
+  static const Point b = [] {
+    // y = 4/5, x recovered with even parity.
+    Fe y = FeMul(FeFromU64(4), FeInvert(FeFromU64(5)));
+    uint8_t enc[32];
+    FeToBytes(enc, y);  // sign bit 0 => even x
+    Point p;
+    bool ok = PointDecompress(p, enc);
+    assert(ok);
+    (void)ok;
+    return p;
+  }();
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod L = 2^252 + 27742317777372353535851937790883648493.
+// Scalars are handled as little-endian byte arrays; reduction uses binary
+// long division over a 4-limb accumulator (slow but simple; a handful of
+// calls per signature).
+// ---------------------------------------------------------------------------
+
+struct U256L {
+  uint64_t w[4] = {0, 0, 0, 0};
+};
+
+const U256L& OrderL() {
+  static const U256L l = [] {
+    // L little-endian bytes.
+    static constexpr uint8_t kL[32] = {
+        0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7,
+        0xa2, 0xde, 0xf9, 0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+    U256L v;
+    for (int i = 0; i < 32; ++i) {
+      v.w[i / 8] |= (uint64_t)kL[i] << (8 * (i % 8));
+    }
+    return v;
+  }();
+  return l;
+}
+
+int CmpL(const U256L& a, const U256L& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) {
+      return a.w[i] < b.w[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+void SubL(U256L& a, const U256L& b) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 d =
+        (unsigned __int128)a.w[i] - b.w[i] - (uint64_t)borrow;
+    a.w[i] = (uint64_t)d;
+    borrow = (d >> 64) & 1;
+  }
+}
+
+// Reduces a little-endian byte string (up to 64 bytes) mod L.
+void ScReduceBytes(uint8_t out[32], const uint8_t* in, size_t len) {
+  const U256L& l = OrderL();
+  U256L r;
+  for (size_t i = len; i-- > 0;) {
+    for (int bit = 7; bit >= 0; --bit) {
+      // r = r*2 + bit, then conditional subtract.
+      uint64_t carry = 0;
+      for (int w = 0; w < 4; ++w) {
+        uint64_t next_carry = r.w[w] >> 63;
+        r.w[w] = (r.w[w] << 1) | carry;
+        carry = next_carry;
+      }
+      r.w[0] |= (in[i] >> bit) & 1;
+      // After one doubling of a value < L (< 2^253), r < 2^254: no limb
+      // overflow, and at most one subtraction restores r < L.
+      if (carry != 0 || CmpL(r, l) >= 0) {
+        SubL(r, l);
+      }
+    }
+  }
+  std::memset(out, 0, 32);
+  for (int i = 0; i < 32; ++i) {
+    out[i] = (uint8_t)(r.w[i / 8] >> (8 * (i % 8)));
+  }
+}
+
+// out = (a*b + c) mod L; a, b, c are 32-byte little-endian scalars.
+void ScMulAdd(uint8_t out[32], const uint8_t a[32], const uint8_t b[32],
+              const uint8_t c[32]) {
+  // 512-bit product via schoolbook on 8-bit digits is too slow; use 64-bit
+  // limbs with __int128 accumulation.
+  uint64_t al[4] = {0}, bl[4] = {0};
+  for (int i = 0; i < 32; ++i) {
+    al[i / 8] |= (uint64_t)a[i] << (8 * (i % 8));
+    bl[i / 8] |= (uint64_t)b[i] << (8 * (i % 8));
+  }
+  uint64_t prod[8] = {0};
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 cur =
+          (unsigned __int128)al[i] * bl[j] + prod[i + j] + (uint64_t)carry;
+      prod[i + j] = (uint64_t)cur;
+      carry = cur >> 64;
+    }
+    prod[i + 4] += (uint64_t)carry;
+  }
+  // Add c (256-bit) into the 512-bit product.
+  unsigned __int128 carry = 0;
+  uint64_t cl[4] = {0};
+  for (int i = 0; i < 32; ++i) {
+    cl[i / 8] |= (uint64_t)c[i] << (8 * (i % 8));
+  }
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = (unsigned __int128)prod[i] + cl[i] + (uint64_t)carry;
+    prod[i] = (uint64_t)cur;
+    carry = cur >> 64;
+  }
+  for (int i = 4; i < 8 && carry != 0; ++i) {
+    unsigned __int128 cur = (unsigned __int128)prod[i] + (uint64_t)carry;
+    prod[i] = (uint64_t)cur;
+    carry = cur >> 64;
+  }
+  uint8_t prod_bytes[64];
+  for (int i = 0; i < 64; ++i) {
+    prod_bytes[i] = (uint8_t)(prod[i / 8] >> (8 * (i % 8)));
+  }
+  ScReduceBytes(out, prod_bytes, 64);
+}
+
+// True when s (little-endian 32 bytes) < L; rejects malleable signatures.
+bool ScIsCanonical(const uint8_t s[32]) {
+  U256L v;
+  for (int i = 0; i < 32; ++i) {
+    v.w[i / 8] |= (uint64_t)s[i] << (8 * (i % 8));
+  }
+  return CmpL(v, OrderL()) < 0;
+}
+
+void ClampScalar(uint8_t a[32]) {
+  a[0] &= 248;
+  a[31] &= 127;
+  a[31] |= 64;
+}
+
+}  // namespace
+
+Bytes Ed25519PublicKey(const Bytes& seed) {
+  assert(seed.size() == kEd25519SeedSize);
+  Bytes h = Sha512::Hash(seed);
+  uint8_t a[32];
+  std::memcpy(a, h.data(), 32);
+  ClampScalar(a);
+  Point p = PointScalarMul(BasePoint(), a);
+  Bytes pub(32);
+  PointCompress(pub.data(), p);
+  return pub;
+}
+
+Bytes Ed25519Sign(const Bytes& seed, const Bytes& message) {
+  assert(seed.size() == kEd25519SeedSize);
+  Bytes h = Sha512::Hash(seed);
+  uint8_t a[32];
+  std::memcpy(a, h.data(), 32);
+  ClampScalar(a);
+
+  Bytes pub = Ed25519PublicKey(seed);
+
+  // r = SHA512(prefix || M) mod L
+  Sha512 hr;
+  hr.Update(h.data() + 32, 32);
+  hr.Update(message);
+  Bytes r_hash = hr.Final();
+  uint8_t r[32];
+  ScReduceBytes(r, r_hash.data(), r_hash.size());
+
+  Point rp = PointScalarMul(BasePoint(), r);
+  uint8_t r_enc[32];
+  PointCompress(r_enc, rp);
+
+  // k = SHA512(R || A || M) mod L
+  Sha512 hk;
+  hk.Update(r_enc, 32);
+  hk.Update(pub);
+  hk.Update(message);
+  Bytes k_hash = hk.Final();
+  uint8_t k[32];
+  ScReduceBytes(k, k_hash.data(), k_hash.size());
+
+  // S = (r + k*a) mod L
+  uint8_t s[32];
+  ScMulAdd(s, k, a, r);
+
+  Bytes sig(kEd25519SignatureSize);
+  std::memcpy(sig.data(), r_enc, 32);
+  std::memcpy(sig.data() + 32, s, 32);
+  return sig;
+}
+
+bool Ed25519Verify(const Bytes& public_key, const Bytes& message,
+                   const Bytes& signature) {
+  if (public_key.size() != kEd25519PublicKeySize ||
+      signature.size() != kEd25519SignatureSize) {
+    return false;
+  }
+  const uint8_t* r_enc = signature.data();
+  const uint8_t* s = signature.data() + 32;
+  if (!ScIsCanonical(s)) {
+    return false;
+  }
+  Point a_point, r_point;
+  if (!PointDecompress(a_point, public_key.data()) ||
+      !PointDecompress(r_point, r_enc)) {
+    return false;
+  }
+
+  Sha512 hk;
+  hk.Update(r_enc, 32);
+  hk.Update(public_key);
+  hk.Update(message);
+  Bytes k_hash = hk.Final();
+  uint8_t k[32];
+  ScReduceBytes(k, k_hash.data(), k_hash.size());
+
+  // Check [S]B == R + [k]A by comparing compressed encodings.
+  Point sb = PointScalarMul(BasePoint(), s);
+  Point rka = PointAdd(r_point, PointScalarMul(a_point, k));
+  uint8_t e1[32], e2[32];
+  PointCompress(e1, sb);
+  PointCompress(e2, rka);
+  return std::memcmp(e1, e2, 32) == 0;
+}
+
+}  // namespace sdr

@@ -1,0 +1,32 @@
+#include "src/crypto/hmac.h"
+
+#include "src/crypto/sha2.h"
+
+namespace sdr {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  constexpr size_t kBlock = Sha256::kBlockSize;
+  Bytes k = key;
+  if (k.size() > kBlock) {
+    k = Sha256::Hash(k);
+  }
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Bytes inner_digest = inner.Final();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Final();
+}
+
+}  // namespace sdr

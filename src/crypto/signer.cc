@@ -1,0 +1,65 @@
+#include "src/crypto/signer.h"
+
+#include "src/crypto/ed25519.h"
+#include "src/crypto/hmac.h"
+
+namespace sdr {
+
+const char* SignatureSchemeName(SignatureScheme scheme) {
+  switch (scheme) {
+    case SignatureScheme::kEd25519:
+      return "ed25519";
+    case SignatureScheme::kHmacSha256:
+      return "hmac-sha256";
+    case SignatureScheme::kNull:
+      return "null";
+  }
+  return "?";
+}
+
+KeyPair KeyPair::Generate(SignatureScheme scheme, Rng& rng) {
+  KeyPair kp;
+  kp.scheme = scheme;
+  switch (scheme) {
+    case SignatureScheme::kEd25519: {
+      kp.private_key = rng.NextBytes(kEd25519SeedSize);
+      kp.public_key = Ed25519PublicKey(kp.private_key);
+      break;
+    }
+    case SignatureScheme::kHmacSha256: {
+      kp.private_key = rng.NextBytes(32);
+      kp.public_key = kp.private_key;
+      break;
+    }
+    case SignatureScheme::kNull:
+      break;
+  }
+  return kp;
+}
+
+Bytes Signer::Sign(const Bytes& message) const {
+  switch (key_.scheme) {
+    case SignatureScheme::kEd25519:
+      return Ed25519Sign(key_.private_key, message);
+    case SignatureScheme::kHmacSha256:
+      return HmacSha256(key_.private_key, message);
+    case SignatureScheme::kNull:
+      return Bytes{0x4e};  // non-empty marker so "missing" != "null-signed"
+  }
+  return Bytes();
+}
+
+bool VerifySignature(SignatureScheme scheme, const Bytes& public_key,
+                     const Bytes& message, const Bytes& signature) {
+  switch (scheme) {
+    case SignatureScheme::kEd25519:
+      return Ed25519Verify(public_key, message, signature);
+    case SignatureScheme::kHmacSha256:
+      return ConstantTimeEquals(HmacSha256(public_key, message), signature);
+    case SignatureScheme::kNull:
+      return signature == Bytes{0x4e};
+  }
+  return false;
+}
+
+}  // namespace sdr

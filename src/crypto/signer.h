@@ -1,0 +1,59 @@
+// Pluggable signing abstraction.
+//
+// The protocol's guarantees hinge on non-repudiable slave signatures over
+// pledge packets, so the default scheme is real Ed25519. For very large
+// simulations (millions of reads) an HMAC mode trades non-repudiation for
+// speed — everything else in the protocol stays identical — and a Null mode
+// exists for logic-only unit tests. Which mode is in use is part of the
+// cluster configuration and is reported by the benches.
+#ifndef SDR_SRC_CRYPTO_SIGNER_H_
+#define SDR_SRC_CRYPTO_SIGNER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace sdr {
+
+enum class SignatureScheme : uint8_t {
+  kEd25519 = 0,
+  kHmacSha256 = 1,  // symmetric; verifier must hold the same key
+  kNull = 2,        // no-op; for logic-only tests
+};
+
+const char* SignatureSchemeName(SignatureScheme scheme);
+
+// A key pair under one of the schemes. For kEd25519 `private_key` is the
+// 32-byte seed and `public_key` the compressed point; for kHmacSha256 both
+// are the shared key; for kNull both are empty.
+struct KeyPair {
+  SignatureScheme scheme = SignatureScheme::kEd25519;
+  Bytes private_key;
+  Bytes public_key;
+
+  // Deterministic key generation from the simulation RNG.
+  static KeyPair Generate(SignatureScheme scheme, Rng& rng);
+};
+
+// Signs messages with a held private key.
+class Signer {
+ public:
+  explicit Signer(KeyPair key_pair) : key_(std::move(key_pair)) {}
+
+  Bytes Sign(const Bytes& message) const;
+  const Bytes& public_key() const { return key_.public_key; }
+  SignatureScheme scheme() const { return key_.scheme; }
+
+ private:
+  KeyPair key_;
+};
+
+// Verifies signatures against a public key.
+bool VerifySignature(SignatureScheme scheme, const Bytes& public_key,
+                     const Bytes& message, const Bytes& signature);
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CRYPTO_SIGNER_H_

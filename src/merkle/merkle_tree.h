@@ -1,0 +1,71 @@
+// Merkle hash tree over the document store, for the state-signing baseline
+// (related-work systems [7, 11, 13, 3] in the paper): the content owner
+// signs the root; slaves serve point reads with membership proofs that
+// clients verify against the signed root.
+//
+// Leaves are H(0x00 || key || value) in key order; internal nodes are
+// H(0x01 || left || right); an odd node at the end of a level is promoted
+// unchanged. The empty tree has root H(0x02).
+#ifndef SDR_SRC_MERKLE_MERKLE_TREE_H_
+#define SDR_SRC_MERKLE_MERKLE_TREE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/store/document_store.h"
+#include "src/util/bytes.h"
+
+namespace sdr {
+
+class MerkleTree {
+ public:
+  struct ProofStep {
+    Bytes sibling;
+    bool sibling_on_left = false;
+    // True when this level had no sibling (odd promotion) — no hash folded.
+    bool promoted = false;
+
+    bool operator==(const ProofStep&) const = default;
+  };
+
+  // A membership proof for (key, value) against a root.
+  struct Proof {
+    std::string key;
+    std::string value;
+    std::vector<ProofStep> steps;
+
+    Bytes Encode() const;
+    static std::optional<Proof> Decode(const Bytes& data);
+  };
+
+  // Builds the tree for the current store contents.
+  static MerkleTree Build(const DocumentStore& store);
+
+  const Bytes& root() const { return levels_.back()[0]; }
+  size_t leaf_count() const { return entries_.size(); }
+
+  // Produces a membership proof (key, value, and path); nullopt if the key
+  // is absent. (The baseline routes reads of absent keys — like all
+  // non-point queries — to a trusted master; authenticated non-membership
+  // would need a range proof, which these 2003-era systems typically
+  // lacked.)
+  std::optional<Proof> Prove(const std::string& key) const;
+
+  // Verifies a proof against `root`.
+  static bool VerifyProof(const Proof& proof, const Bytes& root);
+
+  static Bytes LeafHash(const std::string& key, const std::string& value);
+
+ private:
+  MerkleTree() = default;
+
+  // Sorted leaf entries (key, value); values retained so proofs are
+  // self-contained.
+  std::vector<std::pair<std::string, std::string>> entries_;
+  std::vector<std::vector<Bytes>> levels_;  // levels_[0] = leaves
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_MERKLE_MERKLE_TREE_H_

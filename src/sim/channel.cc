@@ -1,0 +1,55 @@
+#include "src/sim/channel.h"
+
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha2.h"
+
+namespace sdr {
+
+namespace {
+Bytes Transcript(const HandshakeHello& hello, const Bytes& server_nonce,
+                 const Bytes& payload) {
+  Bytes t;
+  Append(t, hello.client_nonce);
+  Append(t, server_nonce);
+  Append(t, payload);
+  return t;
+}
+}  // namespace
+
+HandshakeReply MakeHandshakeReply(const Signer& server_signer,
+                                  const HandshakeHello& hello,
+                                  const Bytes& payload, Rng& rng) {
+  HandshakeReply reply;
+  reply.server_nonce = rng.NextBytes(16);
+  reply.payload = payload;
+  reply.signature =
+      server_signer.Sign(Transcript(hello, reply.server_nonce, payload));
+  return reply;
+}
+
+Result<Bytes> VerifyHandshakeReply(SignatureScheme scheme,
+                                   const Bytes& server_public_key,
+                                   const HandshakeHello& hello,
+                                   const HandshakeReply& reply) {
+  Bytes transcript = Transcript(hello, reply.server_nonce, reply.payload);
+  if (!VerifySignature(scheme, server_public_key, transcript,
+                       reply.signature)) {
+    return Error(ErrorCode::kBadSignature, "handshake signature invalid");
+  }
+  Bytes key_material;
+  Append(key_material, hello.client_nonce);
+  Append(key_material, reply.server_nonce);
+  Append(key_material, server_public_key);
+  return Sha256::Hash(key_material);
+}
+
+Bytes SessionMac(const Bytes& session_key, const Bytes& message) {
+  return HmacSha256(session_key, message);
+}
+
+bool CheckSessionMac(const Bytes& session_key, const Bytes& message,
+                     const Bytes& mac) {
+  return ConstantTimeEquals(HmacSha256(session_key, message), mac);
+}
+
+}  // namespace sdr

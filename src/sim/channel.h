@@ -1,0 +1,54 @@
+// Authenticated session establishment, used by the client setup phase: the
+// paper has clients "establish a secure connection (using the master's
+// certified public key)". Data secrecy is explicitly out of scope in the
+// paper (Section 2), so a "secure connection" here means an *authenticated*
+// one: a signed nonce exchange proving the server controls the certified
+// key, plus a per-session MAC key so later requests/responses on the
+// session cannot be spoofed by other simulated nodes.
+#ifndef SDR_SRC_SIM_CHANNEL_H_
+#define SDR_SRC_SIM_CHANNEL_H_
+
+#include "src/crypto/signer.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace sdr {
+
+// Handshake transcript pieces. Flow:
+//   client -> server : client_nonce
+//   server -> client : server_nonce, payload, Sign(server_key,
+//                      client_nonce || server_nonce || payload)
+// The client verifies the signature against the server's certified public
+// key; both sides then derive session_key = SHA256(client_nonce ||
+// server_nonce || server_public_key).
+struct HandshakeHello {
+  Bytes client_nonce;  // 16 bytes
+};
+
+struct HandshakeReply {
+  Bytes server_nonce;  // 16 bytes
+  Bytes payload;       // server-chosen data bound into the handshake
+  Bytes signature;
+};
+
+// Server side: produce a signed reply for a received hello.
+HandshakeReply MakeHandshakeReply(const Signer& server_signer,
+                                  const HandshakeHello& hello,
+                                  const Bytes& payload, Rng& rng);
+
+// Client side: verify the reply against the server's certified public key.
+// On success returns the derived session key.
+Result<Bytes> VerifyHandshakeReply(SignatureScheme scheme,
+                                   const Bytes& server_public_key,
+                                   const HandshakeHello& hello,
+                                   const HandshakeReply& reply);
+
+// Per-message session authentication after the handshake.
+Bytes SessionMac(const Bytes& session_key, const Bytes& message);
+bool CheckSessionMac(const Bytes& session_key, const Bytes& message,
+                     const Bytes& mac);
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_SIM_CHANNEL_H_

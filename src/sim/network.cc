@@ -1,0 +1,96 @@
+#include "src/sim/network.h"
+
+#include <cassert>
+
+namespace sdr {
+
+NodeId Network::AddNode(Node* node) {
+  assert(node != nullptr);
+  nodes_.push_back(node);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  node->id_ = id;
+  node->network_ = this;
+  node->sim_ = sim_;
+  return id;
+}
+
+Node* Network::node(NodeId id) const {
+  if (id == kInvalidNode || id > nodes_.size()) {
+    return nullptr;
+  }
+  return nodes_[id - 1];
+}
+
+void Network::StartAll() {
+  for (Node* n : nodes_) {
+    n->Start();
+  }
+}
+
+void Network::SetLink(NodeId from, NodeId to, LinkModel model) {
+  links_[{from, to}] = model;
+}
+
+void Network::SetLinkSymmetric(NodeId a, NodeId b, LinkModel model) {
+  SetLink(a, b, model);
+  SetLink(b, a, model);
+}
+
+const LinkModel& Network::LinkFor(NodeId from, NodeId to) const {
+  auto it = links_.find({from, to});
+  return it != links_.end() ? it->second : default_link_;
+}
+
+void Network::Send(NodeId from, NodeId to, Bytes payload) {
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+
+  Node* src = node(from);
+  Node* dst = node(to);
+  if (src == nullptr || dst == nullptr || !src->up()) {
+    ++messages_dropped_;
+    return;
+  }
+  auto key = std::minmax(from, to);
+  if (partitions_.count({key.first, key.second}) > 0) {
+    ++messages_dropped_;
+    return;
+  }
+  const LinkModel& link = LinkFor(from, to);
+  if (link.drop_probability > 0.0 && rng_.NextBool(link.drop_probability)) {
+    ++messages_dropped_;
+    return;
+  }
+  SimTime jitter =
+      link.jitter > 0 ? static_cast<SimTime>(rng_.NextBounded(
+                            static_cast<uint64_t>(link.jitter) + 1))
+                      : 0;
+  SimTime delivery = link.base_latency + jitter;
+  sim_->ScheduleAfter(delivery, [this, from, to, msg = std::move(payload)]() {
+    Node* receiver = node(to);
+    if (receiver == nullptr || !receiver->up()) {
+      ++messages_dropped_;
+      return;
+    }
+    ++messages_delivered_;
+    receiver->HandleMessage(from, msg);
+  });
+}
+
+void Network::SetNodeUp(NodeId id, bool up) {
+  Node* n = node(id);
+  if (n != nullptr) {
+    n->up_ = up;
+  }
+}
+
+void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  auto key = std::minmax(a, b);
+  if (partitioned) {
+    partitions_.insert({key.first, key.second});
+  } else {
+    partitions_.erase({key.first, key.second});
+  }
+}
+
+}  // namespace sdr

@@ -1,0 +1,117 @@
+// Simulated message network: nodes exchange opaque byte messages over links
+// with configurable latency, jitter, and loss. Nodes can be taken down
+// (crash) and pairs of nodes can be partitioned.
+#ifndef SDR_SRC_SIM_NETWORK_H_
+#define SDR_SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/bytes.h"
+
+namespace sdr {
+
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = 0;  // ids start at 1
+
+class Network;
+
+// Base class for simulated hosts. Subclasses implement HandleMessage; the
+// cluster harness calls Start() once all nodes are registered.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  // Called once, after every node has an id and the network is wired.
+  virtual void Start() {}
+
+  // Called on message delivery. `from` is the (unauthenticated) sender id;
+  // protocol layers must not trust it for security decisions — that is what
+  // the signatures inside the payloads are for.
+  virtual void HandleMessage(NodeId from, const Bytes& payload) = 0;
+
+  NodeId id() const { return id_; }
+  bool up() const { return up_; }
+
+ protected:
+  Network* network() const { return network_; }
+  Simulator* sim() const { return sim_; }
+
+ private:
+  friend class Network;
+  NodeId id_ = kInvalidNode;
+  bool up_ = true;
+  Network* network_ = nullptr;
+  Simulator* sim_ = nullptr;
+};
+
+// Latency/loss model for one direction of a link.
+struct LinkModel {
+  SimTime base_latency = 5 * kMillisecond;
+  SimTime jitter = 2 * kMillisecond;  // uniform in [0, jitter]
+  double drop_probability = 0.0;
+
+  // Sugar for a LAN-ish link.
+  static LinkModel Lan() { return {500 * kMicrosecond, 200 * kMicrosecond, 0.0}; }
+  // Cross-continent WAN link.
+  static LinkModel Wan() { return {40 * kMillisecond, 10 * kMillisecond, 0.0}; }
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, LinkModel default_link)
+      : sim_(sim), default_link_(default_link), rng_(sim->rng().Fork()) {}
+
+  // Registers a node (not owned) and assigns it an id.
+  NodeId AddNode(Node* node);
+
+  Node* node(NodeId id) const;
+  size_t node_count() const { return nodes_.size(); }
+
+  // Calls Start() on every registered node.
+  void StartAll();
+
+  // Overrides the link model for the (from, to) direction.
+  void SetLink(NodeId from, NodeId to, LinkModel model);
+  // Overrides the model for both directions.
+  void SetLinkSymmetric(NodeId a, NodeId b, LinkModel model);
+
+  // Sends `payload` from `from` to `to`. Messages from/to down nodes and
+  // across partitions are silently dropped, as are random losses.
+  void Send(NodeId from, NodeId to, Bytes payload);
+
+  // Crash / restart a node. Messages in flight toward a down node are
+  // dropped at delivery time.
+  void SetNodeUp(NodeId id, bool up);
+
+  // Blocks (or unblocks) both directions between a and b.
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+
+  // Traffic counters (for benches: bytes on the wire per protocol).
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  const LinkModel& LinkFor(NodeId from, NodeId to) const;
+
+  Simulator* sim_;
+  LinkModel default_link_;
+  Rng rng_;
+  std::vector<Node*> nodes_;  // index = id - 1
+  std::map<std::pair<NodeId, NodeId>, LinkModel> links_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_SIM_NETWORK_H_

@@ -1,0 +1,66 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+
+namespace sdr {
+
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  EventId id = next_id_++;
+  queue_.push(Event{std::max(t, now_), id, std::move(fn)});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) {
+    return;
+  }
+  cancelled_.push_back(id);
+  ++cancelled_live_;
+}
+
+bool Simulator::IsCancelled(EventId id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) {
+    return false;
+  }
+  cancelled_.erase(it);
+  --cancelled_live_;
+  return true;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (IsCancelled(ev.id)) {
+      continue;
+    }
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (IsCancelled(ev.id)) {
+      continue;
+    }
+    now_ = ev.time;
+    ev.fn();
+  }
+  now_ = std::max(now_, t);
+}
+
+size_t Simulator::RunUntilIdle(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && Step()) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace sdr

@@ -1,0 +1,81 @@
+// Deterministic discrete-event simulator: a virtual clock and an event
+// queue. All protocol timing (keep-alives, max_latency freshness windows,
+// audit lag, detection latency) is measured in virtual time, so runs are
+// exactly reproducible from a seed.
+#ifndef SDR_SRC_SIM_SIMULATOR_H_
+#define SDR_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace sdr {
+
+// Virtual time in microseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+// Identifies a scheduled event for cancellation.
+using EventId = uint64_t;
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed) : rng_(seed) {}
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `fn` to run at absolute virtual time `t` (clamped to Now()).
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` from now.
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Safe to call on already-fired ids (no-op).
+  void Cancel(EventId id);
+
+  // Runs the next event, if any. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs events until virtual time would exceed `t`; leaves Now() == t.
+  void RunUntil(SimTime t);
+
+  // Runs until no events remain (or `max_events` processed, as a runaway
+  // guard). Returns the number of events processed.
+  size_t RunUntilIdle(size_t max_events = SIZE_MAX);
+
+  size_t pending_events() const { return queue_.size() - cancelled_live_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : id > other.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<EventId> cancelled_;  // sorted lazily; small in practice
+  size_t cancelled_live_ = 0;
+  Rng rng_;
+
+  bool IsCancelled(EventId id);
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_SIM_SIMULATOR_H_

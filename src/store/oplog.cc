@@ -1,0 +1,71 @@
+#include "src/store/oplog.h"
+
+#include <cassert>
+
+namespace sdr {
+
+OpLog::OpLog(uint64_t snapshot_interval)
+    : snapshot_interval_(snapshot_interval == 0 ? 1 : snapshot_interval) {
+  snapshots_[0] = DocumentStore();
+}
+
+void OpLog::SetBaseSnapshot(DocumentStore base) {
+  assert(head_version_ == 0);
+  head_store_ = base;
+  snapshots_[0] = std::move(base);
+}
+
+void OpLog::Append(uint64_t version, WriteBatch batch) {
+  assert(version == head_version_ + 1);
+  head_store_.ApplyBatch(batch);
+  batches_[version] = std::move(batch);
+  head_version_ = version;
+  if (version % snapshot_interval_ == 0) {
+    snapshots_[version] = head_store_;
+  }
+}
+
+const WriteBatch* OpLog::BatchFor(uint64_t version) const {
+  auto it = batches_.find(version);
+  return it == batches_.end() ? nullptr : &it->second;
+}
+
+Result<DocumentStore> OpLog::MaterializeAt(uint64_t version) const {
+  if (version > head_version_) {
+    return Error(ErrorCode::kNotFound,
+                 "version " + std::to_string(version) + " beyond head " +
+                     std::to_string(head_version_));
+  }
+  if (version == head_version_) {
+    return head_store_;
+  }
+  // Latest snapshot at or below `version`.
+  auto snap = snapshots_.upper_bound(version);
+  if (snap == snapshots_.begin()) {
+    return Error(ErrorCode::kNotFound, "snapshot pruned below requested version");
+  }
+  --snap;
+  DocumentStore store = snap->second;
+  for (uint64_t v = snap->first + 1; v <= version; ++v) {
+    auto it = batches_.find(v);
+    if (it == batches_.end()) {
+      return Error(ErrorCode::kNotFound,
+                   "batch " + std::to_string(v) + " pruned");
+    }
+    store.ApplyBatch(it->second);
+  }
+  return store;
+}
+
+void OpLog::PruneBelow(uint64_t version) {
+  batches_.erase(batches_.begin(), batches_.lower_bound(version));
+  // Keep the newest snapshot at or below `version` so MaterializeAt(version)
+  // still works; drop everything older.
+  auto keep = snapshots_.upper_bound(version);
+  if (keep != snapshots_.begin()) {
+    --keep;
+    snapshots_.erase(snapshots_.begin(), keep);
+  }
+}
+
+}  // namespace sdr

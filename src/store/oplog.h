@@ -1,0 +1,64 @@
+// Versioned operation log with periodic snapshots.
+//
+// content_version starts at 0 when the content is created; each committed
+// write batch increments it. Masters and the auditor use the log to
+// materialize the store at any historical version: the auditor audits all
+// reads pledged at version v before executing the write that produces v+1,
+// and masters use it to re-execute double-checked queries at the pledge's
+// version (the pledge may lag the master's head by a state update or two).
+#ifndef SDR_SRC_STORE_OPLOG_H_
+#define SDR_SRC_STORE_OPLOG_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/store/document_store.h"
+#include "src/util/result.h"
+
+namespace sdr {
+
+class OpLog {
+ public:
+  // `snapshot_interval`: a full store snapshot is retained every N versions
+  // (plus version 0), bounding replay cost at the price of memory.
+  explicit OpLog(uint64_t snapshot_interval = 16);
+
+  // Appends the batch committed as `version`. Must be head_version() + 1.
+  void Append(uint64_t version, WriteBatch batch);
+
+  uint64_t head_version() const { return head_version_; }
+
+  // The batch that produced `version`, or nullptr if unknown.
+  const WriteBatch* BatchFor(uint64_t version) const;
+
+  // Materializes the store contents at `version` (0 = empty initial
+  // content unless a base snapshot was installed). Fails for versions
+  // beyond head.
+  Result<DocumentStore> MaterializeAt(uint64_t version) const;
+
+  // Installs the initial content as version 0 (e.g. the corpus the owner
+  // created before replication starts).
+  void SetBaseSnapshot(DocumentStore base);
+
+  // Live store at head; kept incrementally, cheap to read.
+  const DocumentStore& head() const { return head_store_; }
+
+  // Drops batches and snapshots strictly below `version` (the auditor
+  // advances this as it finishes auditing old versions).
+  void PruneBelow(uint64_t version);
+
+  size_t retained_batches() const { return batches_.size(); }
+  size_t retained_snapshots() const { return snapshots_.size(); }
+
+ private:
+  uint64_t snapshot_interval_;
+  uint64_t head_version_ = 0;
+  DocumentStore head_store_;
+  std::map<uint64_t, WriteBatch> batches_;      // version -> batch
+  std::map<uint64_t, DocumentStore> snapshots_;  // version -> full copy
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_STORE_OPLOG_H_

@@ -1,0 +1,40 @@
+// Byte-buffer primitives shared across the library.
+#ifndef SDR_SRC_UTIL_BYTES_H_
+#define SDR_SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdr {
+
+// The universal wire/byte-string type used for messages, keys, hashes and
+// signatures throughout the library.
+using Bytes = std::vector<uint8_t>;
+
+// Converts a string's contents to Bytes (no encoding applied).
+Bytes ToBytes(std::string_view s);
+
+// Converts Bytes back to a std::string (no encoding applied).
+std::string ToString(const Bytes& b);
+
+// Lower-case hex encoding of `b`.
+std::string HexEncode(const Bytes& b);
+std::string HexEncode(const uint8_t* data, size_t len);
+
+// Decodes a hex string. Returns an empty vector and sets *ok=false when the
+// input has odd length or non-hex characters; *ok may be null.
+Bytes HexDecode(std::string_view hex, bool* ok = nullptr);
+
+// Appends `src` to `dst`.
+void Append(Bytes& dst, const Bytes& src);
+void Append(Bytes& dst, std::string_view src);
+
+// Constant-time equality for secret-dependent comparisons (signatures,
+// MACs). Returns false on length mismatch without early exit on content.
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_UTIL_BYTES_H_

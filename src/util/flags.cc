@@ -1,0 +1,91 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdr {
+
+Flags& Flags::Define(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  if (specs_.count(name) == 0) {
+    order_.push_back(name);
+  }
+  specs_[name] = Spec{default_value, help};
+  return *this;
+}
+
+void Flags::PrintUsage(const char* program) const {
+  std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program);
+  for (const std::string& name : order_) {
+    const Spec& spec = specs_.at(name);
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 spec.help.c_str(), spec.default_value.c_str());
+  }
+}
+
+bool Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      if (specs_.count(name) > 0 &&
+          (specs_.at(name).default_value == "true" ||
+           specs_.at(name).default_value == "false")) {
+        value = "true";  // bare boolean flag
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        PrintUsage(argv[0]);
+        return false;
+      }
+    }
+    if (specs_.count(name) == 0) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      PrintUsage(argv[0]);
+      return false;
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string Flags::GetString(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) {
+    return it->second;
+  }
+  auto spec = specs_.find(name);
+  return spec == specs_.end() ? "" : spec->second.default_value;
+}
+
+int64_t Flags::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+}  // namespace sdr

@@ -1,0 +1,44 @@
+// Minimal command-line flag parsing for the tools and benchmark binaries:
+// --name=value / --name value / --bool-flag. Unknown flags are an error so
+// typos do not silently run the default experiment.
+#ifndef SDR_SRC_UTIL_FLAGS_H_
+#define SDR_SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdr {
+
+class Flags {
+ public:
+  // Declares a flag with a default and a help line; returns *this for
+  // chaining.
+  Flags& Define(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  // Parses argv. Returns false (and prints usage) on unknown flags,
+  // missing values, or --help.
+  bool Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  void PrintUsage(const char* program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_UTIL_FLAGS_H_

@@ -1,0 +1,40 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+
+namespace sdr {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level = level;
+}
+
+LogLevel GetLogLevel() {
+  return g_level;
+}
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (level < g_level) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace sdr

@@ -1,0 +1,35 @@
+#include "src/util/result.h"
+
+namespace sdr {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kStale:
+      return "STALE";
+    case ErrorCode::kBadSignature:
+      return "BAD_SIGNATURE";
+    case ErrorCode::kHashMismatch:
+      return "HASH_MISMATCH";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
+    case ErrorCode::kParseError:
+      return "PARSE_ERROR";
+    case ErrorCode::kCorrupt:
+      return "CORRUPT";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace sdr

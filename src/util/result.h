@@ -1,0 +1,113 @@
+// A small Result<T> / Error type used for fallible operations across the
+// library. Modeled on absl::StatusOr but self-contained.
+#ifndef SDR_SRC_UTIL_RESULT_H_
+#define SDR_SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sdr {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kPermissionDenied,
+  kStale,            // freshness window violated
+  kBadSignature,     // signature verification failed
+  kHashMismatch,     // result hash does not match pledge
+  kUnavailable,      // node down / excluded / not yet synced
+  kQuotaExceeded,    // greedy-client throttling
+  kParseError,       // query or message parsing failed
+  kCorrupt,          // malformed wire data
+  kInternal,
+};
+
+// Human-readable name for an error code (for logs and test output).
+const char* ErrorCodeName(ErrorCode code);
+
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() : error_(std::nullopt) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Status(Error error) : error_(std::move(error)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  std::string ToString() const { return ok() ? "OK" : error_->ToString(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_UTIL_RESULT_H_

@@ -1,0 +1,147 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+#include <memory>
+#include <cmath>
+#include <cstdio>
+
+namespace sdr {
+
+ZipfGenerator::ZipfGenerator(size_t n, double s) {
+  cdf_.reserve(n);
+  double acc = 0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_.push_back(acc);
+  }
+  for (double& v : cdf_) {
+    v /= acc;
+  }
+}
+
+size_t ZipfGenerator::Next(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+const std::vector<std::string>& CatalogVocabulary() {
+  static const std::vector<std::string> kVocab = {
+      "red",     "blue",    "green",   "steel",   "oak",     "ceramic",
+      "widget",  "gadget",  "bracket", "valve",   "sensor",  "cable",
+      "compact", "rugged",  "premium", "budget",  "wireless", "portable",
+      "indoor",  "outdoor", "marine",  "alpine",  "classic", "modern"};
+  return kVocab;
+}
+
+std::string ItemKey(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "item/%05zu", index);
+  return buf;
+}
+
+std::string PriceKey(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "price/%05zu", index);
+  return buf;
+}
+
+std::string StockKey(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "stock/%05zu", index);
+  return buf;
+}
+
+DocumentStore BuildCatalogCorpus(const CorpusConfig& config, Rng& rng) {
+  DocumentStore store;
+  const auto& vocab = CatalogVocabulary();
+  for (size_t i = 0; i < config.n_items; ++i) {
+    std::string description;
+    for (size_t w = 0; w < config.words_per_item; ++w) {
+      if (w > 0) {
+        description += ' ';
+      }
+      description += vocab[rng.NextBounded(vocab.size())];
+    }
+    store.Apply(WriteOp::Put(ItemKey(i), description));
+    store.Apply(WriteOp::Put(
+        PriceKey(i),
+        std::to_string(rng.NextInt(1, config.max_price_cents))));
+    store.Apply(
+        WriteOp::Put(StockKey(i), std::to_string(rng.NextInt(0, config.max_stock))));
+  }
+  return store;
+}
+
+Query QueryMix::Generate(Rng& rng) const {
+  static thread_local std::unique_ptr<ZipfGenerator> zipf;
+  static thread_local size_t zipf_n = 0;
+  static thread_local double zipf_param = 0;
+  if (!zipf || zipf_n != n_items || zipf_param != zipf_s) {
+    zipf = std::make_unique<ZipfGenerator>(n_items, zipf_s);
+    zipf_n = n_items;
+    zipf_param = zipf_s;
+  }
+  size_t idx = zipf->Next(rng);
+
+  double total = get_weight + scan_weight + grep_weight + agg_weight;
+  double pick = rng.NextDouble() * total;
+  if ((pick -= get_weight) < 0) {
+    // Point read of one of the three families.
+    switch (rng.NextBounded(3)) {
+      case 0:
+        return Query::Get(ItemKey(idx));
+      case 1:
+        return Query::Get(PriceKey(idx));
+      default:
+        return Query::Get(StockKey(idx));
+    }
+  }
+  if ((pick -= scan_weight) < 0) {
+    size_t lo = idx;
+    size_t hi = std::min(n_items, lo + scan_span);
+    return Query::Scan(ItemKey(lo), ItemKey(hi), scan_span);
+  }
+  if ((pick -= grep_weight) < 0) {
+    const auto& vocab = CatalogVocabulary();
+    return Query::Grep(vocab[rng.NextBounded(vocab.size())], "item/", "item0");
+  }
+  switch (rng.NextBounded(3)) {
+    case 0:
+      return Query::Aggregate(QueryKind::kSum, "price/", "price0");
+    case 1:
+      return Query::Aggregate(QueryKind::kAvg, "price/", "price0");
+    default:
+      return Query::Aggregate(QueryKind::kCount, "stock/", "stock0");
+  }
+}
+
+WriteBatch WriteGen::Generate(Rng& rng) const {
+  size_t idx = rng.NextBounded(n_items);
+  if (rng.NextBool(delete_fraction)) {
+    return {WriteOp::Delete(ItemKey(idx)), WriteOp::Delete(PriceKey(idx)),
+            WriteOp::Delete(StockKey(idx))};
+  }
+  WriteBatch batch;
+  batch.push_back(
+      WriteOp::Put(PriceKey(idx), std::to_string(rng.NextInt(1, 100000))));
+  if (rng.NextBool(0.5)) {
+    batch.push_back(
+        WriteOp::Put(StockKey(idx), std::to_string(rng.NextInt(0, 500))));
+  }
+  return batch;
+}
+
+double DiurnalShape::Multiplier(SimTime t) const {
+  double phase = 2.0 * 3.14159265358979 *
+                 static_cast<double>((t - trough_at) % period) /
+                 static_cast<double>(period);
+  // Raised cosine: 0 at the trough, 1 at the peak.
+  double raised = 0.5 * (1.0 - std::cos(phase));
+  return min_fraction + (1.0 - min_fraction) * raised;
+}
+
+}  // namespace sdr

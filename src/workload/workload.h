@@ -1,0 +1,86 @@
+// Synthetic workloads standing in for the paper's motivating applications:
+// CDN-replicated product catalogues and academic/medical/legal databases
+// (Section 6) — high read/write ratios, a mix of cheap point reads and
+// expensive aggregation queries, Zipfian key popularity, and diurnal load.
+#ifndef SDR_SRC_WORKLOAD_WORKLOAD_H_
+#define SDR_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/store/document_store.h"
+#include "src/store/query.h"
+#include "src/util/rng.h"
+
+namespace sdr {
+
+// Zipf-distributed ranks in [0, n): rank r drawn with probability
+// proportional to 1/(r+1)^s. Sampled by binary search over the CDF.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double s);
+  size_t Next(Rng& rng) const;
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Builds an e-commerce-catalogue-like corpus:
+//   item/NNNNN  -> short description text (from a fixed vocabulary)
+//   price/NNNNN -> integer price in cents
+//   stock/NNNNN -> integer stock count
+struct CorpusConfig {
+  size_t n_items = 200;
+  size_t words_per_item = 8;
+  int64_t max_price_cents = 100000;
+  int64_t max_stock = 500;
+};
+
+DocumentStore BuildCatalogCorpus(const CorpusConfig& config, Rng& rng);
+
+// Key helpers matching the corpus layout.
+std::string ItemKey(size_t index);
+std::string PriceKey(size_t index);
+std::string StockKey(size_t index);
+
+// Generates read queries with a configurable mix of cost classes.
+struct QueryMix {
+  size_t n_items = 200;
+  double get_weight = 0.70;    // point lookups (cheap)
+  double scan_weight = 0.15;   // bounded range scans
+  double grep_weight = 0.10;   // regex over descriptions (expensive)
+  double agg_weight = 0.05;    // SUM/AVG/COUNT over prices (expensive)
+  double zipf_s = 0.99;        // key popularity skew
+  uint32_t scan_span = 10;     // items per scan
+
+  Query Generate(Rng& rng) const;
+};
+
+// Write generator: updates a random item's price/stock, occasionally adds
+// or removes an item.
+struct WriteGen {
+  size_t n_items = 200;
+  double delete_fraction = 0.02;
+  WriteBatch Generate(Rng& rng) const;
+};
+
+// Diurnal load multiplier: a raised cosine with its trough at 3 AM (the
+// paper's "few requests at 3AM in the night"), its peak 12 hours later.
+//   multiplier(t) in [min_fraction, 1].
+struct DiurnalShape {
+  double min_fraction = 0.1;
+  SimTime period = 24 * kHour;
+  SimTime trough_at = 3 * kHour;
+
+  double Multiplier(SimTime t) const;
+};
+
+// Words used for item descriptions; exposed so grep patterns in benchmarks
+// can be chosen with known selectivity.
+const std::vector<std::string>& CatalogVocabulary();
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_WORKLOAD_WORKLOAD_H_

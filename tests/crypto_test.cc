@@ -1,0 +1,239 @@
+// Validation of the from-scratch crypto substrate against published test
+// vectors (FIPS 180 / RFC 4231 / RFC 8032) plus property tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/crypto/ed25519.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha2.h"
+#include "src/crypto/signer.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace sdr {
+namespace {
+
+TEST(Sha1Test, Fips180Vectors) {
+  EXPECT_EQ(HexEncode(Sha1::Hash("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(HexEncode(Sha1::Hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(HexEncode(Sha1::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionA) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(HexEncode(h.Final()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data = rng.NextBytes(rng.NextBounded(300));
+    Sha1 h;
+    size_t pos = 0;
+    while (pos < data.size()) {
+      size_t n = std::min<size_t>(rng.NextBounded(64) + 1, data.size() - pos);
+      h.Update(data.data() + pos, n);
+      pos += n;
+    }
+    EXPECT_EQ(h.Final(), Sha1::Hash(data));
+  }
+}
+
+TEST(Sha256Test, Fips180Vectors) {
+  EXPECT_EQ(HexEncode(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(HexEncode(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(HexEncode(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(HexEncode(h.Final()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha512Test, Fips180Vectors) {
+  EXPECT_EQ(HexEncode(Sha512::Hash("")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+  EXPECT_EQ(HexEncode(Sha512::Hash("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+  EXPECT_EQ(HexEncode(Sha512::Hash(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512Test, DerivedRoundConstantsSpotCheck) {
+  // First and last round constants, straight from FIPS 180-2.
+  const uint64_t* k = Sha512RoundConstants();
+  EXPECT_EQ(k[0], 0x428a2f98d728ae22ULL);
+  EXPECT_EQ(k[1], 0x7137449123ef65cdULL);
+  EXPECT_EQ(k[79], 0x6c44198c4a475817ULL);
+}
+
+TEST(HmacTest, Rfc4231Vectors) {
+  // Test case 1.
+  Bytes key1(20, 0x0b);
+  EXPECT_EQ(HexEncode(HmacSha256(key1, ToBytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2.
+  EXPECT_EQ(HexEncode(HmacSha256(ToBytes("Jefe"),
+                                 ToBytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashed) {
+  Bytes long_key(200, 0x61);
+  Bytes m = ToBytes("msg");
+  // Must not crash and must differ from short-key MACs.
+  Bytes mac = HmacSha256(long_key, m);
+  EXPECT_EQ(mac.size(), 32u);
+  EXPECT_NE(mac, HmacSha256(ToBytes("a"), m));
+}
+
+struct Rfc8032Vector {
+  const char* seed_hex;
+  const char* public_hex;
+  const char* message_hex;
+  const char* signature_hex;
+};
+
+class Ed25519VectorTest : public ::testing::TestWithParam<Rfc8032Vector> {};
+
+TEST_P(Ed25519VectorTest, MatchesRfc8032) {
+  const auto& v = GetParam();
+  Bytes seed = HexDecode(v.seed_hex);
+  Bytes pub = HexDecode(v.public_hex);
+  Bytes msg = HexDecode(v.message_hex);
+  Bytes sig = HexDecode(v.signature_hex);
+
+  EXPECT_EQ(Ed25519PublicKey(seed), pub);
+  EXPECT_EQ(Ed25519Sign(seed, msg), sig);
+  EXPECT_TRUE(Ed25519Verify(pub, msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc8032, Ed25519VectorTest,
+    ::testing::Values(
+        Rfc8032Vector{
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+            "",
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+        Rfc8032Vector{
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+            "72",
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+        Rfc8032Vector{
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+            "af82",
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"}));
+
+TEST(Ed25519Test, RoundTripRandomKeysAndMessages) {
+  Rng rng(42);
+  for (int trial = 0; trial < 8; ++trial) {
+    Bytes seed = rng.NextBytes(kEd25519SeedSize);
+    Bytes pub = Ed25519PublicKey(seed);
+    Bytes msg = rng.NextBytes(rng.NextBounded(100));
+    Bytes sig = Ed25519Sign(seed, msg);
+    EXPECT_TRUE(Ed25519Verify(pub, msg, sig));
+  }
+}
+
+TEST(Ed25519Test, TamperedMessageFails) {
+  Rng rng(7);
+  Bytes seed = rng.NextBytes(kEd25519SeedSize);
+  Bytes pub = Ed25519PublicKey(seed);
+  Bytes msg = ToBytes("the content version is 17");
+  Bytes sig = Ed25519Sign(seed, msg);
+  Bytes tampered = msg;
+  tampered[4] ^= 1;
+  EXPECT_FALSE(Ed25519Verify(pub, tampered, sig));
+}
+
+TEST(Ed25519Test, TamperedSignatureFails) {
+  Rng rng(8);
+  Bytes seed = rng.NextBytes(kEd25519SeedSize);
+  Bytes pub = Ed25519PublicKey(seed);
+  Bytes msg = ToBytes("pledge");
+  Bytes sig = Ed25519Sign(seed, msg);
+  for (size_t i = 0; i < sig.size(); i += 17) {
+    Bytes bad = sig;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(Ed25519Verify(pub, msg, bad)) << "byte " << i;
+  }
+}
+
+TEST(Ed25519Test, WrongKeyFails) {
+  Rng rng(9);
+  Bytes seed1 = rng.NextBytes(kEd25519SeedSize);
+  Bytes seed2 = rng.NextBytes(kEd25519SeedSize);
+  Bytes msg = ToBytes("m");
+  Bytes sig = Ed25519Sign(seed1, msg);
+  EXPECT_FALSE(Ed25519Verify(Ed25519PublicKey(seed2), msg, sig));
+}
+
+TEST(Ed25519Test, NonCanonicalScalarRejected) {
+  Rng rng(10);
+  Bytes seed = rng.NextBytes(kEd25519SeedSize);
+  Bytes pub = Ed25519PublicKey(seed);
+  Bytes msg = ToBytes("m");
+  Bytes sig = Ed25519Sign(seed, msg);
+  // Force S >= L by setting high bits of the scalar half.
+  Bytes bad = sig;
+  bad[63] |= 0xf0;
+  EXPECT_FALSE(Ed25519Verify(pub, msg, bad));
+}
+
+TEST(SignerTest, AllSchemesRoundTrip) {
+  Rng rng(11);
+  for (SignatureScheme scheme :
+       {SignatureScheme::kEd25519, SignatureScheme::kHmacSha256,
+        SignatureScheme::kNull}) {
+    KeyPair kp = KeyPair::Generate(scheme, rng);
+    Signer signer(kp);
+    Bytes msg = ToBytes("read pledge body");
+    Bytes sig = signer.Sign(msg);
+    EXPECT_TRUE(VerifySignature(scheme, kp.public_key, msg, sig))
+        << SignatureSchemeName(scheme);
+  }
+}
+
+TEST(SignerTest, HmacTamperDetected) {
+  Rng rng(12);
+  KeyPair kp = KeyPair::Generate(SignatureScheme::kHmacSha256, rng);
+  Signer signer(kp);
+  Bytes msg = ToBytes("v=3");
+  Bytes sig = signer.Sign(msg);
+  Bytes other = ToBytes("v=4");
+  EXPECT_FALSE(
+      VerifySignature(SignatureScheme::kHmacSha256, kp.public_key, other, sig));
+}
+
+}  // namespace
+}  // namespace sdr

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "src/util/flags.h"
+
+namespace sdr {
+namespace {
+
+Flags MakeFlags() {
+  Flags flags;
+  flags.Define("seconds", "60", "run time")
+      .Define("rate", "1.5", "request rate")
+      .Define("name", "default", "a string")
+      .Define("verbose", "false", "a boolean");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  Flags flags = MakeFlags();
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  ASSERT_TRUE(flags.Parse(1, argv));
+  EXPECT_EQ(flags.GetInt("seconds"), 60);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 1.5);
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntax) {
+  Flags flags = MakeFlags();
+  char prog[] = "prog";
+  char a1[] = "--seconds=120";
+  char a2[] = "--name";
+  char a3[] = "custom";
+  char* argv[] = {prog, a1, a2, a3};
+  ASSERT_TRUE(flags.Parse(4, argv));
+  EXPECT_EQ(flags.GetInt("seconds"), 120);
+  EXPECT_EQ(flags.GetString("name"), "custom");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  Flags flags = MakeFlags();
+  char prog[] = "prog";
+  char a1[] = "--verbose";
+  char* argv[] = {prog, a1};
+  ASSERT_TRUE(flags.Parse(2, argv));
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  Flags flags = MakeFlags();
+  char prog[] = "prog";
+  char a1[] = "--bogus=1";
+  char* argv[] = {prog, a1};
+  EXPECT_FALSE(flags.Parse(2, argv));
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  Flags flags = MakeFlags();
+  char prog[] = "prog";
+  char a1[] = "--name";
+  char* argv[] = {prog, a1};
+  EXPECT_FALSE(flags.Parse(2, argv));
+}
+
+TEST(FlagsTest, HelpReturnsFalse) {
+  Flags flags = MakeFlags();
+  char prog[] = "prog";
+  char a1[] = "--help";
+  char* argv[] = {prog, a1};
+  EXPECT_FALSE(flags.Parse(2, argv));
+}
+
+TEST(FlagsTest, NonFlagArgumentRejected) {
+  Flags flags = MakeFlags();
+  char prog[] = "prog";
+  char a1[] = "positional";
+  char* argv[] = {prog, a1};
+  EXPECT_FALSE(flags.Parse(2, argv));
+}
+
+}  // namespace
+}  // namespace sdr

@@ -1,0 +1,259 @@
+// Unit tests for certificates, version tokens, pledges and wire messages.
+#include <gtest/gtest.h>
+
+#include "src/core/certificate.h"
+#include "src/core/messages.h"
+#include "src/core/pledge.h"
+#include "src/util/rng.h"
+
+namespace sdr {
+namespace {
+
+struct Keys {
+  Keys() : rng(7) {
+    content = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+    master = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+    slave = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  }
+  Rng rng;
+  KeyPair content, master, slave;
+};
+
+TEST(CertificateTest, ChainVerifies) {
+  Keys k;
+  Signer owner(k.content);
+  Signer master_signer(k.master);
+
+  Certificate master_cert =
+      IssueCertificate(owner, 2, Role::kMaster, k.master.public_key);
+  EXPECT_TRUE(VerifyCertificate(SignatureScheme::kEd25519,
+                                k.content.public_key, master_cert));
+
+  Certificate slave_cert =
+      IssueCertificate(master_signer, 9, Role::kSlave, k.slave.public_key);
+  EXPECT_TRUE(VerifyCertificate(SignatureScheme::kEd25519, k.master.public_key,
+                                slave_cert));
+  // Cross-verification fails: the slave cert is not signed by the owner.
+  EXPECT_FALSE(VerifyCertificate(SignatureScheme::kEd25519,
+                                 k.content.public_key, slave_cert));
+}
+
+TEST(CertificateTest, TamperedFieldsBreakSignature) {
+  Keys k;
+  Signer owner(k.content);
+  Certificate cert =
+      IssueCertificate(owner, 2, Role::kMaster, k.master.public_key);
+
+  Certificate subject_swap = cert;
+  subject_swap.subject = 3;
+  EXPECT_FALSE(VerifyCertificate(SignatureScheme::kEd25519,
+                                 k.content.public_key, subject_swap));
+
+  Certificate role_swap = cert;
+  role_swap.role = Role::kSlave;
+  EXPECT_FALSE(VerifyCertificate(SignatureScheme::kEd25519,
+                                 k.content.public_key, role_swap));
+
+  Certificate key_swap = cert;
+  key_swap.subject_public_key = k.slave.public_key;
+  EXPECT_FALSE(VerifyCertificate(SignatureScheme::kEd25519,
+                                 k.content.public_key, key_swap));
+}
+
+TEST(CertificateTest, SerdeRoundTrip) {
+  Keys k;
+  Signer owner(k.content);
+  Certificate cert =
+      IssueCertificate(owner, 2, Role::kMaster, k.master.public_key);
+  Writer w;
+  cert.EncodeTo(w);
+  Reader r(w.bytes());
+  Certificate decoded = Certificate::DecodeFrom(r);
+  EXPECT_TRUE(r.Done());
+  EXPECT_EQ(decoded, cert);
+}
+
+TEST(VersionTokenTest, SignAndVerify) {
+  Keys k;
+  Signer master(k.master);
+  VersionToken token = MakeVersionToken(master, 2, 17, 1000000);
+  EXPECT_TRUE(VerifyVersionToken(SignatureScheme::kEd25519,
+                                 k.master.public_key, token));
+  VersionToken forged = token;
+  forged.content_version = 18;  // claim a newer version
+  EXPECT_FALSE(VerifyVersionToken(SignatureScheme::kEd25519,
+                                  k.master.public_key, forged));
+}
+
+TEST(VersionTokenTest, FreshnessWindow) {
+  Keys k;
+  Signer master(k.master);
+  VersionToken token = MakeVersionToken(master, 2, 1, 10 * kSecond);
+  EXPECT_TRUE(TokenIsFresh(token, 10 * kSecond, 2 * kSecond));
+  EXPECT_TRUE(TokenIsFresh(token, 12 * kSecond, 2 * kSecond));
+  EXPECT_FALSE(TokenIsFresh(token, 12 * kSecond + 1, 2 * kSecond));
+}
+
+TEST(PledgeTest, SignVerifyRoundTrip) {
+  Keys k;
+  Signer master(k.master);
+  Signer slave(k.slave);
+  VersionToken token = MakeVersionToken(master, 2, 5, 123456);
+  Pledge pledge = MakePledge(slave, 9, Query::Get("item/1"), Bytes(20, 0xaa),
+                             token);
+  EXPECT_TRUE(VerifyPledgeSignature(SignatureScheme::kEd25519,
+                                    k.slave.public_key, pledge));
+
+  auto decoded = Pledge::Decode(pledge.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, pledge);
+  EXPECT_TRUE(VerifyPledgeSignature(SignatureScheme::kEd25519,
+                                    k.slave.public_key, *decoded));
+}
+
+TEST(PledgeTest, AnyFieldTamperBreaksSignature) {
+  Keys k;
+  Signer master(k.master);
+  Signer slave(k.slave);
+  VersionToken token = MakeVersionToken(master, 2, 5, 123456);
+  Pledge pledge =
+      MakePledge(slave, 9, Query::Get("item/1"), Bytes(20, 0xaa), token);
+
+  Pledge p1 = pledge;
+  p1.query = Query::Get("item/2");
+  EXPECT_FALSE(
+      VerifyPledgeSignature(SignatureScheme::kEd25519, k.slave.public_key, p1));
+
+  Pledge p2 = pledge;
+  p2.result_sha1 = Bytes(20, 0xbb);
+  EXPECT_FALSE(
+      VerifyPledgeSignature(SignatureScheme::kEd25519, k.slave.public_key, p2));
+
+  Pledge p3 = pledge;
+  p3.token.content_version = 6;
+  EXPECT_FALSE(
+      VerifyPledgeSignature(SignatureScheme::kEd25519, k.slave.public_key, p3));
+
+  Pledge p4 = pledge;
+  p4.slave = 10;
+  EXPECT_FALSE(
+      VerifyPledgeSignature(SignatureScheme::kEd25519, k.slave.public_key, p4));
+}
+
+TEST(PledgeTest, NonFrameability) {
+  // A client that wants to frame the slave must forge a pledge with a bad
+  // hash — but it cannot produce the slave's signature.
+  Keys k;
+  Signer master(k.master);
+  KeyPair client_key = KeyPair::Generate(SignatureScheme::kEd25519, k.rng);
+  Signer client(client_key);
+  VersionToken token = MakeVersionToken(master, 2, 5, 1);
+  Pledge forged;
+  forged.query = Query::Get("x");
+  forged.result_sha1 = Bytes(20, 0x01);
+  forged.token = token;
+  forged.slave = 9;
+  forged.signature = client.Sign(forged.SignedBody());  // wrong key
+  EXPECT_FALSE(VerifyPledgeSignature(SignatureScheme::kEd25519,
+                                     k.slave.public_key, forged));
+}
+
+TEST(MessagesTest, TypedPayloadRoundTrips) {
+  Keys k;
+  Signer master(k.master);
+  Signer slave_signer(k.slave);
+
+  // Spot-check a representative subset of messages through their full
+  // encode -> WithType -> PeekType -> Decode path.
+  ReadRequest rr;
+  rr.request_id = 42;
+  rr.query = Query::Grep("a.*b", "lo", "hi");
+  Bytes wire = WithType(MsgType::kReadRequest, rr.Encode());
+  auto type = PeekType(wire);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, MsgType::kReadRequest);
+  auto rr2 = ReadRequest::Decode(Bytes(wire.begin() + 1, wire.end()));
+  ASSERT_TRUE(rr2.ok());
+  EXPECT_EQ(rr2->request_id, 42u);
+  EXPECT_EQ(rr2->query, rr.query);
+
+  VersionToken token = MakeVersionToken(master, 2, 3, 99);
+  StateUpdate su;
+  su.version = 3;
+  su.batch = {WriteOp::Put("k", "v")};
+  su.token = token;
+  auto su2 = StateUpdate::Decode(su.Encode());
+  ASSERT_TRUE(su2.ok());
+  EXPECT_EQ(su2->version, 3u);
+  EXPECT_EQ(su2->batch, su.batch);
+  EXPECT_EQ(su2->token, token);
+
+  Pledge pledge =
+      MakePledge(slave_signer, 9, Query::Get("k"), Bytes(20, 1), token);
+  DoubleCheckRequest dc;
+  dc.request_id = 7;
+  dc.pledge = pledge;
+  auto dc2 = DoubleCheckRequest::Decode(dc.Encode());
+  ASSERT_TRUE(dc2.ok());
+  EXPECT_EQ(dc2->pledge, pledge);
+
+  TobWrite tw;
+  tw.origin_master = 2;
+  tw.client = 11;
+  tw.request_id = 5;
+  tw.batch = {WriteOp::Delete("gone")};
+  auto tw2 = TobWrite::Decode(tw.Encode());
+  ASSERT_TRUE(tw2.ok());
+  EXPECT_EQ(tw2->batch, tw.batch);
+  EXPECT_EQ(tw2->client, 11u);
+}
+
+TEST(MessagesTest, DecodeRejectsTruncation) {
+  ReadRequest rr;
+  rr.request_id = 42;
+  rr.query = Query::Get("k");
+  Bytes body = rr.Encode();
+  for (size_t cut : {size_t(0), size_t(1), body.size() - 1}) {
+    Bytes truncated(body.begin(), body.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(ReadRequest::Decode(truncated).ok()) << cut;
+  }
+  // Trailing garbage is also rejected.
+  Bytes padded = body;
+  padded.push_back(0x00);
+  EXPECT_FALSE(ReadRequest::Decode(padded).ok());
+}
+
+TEST(MessagesTest, PeekTypeOnEmptyFails) {
+  EXPECT_FALSE(PeekType(Bytes{}).ok());
+  EXPECT_FALSE(PeekTobType(Bytes{}).ok());
+}
+
+TEST(ClientHelloReplyTest, SignatureCoversAssignment) {
+  Keys k;
+  Signer master(k.master);
+  Signer owner(k.content);
+  ClientHelloReply reply;
+  reply.server_nonce = Bytes(16, 0x11);
+  reply.slave_cert = IssueCertificate(master, 9, Role::kSlave,
+                                      k.slave.public_key);
+  reply.auditor = 4;
+  Bytes nonce(16, 0x22);
+  reply.signature = master.Sign(reply.SignedBody(nonce));
+
+  EXPECT_TRUE(VerifySignature(SignatureScheme::kEd25519, k.master.public_key,
+                              reply.SignedBody(nonce), reply.signature));
+  // A different auditor id (redirection attack) breaks the signature.
+  ClientHelloReply redirected = reply;
+  redirected.auditor = 5;
+  EXPECT_FALSE(VerifySignature(SignatureScheme::kEd25519, k.master.public_key,
+                               redirected.SignedBody(nonce),
+                               redirected.signature));
+  // A replayed reply fails for a fresh nonce.
+  Bytes other_nonce(16, 0x33);
+  EXPECT_FALSE(VerifySignature(SignatureScheme::kEd25519, k.master.public_key,
+                               reply.SignedBody(other_nonce),
+                               reply.signature));
+}
+
+}  // namespace
+}  // namespace sdr

@@ -1,0 +1,214 @@
+// Parameterized sweep: the full protocol must behave identically under
+// every signature scheme (Ed25519 / HMAC / Null) — the scheme only changes
+// who could forge what in a real deployment, not the protocol logic — and
+// under a range of cluster shapes.
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace sdr {
+namespace {
+
+class SchemeSweep : public ::testing::TestWithParam<SignatureScheme> {};
+
+TEST_P(SchemeSweep, HonestClusterWorks) {
+  ClusterConfig config;
+  config.seed = 50;
+  config.num_masters = 2;
+  config.slaves_per_master = 2;
+  config.num_clients = 3;
+  config.corpus.n_items = 40;
+  config.params.scheme = GetParam();
+  config.client_mode = Client::LoadMode::kClosedLoop;
+  config.client_think_time = 100 * kMillisecond;
+  config.client_write_fraction = 0.05;
+  Cluster cluster(config);
+  cluster.RunFor(20 * kSecond);
+
+  auto totals = cluster.ComputeTotals();
+  EXPECT_GT(totals.reads_accepted, 100u);
+  EXPECT_GT(totals.writes_committed_clients, 0u);
+  EXPECT_EQ(cluster.accepted_wrong(), 0u);
+  EXPECT_EQ(totals.slaves_excluded, 0u);
+}
+
+TEST_P(SchemeSweep, LiarCaughtUnderEveryScheme) {
+  ClusterConfig config;
+  config.seed = 51;
+  config.num_masters = 1;
+  config.slaves_per_master = 2;
+  config.num_clients = 2;
+  config.corpus.n_items = 40;
+  config.params.scheme = GetParam();
+  config.params.double_check_probability = 0.2;
+  config.client_mode = Client::LoadMode::kClosedLoop;
+  config.client_think_time = 50 * kMillisecond;
+  config.slave_behavior = [](int index) {
+    Slave::Behavior b;
+    if (index == 0) {
+      b.lie_probability = 1.0;
+    }
+    return b;
+  };
+  Cluster cluster(config);
+  cluster.RunFor(30 * kSecond);
+  EXPECT_GE(cluster.ComputeTotals().slaves_excluded, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSweep,
+                         ::testing::Values(SignatureScheme::kEd25519,
+                                           SignatureScheme::kHmacSha256,
+                                           SignatureScheme::kNull),
+                         [](const auto& info) {
+                           std::string name = SignatureSchemeName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+struct Shape {
+  int masters;
+  int slaves_per_master;
+  int clients;
+};
+
+class ShapeSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ShapeSweep, ClusterServesCorrectlyAtEveryShape) {
+  const Shape& shape = GetParam();
+  ClusterConfig config;
+  config.seed = 52;
+  config.num_masters = shape.masters;
+  config.slaves_per_master = shape.slaves_per_master;
+  config.num_clients = shape.clients;
+  config.corpus.n_items = 30;
+  config.params.scheme = SignatureScheme::kHmacSha256;
+  config.client_mode = Client::LoadMode::kClosedLoop;
+  config.client_think_time = 100 * kMillisecond;
+  config.client_write_fraction = 0.03;
+  Cluster cluster(config);
+  cluster.RunFor(20 * kSecond);
+
+  auto totals = cluster.ComputeTotals();
+  EXPECT_GT(totals.reads_accepted, 0u);
+  EXPECT_EQ(cluster.accepted_wrong(), 0u);
+  // All masters converge to the same version.
+  for (int m = 1; m < cluster.num_masters(); ++m) {
+    EXPECT_EQ(cluster.master(m).version(), cluster.master(0).version()) << m;
+  }
+  // And to identical content.
+  auto reference = cluster.master(0).oplog().head().Fingerprint();
+  for (int m = 1; m < cluster.num_masters(); ++m) {
+    EXPECT_EQ(cluster.master(m).oplog().head().Fingerprint(), reference) << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 4, 8}, Shape{3, 1, 3},
+                      Shape{3, 3, 9}, Shape{5, 2, 6}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.masters) + "s" +
+             std::to_string(info.param.slaves_per_master) + "c" +
+             std::to_string(info.param.clients);
+    });
+
+// Property: decoders must reject every truncation of every message type
+// without crashing (fed by the fuzz-ish sweep below).
+TEST(MessageRobustness, TruncationsNeverCrashDecoders) {
+  Rng rng(53);
+  KeyPair kp = KeyPair::Generate(SignatureScheme::kHmacSha256, rng);
+  Signer signer(kp);
+  VersionToken token = MakeVersionToken(signer, 2, 3, 99);
+  Pledge pledge =
+      MakePledge(signer, 9, Query::Grep("a.*", "lo", "hi"), Bytes(20, 1), token);
+
+  std::vector<Bytes> bodies;
+  {
+    ReadReply m;
+    m.request_id = 1;
+    m.ok = true;
+    m.result.type = QueryResult::Type::kRows;
+    m.result.rows = {{"k", "v"}};
+    m.pledge = pledge;
+    bodies.push_back(m.Encode());
+  }
+  {
+    StateUpdate m;
+    m.version = 2;
+    m.batch = {WriteOp::Put("a", "b")};
+    m.token = token;
+    bodies.push_back(m.Encode());
+  }
+  {
+    DoubleCheckReply m;
+    m.request_id = 3;
+    m.served = true;
+    m.matches = false;
+    bodies.push_back(m.Encode());
+  }
+  {
+    BadReadNotice m;
+    m.pledge = pledge;
+    m.correct_sha1 = Bytes(20, 2);
+    bodies.push_back(m.Encode());
+  }
+  {
+    Reassignment m;
+    m.new_slave_cert = IssueCertificate(signer, 9, Role::kSlave, kp.public_key);
+    m.auditor = 4;
+    bodies.push_back(m.Encode());
+  }
+
+  for (const Bytes& body : bodies) {
+    for (size_t cut = 0; cut < body.size(); ++cut) {
+      Bytes truncated(body.begin(), body.begin() + static_cast<long>(cut));
+      // Any of the decoders may be called on any payload; none may crash
+      // and none may accept a strict prefix of a valid encoding.
+      EXPECT_FALSE(ReadReply::Decode(truncated).ok());
+      EXPECT_FALSE(StateUpdate::Decode(truncated).ok());
+      EXPECT_FALSE(DoubleCheckReply::Decode(truncated).ok());
+      EXPECT_FALSE(BadReadNotice::Decode(truncated).ok());
+      EXPECT_FALSE(Reassignment::Decode(truncated).ok());
+    }
+  }
+}
+
+TEST(MessageRobustness, RandomBytesNeverCrashNodeDispatch) {
+  // Throw random payloads at a live cluster's nodes; nothing may crash and
+  // the protocol must keep functioning.
+  ClusterConfig config;
+  config.seed = 54;
+  config.num_masters = 1;
+  config.slaves_per_master = 1;
+  config.num_clients = 1;
+  config.corpus.n_items = 20;
+  config.params.scheme = SignatureScheme::kHmacSha256;
+  config.client_mode = Client::LoadMode::kClosedLoop;
+  config.client_think_time = 100 * kMillisecond;
+  Cluster cluster(config);
+  cluster.RunFor(3 * kSecond);
+
+  Rng rng(55);
+  NodeId attacker = cluster.client(0).id();
+  std::vector<NodeId> targets = {cluster.master(0).id(),
+                                 cluster.auditor().id(),
+                                 cluster.slave(0).id(),
+                                 cluster.client(0).id(),
+                                 cluster.directory().id()};
+  for (int i = 0; i < 500; ++i) {
+    NodeId target = targets[rng.NextBounded(targets.size())];
+    Bytes junk = rng.NextBytes(rng.NextBounded(120));
+    cluster.net().Send(attacker, target, junk);
+  }
+  cluster.RunFor(10 * kSecond);
+  auto totals = cluster.ComputeTotals();
+  EXPECT_GT(totals.reads_accepted, 0u);
+  EXPECT_EQ(cluster.accepted_wrong(), 0u);
+}
+
+}  // namespace
+}  // namespace sdr

@@ -1,0 +1,237 @@
+// Tests for the discrete-event simulator, network model and authenticated
+// channel handshake.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/channel.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/util/bytes.h"
+
+namespace sdr {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(10, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.ScheduleAt(100, [&] { ++fired; });
+  sim.ScheduleAt(200, [&] { ++fired; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 150);
+  sim.RunUntil(250);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ScheduledInPastRunsNow) {
+  Simulator sim(1);
+  sim.RunUntil(100);
+  int fired = 0;
+  sim.ScheduleAt(50, [&] { ++fired; });
+  sim.Step();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 100);  // clock must not go backwards
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim(1);
+  int fired = 0;
+  EventId id = sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.Cancel(id);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim(1);
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 5) {
+      sim.ScheduleAfter(10, tick);
+    }
+  };
+  sim.ScheduleAfter(10, tick);
+  sim.RunUntilIdle();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+// A node that records everything it receives.
+class EchoNode : public Node {
+ public:
+  void HandleMessage(NodeId from, const Bytes& payload) override {
+    received.emplace_back(from, payload);
+  }
+  std::vector<std::pair<NodeId, Bytes>> received;
+};
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulator sim(1);
+  Network net(&sim, LinkModel{10 * kMillisecond, 0, 0.0});
+  EchoNode a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  net.Send(ida, idb, ToBytes("hi"));
+  sim.RunUntil(9 * kMillisecond);
+  EXPECT_TRUE(b.received.empty());
+  sim.RunUntil(10 * kMillisecond);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, ida);
+  EXPECT_EQ(ToString(b.received[0].second), "hi");
+}
+
+TEST(NetworkTest, DownReceiverDropsInFlight) {
+  Simulator sim(1);
+  Network net(&sim, LinkModel{10 * kMillisecond, 0, 0.0});
+  EchoNode a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  net.Send(ida, idb, ToBytes("x"));
+  net.SetNodeUp(idb, false);
+  sim.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+
+  // After restart, new messages flow again.
+  net.SetNodeUp(idb, true);
+  net.Send(ida, idb, ToBytes("y"));
+  sim.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkTest, PartitionBlocksBothDirections) {
+  Simulator sim(1);
+  Network net(&sim, LinkModel{1 * kMillisecond, 0, 0.0});
+  EchoNode a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  net.SetPartitioned(ida, idb, true);
+  net.Send(ida, idb, ToBytes("x"));
+  net.Send(idb, ida, ToBytes("y"));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+
+  net.SetPartitioned(ida, idb, false);
+  net.Send(ida, idb, ToBytes("z"));
+  sim.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkTest, LossyLinkDropsSomeMessages) {
+  Simulator sim(99);
+  Network net(&sim, LinkModel{1 * kMillisecond, 0, 0.5});
+  EchoNode a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  const int kSends = 1000;
+  for (int i = 0; i < kSends; ++i) {
+    net.Send(ida, idb, ToBytes("m"));
+  }
+  sim.RunUntilIdle();
+  EXPECT_GT(b.received.size(), 350u);
+  EXPECT_LT(b.received.size(), 650u);
+  EXPECT_EQ(b.received.size() + net.messages_dropped(),
+            static_cast<size_t>(kSends));
+}
+
+TEST(NetworkTest, PerLinkOverrideApplies) {
+  Simulator sim(1);
+  Network net(&sim, LinkModel{100 * kMillisecond, 0, 0.0});
+  EchoNode a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  net.SetLink(ida, idb, LinkModel{1 * kMillisecond, 0, 0.0});
+  net.Send(ida, idb, ToBytes("fast"));
+  sim.RunUntil(1 * kMillisecond);
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    Network net(&sim, LinkModel{5 * kMillisecond, 3 * kMillisecond, 0.1});
+    EchoNode a, b;
+    NodeId ida = net.AddNode(&a);
+    NodeId idb = net.AddNode(&b);
+    for (int i = 0; i < 200; ++i) {
+      net.Send(ida, idb, Bytes{static_cast<uint8_t>(i)});
+    }
+    sim.RunUntilIdle();
+    return b.received.size();
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(ChannelTest, HandshakeDerivesMatchingKeyAndAuthenticates) {
+  Rng rng(5);
+  KeyPair server_kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  Signer server(server_kp);
+
+  HandshakeHello hello{rng.NextBytes(16)};
+  Bytes payload = ToBytes("slave-assignment: node 7");
+  HandshakeReply reply = MakeHandshakeReply(server, hello, payload, rng);
+
+  auto key = VerifyHandshakeReply(SignatureScheme::kEd25519,
+                                  server_kp.public_key, hello, reply);
+  ASSERT_TRUE(key.ok());
+
+  Bytes msg = ToBytes("read request 1");
+  Bytes mac = SessionMac(*key, msg);
+  EXPECT_TRUE(CheckSessionMac(*key, msg, mac));
+  EXPECT_FALSE(CheckSessionMac(*key, ToBytes("read request 2"), mac));
+}
+
+TEST(ChannelTest, ForgedReplyRejected) {
+  Rng rng(6);
+  KeyPair server_kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  KeyPair imposter_kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  Signer imposter(imposter_kp);
+
+  HandshakeHello hello{rng.NextBytes(16)};
+  HandshakeReply reply =
+      MakeHandshakeReply(imposter, hello, ToBytes("evil payload"), rng);
+
+  auto key = VerifyHandshakeReply(SignatureScheme::kEd25519,
+                                  server_kp.public_key, hello, reply);
+  EXPECT_FALSE(key.ok());
+  EXPECT_EQ(key.error().code(), ErrorCode::kBadSignature);
+}
+
+TEST(ChannelTest, TamperedPayloadRejected) {
+  Rng rng(7);
+  KeyPair server_kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  Signer server(server_kp);
+  HandshakeHello hello{rng.NextBytes(16)};
+  HandshakeReply reply =
+      MakeHandshakeReply(server, hello, ToBytes("assign slave 3"), rng);
+  reply.payload = ToBytes("assign slave 4");  // man-in-the-middle edit
+  auto key = VerifyHandshakeReply(SignatureScheme::kEd25519,
+                                  server_kp.public_key, hello, reply);
+  EXPECT_FALSE(key.ok());
+}
+
+}  // namespace
+}  // namespace sdr

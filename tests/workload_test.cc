@@ -1,0 +1,139 @@
+// Tests for the workload substrate: Zipf sampling, corpus builder, query
+// mix, write generator and the diurnal shaper.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/store/executor.h"
+#include "src/workload/workload.h"
+
+namespace sdr {
+namespace {
+
+TEST(ZipfTest, RanksInRangeAndSkewed) {
+  ZipfGenerator zipf(100, 0.99);
+  Rng rng(1);
+  std::map<size_t, int> counts;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    size_t r = zipf.Next(rng);
+    ASSERT_LT(r, 100u);
+    counts[r]++;
+  }
+  // Rank 0 must be much more popular than rank 50.
+  EXPECT_GT(counts[0], 10 * std::max(counts[50], 1));
+  // ...and roughly twice as popular as rank 1 (1/1 vs 1/2^0.99).
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_LT(counts[0], 3 * counts[1]);
+}
+
+TEST(ZipfTest, UniformWhenSZero) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(2);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count, 1000, 200) << rank;
+  }
+}
+
+TEST(CorpusTest, LayoutAndNumericFields) {
+  CorpusConfig config;
+  config.n_items = 25;
+  Rng rng(3);
+  DocumentStore store = BuildCatalogCorpus(config, rng);
+  EXPECT_EQ(store.size(), 75u);  // item + price + stock per index
+  for (size_t i = 0; i < config.n_items; ++i) {
+    ASSERT_TRUE(store.Get(ItemKey(i)).has_value()) << i;
+    auto price = store.Get(PriceKey(i));
+    ASSERT_TRUE(price.has_value()) << i;
+    int64_t value = std::stoll(*price);
+    EXPECT_GE(value, 1);
+    EXPECT_LE(value, config.max_price_cents);
+  }
+}
+
+TEST(CorpusTest, DeterministicPerSeed) {
+  CorpusConfig config;
+  config.n_items = 10;
+  Rng a(4), b(4), c(5);
+  EXPECT_EQ(BuildCatalogCorpus(config, a).Fingerprint(),
+            BuildCatalogCorpus(config, b).Fingerprint());
+  EXPECT_NE(BuildCatalogCorpus(config, a).Fingerprint(),
+            BuildCatalogCorpus(config, c).Fingerprint());
+}
+
+TEST(QueryMixTest, RespectsWeights) {
+  QueryMix mix;
+  mix.n_items = 100;
+  mix.get_weight = 1.0;
+  mix.scan_weight = 0;
+  mix.grep_weight = 0;
+  mix.agg_weight = 0;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mix.Generate(rng).kind, QueryKind::kGet);
+  }
+
+  mix.get_weight = 0;
+  mix.grep_weight = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mix.Generate(rng).kind, QueryKind::kGrep);
+  }
+}
+
+TEST(QueryMixTest, GeneratedQueriesAreValid) {
+  QueryMix mix;
+  mix.n_items = 50;
+  Rng rng(7);
+  CorpusConfig corpus;
+  corpus.n_items = 50;
+  Rng crng(8);
+  DocumentStore store = BuildCatalogCorpus(corpus, crng);
+  QueryExecutor exec;
+  for (int i = 0; i < 500; ++i) {
+    Query q = mix.Generate(rng);
+    auto outcome = exec.Execute(store, q);
+    ASSERT_TRUE(outcome.ok()) << q.ToText();
+  }
+}
+
+TEST(WriteGenTest, BatchesApplyCleanly) {
+  WriteGen gen;
+  gen.n_items = 30;
+  Rng rng(9);
+  CorpusConfig corpus;
+  corpus.n_items = 30;
+  Rng crng(10);
+  DocumentStore store = BuildCatalogCorpus(corpus, crng);
+  for (int i = 0; i < 200; ++i) {
+    WriteBatch batch = gen.Generate(rng);
+    ASSERT_FALSE(batch.empty());
+    store.ApplyBatch(batch);
+  }
+}
+
+TEST(DiurnalTest, TroughAndPeak) {
+  DiurnalShape shape;
+  shape.min_fraction = 0.1;
+  // Trough at 3 AM.
+  EXPECT_NEAR(shape.Multiplier(3 * kHour), 0.1, 0.01);
+  // Peak 12 hours later.
+  EXPECT_NEAR(shape.Multiplier(15 * kHour), 1.0, 0.01);
+  // Periodic across days.
+  EXPECT_NEAR(shape.Multiplier(3 * kHour), shape.Multiplier(27 * kHour), 1e-9);
+}
+
+TEST(DiurnalTest, BoundedEverywhere) {
+  DiurnalShape shape;
+  for (SimTime t = 0; t < 48 * kHour; t += 13 * kMinute) {
+    double m = shape.Multiplier(t);
+    EXPECT_GE(m, shape.min_fraction - 1e-9);
+    EXPECT_LE(m, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sdr

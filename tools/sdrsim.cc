@@ -1,0 +1,194 @@
+// sdrsim — run a configurable secure-data-replication simulation from the
+// command line and print a full metrics report.
+//
+// Examples:
+//   # default honest cluster, 60 virtual seconds
+//   ./build/tools/sdrsim
+//
+//   # a hostile CDN: every third slave lies on 10% of reads
+//   ./build/tools/sdrsim --liar_every=3 --lie_probability=0.1 --seconds=120
+//
+//   # stress the auditor with an expensive mix and no cache
+//   ./build/tools/sdrsim --grep_weight=0.4 --auditor_cache=false
+#include <cstdio>
+
+#include "src/core/cluster.h"
+#include "src/util/flags.h"
+
+using namespace sdr;
+
+namespace {
+
+void PrintReport(Cluster& cluster) {
+  std::printf("\n--- simulation report (t = %.1f virtual seconds) ---\n",
+              static_cast<double>(cluster.sim().Now()) / kSecond);
+
+  auto totals = cluster.ComputeTotals();
+  std::printf("clients:\n");
+  std::printf("  reads: issued=%llu accepted=%llu stale-rejected=%llu "
+              "retries=%llu\n",
+              (unsigned long long)totals.reads_issued,
+              (unsigned long long)totals.reads_accepted,
+              (unsigned long long)totals.reads_rejected_stale,
+              (unsigned long long)totals.retries);
+  std::printf("  double-checks=%llu mismatches(caught red-handed)=%llu\n",
+              (unsigned long long)totals.double_checks_sent,
+              (unsigned long long)totals.double_check_mismatches);
+  std::printf("  writes committed=%llu  pledges forwarded=%llu\n",
+              (unsigned long long)totals.writes_committed_clients,
+              (unsigned long long)totals.pledges_forwarded);
+  if (cluster.config().track_ground_truth) {
+    std::printf("  ground truth: checked=%llu WRONG-ACCEPTED=%llu\n",
+                (unsigned long long)cluster.accepted_checked(),
+                (unsigned long long)cluster.accepted_wrong());
+  }
+  std::printf("  read latency: p50=%.1fms p99=%.1fms (client 0)\n",
+              cluster.client(0).metrics().read_latency_us.Median() / 1000.0,
+              cluster.client(0).metrics().read_latency_us.P99() / 1000.0);
+
+  std::printf("masters:\n");
+  for (int m = 0; m < cluster.num_masters(); ++m) {
+    const MasterMetrics& mm = cluster.master(m).metrics();
+    std::printf("  master[%d] node%u: version=%llu writes=%llu dchecks=%llu "
+                "lies-found=%llu excluded=%llu work=%llu\n",
+                m, cluster.master(m).id(),
+                (unsigned long long)cluster.master(m).version(),
+                (unsigned long long)mm.writes_committed,
+                (unsigned long long)mm.double_checks_served,
+                (unsigned long long)mm.double_check_lies_found,
+                (unsigned long long)mm.slaves_excluded,
+                (unsigned long long)mm.work_units_executed);
+  }
+  std::printf("slaves:\n");
+  for (int s = 0; s < cluster.num_slaves(); ++s) {
+    const SlaveMetrics& sm = cluster.slave(s).metrics();
+    std::printf("  slave[%d] node%u: v=%llu served=%llu declined=%llu "
+                "lies=%llu work=%llu%s\n",
+                s, cluster.slave(s).id(),
+                (unsigned long long)cluster.slave(s).applied_version(),
+                (unsigned long long)sm.reads_served,
+                (unsigned long long)sm.reads_declined_stale,
+                (unsigned long long)sm.lies_told,
+                (unsigned long long)sm.work_units_executed,
+                cluster.master(0).IsExcluded(cluster.slave(s).id()) ||
+                        (cluster.num_masters() > 1 &&
+                         cluster.master(1).IsExcluded(cluster.slave(s).id()))
+                    ? "  [EXCLUDED]"
+                    : "");
+  }
+  std::printf("auditors:\n");
+  for (int a = 0; a < cluster.num_auditors(); ++a) {
+    const AuditorMetrics& am = cluster.auditor(a).metrics();
+    std::printf("  auditor[%d] node%u: received=%llu audited=%llu "
+                "cache-hits=%llu mismatches=%llu notices=%llu lag=%llu "
+                "backlog=%zu\n",
+                a, cluster.auditor(a).id(),
+                (unsigned long long)am.pledges_received,
+                (unsigned long long)am.pledges_audited,
+                (unsigned long long)am.cache_hits,
+                (unsigned long long)am.mismatches_found,
+                (unsigned long long)am.bad_read_notices_sent,
+                (unsigned long long)cluster.auditor(a).version_lag(),
+                cluster.auditor(a).backlog());
+  }
+  std::printf("network: %llu messages sent, %llu delivered, %.1f MB\n",
+              (unsigned long long)cluster.net().messages_sent(),
+              (unsigned long long)cluster.net().messages_delivered(),
+              static_cast<double>(cluster.net().bytes_sent()) / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Define("seed", "1", "simulation seed")
+      .Define("seconds", "60", "virtual seconds to run")
+      .Define("masters", "2", "number of serving masters")
+      .Define("auditors", "1", "number of auditors")
+      .Define("slaves_per_master", "2", "slaves per master")
+      .Define("clients", "4", "number of clients")
+      .Define("items", "200", "catalogue size (documents = 3x)")
+      .Define("max_latency_ms", "2000", "freshness bound / write spacing")
+      .Define("keepalive_ms", "500", "keep-alive period")
+      .Define("double_check_p", "0.05", "double-check probability")
+      .Define("write_fraction", "0.02", "fraction of client ops that write")
+      .Define("think_ms", "100", "client think time (closed loop)")
+      .Define("liar_every", "0",
+              "every Nth slave lies (0 = everyone honest)")
+      .Define("lie_probability", "0.1", "lie rate for lying slaves")
+      .Define("greedy_client", "false", "make client 0 greedy")
+      .Define("policing", "false", "enable greedy-client policing")
+      .Define("scheme", "ed25519", "ed25519 | hmac | null")
+      .Define("link_ms", "5", "one-way link latency")
+      .Define("grep_weight", "0.10", "query-mix weight of GREP")
+      .Define("auditor_cache", "true", "auditor result cache")
+      .Define("ground_truth", "true", "validate accepted reads");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  ClusterConfig config;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.num_masters = static_cast<int>(flags.GetInt("masters"));
+  config.num_auditors = static_cast<int>(flags.GetInt("auditors"));
+  config.slaves_per_master =
+      static_cast<int>(flags.GetInt("slaves_per_master"));
+  config.num_clients = static_cast<int>(flags.GetInt("clients"));
+  config.corpus.n_items = static_cast<size_t>(flags.GetInt("items"));
+  config.params.max_latency = flags.GetInt("max_latency_ms") * kMillisecond;
+  config.params.keepalive_period = flags.GetInt("keepalive_ms") * kMillisecond;
+  config.params.double_check_probability = flags.GetDouble("double_check_p");
+  config.params.greedy_policing_enabled = flags.GetBool("policing");
+  config.client_mode = Client::LoadMode::kClosedLoop;
+  config.client_think_time = flags.GetInt("think_ms") * kMillisecond;
+  config.client_write_fraction = flags.GetDouble("write_fraction");
+  config.default_link =
+      LinkModel{flags.GetInt("link_ms") * kMillisecond,
+                flags.GetInt("link_ms") * kMillisecond / 2, 0.0};
+  config.mix.grep_weight = flags.GetDouble("grep_weight");
+  config.auditor_use_cache = flags.GetBool("auditor_cache");
+  config.track_ground_truth = flags.GetBool("ground_truth");
+
+  std::string scheme = flags.GetString("scheme");
+  if (scheme == "hmac") {
+    config.params.scheme = SignatureScheme::kHmacSha256;
+  } else if (scheme == "null") {
+    config.params.scheme = SignatureScheme::kNull;
+  } else if (scheme == "ed25519") {
+    config.params.scheme = SignatureScheme::kEd25519;
+  } else {
+    std::fprintf(stderr, "unknown --scheme: %s\n", scheme.c_str());
+    return 1;
+  }
+
+  int liar_every = static_cast<int>(flags.GetInt("liar_every"));
+  double lie_p = flags.GetDouble("lie_probability");
+  if (liar_every > 0) {
+    config.slave_behavior = [liar_every, lie_p](int index) {
+      Slave::Behavior b;
+      if (index % liar_every == 0) {
+        b.lie_probability = lie_p;
+      }
+      return b;
+    };
+  }
+  if (flags.GetBool("greedy_client")) {
+    config.tweak_client = [](int index, Client::Options& opts) {
+      if (index == 0) {
+        opts.greedy = true;
+      }
+    };
+  }
+
+  std::printf("sdrsim: %d masters, %d auditors, %d slaves, %d clients, "
+              "scheme=%s, %lld virtual seconds\n",
+              config.num_masters, config.num_auditors,
+              config.num_masters * config.slaves_per_master,
+              config.num_clients, scheme.c_str(),
+              static_cast<long long>(flags.GetInt("seconds")));
+
+  Cluster cluster(config);
+  cluster.RunFor(flags.GetInt("seconds") * kSecond);
+  PrintReport(cluster);
+  return 0;
+}
