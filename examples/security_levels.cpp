@@ -57,9 +57,11 @@ int main() {
   uint64_t wrong[3] = {0, 0, 0};
   QueryExecutor truth;
   for (int c = 0; c < 3; ++c) {
-    cluster.client(c).on_accept = [&, c](const Query& query, uint64_t version,
+    cluster.client(c).on_accept = [&, c](const Query& query,
+                                         const Pledge& pledge,
                                          const QueryResult& result) {
-      auto store = cluster.master(0).oplog().MaterializeAt(version);
+      auto store = cluster.master(0).oplog().MaterializeAt(
+          pledge.token.content_version);
       if (!store.ok()) {
         return;
       }

@@ -1,0 +1,162 @@
+// Online invariant checking for chaos runs: checkers observe the cluster
+// on a virtual-time cadence (plus a per-tick feed of accepted reads) and
+// record the first violation with enough evidence to reproduce it —
+// (seed, virtual time, human-readable evidence).
+//
+// The built-ins encode the paper's end-to-end claims:
+//   NoWrongReadUndetected — a ground-truth-wrong accepted read must be
+//     matched by detection evidence (a client double-check mismatch or an
+//     auditor mismatch) within a bound; silent wrong-accepts violate.
+//   DetectionLatencyBound — a slave that tells consistent lies must be
+//     excluded by some master within a bound of its first lie.
+//   ExclusionPermanent — once excluded, a slave never again serves an
+//     accepted read (beyond a grace window for replies already in flight).
+//   AvailabilityFloor — in every rolling window of non-partitioned time,
+//     clients keep accepting reads at no less than a configured rate.
+//   TokenFreshness — no accepted read's version token is older than the
+//     client's freshness bound (plus the double-check round-trip allowance).
+#ifndef SDR_SRC_CHAOS_CHECKERS_H_
+#define SDR_SRC_CHAOS_CHECKERS_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+
+namespace sdr {
+
+// The reproducible failure triple.
+struct Violation {
+  std::string invariant;
+  uint64_t seed = 0;
+  SimTime time = 0;
+  std::string evidence;
+
+  std::string ToString() const;
+};
+
+// What a checker sees on each cadence tick.
+struct ChaosContext {
+  Cluster* cluster = nullptr;
+  uint64_t seed = 0;
+  SimTime tick_period = 0;
+  // Reads accepted since the previous tick, in acceptance order.
+  const std::vector<Cluster::AcceptedRead>* new_reads = nullptr;
+
+  SimTime now() const { return cluster->sim().Now(); }
+};
+
+class InvariantChecker {
+ public:
+  virtual ~InvariantChecker() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called on every cadence tick, and once more (via Finish) after the run.
+  virtual void OnTick(const ChaosContext& ctx) = 0;
+  // End-of-run hook for checkers with residual state; default re-ticks.
+  virtual void OnFinish(const ChaosContext& ctx) { OnTick(ctx); }
+
+  bool violated() const { return violation_.has_value(); }
+  const std::optional<Violation>& violation() const { return violation_; }
+
+ protected:
+  // Records the first violation; later ones are ignored (the first is the
+  // reproducible one — everything after may be fallout).
+  void Report(const ChaosContext& ctx, std::string evidence);
+
+ private:
+  std::optional<Violation> violation_;
+};
+
+// --- Built-in checkers. ----------------------------------------------------
+
+class NoWrongReadUndetected : public InvariantChecker {
+ public:
+  explicit NoWrongReadUndetected(SimTime bound) : bound_(bound) {}
+  std::string name() const override { return "NoWrongReadUndetected"; }
+  void OnTick(const ChaosContext& ctx) override;
+
+ private:
+  uint64_t EvidenceTotal(const ChaosContext& ctx) const;
+  SimTime bound_;
+  std::deque<Cluster::AcceptedRead> pending_wrong_;
+  uint64_t matched_ = 0;
+};
+
+class DetectionLatencyBound : public InvariantChecker {
+ public:
+  explicit DetectionLatencyBound(SimTime bound) : bound_(bound) {}
+  std::string name() const override { return "DetectionLatencyBound"; }
+  void OnTick(const ChaosContext& ctx) override;
+
+ private:
+  // slave index -> tick time its first consistent lie was observed.
+  std::map<int, SimTime> first_lie_seen_;
+  std::map<int, bool> excluded_;
+  SimTime bound_;
+};
+
+class ExclusionPermanent : public InvariantChecker {
+ public:
+  explicit ExclusionPermanent(SimTime grace) : grace_(grace) {}
+  std::string name() const override { return "ExclusionPermanent"; }
+  void OnTick(const ChaosContext& ctx) override;
+
+ private:
+  std::map<NodeId, SimTime> excluded_at_;  // slave node id -> first seen
+  SimTime grace_;
+};
+
+class AvailabilityFloor : public InvariantChecker {
+ public:
+  AvailabilityFloor(double min_accepts_per_second, SimTime warmup,
+                    SimTime min_window)
+      : floor_(min_accepts_per_second),
+        warmup_(warmup),
+        min_window_(min_window) {}
+  std::string name() const override { return "AvailabilityFloor"; }
+  void OnTick(const ChaosContext& ctx) override;
+  // No final re-tick: the windowed check already covered the last tick.
+  void OnFinish(const ChaosContext&) override {}
+
+ private:
+  double floor_;
+  SimTime warmup_;
+  SimTime min_window_;
+  // Rolling window over clear (non-partitioned) time: one entry per tick.
+  // A cumulative average would let healthy early throughput mask a total
+  // stall for a long time; the window bounds how long a stall can hide.
+  struct WindowSample {
+    SimTime dt;
+    uint64_t accepts;
+  };
+  std::deque<WindowSample> window_;
+  SimTime window_time_ = 0;
+  uint64_t window_accepts_ = 0;
+};
+
+class TokenFreshness : public InvariantChecker {
+ public:
+  // bound_override > 0 replaces the derived per-client bound (the client's
+  // effective max_latency plus its double-check timeout allowance).
+  explicit TokenFreshness(SimTime bound_override = 0)
+      : bound_override_(bound_override) {}
+  std::string name() const override { return "TokenFreshness"; }
+  void OnTick(const ChaosContext& ctx) override;
+
+ private:
+  SimTime bound_override_;
+};
+
+// The standard panel with bounds derived from the protocol parameters.
+std::vector<std::unique_ptr<InvariantChecker>> DefaultCheckers(
+    const ClusterConfig& config);
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CHAOS_CHECKERS_H_

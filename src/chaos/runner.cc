@@ -1,0 +1,349 @@
+#include "src/chaos/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "src/util/logging.h"
+
+namespace sdr {
+
+ChaosController::ChaosController(
+    Cluster* cluster, Scenario scenario,
+    std::vector<std::unique_ptr<InvariantChecker>> checkers,
+    ChaosControllerOptions options)
+    : cluster_(cluster),
+      scenario_(std::move(scenario)),
+      checkers_(std::move(checkers)),
+      options_(options),
+      // Deterministic per cluster seed, independent of the simulator's own
+      // stream so chaos does not perturb protocol-level randomness.
+      rng_(cluster->config().seed * 0x9E3779B97F4A7C15ULL + 0xC0FFEE) {}
+
+std::vector<NodeId> ChaosController::Resolve(const NodeSelector& sel) {
+  using Role = NodeSelector::Role;
+  using Pick = NodeSelector::Pick;
+
+  auto role_count = [this](Role role) -> int {
+    switch (role) {
+      case Role::kSlave:
+        return cluster_->num_slaves();
+      case Role::kMaster:
+        return cluster_->num_masters();
+      case Role::kAuditor:
+        return cluster_->num_auditors();
+      case Role::kClient:
+        return cluster_->num_clients();
+      case Role::kAll:
+        return static_cast<int>(cluster_->net().node_count());
+    }
+    return 0;
+  };
+  auto role_id = [this](Role role, int i) -> NodeId {
+    switch (role) {
+      case Role::kSlave:
+        return cluster_->slave(i).id();
+      case Role::kMaster:
+        return cluster_->master(i).id();
+      case Role::kAuditor:
+        return cluster_->auditor(i).id();
+      case Role::kClient:
+        return cluster_->client(i).id();
+      case Role::kAll:
+        return static_cast<NodeId>(i + 1);  // ids are dense from 1
+    }
+    return kInvalidNode;
+  };
+
+  std::vector<NodeId> ids;
+  int count = role_count(sel.role);
+  switch (sel.pick) {
+    case Pick::kIndex:
+      if (sel.arg < count) {
+        ids.push_back(role_id(sel.role, sel.arg));
+      }
+      break;
+    case Pick::kAll:
+      for (int i = 0; i < count; ++i) {
+        ids.push_back(role_id(sel.role, i));
+      }
+      break;
+    case Pick::kOdd:
+    case Pick::kEven:
+      for (int i = sel.pick == Pick::kOdd ? 1 : 0; i < count; i += 2) {
+        ids.push_back(role_id(sel.role, i));
+      }
+      break;
+    case Pick::kRandom: {
+      // k distinct slaves, order-independent of k draws' outcome.
+      std::set<int> chosen;
+      int want = std::min(sel.arg, count);
+      while (static_cast<int>(chosen.size()) < want) {
+        chosen.insert(
+            static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(count))));
+      }
+      for (int i : chosen) {
+        ids.push_back(role_id(sel.role, i));
+      }
+      break;
+    }
+  }
+  return ids;
+}
+
+void ChaosController::ApplyEvent(const ChaosEvent& event) {
+  using Type = ChaosEvent::Type;
+  Network& net = cluster_->net();
+  switch (event.type) {
+    case Type::kCrash:
+      for (NodeId id : Resolve(event.a)) {
+        net.SetNodeUp(id, false);
+      }
+      break;
+    case Type::kRestart:
+      for (NodeId id : Resolve(event.a)) {
+        net.SetNodeUp(id, true);
+      }
+      break;
+    case Type::kPartition:
+    case Type::kHeal: {
+      bool on = event.type == Type::kPartition;
+      std::vector<NodeId> left = Resolve(event.a);
+      std::vector<NodeId> right = Resolve(event.b);
+      for (NodeId a : left) {
+        for (NodeId b : right) {
+          if (a != b) {
+            net.SetPartitioned(a, b, on);
+          }
+        }
+      }
+      break;
+    }
+    case Type::kHealAll:
+      net.ClearPartitions();
+      break;
+    case Type::kSetLink: {
+      std::vector<NodeId> left = Resolve(event.a);
+      std::vector<NodeId> right = Resolve(event.b);
+      for (NodeId a : left) {
+        for (NodeId b : right) {
+          if (a != b) {
+            net.SetLinkSymmetric(a, b, event.link);
+          }
+        }
+      }
+      break;
+    }
+    case Type::kSetBehavior: {
+      std::vector<NodeId> targets = Resolve(event.a);
+      for (int s = 0; s < cluster_->num_slaves(); ++s) {
+        Slave& slave = cluster_->slave(s);
+        if (std::find(targets.begin(), targets.end(), slave.id()) !=
+            targets.end()) {
+          Slave::Behavior behavior = slave.behavior();
+          event.patch.ApplyTo(behavior);
+          slave.SetBehavior(behavior);
+        }
+      }
+      break;
+    }
+    case Type::kBurstWrites: {
+      WriteGen gen = cluster_->config().write_gen;
+      gen.n_items = cluster_->config().corpus.n_items;
+      std::vector<NodeId> targets = Resolve(event.a);
+      for (int c = 0; c < cluster_->num_clients(); ++c) {
+        Client& client = cluster_->client(c);
+        if (std::find(targets.begin(), targets.end(), client.id()) ==
+            targets.end()) {
+          continue;
+        }
+        for (int i = 0; i < event.count; ++i) {
+          client.IssueWrite(gen.Generate(rng_));
+        }
+      }
+      break;
+    }
+    case Type::kPauseAuditor:
+    case Type::kResumeAuditor: {
+      bool pause = event.type == Type::kPauseAuditor;
+      std::vector<NodeId> targets = Resolve(event.a);
+      bool everything = event.a.role == NodeSelector::Role::kAll;
+      for (int a = 0; a < cluster_->num_auditors(); ++a) {
+        Auditor& auditor = cluster_->auditor(a);
+        if (everything || std::find(targets.begin(), targets.end(),
+                                    auditor.id()) != targets.end()) {
+          auditor.SetPaused(pause);
+        }
+      }
+      break;
+    }
+  }
+}
+
+ChaosContext ChaosController::MakeContext() {
+  ChaosContext ctx;
+  ctx.cluster = cluster_;
+  ctx.seed = cluster_->config().seed;
+  ctx.tick_period = options_.cadence;
+  ctx.new_reads = &new_reads_;
+  return ctx;
+}
+
+void ChaosController::Tick(bool finish) {
+  ChaosContext ctx = MakeContext();
+  for (auto& checker : checkers_) {
+    if (finish) {
+      checker->OnFinish(ctx);
+    } else {
+      checker->OnTick(ctx);
+    }
+  }
+  new_reads_.clear();
+}
+
+void ChaosController::Install() {
+  if (installed_) {
+    return;
+  }
+  installed_ = true;
+  for (const ChaosEvent& event : scenario_.events) {
+    cluster_->sim().ScheduleAt(event.at,
+                               [this, event] { ApplyEvent(event); });
+  }
+  cluster_->on_accepted_read = [this](const Cluster::AcceptedRead& read) {
+    new_reads_.push_back(read);
+  };
+  if (!checkers_.empty()) {
+    cluster_->AddTickHook(options_.cadence, [this] { Tick(/*finish=*/false); });
+  }
+}
+
+void ChaosController::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  Tick(/*finish=*/true);
+}
+
+std::vector<Violation> ChaosController::violations() const {
+  std::vector<Violation> out;
+  for (const auto& checker : checkers_) {
+    if (checker->violated()) {
+      out.push_back(*checker->violation());
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Seed sweep.
+// ---------------------------------------------------------------------------
+
+bool SeedVerdict::passed(const std::string& invariant) const {
+  for (const Violation& v : violations) {
+    if (v.invariant == invariant) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int SweepReport::failures(const std::string& invariant) const {
+  int n = 0;
+  for (const SeedVerdict& seed : seeds) {
+    n += seed.passed(invariant) ? 0 : 1;
+  }
+  return n;
+}
+
+const Violation* SweepReport::first_violation(
+    const std::string& invariant) const {
+  for (const SeedVerdict& seed : seeds) {
+    for (const Violation& v : seed.violations) {
+      if (v.invariant == invariant) {
+        return &v;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool SweepReport::all_passed() const {
+  for (const SeedVerdict& seed : seeds) {
+    if (!seed.all_passed()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string SweepReport::Summary() const {
+  std::string out;
+  char line[512];
+  for (const SeedVerdict& seed : seeds) {
+    std::snprintf(line, sizeof(line),
+                  "seed %-4llu accepted=%-6llu wrong=%-4llu dc-mismatch=%-3llu "
+                  "audit-mismatch=%-3llu excluded=%llu  ",
+                  static_cast<unsigned long long>(seed.seed),
+                  static_cast<unsigned long long>(seed.accepted_reads),
+                  static_cast<unsigned long long>(seed.accepted_wrong),
+                  static_cast<unsigned long long>(seed.double_check_mismatches),
+                  static_cast<unsigned long long>(seed.auditor_mismatches),
+                  static_cast<unsigned long long>(seed.slaves_excluded));
+    out += line;
+    for (const std::string& invariant : invariants) {
+      out += invariant + "=" + (seed.passed(invariant) ? "PASS" : "FAIL") + " ";
+    }
+    out += "\n";
+  }
+  for (const std::string& invariant : invariants) {
+    int failed = failures(invariant);
+    std::snprintf(line, sizeof(line), "%-24s %d/%zu seeds passed\n",
+                  invariant.c_str(), static_cast<int>(seeds.size()) - failed,
+                  seeds.size());
+    out += line;
+    if (const Violation* v = first_violation(invariant)) {
+      out += "  first violation: " + v->ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+SweepReport RunSeedSweep(const ClusterConfig& base, const Scenario& scenario,
+                         const SweepOptions& options,
+                         const CheckerFactory& factory) {
+  SweepReport report;
+  for (int i = 0; i < options.num_seeds; ++i) {
+    ClusterConfig config = base;
+    config.seed = options.first_seed + static_cast<uint64_t>(i);
+    auto checkers =
+        factory ? factory(config) : DefaultCheckers(config);
+    if (report.invariants.empty()) {
+      for (const auto& checker : checkers) {
+        report.invariants.push_back(checker->name());
+      }
+    }
+
+    Cluster cluster(config);
+    ChaosController controller(&cluster, scenario, std::move(checkers),
+                               ChaosControllerOptions{options.cadence});
+    controller.Install();
+    cluster.RunFor(options.duration);
+    controller.Finish();
+
+    SeedVerdict verdict;
+    verdict.seed = config.seed;
+    verdict.violations = controller.violations();
+    Cluster::Totals totals = cluster.ComputeTotals();
+    verdict.accepted_reads = totals.reads_accepted;
+    verdict.accepted_wrong = cluster.accepted_wrong();
+    verdict.double_check_mismatches = totals.double_check_mismatches;
+    verdict.auditor_mismatches = totals.auditor_mismatches;
+    verdict.slaves_excluded = totals.slaves_excluded;
+    report.seeds.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+}  // namespace sdr

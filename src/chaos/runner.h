@@ -1,0 +1,115 @@
+// Drives a chaos scenario against a live cluster, and sweeps one scenario
+// across many seeds.
+//
+// ChaosController wires one Scenario plus a set of InvariantCheckers into
+// one Cluster: events are scheduled on the simulator at their virtual
+// times, checkers run on a cadence through the cluster's tick hook, and
+// every client-accepted read is fed to the checkers.
+//
+// RunSeedSweep executes the same scenario across N seeds and reports, per
+// invariant, which seeds passed and the first violating (seed, virtual
+// time, evidence) triple — the paper's "eventually caught" claims turned
+// into a pass/fail matrix.
+#ifndef SDR_SRC_CHAOS_RUNNER_H_
+#define SDR_SRC_CHAOS_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/checkers.h"
+#include "src/chaos/scenario.h"
+#include "src/core/cluster.h"
+
+namespace sdr {
+
+struct ChaosControllerOptions {
+  SimTime cadence = 250 * kMillisecond;  // invariant-checking tick
+};
+
+class ChaosController {
+ public:
+  ChaosController(Cluster* cluster, Scenario scenario,
+                  std::vector<std::unique_ptr<InvariantChecker>> checkers,
+                  ChaosControllerOptions options = {});
+
+  // Schedules the scenario's events and registers the checker tick; call
+  // once, before the cluster runs. Uninstalled controllers do nothing.
+  void Install();
+
+  // Flushes pending accepted reads and runs every checker's finish pass;
+  // call after the last RunFor.
+  void Finish();
+
+  // First violation per violated checker, in checker order.
+  std::vector<Violation> violations() const;
+  const std::vector<std::unique_ptr<InvariantChecker>>& checkers() const {
+    return checkers_;
+  }
+
+  // Resolves a selector against this controller's cluster (random picks
+  // consume the controller's deterministic stream). Exposed for tests.
+  std::vector<NodeId> Resolve(const NodeSelector& sel);
+
+ private:
+  void ApplyEvent(const ChaosEvent& event);
+  void Tick(bool finish);
+  ChaosContext MakeContext();
+
+  Cluster* cluster_;
+  Scenario scenario_;
+  std::vector<std::unique_ptr<InvariantChecker>> checkers_;
+  ChaosControllerOptions options_;
+  Rng rng_;
+  std::vector<Cluster::AcceptedRead> new_reads_;
+  bool installed_ = false;
+  bool finished_ = false;
+};
+
+struct SweepOptions {
+  uint64_t first_seed = 1;
+  int num_seeds = 20;
+  SimTime duration = 90 * kSecond;
+  SimTime cadence = 250 * kMillisecond;
+};
+
+struct SeedVerdict {
+  uint64_t seed = 0;
+  // Invariant name -> violation, for invariants that fired (empty = pass).
+  std::vector<Violation> violations;
+  uint64_t accepted_reads = 0;
+  uint64_t accepted_wrong = 0;
+  uint64_t double_check_mismatches = 0;
+  uint64_t auditor_mismatches = 0;
+  uint64_t slaves_excluded = 0;
+
+  bool passed(const std::string& invariant) const;
+  bool all_passed() const { return violations.empty(); }
+};
+
+struct SweepReport {
+  std::vector<std::string> invariants;  // names, in checker order
+  std::vector<SeedVerdict> seeds;
+
+  int failures(const std::string& invariant) const;
+  // First violating triple for an invariant across all seeds, or nullptr.
+  const Violation* first_violation(const std::string& invariant) const;
+  bool all_passed() const;
+  // Printable per-seed verdict matrix plus first-violation details.
+  std::string Summary() const;
+};
+
+using CheckerFactory =
+    std::function<std::vector<std::unique_ptr<InvariantChecker>>(
+        const ClusterConfig&)>;
+
+// Runs `scenario` on a fresh cluster per seed. `base` supplies everything
+// but the seed. A null factory uses DefaultCheckers.
+SweepReport RunSeedSweep(const ClusterConfig& base, const Scenario& scenario,
+                         const SweepOptions& options,
+                         const CheckerFactory& factory = nullptr);
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CHAOS_RUNNER_H_

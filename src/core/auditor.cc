@@ -42,9 +42,32 @@ void Auditor::GossipAndFinalizeTick() {
   TobGossip gossip;
   gossip.master = id();
   broadcast_->Broadcast(WithTobType(TobPayloadType::kGossip, gossip.Encode()));
-  TryFinalizeVersions();
+  if (!paused_) {
+    TryFinalizeVersions();
+  }
   metrics_.backlog_depth.Add(static_cast<double>(queue_->depth()));
   metrics_.version_lag.Add(static_cast<double>(version_lag()));
+}
+
+void Auditor::SetPaused(bool paused) {
+  if (paused_ == paused) {
+    return;
+  }
+  paused_ = paused;
+  if (paused_) {
+    return;
+  }
+  // Resume: push the parked pledges through the normal admission path.
+  std::deque<std::pair<Pledge, NodeId>> backlog = std::move(paused_backlog_);
+  paused_backlog_.clear();
+  for (auto& [pledge, submitter] : backlog) {
+    if (pledge.token.content_version > oplog_.head_version()) {
+      future_.emplace_back(std::move(pledge), submitter);
+    } else {
+      AuditOne(std::move(pledge), submitter);
+    }
+  }
+  TryFinalizeVersions();
 }
 
 void Auditor::HandleMessage(NodeId from, const Bytes& payload) {
@@ -78,21 +101,8 @@ void Auditor::OnDelivered(uint64_t /*seq*/, NodeId /*origin*/,
       if (!write.ok()) {
         return;
       }
-      uint64_t version = oplog_.head_version() + 1;
-      oplog_.Append(version, write->batch);
-      commit_times_[version] = sim()->Now();
-      // Pledges that were waiting for this version can now be audited.
-      std::deque<std::pair<Pledge, NodeId>> still_future;
-      while (!future_.empty()) {
-        auto [p, submitter] = std::move(future_.front());
-        future_.pop_front();
-        if (p.token.content_version <= oplog_.head_version()) {
-          AuditOne(std::move(p), submitter);
-        } else {
-          still_future.emplace_back(std::move(p), submitter);
-        }
-      }
-      future_ = std::move(still_future);
+      commit_queue_.push_back(std::move(write->batch));
+      PumpCommitQueue();
       break;
     }
     case TobPayloadType::kGossip: {
@@ -109,6 +119,39 @@ void Auditor::OnDelivered(uint64_t /*seq*/, NodeId /*origin*/,
   }
 }
 
+void Auditor::PumpCommitQueue() {
+  if (commit_queue_.empty() || commit_timer_armed_) {
+    return;
+  }
+  SimTime earliest = last_commit_time_ + options_.params.max_latency;
+  if (sim()->Now() >= earliest) {
+    uint64_t version = oplog_.head_version() + 1;
+    oplog_.Append(version, commit_queue_.front());
+    commit_queue_.pop_front();
+    last_commit_time_ = sim()->Now();
+    commit_times_[version] = last_commit_time_;
+    // Pledges that were waiting for this version can now be audited.
+    std::deque<std::pair<Pledge, NodeId>> still_future;
+    while (!future_.empty()) {
+      auto [p, submitter] = std::move(future_.front());
+      future_.pop_front();
+      if (p.token.content_version <= oplog_.head_version()) {
+        AuditOne(std::move(p), submitter);
+      } else {
+        still_future.emplace_back(std::move(p), submitter);
+      }
+    }
+    future_ = std::move(still_future);
+    PumpCommitQueue();
+    return;
+  }
+  commit_timer_armed_ = true;
+  sim()->ScheduleAt(earliest, [this] {
+    commit_timer_armed_ = false;
+    PumpCommitQueue();
+  });
+}
+
 void Auditor::HandleAuditSubmit(NodeId from, const Bytes& body) {
   auto msg = AuditSubmit::Decode(body);
   if (!msg.ok()) {
@@ -118,6 +161,10 @@ void Auditor::HandleAuditSubmit(NodeId from, const Bytes& body) {
   if (options_.params.audit_sample_fraction < 1.0 &&
       !rng_.NextBool(options_.params.audit_sample_fraction)) {
     ++metrics_.pledges_skipped_sampling;
+    return;
+  }
+  if (paused_) {
+    paused_backlog_.emplace_back(std::move(msg->pledge), from);
     return;
   }
   if (msg->pledge.token.content_version > oplog_.head_version()) {
@@ -152,11 +199,13 @@ void Auditor::AuditOne(Pledge pledge, NodeId submitter) {
       // Version pruned (pledge arrived long after finalization) — the
       // audit window guarantee makes this a protocol violation by the
       // client or extreme delay; skip.
+      ++metrics_.pledges_version_pruned;
       --in_flight_[version];
       return;
     }
     auto outcome = executor_.Execute(*at_version, pledge.query);
     if (!outcome.ok()) {
+      ++metrics_.pledges_exec_failed;
       --in_flight_[version];
       return;
     }
@@ -217,6 +266,9 @@ void Auditor::NotifyVictim(NodeId client, const Pledge& pledge,
 }
 
 void Auditor::TryFinalizeVersions() {
+  if (paused_) {
+    return;  // a paused auditor must not close versions it has not audited
+  }
   // Finalize version v (move to v+1) once:
   //   - v+1 has committed,
   //   - more than max_latency + slack has passed since that commit (no

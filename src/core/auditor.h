@@ -59,6 +59,13 @@ class Auditor : public Node {
     oplog_.SetBaseSnapshot(base);
   }
 
+  // Pausing stops audit work and version finalization (incoming pledges
+  // are parked); resuming drains the parked backlog. Chaos scenarios use
+  // this to stretch the delayed-discovery window without crashing the
+  // auditor out of the broadcast group.
+  void SetPaused(bool paused);
+  bool paused() const { return paused_; }
+
   const OpLog& oplog() const { return oplog_; }
   const AuditorMetrics& metrics() const { return metrics_; }
   uint64_t head_version() const { return oplog_.head_version(); }
@@ -75,6 +82,7 @@ class Auditor : public Node {
 
  private:
   void OnDelivered(uint64_t seq, NodeId origin, const Bytes& payload);
+  void PumpCommitQueue();
   void HandleAuditSubmit(NodeId from, const Bytes& body);
   void GossipAndFinalizeTick();
   void AuditOne(Pledge pledge, NodeId submitter);
@@ -100,10 +108,20 @@ class Auditor : public Node {
   // Pledges for versions we have not yet seen committed (with their
   // submitting client, for delayed-discovery rollback notices).
   std::deque<std::pair<Pledge, NodeId>> future_;
+  // Pledges parked while paused, drained on resume.
+  std::deque<std::pair<Pledge, NodeId>> paused_backlog_;
+  bool paused_ = false;
   // Count of in-flight audits on the service queue for each version — a
   // version cannot finalize while its audits are in flight.
   std::map<uint64_t, uint64_t> in_flight_;
-  bool pump_armed_ = false;
+  // Delivered writes waiting for the paced commit. Masters commit at most
+  // one write per max_latency (PumpCommitQueue); the auditor must mirror
+  // that pacing or its version numbers and commit times run ahead of what
+  // slaves actually serve, and finalization would prune versions whose
+  // pledges are still arriving.
+  std::deque<WriteBatch> commit_queue_;
+  SimTime last_commit_time_ = 0;
+  bool commit_timer_armed_ = false;
 
   // Result cache: (version, query-encoding) -> result SHA-1.
   std::map<std::pair<uint64_t, Bytes>, Bytes> cache_;

@@ -386,7 +386,7 @@ void Client::AcceptRead(uint64_t request_id, const QueryResult& result,
       static_cast<double>(sim()->Now() - it->second.first_issued));
   sim()->Cancel(it->second.timeout);
   if (on_accept) {
-    on_accept(it->second.query, pledge.token.content_version, result);
+    on_accept(it->second.query, pledge, result);
   }
   ReadCallback cb = std::move(it->second.cb);
   reads_.erase(it);

@@ -74,9 +74,10 @@ class Client : public Node {
   void IssueRead(Query query, ReadCallback cb = nullptr);
   void IssueWrite(WriteBatch batch, WriteCallback cb = nullptr);
 
-  // Invoked on every accepted read with the pledged version — the harness
-  // uses it to validate accepted results against ground truth.
-  std::function<void(const Query&, uint64_t version, const QueryResult&)>
+  // Invoked on every accepted read with the full pledge — the harness uses
+  // it to validate accepted results against ground truth and to feed the
+  // chaos invariant checkers (which slave served, how fresh the token was).
+  std::function<void(const Query&, const Pledge&, const QueryResult&)>
       on_accept;
 
   // Invoked when the auditor reports that a read this client already

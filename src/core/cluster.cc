@@ -1,5 +1,6 @@
 #include "src/core/cluster.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "src/util/logging.h"
@@ -154,23 +155,75 @@ Cluster::Cluster(ClusterConfig config)
     }
     clients_.push_back(std::make_unique<Client>(std::move(opts)));
     net_.AddNode(clients_.back().get());
-    if (config_.track_ground_truth) {
-      clients_.back()->on_accept = [this](const Query& query, uint64_t version,
-                                          const QueryResult& result) {
-        ValidateAcceptedRead(query, version, result);
-      };
-    }
+    clients_.back()->on_accept = [this, c](const Query& query,
+                                           const Pledge& pledge,
+                                           const QueryResult& result) {
+      OnClientAccept(c, query, pledge, result);
+    };
   }
 
   net_.StartAll();
 }
 
 void Cluster::RunFor(SimTime duration) {
-  sim_.RunUntil(sim_.Now() + duration);
+  const SimTime end = sim_.Now() + duration;
+  if (tick_hooks_.empty()) {
+    sim_.RunUntil(end);
+    return;
+  }
+  for (;;) {
+    SimTime next = end;
+    for (const TickHook& hook : tick_hooks_) {
+      next = std::min(next, hook.next_due);
+    }
+    sim_.RunUntil(next);
+    for (TickHook& hook : tick_hooks_) {
+      if (hook.next_due <= sim_.Now()) {
+        hook.next_due += hook.period;
+        hook.fn();
+      }
+    }
+    if (sim_.Now() >= end) {
+      break;
+    }
+  }
+}
+
+void Cluster::AddTickHook(SimTime period, std::function<void()> hook) {
+  if (period <= 0) {
+    period = kMillisecond;
+  }
+  tick_hooks_.push_back(TickHook{period, sim_.Now() + period, std::move(hook)});
+}
+
+bool Cluster::ExcludedByAnyMaster(NodeId slave) const {
+  for (const auto& m : masters_) {
+    if (m->IsExcluded(slave)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cluster::OnClientAccept(int client_index, const Query& query,
+                             const Pledge& pledge, const QueryResult& result) {
+  AcceptedRead record;
+  record.client_index = client_index;
+  record.slave = pledge.slave;
+  record.version = pledge.token.content_version;
+  record.token_timestamp = pledge.token.timestamp;
+  record.accepted_at = sim_.Now();
+  if (config_.track_ground_truth) {
+    ValidateAcceptedRead(query, record.version, result, &record);
+  }
+  if (on_accepted_read) {
+    on_accepted_read(record);
+  }
 }
 
 void Cluster::ValidateAcceptedRead(const Query& query, uint64_t version,
-                                   const QueryResult& result) {
+                                   const QueryResult& result,
+                                   AcceptedRead* record) {
   // Prefer a live master's full op log; fall back to the auditor's (which
   // prunes closed versions).
   const OpLog* log = nullptr;
@@ -198,8 +251,10 @@ void Cluster::ValidateAcceptedRead(const Query& query, uint64_t version,
     return;
   }
   ++accepted_checked_;
+  record->checked = true;
   if (!(outcome->result == result)) {
     ++accepted_wrong_;
+    record->wrong = true;
   }
 }
 

@@ -65,8 +65,30 @@ class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
 
-  // Advances virtual time by `duration`.
+  // Advances virtual time by `duration`, firing registered tick hooks on
+  // their cadence along the way.
   void RunFor(SimTime duration);
+
+  // Registers `hook` to run every `period` of virtual time during RunFor.
+  // Hooks run outside any simulator event, so they observe a quiescent
+  // cluster; the chaos engine drives its invariant checkers through this.
+  void AddTickHook(SimTime period, std::function<void()> hook);
+
+  // One record per client-accepted read, emitted to on_accepted_read.
+  // `checked`/`wrong` are filled only when ground-truth tracking is on.
+  struct AcceptedRead {
+    int client_index = 0;
+    NodeId slave = kInvalidNode;
+    uint64_t version = 0;
+    SimTime token_timestamp = 0;  // master clock when the token was signed
+    SimTime accepted_at = 0;
+    bool checked = false;
+    bool wrong = false;
+  };
+  std::function<void(const AcceptedRead&)> on_accepted_read;
+
+  // True when any master (alive or crashed) has excluded `slave`.
+  bool ExcludedByAnyMaster(NodeId slave) const;
 
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
@@ -108,8 +130,17 @@ class Cluster {
   Totals ComputeTotals() const;
 
  private:
+  void OnClientAccept(int client_index, const Query& query,
+                      const Pledge& pledge, const QueryResult& result);
   void ValidateAcceptedRead(const Query& query, uint64_t version,
-                            const QueryResult& result);
+                            const QueryResult& result, AcceptedRead* record);
+
+  struct TickHook {
+    SimTime period;
+    SimTime next_due;
+    std::function<void()> fn;
+  };
+  std::vector<TickHook> tick_hooks_;
 
   ClusterConfig config_;
   Simulator sim_;

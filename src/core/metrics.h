@@ -57,6 +57,10 @@ struct SlaveMetrics {
   uint64_t reads_served = 0;
   uint64_t reads_declined_stale = 0;  // honest slave out of sync
   uint64_t lies_told = 0;             // malicious behaviour bookkeeping
+  // Lies whose pledge hash matches the corrupted result — the only kind
+  // that can pass client-side checks and so the only kind the protocol
+  // must (and can) eventually punish by exclusion.
+  uint64_t consistent_lies_told = 0;
   uint64_t state_updates_applied = 0;
   uint64_t keepalives_received = 0;
   uint64_t work_units_executed = 0;
@@ -66,6 +70,11 @@ struct AuditorMetrics {
   uint64_t pledges_received = 0;
   uint64_t pledges_audited = 0;
   uint64_t pledges_skipped_sampling = 0;
+  // Pledge named a version already finalized and pruned — the audit-window
+  // guarantee makes this a protocol violation or extreme delay.
+  uint64_t pledges_version_pruned = 0;
+  // Re-execution of the pledged query failed against the materialized store.
+  uint64_t pledges_exec_failed = 0;
   uint64_t pledges_bad_signature = 0;
   uint64_t mismatches_found = 0;
   uint64_t accusations_sent = 0;

@@ -152,6 +152,7 @@ void Slave::HandleReadRequest(NodeId from, const Bytes& body) {
     }
     lied_consistently = true;
     ++metrics_.lies_told;
+    ++metrics_.consistent_lies_told;
   }
 
   Bytes hashed = result.Sha1Digest();

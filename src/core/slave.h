@@ -61,6 +61,11 @@ class Slave : public Node {
   // Installs initial content at version 0 (out-of-band distribution).
   void SetBaseContent(const DocumentStore& base);
 
+  // Behaviour is runtime-mutable so fault-injection scenarios can flip a
+  // slave malicious (or honest again) mid-run.
+  void SetBehavior(const Behavior& behavior) { options_.behavior = behavior; }
+  const Behavior& behavior() const { return options_.behavior; }
+
   uint64_t applied_version() const { return applied_version_; }
   const Bytes& public_key() const { return signer_.public_key(); }
   const SlaveMetrics& metrics() const { return metrics_; }

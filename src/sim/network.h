@@ -4,6 +4,7 @@
 #ifndef SDR_SRC_SIM_NETWORK_H_
 #define SDR_SRC_SIM_NETWORK_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -58,6 +59,8 @@ struct LinkModel {
   static LinkModel Lan() { return {500 * kMicrosecond, 200 * kMicrosecond, 0.0}; }
   // Cross-continent WAN link.
   static LinkModel Wan() { return {40 * kMillisecond, 10 * kMillisecond, 0.0}; }
+
+  bool operator==(const LinkModel&) const = default;
 };
 
 class Network {
@@ -89,6 +92,14 @@ class Network {
 
   // Blocks (or unblocks) both directions between a and b.
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  // Removes every partition at once (a chaos scenario's "heal all").
+  void ClearPartitions() { partitions_.clear(); }
+  // Number of currently partitioned node pairs (0 = fully connected).
+  size_t active_partitions() const { return partitions_.size(); }
+  bool IsPartitioned(NodeId a, NodeId b) const {
+    auto key = std::minmax(a, b);
+    return partitions_.count({key.first, key.second}) > 0;
+  }
 
   // Traffic counters (for benches: bytes on the wire per protocol).
   uint64_t messages_sent() const { return messages_sent_; }

@@ -88,4 +88,15 @@ bool Flags::GetBool(const std::string& name) const {
   return v == "true" || v == "1" || v == "yes";
 }
 
+std::vector<std::pair<std::string, std::string>> Flags::NonDefault() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& name : order_) {
+    auto it = values_.find(name);
+    if (it != values_.end() && it->second != specs_.at(name).default_value) {
+      out.emplace_back(name, it->second);
+    }
+  }
+  return out;
+}
+
 }  // namespace sdr

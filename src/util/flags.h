@@ -27,6 +27,11 @@ class Flags {
   double GetDouble(const std::string& name) const;
   bool GetBool(const std::string& name) const;
 
+  // Flags explicitly set to a value different from their default, in
+  // definition order — tools echo these so every report states the exact
+  // command line that reproduces it.
+  std::vector<std::pair<std::string, std::string>> NonDefault() const;
+
   void PrintUsage(const char* program) const;
 
  private:

@@ -35,7 +35,12 @@ class RunningStat {
 // Batch percentile over collected samples. Samples are sorted on demand.
 class Percentiles {
  public:
-  void Add(double x) { samples_.push_back(x); }
+  // Invalidates the sort memo: quantiles stay correct when Add and
+  // Quantile calls interleave.
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
   size_t count() const { return samples_.size(); }
 
   // q in [0, 1]; nearest-rank on the sorted samples. Returns 0 when empty.

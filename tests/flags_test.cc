@@ -70,6 +70,31 @@ TEST(FlagsTest, HelpReturnsFalse) {
   EXPECT_FALSE(flags.Parse(2, argv));
 }
 
+TEST(FlagsTest, NonDefaultListsOnlyChangedFlags) {
+  Flags flags = MakeFlags();
+  char prog[] = "prog";
+  char a1[] = "--rate=2.5";
+  char a2[] = "--seconds=60";  // explicitly set, but equal to the default
+  char a3[] = "--verbose";
+  char* argv[] = {prog, a1, a2, a3};
+  ASSERT_TRUE(flags.Parse(4, argv));
+  auto changed = flags.NonDefault();
+  ASSERT_EQ(changed.size(), 2u);
+  // Definition order, not command-line order.
+  EXPECT_EQ(changed[0].first, "rate");
+  EXPECT_EQ(changed[0].second, "2.5");
+  EXPECT_EQ(changed[1].first, "verbose");
+  EXPECT_EQ(changed[1].second, "true");
+}
+
+TEST(FlagsTest, NonDefaultEmptyWhenNothingSet) {
+  Flags flags = MakeFlags();
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  ASSERT_TRUE(flags.Parse(1, argv));
+  EXPECT_TRUE(flags.NonDefault().empty());
+}
+
 TEST(FlagsTest, NonFlagArgumentRejected) {
   Flags flags = MakeFlags();
   char prog[] = "prog";

@@ -121,6 +121,40 @@ TEST(NetworkTest, DownReceiverDropsInFlight) {
   EXPECT_EQ(b.received.size(), 1u);
 }
 
+TEST(NetworkTest, CrashMidFlightDropsOnlyUndeliveredMessages) {
+  // Two messages race toward a node that crashes between their arrivals:
+  // the one that lands before the crash is delivered, the one still in
+  // flight at crash time is dropped at delivery time.
+  Simulator sim(1);
+  Network net(&sim, LinkModel{10 * kMillisecond, 0, 0.0});
+  EchoNode a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  net.Send(ida, idb, ToBytes("early"));
+  sim.RunUntil(5 * kMillisecond);
+  net.Send(ida, idb, ToBytes("late"));  // would land at t=15ms
+  sim.RunUntil(12 * kMillisecond);      // "early" has landed
+  net.SetNodeUp(idb, false);
+  sim.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(ToString(b.received[0].second), "early");
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(NetworkTest, DownSenderDropsAtSendTime) {
+  Simulator sim(1);
+  Network net(&sim, LinkModel{1 * kMillisecond, 0, 0.0});
+  EchoNode a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  net.SetNodeUp(ida, false);
+  net.Send(ida, idb, ToBytes("from the grave"));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.messages_sent(), 1u);  // counted as sent, then dropped
+}
+
 TEST(NetworkTest, PartitionBlocksBothDirections) {
   Simulator sim(1);
   Network net(&sim, LinkModel{1 * kMillisecond, 0, 0.0});
@@ -138,6 +172,68 @@ TEST(NetworkTest, PartitionBlocksBothDirections) {
   net.Send(ida, idb, ToBytes("z"));
   sim.RunUntilIdle();
   EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkTest, PartitionCheckedAtSendTimeNotDelivery) {
+  // Partitions drop traffic when it is *sent*, not when it would land: a
+  // message already in flight when the partition starts is still
+  // delivered (it is on the wire), and healing does not resurrect
+  // messages sent during the partition.
+  Simulator sim(1);
+  Network net(&sim, LinkModel{10 * kMillisecond, 0, 0.0});
+  EchoNode a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  net.Send(ida, idb, ToBytes("in flight"));
+  sim.RunUntil(5 * kMillisecond);
+  net.SetPartitioned(ida, idb, true);
+  net.Send(ida, idb, ToBytes("lost"));
+  sim.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 1u);  // the in-flight message survived
+  EXPECT_EQ(ToString(b.received[0].second), "in flight");
+  EXPECT_EQ(net.messages_dropped(), 1u);
+
+  net.SetPartitioned(ida, idb, false);
+  sim.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);  // "lost" stays lost after healing
+}
+
+TEST(NetworkTest, PartitionThenHealPreservesSendOrder) {
+  Simulator sim(1);
+  Network net(&sim, LinkModel{10 * kMillisecond, 0, 0.0});
+  EchoNode a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  net.Send(ida, idb, ToBytes("1"));
+  net.SetPartitioned(ida, idb, true);
+  net.Send(ida, idb, ToBytes("dropped"));
+  net.SetPartitioned(ida, idb, false);
+  net.Send(ida, idb, ToBytes("2"));
+  sim.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(ToString(b.received[0].second), "1");
+  EXPECT_EQ(ToString(b.received[1].second), "2");
+}
+
+TEST(NetworkTest, ClearPartitionsHealsEverything) {
+  Simulator sim(1);
+  Network net(&sim, LinkModel{1 * kMillisecond, 0, 0.0});
+  EchoNode a, b, c;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  NodeId idc = net.AddNode(&c);
+  net.SetPartitioned(ida, idb, true);
+  net.SetPartitioned(ida, idc, true);
+  EXPECT_EQ(net.active_partitions(), 2u);
+  EXPECT_TRUE(net.IsPartitioned(ida, idb));
+  EXPECT_TRUE(net.IsPartitioned(idb, ida));  // normalized pair
+  net.ClearPartitions();
+  EXPECT_EQ(net.active_partitions(), 0u);
+  net.Send(ida, idb, ToBytes("x"));
+  net.Send(ida, idc, ToBytes("y"));
+  sim.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
 }
 
 TEST(NetworkTest, LossyLinkDropsSomeMessages) {

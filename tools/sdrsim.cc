@@ -12,6 +12,7 @@
 //   ./build/tools/sdrsim --grep_weight=0.4 --auditor_cache=false
 #include <cstdio>
 
+#include "src/chaos/runner.h"
 #include "src/core/cluster.h"
 #include "src/util/flags.h"
 
@@ -122,7 +123,10 @@ int main(int argc, char** argv) {
       .Define("link_ms", "5", "one-way link latency")
       .Define("grep_weight", "0.10", "query-mix weight of GREP")
       .Define("auditor_cache", "true", "auditor result cache")
-      .Define("ground_truth", "true", "validate accepted reads");
+      .Define("ground_truth", "true", "validate accepted reads")
+      .Define("scenario", "",
+              "chaos scenario applied during the run (see docs/CHAOS.md)")
+      .Define("chaos_cadence_ms", "250", "invariant-checking cadence");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -180,15 +184,49 @@ int main(int argc, char** argv) {
     };
   }
 
+  auto parsed = ParseScenario(flags.GetString("scenario"));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad --scenario: %s\n",
+                 parsed.error().message().c_str());
+    return 1;
+  }
+  Scenario scenario = std::move(parsed).value();
+
   std::printf("sdrsim: %d masters, %d auditors, %d slaves, %d clients, "
               "scheme=%s, %lld virtual seconds\n",
               config.num_masters, config.num_auditors,
               config.num_masters * config.slaves_per_master,
               config.num_clients, scheme.c_str(),
               static_cast<long long>(flags.GetInt("seconds")));
+  // Echo the seed and every explicitly-set flag so the report alone is
+  // enough to reproduce the run.
+  std::printf("seed: %llu\n",
+              static_cast<unsigned long long>(config.seed));
+  for (const auto& [name, value] : flags.NonDefault()) {
+    std::printf("  --%s=%s\n", name.c_str(), value.c_str());
+  }
 
   Cluster cluster(config);
+  ChaosController controller(
+      &cluster, scenario, DefaultCheckers(config),
+      ChaosControllerOptions{flags.GetInt("chaos_cadence_ms") * kMillisecond});
+  if (!scenario.empty()) {
+    std::printf("scenario: %s\n", scenario.ToString().c_str());
+    controller.Install();
+  }
   cluster.RunFor(flags.GetInt("seconds") * kSecond);
   PrintReport(cluster);
+  if (!scenario.empty()) {
+    controller.Finish();
+    std::printf("chaos invariants:\n");
+    for (const auto& checker : controller.checkers()) {
+      if (checker->violated()) {
+        std::printf("  %s: FAIL — %s\n", checker->name().c_str(),
+                    checker->violation()->ToString().c_str());
+      } else {
+        std::printf("  %s: PASS\n", checker->name().c_str());
+      }
+    }
+  }
   return 0;
 }
