@@ -7,6 +7,10 @@
 // used by the virtual-time experiments.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "src/core/pledge.h"
 #include "src/crypto/ed25519.h"
 #include "src/crypto/hmac.h"
@@ -63,16 +67,37 @@ void BM_HmacSha256(benchmark::State& state) {
 }
 BENCHMARK(BM_HmacSha256);
 
-void BM_Ed25519KeyGen(benchmark::State& state) {
+// Runs the body with the Ed25519 fast path toggled to `fast`, restoring the
+// previous setting afterwards. Benchmarks run sequentially, so flipping the
+// process-wide flag around one benchmark is safe.
+class FastPathGuard {
+ public:
+  explicit FastPathGuard(bool fast) : saved_(Ed25519FastPathEnabled()) {
+    Ed25519SetFastPath(fast);
+  }
+  ~FastPathGuard() { Ed25519SetFastPath(saved_); }
+
+ private:
+  bool saved_;
+};
+
+void KeyGenBody(benchmark::State& state, bool fast) {
+  FastPathGuard guard(fast);
   Rng rng(5);
   Bytes seed = rng.NextBytes(32);
   for (auto _ : state) {
     benchmark::DoNotOptimize(Ed25519PublicKey(seed));
   }
 }
+void BM_Ed25519KeyGen(benchmark::State& state) { KeyGenBody(state, true); }
 BENCHMARK(BM_Ed25519KeyGen);
+void BM_Ed25519KeyGenNaive(benchmark::State& state) {
+  KeyGenBody(state, false);
+}
+BENCHMARK(BM_Ed25519KeyGenNaive);
 
-void BM_Ed25519Sign(benchmark::State& state) {
+void SignBody(benchmark::State& state, bool fast) {
+  FastPathGuard guard(fast);
   Rng rng(6);
   Bytes seed = rng.NextBytes(32);
   Bytes msg = rng.NextBytes(256);
@@ -80,9 +105,26 @@ void BM_Ed25519Sign(benchmark::State& state) {
     benchmark::DoNotOptimize(Ed25519Sign(seed, msg));
   }
 }
+void BM_Ed25519Sign(benchmark::State& state) { SignBody(state, true); }
 BENCHMARK(BM_Ed25519Sign);
+void BM_Ed25519SignNaive(benchmark::State& state) { SignBody(state, false); }
+BENCHMARK(BM_Ed25519SignNaive);
 
-void BM_Ed25519Verify(benchmark::State& state) {
+// Signing with a pre-expanded key (the Signer's steady state): skips the
+// per-call SHA-512 seed expansion and public-key scalar multiplication.
+void BM_Ed25519SignExpanded(benchmark::State& state) {
+  Rng rng(6);
+  Bytes seed = rng.NextBytes(32);
+  Ed25519ExpandedKey key = Ed25519ExpandKey(seed);
+  Bytes msg = rng.NextBytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519SignExpanded(key, msg));
+  }
+}
+BENCHMARK(BM_Ed25519SignExpanded);
+
+void VerifyBody(benchmark::State& state, bool fast) {
+  FastPathGuard guard(fast);
   Rng rng(7);
   Bytes seed = rng.NextBytes(32);
   Bytes pub = Ed25519PublicKey(seed);
@@ -92,7 +134,50 @@ void BM_Ed25519Verify(benchmark::State& state) {
     benchmark::DoNotOptimize(Ed25519Verify(pub, msg, sig));
   }
 }
+void BM_Ed25519Verify(benchmark::State& state) { VerifyBody(state, true); }
 BENCHMARK(BM_Ed25519Verify);
+void BM_Ed25519VerifyNaive(benchmark::State& state) {
+  VerifyBody(state, false);
+}
+BENCHMARK(BM_Ed25519VerifyNaive);
+
+// Batch verification of N distinct (key, message, signature) triples via
+// the random-linear-combination equation. items_per_second is the amortized
+// per-signature rate — compare its inverse against BM_Ed25519Verify.
+void BM_Ed25519VerifyBatch(benchmark::State& state) {
+  Rng rng(14);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Ed25519BatchItem> items(n);
+  for (size_t i = 0; i < n; ++i) {
+    Bytes seed = rng.NextBytes(32);
+    items[i].public_key = Ed25519PublicKey(seed);
+    items[i].message = rng.NextBytes(256);
+    items[i].signature = Ed25519Sign(seed, items[i].message);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519VerifyBatch(items));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Ed25519VerifyBatch)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// The auditor's steady state: thousands of pledges carrying the same master
+// version token. A warm VerifyCache answers in one SHA-256 + map lookup.
+void BM_VerifyCacheHit(benchmark::State& state) {
+  Rng rng(15);
+  Bytes seed = rng.NextBytes(32);
+  Bytes pub = Ed25519PublicKey(seed);
+  Bytes msg = rng.NextBytes(256);
+  Bytes sig = Ed25519Sign(seed, msg);
+  VerifyCache cache;
+  cache.Verify(SignatureScheme::kEd25519, pub, msg, sig);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Verify(SignatureScheme::kEd25519, pub, msg, sig));
+  }
+}
+BENCHMARK(BM_VerifyCacheHit);
 
 // The slave's per-read crypto (hash result + sign pledge) vs the auditor's
 // (hash only) — the core asymmetry.
@@ -213,4 +298,28 @@ BENCHMARK(BM_MerkleProveVerify);
 }  // namespace
 }  // namespace sdr
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, except the run also writes google-benchmark's JSON report
+// to BENCH_E10.json unless the caller passes its own --benchmark_out.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) {
+      has_out = true;
+    }
+  }
+  static char kOut[] = "--benchmark_out=BENCH_E10.json";
+  static char kFormat[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(kOut);
+    args.push_back(kFormat);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -190,7 +190,8 @@ LazyResult RunLazy(int masters, int slaves_total, uint64_t seed) {
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   using namespace sdr;
   PrintHeader("E11: lazy state updates vs eager BFT ordering (Section 3)");
   Note("WAN links (40ms +/- 10ms one-way); 20 writes per cell");

@@ -213,7 +213,8 @@ Outcome RunSmr(const QueryMix& mix, int f, uint64_t seed) {
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   using namespace sdr;
   PrintHeader(
       "E1: protocol comparison (ours vs state signing vs SMR quorum)");

@@ -89,7 +89,8 @@ Sample RunAt(double p, uint64_t seed) {
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   using namespace sdr;
   PrintHeader("E2: double-check probability trade-off (Section 3.3)");
   Note("honest run: 4 clients/60s; malicious run: always-lying slave,");

@@ -85,7 +85,8 @@ Outcome Run(double q, double p, bool audit, uint64_t seed) {
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   using namespace sdr;
   PrintHeader("E3: detection latency vs lie rate (Sections 3.3-3.4)");
   Note("slave 0 lies with rate q; 8 trials x <=600 virtual seconds each");

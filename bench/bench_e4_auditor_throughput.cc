@@ -58,7 +58,8 @@ double MeasureRealSeconds(const std::function<void()>& fn) {
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   using namespace sdr;
   PrintHeader("E4: auditor vs slave read-verification throughput (S3.4)");
 

@@ -95,7 +95,8 @@ void PrintSeries(const char* name, const Series& s) {
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   using namespace sdr;
   PrintHeader("E5: auditor backlog under diurnal load, 48 virtual hours");
   Note("open-loop clients, raised-cosine diurnal curve with 3AM trough");

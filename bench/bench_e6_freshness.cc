@@ -70,7 +70,8 @@ Sample Run(SimTime max_latency, SimTime keepalive, SimTime rtt_half,
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   using namespace sdr;
   PrintHeader("E6: freshness rejections vs max_latency, keep-alive, RTT");
   Note("3 closed-loop clients, 120 virtual seconds per cell");

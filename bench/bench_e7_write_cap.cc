@@ -74,7 +74,8 @@ Sample Run(SimTime max_latency, double offered_writes_per_sec,
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   using namespace sdr;
   PrintHeader("E7: write throughput cap = 1/max_latency (Section 3.1)");
   Note("offered write load 4/s from 1 writer; 3 readers at 5/s each;");

@@ -101,7 +101,8 @@ Sample Run(int k, int colluders, uint64_t seed) {
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   using namespace sdr;
   PrintHeader("E8: multi-slave reads force collusion (Section 4)");
   Note("every read fans out to all k slaves; colluders lie identically on");

@@ -143,7 +143,8 @@ void PartB() {
 }  // namespace
 }  // namespace sdr
 
-int main() {
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
   sdr::PartA();
   sdr::PartB();
   return 0;

@@ -1,33 +1,163 @@
-// Shared helpers for the experiment benchmark binaries (E1..E9): aligned
-// table printing and common cluster settings. The experiment binaries print
-// paper-style tables; bench_e10_micro uses google-benchmark directly.
+// Shared helpers for the experiment benchmark binaries (E1..E9, E11):
+// aligned table printing and common cluster settings. The experiment
+// binaries print paper-style tables; bench_e10_micro uses google-benchmark
+// directly (its JSON comes from --benchmark_out).
+//
+// Every table-style binary accepts
+//   --json <path>   (or --json=<path>)
+// which mirrors everything printed through PrintHeader/Row/Note into a
+// machine-readable JSON file at exit, so CI can archive the numbers.
 #ifndef SDR_BENCH_BENCH_UTIL_H_
 #define SDR_BENCH_BENCH_UTIL_H_
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace sdr {
 
+namespace bench_internal {
+
+struct JsonSection {
+  std::string title;
+  std::vector<std::string> rows;
+  std::vector<std::string> notes;
+};
+
+struct JsonState {
+  std::string path;  // empty = JSON capture disabled
+  std::vector<JsonSection> sections;
+};
+
+inline JsonState& State() {
+  static JsonState state;
+  return state;
+}
+
+inline std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void WriteJsonAtExit() {
+  JsonState& s = State();
+  if (s.path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open --json file %s\n", s.path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"sections\": [");
+  for (size_t i = 0; i < s.sections.size(); ++i) {
+    const JsonSection& sec = s.sections[i];
+    std::fprintf(f, "%s\n    {\n      \"title\": \"%s\",\n", i ? "," : "",
+                 JsonEscape(sec.title).c_str());
+    std::fprintf(f, "      \"rows\": [");
+    for (size_t r = 0; r < sec.rows.size(); ++r) {
+      std::fprintf(f, "%s\n        \"%s\"", r ? "," : "",
+                   JsonEscape(sec.rows[r]).c_str());
+    }
+    std::fprintf(f, "%s],\n", sec.rows.empty() ? "" : "\n      ");
+    std::fprintf(f, "      \"notes\": [");
+    for (size_t n = 0; n < sec.notes.size(); ++n) {
+      std::fprintf(f, "%s\n        \"%s\"", n ? "," : "",
+                   JsonEscape(sec.notes[n]).c_str());
+    }
+    std::fprintf(f, "%s]\n    }", sec.notes.empty() ? "" : "\n      ");
+  }
+  std::fprintf(f, "%s]\n}\n", s.sections.empty() ? "" : "\n  ");
+  std::fclose(f);
+}
+
+inline JsonSection* CurrentSection() {
+  JsonState& s = State();
+  if (s.path.empty()) {
+    return nullptr;
+  }
+  if (s.sections.empty()) {
+    s.sections.push_back(JsonSection{});  // rows printed before any header
+  }
+  return &s.sections.back();
+}
+
+}  // namespace bench_internal
+
+// Parses the flags shared by the experiment binaries; unknown arguments are
+// ignored so binaries can add their own. Safe to call with (0, nullptr).
+inline void ParseBenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      bench_internal::State().path = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      bench_internal::State().path = arg + 7;
+    }
+  }
+  if (!bench_internal::State().path.empty()) {
+    std::atexit(bench_internal::WriteJsonAtExit);
+  }
+}
+
 // Prints a header like:
 //   === E2: double-check probability sweep ===
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+  if (!bench_internal::State().path.empty()) {
+    bench_internal::JsonSection section;
+    section.title = title;
+    bench_internal::State().sections.push_back(std::move(section));
+  }
 }
 
 // Fixed-width row printing: Row("%-10s %8.2f", ...).
 inline void Row(const char* fmt, ...) {
+  char buf[1024];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stdout, fmt, args);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
+  std::fputs(buf, stdout);
   std::fputc('\n', stdout);
+  if (auto* section = bench_internal::CurrentSection()) {
+    section->rows.emplace_back(buf);
+  }
 }
 
 inline void Note(const std::string& text) {
   std::printf("  note: %s\n", text.c_str());
+  if (auto* section = bench_internal::CurrentSection()) {
+    section->notes.push_back(text);
+  }
 }
 
 }  // namespace sdr

@@ -61,12 +61,9 @@ void Auditor::SetPaused(bool paused) {
   std::deque<std::pair<Pledge, NodeId>> backlog = std::move(paused_backlog_);
   paused_backlog_.clear();
   for (auto& [pledge, submitter] : backlog) {
-    if (pledge.token.content_version > oplog_.head_version()) {
-      future_.emplace_back(std::move(pledge), submitter);
-    } else {
-      AuditOne(std::move(pledge), submitter);
-    }
+    EnqueueForVerify(std::move(pledge), submitter);
   }
+  FlushVerifyBatch();
   TryFinalizeVersions();
 }
 
@@ -167,12 +164,82 @@ void Auditor::HandleAuditSubmit(NodeId from, const Bytes& body) {
     paused_backlog_.emplace_back(std::move(msg->pledge), from);
     return;
   }
-  if (msg->pledge.token.content_version > oplog_.head_version()) {
-    // The slave answered at a version whose commit has not reached us yet.
-    future_.emplace_back(std::move(msg->pledge), from);
+  EnqueueForVerify(std::move(msg->pledge), from);
+}
+
+// Admission stage: buffer the pledge for batched signature verification.
+// The pledge counts as in flight from here, so version finalization can
+// never overtake a buffered pledge.
+void Auditor::EnqueueForVerify(Pledge pledge, NodeId submitter) {
+  ++in_flight_[pledge.token.content_version];
+  pending_verify_.emplace_back(std::move(pledge), submitter);
+  if (pending_verify_.size() >=
+      static_cast<size_t>(options_.params.audit_verify_batch_size)) {
+    FlushVerifyBatch();
     return;
   }
-  AuditOne(std::move(msg->pledge), from);
+  if (!verify_timer_armed_) {
+    verify_timer_armed_ = true;
+    sim()->ScheduleAfter(options_.params.audit_verify_batch_window, [this] {
+      verify_timer_armed_ = false;
+      FlushVerifyBatch();
+    });
+  }
+}
+
+// Verifies the buffered pledges' signatures (slave over the pledge body,
+// master over the embedded token) in one batch through the verify cache,
+// then routes survivors onward. Pledges whose slave certificate has not
+// been gossiped yet pass through unverified — exactly the pre-batching
+// behaviour, where the signature was only checked before accusing — and
+// the mismatch path re-checks (a cache hit for everything verified here).
+void Auditor::FlushVerifyBatch() {
+  if (pending_verify_.empty()) {
+    return;
+  }
+  std::deque<std::pair<Pledge, NodeId>> batch = std::move(pending_verify_);
+  pending_verify_.clear();
+
+  // item index pairs per verifiable pledge: [slave sig, token sig].
+  std::vector<VerifyItem> items;
+  std::vector<int> first_item(batch.size(), -1);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Pledge& pledge = batch[i].first;
+    auto cert = known_slave_certs_.find(pledge.slave);
+    auto master_key = options_.master_keys.find(pledge.token.master);
+    if (cert == known_slave_certs_.end() ||
+        master_key == options_.master_keys.end()) {
+      continue;
+    }
+    first_item[i] = static_cast<int>(items.size());
+    items.push_back({cert->second.subject_public_key, pledge.SignedBody(),
+                     pledge.signature});
+    items.push_back({master_key->second, pledge.token.SignedBody(),
+                     pledge.token.signature});
+  }
+  std::vector<bool> ok;
+  if (!items.empty()) {
+    ++metrics_.verify_batches;
+    metrics_.sigs_batch_verified += items.size();
+    ok = verify_cache_.VerifyBatch(options_.params.scheme, items);
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto& [pledge, submitter] = batch[i];
+    --in_flight_[pledge.token.content_version];
+    if (first_item[i] >= 0 &&
+        (!ok[first_item[i]] || !ok[first_item[i] + 1])) {
+      // Forged or tampered: proves nothing, audits nothing.
+      ++metrics_.pledges_bad_signature;
+      continue;
+    }
+    if (pledge.token.content_version > oplog_.head_version()) {
+      // The slave answered at a version whose commit has not reached us yet.
+      future_.emplace_back(std::move(pledge), submitter);
+      continue;
+    }
+    AuditOne(std::move(pledge), submitter);
+  }
 }
 
 void Auditor::AuditOne(Pledge pledge, NodeId submitter) {
@@ -229,7 +296,8 @@ void Auditor::AuditOne(Pledge pledge, NodeId submitter) {
       auto cert = known_slave_certs_.find(pledge.slave);
       if (cert == known_slave_certs_.end() ||
           !VerifyPledgeSignature(options_.params.scheme,
-                                 cert->second.subject_public_key, pledge)) {
+                                 cert->second.subject_public_key, pledge,
+                                 &verify_cache_)) {
         ++metrics_.pledges_bad_signature;
         return;
       }

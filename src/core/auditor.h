@@ -67,12 +67,19 @@ class Auditor : public Node {
   bool paused() const { return paused_; }
 
   const OpLog& oplog() const { return oplog_; }
-  const AuditorMetrics& metrics() const { return metrics_; }
+  const AuditorMetrics& metrics() const {
+    metrics_.sig_cache_hits = verify_cache_.stats().hits;
+    metrics_.sig_cache_misses = verify_cache_.stats().misses;
+    return metrics_;
+  }
   uint64_t head_version() const { return oplog_.head_version(); }
   uint64_t audited_version() const { return audited_version_; }
   // Audits accepted but not yet completed (queued on the simulated CPU),
-  // plus pledges parked for not-yet-committed versions.
-  size_t backlog() const { return queue_->depth() + future_.size(); }
+  // plus pledges parked for not-yet-committed versions or awaiting the
+  // batched signature verification.
+  size_t backlog() const {
+    return queue_->depth() + future_.size() + pending_verify_.size();
+  }
   const ServiceQueue& service_queue() const { return *queue_; }
 
   // Current lag between the committed head and the fully audited version.
@@ -85,6 +92,8 @@ class Auditor : public Node {
   void PumpCommitQueue();
   void HandleAuditSubmit(NodeId from, const Bytes& body);
   void GossipAndFinalizeTick();
+  void EnqueueForVerify(Pledge pledge, NodeId submitter);
+  void FlushVerifyBatch();
   void AuditOne(Pledge pledge, NodeId submitter);
   void TryFinalizeVersions();
   void RaiseAccusation(const Pledge& pledge);
@@ -111,6 +120,14 @@ class Auditor : public Node {
   // Pledges parked while paused, drained on resume.
   std::deque<std::pair<Pledge, NodeId>> paused_backlog_;
   bool paused_ = false;
+  // Admitted pledges awaiting the batched signature verification. Counted
+  // in in_flight_ so finalization cannot overtake them; flushed at
+  // audit_verify_batch_size or after audit_verify_batch_window.
+  std::deque<std::pair<Pledge, NodeId>> pending_verify_;
+  bool verify_timer_armed_ = false;
+  // Deduplicates signature verifications — chiefly the version token, which
+  // is shared by every pledge answered under it.
+  VerifyCache verify_cache_;
   // Count of in-flight audits on the service queue for each version — a
   // version cannot finalize while its audits are in flight.
   std::map<uint64_t, uint64_t> in_flight_;
@@ -129,7 +146,7 @@ class Auditor : public Node {
   std::map<NodeId, Certificate> known_slave_certs_;
   std::map<NodeId, NodeId> slave_owner_;
 
-  AuditorMetrics metrics_;
+  mutable AuditorMetrics metrics_;
 };
 
 }  // namespace sdr

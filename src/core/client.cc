@@ -160,7 +160,7 @@ void Client::HandleBadReadNotice(const Bytes& body) {
   const Bytes* master_key = MasterKey(msg->pledge.token.master);
   if (master_key == nullptr ||
       !VerifyVersionToken(options_.params.scheme, *master_key,
-                          msg->pledge.token)) {
+                          msg->pledge.token, &verify_cache_)) {
     return;
   }
   ++metrics_.bad_read_notices;
@@ -254,18 +254,16 @@ void Client::HandleReadReply(NodeId from, const Bytes& body) {
     RetryRead(msg->request_id, 0);
     return;
   }
-  // 2. Pledge must be signed by the slave we were assigned.
-  if (pledge.slave != slave_cert_->subject ||
-      !VerifyPledgeSignature(options_.params.scheme,
-                             slave_cert_->subject_public_key, pledge)) {
-    ++metrics_.reads_rejected_bad_sig;
-    RetryRead(msg->request_id, 0);
-    return;
-  }
-  // 3. Version token must be signed by a certified master.
+  // 2/3. Pledge must be signed by the slave we were assigned and the
+  // version token by a certified master. The two checks run as one batch
+  // through the verify cache: the token is usually a cache hit (it only
+  // changes on keepalives), and for batch-capable schemes a cold pair
+  // shares one combined equation.
   const Bytes* master_key = MasterKey(pledge.token.master);
-  if (master_key == nullptr ||
-      !VerifyVersionToken(options_.params.scheme, *master_key, pledge.token)) {
+  if (pledge.slave != slave_cert_->subject || master_key == nullptr ||
+      !VerifyPledgeAndToken(options_.params.scheme,
+                            slave_cert_->subject_public_key, *master_key,
+                            pledge, &verify_cache_)) {
     ++metrics_.reads_rejected_bad_sig;
     RetryRead(msg->request_id, 0);
     return;

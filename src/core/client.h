@@ -89,7 +89,11 @@ class Client : public Node {
   NodeId master() const { return master_; }
   NodeId assigned_slave() const { return slave_cert_ ? slave_cert_->subject
                                                      : kInvalidNode; }
-  const ClientMetrics& metrics() const { return metrics_; }
+  const ClientMetrics& metrics() const {
+    metrics_.sig_cache_hits = verify_cache_.stats().hits;
+    metrics_.sig_cache_misses = verify_cache_.stats().misses;
+    return metrics_;
+  }
   SimTime effective_max_latency() const {
     return options_.max_latency_override > 0 ? options_.max_latency_override
                                              : options_.params.max_latency;
@@ -161,7 +165,11 @@ class Client : public Node {
   // Reads accepted pending their double-check verdict: request_id -> result.
   std::map<uint64_t, std::pair<QueryResult, Pledge>> double_checking_;
 
-  ClientMetrics metrics_;
+  // Deduplicates signature verifications; the dominant hit source is the
+  // version token, which is identical across every read until the master's
+  // next keepalive. Counters are mirrored into metrics_ on access.
+  VerifyCache verify_cache_;
+  mutable ClientMetrics metrics_;
 };
 
 }  // namespace sdr

@@ -530,7 +530,8 @@ bool Master::ProcessIncriminatingPledge(const Pledge& pledge) {
     return false;
   }
   if (!VerifyPledgeSignature(options_.params.scheme,
-                             cert_it->second.subject_public_key, pledge)) {
+                             cert_it->second.subject_public_key, pledge,
+                             &verify_cache_)) {
     return false;
   }
   // 2. The embedded version token must be genuine — otherwise the "wrong"
@@ -538,7 +539,7 @@ bool Master::ProcessIncriminatingPledge(const Pledge& pledge) {
   auto master_key = options_.master_keys.find(pledge.token.master);
   if (master_key == options_.master_keys.end() ||
       !VerifyVersionToken(options_.params.scheme, master_key->second,
-                          pledge.token)) {
+                          pledge.token, &verify_cache_)) {
     return false;
   }
   // 3. Re-execute at the pledged version and compare.

@@ -63,7 +63,11 @@ class Master : public Node {
   // Accessors for tests and benchmarks.
   uint64_t version() const { return oplog_.head_version(); }
   const OpLog& oplog() const { return oplog_; }
-  const MasterMetrics& metrics() const { return metrics_; }
+  const MasterMetrics& metrics() const {
+    metrics_.sig_cache_hits = verify_cache_.stats().hits;
+    metrics_.sig_cache_misses = verify_cache_.stats().misses;
+    return metrics_;
+  }
   const Bytes& public_key() const { return signer_.public_key(); }
   std::vector<Certificate> my_slave_certs() const {
     std::vector<Certificate> certs;
@@ -159,7 +163,10 @@ class Master : public Node {
   };
   std::map<NodeId, Bucket> greedy_buckets_;
 
-  MasterMetrics metrics_;
+  // Deduplicates repeated verifications when the same incriminating pledge
+  // or token is presented more than once.
+  VerifyCache verify_cache_;
+  mutable MasterMetrics metrics_;
 };
 
 }  // namespace sdr

@@ -31,6 +31,9 @@ struct ClientMetrics {
   uint64_t setups_completed = 0;
   // Delayed discovery: accepted reads later reported wrong by the auditor.
   uint64_t bad_read_notices = 0;
+  // Verify-dedup cache (mostly version tokens reused across reads).
+  uint64_t sig_cache_hits = 0;
+  uint64_t sig_cache_misses = 0;
   Percentiles read_latency_us;
   Percentiles write_latency_us;
 };
@@ -51,6 +54,9 @@ struct MasterMetrics {
   uint64_t keepalives_sent = 0;
   uint64_t slave_sets_adopted = 0;  // from crashed peers
   uint64_t work_units_executed = 0;
+  // Verify-dedup cache (accusation / incriminating-pledge checks).
+  uint64_t sig_cache_hits = 0;
+  uint64_t sig_cache_misses = 0;
 };
 
 struct SlaveMetrics {
@@ -64,6 +70,9 @@ struct SlaveMetrics {
   uint64_t state_updates_applied = 0;
   uint64_t keepalives_received = 0;
   uint64_t work_units_executed = 0;
+  // Verify-dedup cache (token adoption checks).
+  uint64_t sig_cache_hits = 0;
+  uint64_t sig_cache_misses = 0;
 };
 
 struct AuditorMetrics {
@@ -82,6 +91,12 @@ struct AuditorMetrics {
   uint64_t cache_hits = 0;
   uint64_t versions_finalized = 0;
   uint64_t work_units_executed = 0;
+  // Batched up-front signature verification of submitted pledges.
+  uint64_t verify_batches = 0;
+  uint64_t sigs_batch_verified = 0;
+  // Verify-dedup cache (version tokens shared across pledges).
+  uint64_t sig_cache_hits = 0;
+  uint64_t sig_cache_misses = 0;
   // Sampled at finalization: how far behind the head the auditor runs.
   Percentiles version_lag;
   Percentiles backlog_depth;

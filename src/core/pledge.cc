@@ -4,6 +4,7 @@ namespace sdr {
 
 Bytes VersionToken::SignedBody() const {
   Writer w;
+  w.Reserve(4 + 11 + 8 + 8 + 4);
   w.Blob(std::string_view("sdr-vtok-v1"));
   w.U64(content_version);
   w.I64(timestamp);
@@ -48,8 +49,19 @@ bool TokenIsFresh(const VersionToken& token, SimTime now,
   return now - token.timestamp <= max_latency;
 }
 
+// Upper-bound estimate of a pledge body: tag + a typical query + hash blob
+// + token with signature + ids. One reservation instead of log2(size)
+// regrowth copies on the per-read signing path.
+static size_t PledgeBodyEstimate(const Pledge& p) {
+  return 64 + p.query.key.size() + p.query.range_lo.size() +
+         p.query.range_hi.size() + p.query.pattern.size() +
+         p.result_sha1.size() + p.token.signature.size() +
+         p.signature.size() + 48;
+}
+
 Bytes Pledge::SignedBody() const {
   Writer w;
+  w.Reserve(PledgeBodyEstimate(*this));
   w.Blob(std::string_view("sdr-pledge-v1"));
   query.EncodeTo(w);
   w.Blob(result_sha1);
@@ -70,6 +82,7 @@ void Pledge::EncodeTo(Writer& w) const {
 
 Bytes Pledge::Encode() const {
   Writer w;
+  w.Reserve(PledgeBodyEstimate(*this));
   EncodeTo(w);
   return w.Take();
 }
@@ -109,6 +122,42 @@ bool VerifyPledgeSignature(SignatureScheme scheme,
                            const Pledge& pledge) {
   return VerifySignature(scheme, slave_public_key, pledge.SignedBody(),
                          pledge.signature);
+}
+
+bool VerifyVersionToken(SignatureScheme scheme, const Bytes& master_public_key,
+                        const VersionToken& token, VerifyCache* cache) {
+  if (cache == nullptr) {
+    return VerifyVersionToken(scheme, master_public_key, token);
+  }
+  return cache->Verify(scheme, master_public_key, token.SignedBody(),
+                       token.signature);
+}
+
+bool VerifyPledgeSignature(SignatureScheme scheme,
+                           const Bytes& slave_public_key, const Pledge& pledge,
+                           VerifyCache* cache) {
+  if (cache == nullptr) {
+    return VerifyPledgeSignature(scheme, slave_public_key, pledge);
+  }
+  return cache->Verify(scheme, slave_public_key, pledge.SignedBody(),
+                       pledge.signature);
+}
+
+bool VerifyPledgeAndToken(SignatureScheme scheme, const Bytes& slave_public_key,
+                          const Bytes& master_public_key, const Pledge& pledge,
+                          VerifyCache* cache) {
+  if (!SchemeSupportsBatchVerify(scheme)) {
+    return VerifyPledgeSignature(scheme, slave_public_key, pledge, cache) &&
+           VerifyVersionToken(scheme, master_public_key, pledge.token, cache);
+  }
+  std::vector<VerifyItem> items(2);
+  items[0] = {slave_public_key, pledge.SignedBody(), pledge.signature};
+  items[1] = {master_public_key, pledge.token.SignedBody(),
+              pledge.token.signature};
+  std::vector<bool> ok = cache != nullptr
+                             ? cache->VerifyBatch(scheme, items)
+                             : VerifySignatureBatch(scheme, items);
+  return ok[0] && ok[1];
 }
 
 }  // namespace sdr

@@ -72,6 +72,22 @@ Pledge MakePledge(const Signer& slave_signer, NodeId slave, const Query& query,
 bool VerifyPledgeSignature(SignatureScheme scheme,
                            const Bytes& slave_public_key, const Pledge& pledge);
 
+// Cache-aware variants: with a non-null cache, repeated verifications of
+// the same bytes (the usual case for version tokens, which masters attach
+// unchanged to every pledge until the next keepalive) cost one lookup.
+bool VerifyVersionToken(SignatureScheme scheme, const Bytes& master_public_key,
+                        const VersionToken& token, VerifyCache* cache);
+bool VerifyPledgeSignature(SignatureScheme scheme,
+                           const Bytes& slave_public_key, const Pledge& pledge,
+                           VerifyCache* cache);
+
+// Verifies both signatures carried by one pledge — the slave's over the
+// pledge body and the master's over the embedded token — as a single batch
+// when the scheme supports it. Equivalent to the two separate checks.
+bool VerifyPledgeAndToken(SignatureScheme scheme, const Bytes& slave_public_key,
+                          const Bytes& master_public_key, const Pledge& pledge,
+                          VerifyCache* cache);
+
 }  // namespace sdr
 
 #endif  // SDR_SRC_CORE_PLEDGE_H_

@@ -42,7 +42,8 @@ void Slave::MaybeAdoptToken(const VersionToken& token) {
   // Verify the master's signature; reject tokens from unknown masters.
   auto key = options_.master_keys.find(token.master);
   if (key == options_.master_keys.end() ||
-      !VerifyVersionToken(options_.params.scheme, key->second, token)) {
+      !VerifyVersionToken(options_.params.scheme, key->second, token,
+                          &verify_cache_)) {
     return;
   }
   // A token is only usable if we actually hold the state it attests to.

@@ -68,7 +68,11 @@ class Slave : public Node {
 
   uint64_t applied_version() const { return applied_version_; }
   const Bytes& public_key() const { return signer_.public_key(); }
-  const SlaveMetrics& metrics() const { return metrics_; }
+  const SlaveMetrics& metrics() const {
+    metrics_.sig_cache_hits = verify_cache_.stats().hits;
+    metrics_.sig_cache_misses = verify_cache_.stats().misses;
+    return metrics_;
+  }
   const ServiceQueue& service_queue() const { return *queue_; }
   const DocumentStore& store() const { return store_; }
 
@@ -92,7 +96,10 @@ class Slave : public Node {
   std::optional<VersionToken> token_;
   std::unique_ptr<ServiceQueue> queue_;
 
-  SlaveMetrics metrics_;
+  // Deduplicates token verifications: the same token arrives repeatedly via
+  // keepalives and state updates during its lifetime.
+  VerifyCache verify_cache_;
+  mutable SlaveMetrics metrics_;
 };
 
 }  // namespace sdr

@@ -1,21 +1,33 @@
 // Ed25519 signatures (RFC 8032), implemented from scratch:
-//   - field arithmetic mod p = 2^255 - 19 (5 x 51-bit limbs, __int128 mul)
+//   - field arithmetic mod p = 2^255 - 19 (5 x 51-bit limbs, __int128 mul,
+//     dedicated squaring)
 //   - twisted Edwards point arithmetic in extended coordinates with the
-//     unified add-2008-hwcd-3 formulas (also used for doubling)
-//   - scalar arithmetic mod the group order L via binary long division
+//     unified add-2008-hwcd-3 formulas plus a dedicated doubling and mixed
+//     additions against precomputed (y+x, y-x, 2dxy) points
+//   - scalar arithmetic mod the group order L (byte-limb folding reduction
+//     on the fast path, binary long division on the reference path)
 //   - SHA-512 from src/crypto/sha2.h
+//
+// Two code paths produce bit-identical signatures and verdicts:
+//   - the *fast path* (default): a precomputed signed-radix-16 fixed-base
+//     table for signing/key derivation, Straus/Shamir interleaved
+//     double-scalar multiplication for verification, and a random-linear-
+//     combination batch verifier with bisection fallback;
+//   - the *naive path*: the original clarity-first double-and-add ladders,
+//     kept as a cross-checking oracle behind Ed25519SetFastPath(false).
 //
 // Curve constants (d, sqrt(-1), the base point) are derived numerically at
 // first use instead of being transcribed, and validated by the RFC 8032
 // test vectors in tests/crypto_test.cc.
 //
-// This implementation favours clarity over speed and is NOT constant-time;
-// it authenticates messages inside a deterministic simulator, not on a real
-// network exposed to timing adversaries.
+// This implementation is NOT constant-time; it authenticates messages
+// inside a deterministic simulator, not on a real network exposed to
+// timing adversaries.
 #ifndef SDR_SRC_CRYPTO_ED25519_H_
 #define SDR_SRC_CRYPTO_ED25519_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/util/bytes.h"
 
@@ -36,6 +48,42 @@ Bytes Ed25519Sign(const Bytes& seed, const Bytes& message);
 // Rejects non-canonical S (S >= L) and undecodable points.
 bool Ed25519Verify(const Bytes& public_key, const Bytes& message,
                    const Bytes& signature);
+
+// Precomputed signing state for one seed: the clamped secret scalar, the
+// deterministic-nonce prefix, and the encoded public key. Expanding costs
+// one fixed-base multiplication; signing with the expanded key skips the
+// per-call seed hashing and public-key derivation (the bulk of a naive
+// sign). Signatures are bit-identical to Ed25519Sign on the same seed.
+struct Ed25519ExpandedKey {
+  uint8_t scalar[32];
+  uint8_t prefix[32];
+  Bytes public_key;
+};
+
+Ed25519ExpandedKey Ed25519ExpandKey(const Bytes& seed);
+Bytes Ed25519SignExpanded(const Ed25519ExpandedKey& key, const Bytes& message);
+
+// One (public key, message, signature) triple for batch verification.
+struct Ed25519BatchItem {
+  Bytes public_key;
+  Bytes message;
+  Bytes signature;
+};
+
+// Verifies many signatures at once with a random-linear-combination check:
+// sum_i z_i * (S_i B - R_i - k_i A_i) == identity for random 128-bit z_i,
+// sharing one interleaved multi-scalar multiplication across the batch.
+// When the combined equation fails, the batch is bisected until every
+// culprit is identified, so out[i] always equals Ed25519Verify(item i).
+// Amortized cost per signature is well below a single verification for
+// batches of ~4 or more.
+std::vector<bool> Ed25519VerifyBatch(const std::vector<Ed25519BatchItem>& items);
+
+// Test/bench hook: toggles between the precomputed-table fast path and the
+// original naive ladders (both produce identical bytes). Fast is the
+// default; flipping this is global and not thread-safe.
+void Ed25519SetFastPath(bool enabled);
+bool Ed25519FastPathEnabled();
 
 }  // namespace sdr
 

@@ -2,6 +2,7 @@
 
 #include "src/crypto/ed25519.h"
 #include "src/crypto/hmac.h"
+#include "src/crypto/sha2.h"
 
 namespace sdr {
 
@@ -40,7 +41,11 @@ KeyPair KeyPair::Generate(SignatureScheme scheme, Rng& rng) {
 Bytes Signer::Sign(const Bytes& message) const {
   switch (key_.scheme) {
     case SignatureScheme::kEd25519:
-      return Ed25519Sign(key_.private_key, message);
+      if (!expanded_) {
+        expanded_ = std::make_shared<Ed25519ExpandedKey>(
+            Ed25519ExpandKey(key_.private_key));
+      }
+      return Ed25519SignExpanded(*expanded_, message);
     case SignatureScheme::kHmacSha256:
       return HmacSha256(key_.private_key, message);
     case SignatureScheme::kNull:
@@ -60,6 +65,143 @@ bool VerifySignature(SignatureScheme scheme, const Bytes& public_key,
       return signature == Bytes{0x4e};
   }
   return false;
+}
+
+bool SchemeSupportsBatchVerify(SignatureScheme scheme) {
+  return scheme == SignatureScheme::kEd25519;
+}
+
+std::vector<bool> VerifySignatureBatch(SignatureScheme scheme,
+                                       const std::vector<VerifyItem>& items) {
+  if (scheme == SignatureScheme::kEd25519) {
+    std::vector<Ed25519BatchItem> batch(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      batch[i].public_key = items[i].public_key;
+      batch[i].message = items[i].message;
+      batch[i].signature = items[i].signature;
+    }
+    return Ed25519VerifyBatch(batch);
+  }
+  std::vector<bool> out(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] = VerifySignature(scheme, items[i].public_key, items[i].message,
+                             items[i].signature);
+  }
+  return out;
+}
+
+VerifyCache::Key VerifyCache::MakeKey(SignatureScheme scheme,
+                                      const Bytes& public_key,
+                                      const Bytes& message,
+                                      const Bytes& signature) {
+  // Length-prefix each field so (key, message) boundaries cannot collide.
+  Sha256 h;
+  uint8_t hdr[1 + 3 * 8];
+  hdr[0] = static_cast<uint8_t>(scheme);
+  auto put_len = [&hdr](int at, uint64_t n) {
+    for (int i = 0; i < 8; ++i) {
+      hdr[at + i] = (uint8_t)(n >> (8 * i));
+    }
+  };
+  put_len(1, public_key.size());
+  put_len(9, message.size());
+  put_len(17, signature.size());
+  h.Update(hdr, sizeof(hdr));
+  h.Update(public_key);
+  h.Update(message);
+  h.Update(signature);
+  Bytes digest = h.Final();
+  return Key(reinterpret_cast<const char*>(digest.data()), digest.size());
+}
+
+const bool* VerifyCache::Lookup(const Key& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+void VerifyCache::Insert(const Key& key, bool verdict) {
+  if (capacity_ == 0) {
+    return;
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = verdict;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, verdict);
+  map_[key] = lru_.begin();
+}
+
+bool VerifyCache::Verify(SignatureScheme scheme, const Bytes& public_key,
+                         const Bytes& message, const Bytes& signature) {
+  if (scheme == SignatureScheme::kNull) {
+    return VerifySignature(scheme, public_key, message, signature);
+  }
+  Key key = MakeKey(scheme, public_key, message, signature);
+  if (const bool* cached = Lookup(key)) {
+    return *cached;
+  }
+  bool verdict = VerifySignature(scheme, public_key, message, signature);
+  Insert(key, verdict);
+  return verdict;
+}
+
+std::vector<bool> VerifyCache::VerifyBatch(SignatureScheme scheme,
+                                           const std::vector<VerifyItem>& items) {
+  if (scheme == SignatureScheme::kNull) {
+    return VerifySignatureBatch(scheme, items);
+  }
+  std::vector<bool> out(items.size(), false);
+  std::vector<Key> keys(items.size());
+  // item index -> slot in the deduplicated miss list. Duplicates inside one
+  // batch (the same version token on many pledges) are verified once.
+  std::vector<size_t> miss_slot(items.size());
+  std::unordered_map<Key, size_t> pending;
+  std::vector<Key> slot_key;
+  std::vector<size_t> miss_idx;
+  std::vector<VerifyItem> misses;
+  for (size_t i = 0; i < items.size(); ++i) {
+    keys[i] = MakeKey(scheme, items[i].public_key, items[i].message,
+                      items[i].signature);
+    auto dup = pending.find(keys[i]);
+    if (dup != pending.end()) {
+      ++stats_.hits;
+      miss_slot[i] = dup->second;
+      miss_idx.push_back(i);
+      continue;
+    }
+    if (const bool* cached = Lookup(keys[i])) {
+      out[i] = *cached;
+      continue;
+    }
+    miss_slot[i] = misses.size();
+    pending[keys[i]] = misses.size();
+    slot_key.push_back(keys[i]);
+    miss_idx.push_back(i);
+    misses.push_back(items[i]);
+  }
+  if (!misses.empty()) {
+    std::vector<bool> verdicts = VerifySignatureBatch(scheme, misses);
+    for (size_t i : miss_idx) {
+      out[i] = verdicts[miss_slot[i]];
+    }
+    for (size_t slot = 0; slot < misses.size(); ++slot) {
+      Insert(slot_key[slot], verdicts[slot]);
+    }
+  }
+  return out;
 }
 
 }  // namespace sdr

@@ -6,16 +6,29 @@
 // speed — everything else in the protocol stays identical — and a Null mode
 // exists for logic-only unit tests. Which mode is in use is part of the
 // cluster configuration and is reported by the benches.
+//
+// Two throughput helpers sit on top of plain VerifySignature:
+//   - VerifySignatureBatch amortizes many verifications into one
+//     random-linear-combination check when the scheme supports it
+//     (SchemeSupportsBatchVerify — currently Ed25519 only);
+//   - VerifyCache deduplicates repeated verifications of the same
+//     (key, message, signature) triple, e.g. one master's version token
+//     attached to thousands of pledges.
 #ifndef SDR_SRC_CRYPTO_SIGNER_H_
 #define SDR_SRC_CRYPTO_SIGNER_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "src/util/bytes.h"
 #include "src/util/rng.h"
 
 namespace sdr {
+
+struct Ed25519ExpandedKey;
 
 enum class SignatureScheme : uint8_t {
   kEd25519 = 0,
@@ -37,7 +50,9 @@ struct KeyPair {
   static KeyPair Generate(SignatureScheme scheme, Rng& rng);
 };
 
-// Signs messages with a held private key.
+// Signs messages with a held private key. For Ed25519 the seed is expanded
+// once on first use (secret scalar, nonce prefix, public key), so repeated
+// signing — a slave pledging every read — skips the per-call key setup.
 class Signer {
  public:
   explicit Signer(KeyPair key_pair) : key_(std::move(key_pair)) {}
@@ -48,11 +63,79 @@ class Signer {
 
  private:
   KeyPair key_;
+  mutable std::shared_ptr<Ed25519ExpandedKey> expanded_;  // lazy, Ed25519 only
 };
 
 // Verifies signatures against a public key.
 bool VerifySignature(SignatureScheme scheme, const Bytes& public_key,
                      const Bytes& message, const Bytes& signature);
+
+// One (public key, message, signature) triple for VerifySignatureBatch.
+struct VerifyItem {
+  Bytes public_key;
+  Bytes message;
+  Bytes signature;
+};
+
+// True when the scheme has a batch verification cheaper than item-by-item
+// verification (currently Ed25519 only).
+bool SchemeSupportsBatchVerify(SignatureScheme scheme);
+
+// Verifies all items; out[i] == VerifySignature(item i) always, but for
+// batch-capable schemes the amortized cost per item is well below a single
+// verification.
+std::vector<bool> VerifySignatureBatch(SignatureScheme scheme,
+                                       const std::vector<VerifyItem>& items);
+
+// A small LRU cache deduplicating repeated verifications of the identical
+// (scheme, public key, message, signature) triple. Both verdicts are
+// cached: a forged signature stays forged no matter how often it is
+// retried. Null-scheme verifications bypass the cache (a map lookup costs
+// more than the check itself).
+//
+// Not thread-safe, by design — each simulated node owns its cache.
+class VerifyCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit VerifyCache(size_t capacity = 1024) : capacity_(capacity) {}
+
+  // Cached equivalent of VerifySignature.
+  bool Verify(SignatureScheme scheme, const Bytes& public_key,
+              const Bytes& message, const Bytes& signature);
+
+  // Cached equivalent of VerifySignatureBatch: hits are answered from the
+  // cache, the remaining misses go through one batch verification, and
+  // their verdicts are inserted.
+  std::vector<bool> VerifyBatch(SignatureScheme scheme,
+                                const std::vector<VerifyItem>& items);
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Key: SHA-256 over (scheme, public key, message, signature), so entries
+  // are fixed-size regardless of message length.
+  using Key = std::string;
+
+  static Key MakeKey(SignatureScheme scheme, const Bytes& public_key,
+                     const Bytes& message, const Bytes& signature);
+  // Returns the cached verdict for key, refreshing its LRU position;
+  // nullptr on miss. Updates hit/miss counters.
+  const bool* Lookup(const Key& key);
+  void Insert(const Key& key, bool verdict);
+
+  size_t capacity_;
+  // Most-recently-used at the front.
+  std::list<std::pair<Key, bool>> lru_;
+  std::unordered_map<Key, std::list<std::pair<Key, bool>>::iterator> map_;
+  Stats stats_;
+};
 
 }  // namespace sdr
 

@@ -58,7 +58,6 @@ Result<DocumentStore> OpLog::MaterializeAt(uint64_t version) const {
 }
 
 void OpLog::PruneBelow(uint64_t version) {
-  batches_.erase(batches_.begin(), batches_.lower_bound(version));
   // Keep the newest snapshot at or below `version` so MaterializeAt(version)
   // still works; drop everything older.
   auto keep = snapshots_.upper_bound(version);
@@ -66,6 +65,12 @@ void OpLog::PruneBelow(uint64_t version) {
     --keep;
     snapshots_.erase(snapshots_.begin(), keep);
   }
+  // Replay always starts from the newest snapshot at or below the requested
+  // version, so batches in (kept snapshot, version) are still needed to
+  // materialize versions in [version, head]. Only batches at or below the
+  // kept snapshot can never be replayed again.
+  uint64_t floor = snapshots_.empty() ? version : snapshots_.begin()->first;
+  batches_.erase(batches_.begin(), batches_.upper_bound(floor));
 }
 
 }  // namespace sdr

@@ -35,6 +35,11 @@ class Writer {
   void Raw(const Bytes& b);
   void Raw(const uint8_t* data, size_t len);
 
+  // Pre-sizes the buffer for `n` further bytes. Hot paths that know their
+  // encoded size (pledge and token signing bodies, built for every read)
+  // use this to avoid the push_back regrowth reallocations.
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   const Bytes& bytes() const { return buf_; }
   Bytes Take() { return std::move(buf_); }
 

@@ -2,7 +2,9 @@
 // vectors (FIPS 180 / RFC 4231 / RFC 8032) plus property tests.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
+#include <vector>
 
 #include "src/crypto/ed25519.h"
 #include "src/crypto/hmac.h"
@@ -120,6 +122,19 @@ struct Rfc8032Vector {
 
 class Ed25519VectorTest : public ::testing::TestWithParam<Rfc8032Vector> {};
 
+// Runs a test body under both the precomputed fast path and the naive
+// reference path, restoring the process-wide setting afterwards.
+class FastPathGuard {
+ public:
+  explicit FastPathGuard(bool fast) : saved_(Ed25519FastPathEnabled()) {
+    Ed25519SetFastPath(fast);
+  }
+  ~FastPathGuard() { Ed25519SetFastPath(saved_); }
+
+ private:
+  bool saved_;
+};
+
 TEST_P(Ed25519VectorTest, MatchesRfc8032) {
   const auto& v = GetParam();
   Bytes seed = HexDecode(v.seed_hex);
@@ -127,9 +142,13 @@ TEST_P(Ed25519VectorTest, MatchesRfc8032) {
   Bytes msg = HexDecode(v.message_hex);
   Bytes sig = HexDecode(v.signature_hex);
 
-  EXPECT_EQ(Ed25519PublicKey(seed), pub);
-  EXPECT_EQ(Ed25519Sign(seed, msg), sig);
-  EXPECT_TRUE(Ed25519Verify(pub, msg, sig));
+  // The vectors must hold bit-for-bit through both implementations.
+  for (bool fast : {true, false}) {
+    FastPathGuard guard(fast);
+    EXPECT_EQ(Ed25519PublicKey(seed), pub) << "fast=" << fast;
+    EXPECT_EQ(Ed25519Sign(seed, msg), sig) << "fast=" << fast;
+    EXPECT_TRUE(Ed25519Verify(pub, msg, sig)) << "fast=" << fast;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -208,6 +227,223 @@ TEST(Ed25519Test, NonCanonicalScalarRejected) {
   Bytes bad = sig;
   bad[63] |= 0xf0;
   EXPECT_FALSE(Ed25519Verify(pub, msg, bad));
+}
+
+TEST(Ed25519Test, FastPathMatchesNaiveOnRandomInputs) {
+  // The precomputed-table fixed-base multiplication and the Straus/Shamir
+  // verify loop must agree with the plain double-and-add reference on
+  // random scalars, both for the produced bytes and for the verdicts.
+  Rng rng(20);
+  for (int trial = 0; trial < 12; ++trial) {
+    Bytes seed = rng.NextBytes(kEd25519SeedSize);
+    Bytes msg = rng.NextBytes(rng.NextBounded(200));
+
+    Bytes pub_fast, sig_fast, pub_naive, sig_naive;
+    {
+      FastPathGuard guard(true);
+      pub_fast = Ed25519PublicKey(seed);
+      sig_fast = Ed25519Sign(seed, msg);
+    }
+    {
+      FastPathGuard guard(false);
+      pub_naive = Ed25519PublicKey(seed);
+      sig_naive = Ed25519Sign(seed, msg);
+    }
+    EXPECT_EQ(pub_fast, pub_naive) << "trial " << trial;
+    EXPECT_EQ(sig_fast, sig_naive) << "trial " << trial;
+
+    Bytes bad_sig = sig_fast;
+    bad_sig[trial % 32] ^= 0x20;
+    for (bool fast : {true, false}) {
+      FastPathGuard guard(fast);
+      EXPECT_TRUE(Ed25519Verify(pub_fast, msg, sig_fast))
+          << "trial " << trial << " fast=" << fast;
+      EXPECT_FALSE(Ed25519Verify(pub_fast, msg, bad_sig))
+          << "trial " << trial << " fast=" << fast;
+    }
+  }
+}
+
+TEST(Ed25519Test, ExpandedKeySignsIdentically) {
+  Rng rng(21);
+  Bytes seed = rng.NextBytes(kEd25519SeedSize);
+  Ed25519ExpandedKey key = Ed25519ExpandKey(seed);
+  EXPECT_EQ(key.public_key, Ed25519PublicKey(seed));
+  for (int trial = 0; trial < 4; ++trial) {
+    Bytes msg = rng.NextBytes(rng.NextBounded(128));
+    EXPECT_EQ(Ed25519SignExpanded(key, msg), Ed25519Sign(seed, msg));
+  }
+}
+
+std::vector<Ed25519BatchItem> MakeBatch(size_t n, Rng& rng) {
+  std::vector<Ed25519BatchItem> items(n);
+  for (size_t i = 0; i < n; ++i) {
+    Bytes seed = rng.NextBytes(kEd25519SeedSize);
+    items[i].public_key = Ed25519PublicKey(seed);
+    items[i].message = rng.NextBytes(64 + i);
+    items[i].signature = Ed25519Sign(seed, items[i].message);
+  }
+  return items;
+}
+
+TEST(Ed25519BatchTest, EmptyAndSingleton) {
+  Rng rng(22);
+  EXPECT_TRUE(Ed25519VerifyBatch({}).empty());
+  auto items = MakeBatch(1, rng);
+  EXPECT_EQ(Ed25519VerifyBatch(items), std::vector<bool>{true});
+  items[0].signature[5] ^= 1;
+  EXPECT_EQ(Ed25519VerifyBatch(items), std::vector<bool>{false});
+}
+
+TEST(Ed25519BatchTest, AllGood) {
+  Rng rng(23);
+  auto items = MakeBatch(10, rng);
+  std::vector<bool> ok = Ed25519VerifyBatch(items);
+  ASSERT_EQ(ok.size(), items.size());
+  for (size_t i = 0; i < ok.size(); ++i) {
+    EXPECT_TRUE(ok[i]) << "item " << i;
+  }
+}
+
+TEST(Ed25519BatchTest, SingleCulpritIdentified) {
+  // One forged signature must flip exactly its own verdict: the combined
+  // equation fails and bisection pins the culprit.
+  Rng rng(24);
+  for (size_t culprit : {size_t{0}, size_t{4}, size_t{8}}) {
+    auto items = MakeBatch(9, rng);
+    items[culprit].signature[10] ^= 0x04;
+    std::vector<bool> ok = Ed25519VerifyBatch(items);
+    for (size_t i = 0; i < ok.size(); ++i) {
+      EXPECT_EQ(ok[i], i != culprit) << "culprit " << culprit << " item " << i;
+    }
+  }
+}
+
+TEST(Ed25519BatchTest, ManyCulpritsIdentified) {
+  Rng rng(25);
+  auto items = MakeBatch(12, rng);
+  std::set<size_t> bad = {1, 2, 7, 11};
+  for (size_t i : bad) {
+    if (i % 2 == 0) {
+      items[i].message.push_back(0x01);  // tampered message
+    } else {
+      items[i].signature[40] ^= 0x10;  // tampered signature
+    }
+  }
+  std::vector<bool> ok = Ed25519VerifyBatch(items);
+  for (size_t i = 0; i < ok.size(); ++i) {
+    EXPECT_EQ(ok[i], bad.count(i) == 0) << "item " << i;
+  }
+
+  // Every item bad: all verdicts false.
+  for (auto& item : items) {
+    item.signature[0] ^= 0xff;
+  }
+  for (bool verdict : Ed25519VerifyBatch(items)) {
+    EXPECT_FALSE(verdict);
+  }
+}
+
+TEST(Ed25519BatchTest, UndecodableInputsRejectedUpFront) {
+  Rng rng(26);
+  auto items = MakeBatch(4, rng);
+  items[0].public_key.resize(16);                // wrong key size
+  items[1].signature[63] |= 0xf0;                // non-canonical S
+  items[2].signature.resize(10);                 // wrong signature size
+  std::vector<bool> ok = Ed25519VerifyBatch(items);
+  EXPECT_EQ(ok, (std::vector<bool>{false, false, false, true}));
+}
+
+TEST(Ed25519BatchTest, MatchesSingleVerifyOnNaivePath) {
+  // With the fast path off the batch API must fall back to per-item
+  // verification with identical verdicts.
+  FastPathGuard guard(false);
+  Rng rng(27);
+  auto items = MakeBatch(3, rng);
+  items[1].signature[7] ^= 2;
+  std::vector<bool> ok = Ed25519VerifyBatch(items);
+  EXPECT_EQ(ok, (std::vector<bool>{true, false, true}));
+}
+
+TEST(VerifyCacheTest, HitMissAndNegativeCaching) {
+  Rng rng(30);
+  KeyPair kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  Signer signer(kp);
+  Bytes msg = ToBytes("pledge body");
+  Bytes sig = signer.Sign(msg);
+  Bytes bad = sig;
+  bad[3] ^= 1;
+
+  VerifyCache cache;
+  EXPECT_TRUE(cache.Verify(kp.scheme, kp.public_key, msg, sig));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  EXPECT_TRUE(cache.Verify(kp.scheme, kp.public_key, msg, sig));
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // A forged signature is cached too — with verdict false.
+  EXPECT_FALSE(cache.Verify(kp.scheme, kp.public_key, msg, bad));
+  EXPECT_FALSE(cache.Verify(kp.scheme, kp.public_key, msg, bad));
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(VerifyCacheTest, LruEviction) {
+  Rng rng(31);
+  KeyPair kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  Signer signer(kp);
+  Bytes m1 = ToBytes("m1"), m2 = ToBytes("m2"), m3 = ToBytes("m3");
+  Bytes s1 = signer.Sign(m1), s2 = signer.Sign(m2), s3 = signer.Sign(m3);
+
+  VerifyCache cache(/*capacity=*/2);
+  cache.Verify(kp.scheme, kp.public_key, m1, s1);
+  cache.Verify(kp.scheme, kp.public_key, m2, s2);
+  // Touch m1 so m2 is the LRU entry, then insert m3 -> m2 evicted.
+  cache.Verify(kp.scheme, kp.public_key, m1, s1);
+  cache.Verify(kp.scheme, kp.public_key, m3, s3);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  uint64_t misses_before = cache.stats().misses;
+  cache.Verify(kp.scheme, kp.public_key, m1, s1);  // still cached
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  cache.Verify(kp.scheme, kp.public_key, m2, s2);  // was evicted
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(VerifyCacheTest, BatchDeduplicatesRepeatedTriples) {
+  // The auditor's shape: many pledges carrying the identical master token.
+  Rng rng(32);
+  KeyPair slave_kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  KeyPair master_kp = KeyPair::Generate(SignatureScheme::kEd25519, rng);
+  Signer slave(slave_kp);
+  Signer master(master_kp);
+  Bytes token_body = ToBytes("token v=7");
+  Bytes token_sig = master.Sign(token_body);
+
+  std::vector<VerifyItem> items;
+  for (int i = 0; i < 4; ++i) {
+    Bytes body = ToBytes("pledge " + std::to_string(i));
+    items.push_back({slave_kp.public_key, body, slave.Sign(body)});
+    items.push_back({master_kp.public_key, token_body, token_sig});
+  }
+
+  VerifyCache cache;
+  std::vector<bool> ok = cache.VerifyBatch(SignatureScheme::kEd25519, items);
+  for (size_t i = 0; i < ok.size(); ++i) {
+    EXPECT_TRUE(ok[i]) << "item " << i;
+  }
+  // 4 distinct pledges + 1 distinct token verified; 3 token repeats hit the
+  // in-batch dedup.
+  EXPECT_EQ(cache.stats().misses, 5u);
+  EXPECT_EQ(cache.stats().hits, 3u);
+
+  // Re-verifying the same batch is all hits.
+  cache.VerifyBatch(SignatureScheme::kEd25519, items);
+  EXPECT_EQ(cache.stats().hits, 11u);
+  EXPECT_EQ(cache.stats().misses, 5u);
 }
 
 TEST(SignerTest, AllSchemesRoundTrip) {

@@ -298,6 +298,22 @@ TEST(OpLogTest, PruneKeepsRequestedVersionReachable) {
   EXPECT_FALSE(log.MaterializeAt(3).ok());
 }
 
+TEST(OpLogTest, PruneKeepsEveryVersionAboveFloorReachable) {
+  // Pruning at a version between snapshots must keep the batches needed to
+  // replay from the retained snapshot: an auditor that finalizes version 3
+  // (snapshots every 16) still audits late pledges at versions 4..head.
+  OpLog log(/*snapshot_interval=*/16);
+  for (uint64_t v = 1; v <= 6; ++v) {
+    log.Append(v, {WriteOp::Put("k", std::to_string(v))});
+  }
+  log.PruneBelow(3);
+  for (uint64_t v = 3; v <= 6; ++v) {
+    auto s = log.MaterializeAt(v);
+    ASSERT_TRUE(s.ok()) << v;
+    EXPECT_EQ(s->Get("k"), std::to_string(v));
+  }
+}
+
 TEST(OpLogTest, SnapshotIntervalBoundsReplay) {
   OpLog log(/*snapshot_interval=*/2);
   for (uint64_t v = 1; v <= 9; ++v) {

@@ -82,7 +82,7 @@ void PrintReport(Cluster& cluster) {
     const AuditorMetrics& am = cluster.auditor(a).metrics();
     std::printf("  auditor[%d] node%u: received=%llu audited=%llu "
                 "cache-hits=%llu mismatches=%llu notices=%llu lag=%llu "
-                "backlog=%zu\n",
+                "backlog=%zu pruned=%llu bad-sig=%llu\n",
                 a, cluster.auditor(a).id(),
                 (unsigned long long)am.pledges_received,
                 (unsigned long long)am.pledges_audited,
@@ -90,7 +90,9 @@ void PrintReport(Cluster& cluster) {
                 (unsigned long long)am.mismatches_found,
                 (unsigned long long)am.bad_read_notices_sent,
                 (unsigned long long)cluster.auditor(a).version_lag(),
-                cluster.auditor(a).backlog());
+                cluster.auditor(a).backlog(),
+                (unsigned long long)am.pledges_version_pruned,
+                (unsigned long long)am.pledges_bad_signature);
   }
   std::printf("network: %llu messages sent, %llu delivered, %.1f MB\n",
               (unsigned long long)cluster.net().messages_sent(),
