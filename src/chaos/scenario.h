@@ -77,6 +77,7 @@ struct BehaviorPatch {
 };
 
 struct ChaosEvent {
+  // sdrlint:protocol-enum — fault kinds; every dispatcher must name them all.
   enum class Type {
     kCrash,
     kRestart,

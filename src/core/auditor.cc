@@ -80,7 +80,24 @@ void Auditor::HandleMessage(NodeId from, const Bytes& payload) {
     case MsgType::kBroadcastEnvelope:
       broadcast_->OnMessage(from, body);
       break;
-    default:
+    // Not addressed to the auditor; ignored by design (R3 wants them named
+    // so a new message type forces a decision here).
+    case MsgType::kDirectoryLookup:
+    case MsgType::kDirectoryLookupReply:
+    case MsgType::kClientHello:
+    case MsgType::kClientHelloReply:
+    case MsgType::kReadRequest:
+    case MsgType::kReadReply:
+    case MsgType::kWriteRequest:
+    case MsgType::kWriteReply:
+    case MsgType::kDoubleCheckRequest:
+    case MsgType::kDoubleCheckReply:
+    case MsgType::kAccusation:
+    case MsgType::kReassignment:
+    case MsgType::kStateUpdate:
+    case MsgType::kKeepAlive:
+    case MsgType::kSlaveAck:
+    case MsgType::kBadReadNotice:
       break;
   }
 }

@@ -556,7 +556,18 @@ void Client::HandleMessage(NodeId from, const Bytes& payload) {
     case MsgType::kBadReadNotice:
       HandleBadReadNotice(body);
       break;
-    default:
+    // Not addressed to a client; ignored by design.
+    case MsgType::kDirectoryLookup:
+    case MsgType::kClientHello:
+    case MsgType::kReadRequest:
+    case MsgType::kWriteRequest:
+    case MsgType::kDoubleCheckRequest:
+    case MsgType::kAccusation:
+    case MsgType::kStateUpdate:
+    case MsgType::kKeepAlive:
+    case MsgType::kSlaveAck:
+    case MsgType::kAuditSubmit:
+    case MsgType::kBroadcastEnvelope:
       break;
   }
 }

@@ -84,7 +84,19 @@ void Master::HandleMessage(NodeId from, const Bytes& payload) {
     case MsgType::kBroadcastEnvelope:
       broadcast_->OnMessage(from, body);
       break;
-    default:
+    // Not addressed to a master; ignored by design.
+    case MsgType::kDirectoryLookup:
+    case MsgType::kDirectoryLookupReply:
+    case MsgType::kClientHelloReply:
+    case MsgType::kReadRequest:
+    case MsgType::kReadReply:
+    case MsgType::kWriteReply:
+    case MsgType::kDoubleCheckReply:
+    case MsgType::kReassignment:
+    case MsgType::kStateUpdate:
+    case MsgType::kKeepAlive:
+    case MsgType::kAuditSubmit:
+    case MsgType::kBadReadNotice:
       break;
   }
 }

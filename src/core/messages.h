@@ -18,6 +18,8 @@
 
 namespace sdr {
 
+// sdrlint:protocol-enum — switches over MsgType must be exhaustive and
+// default-free, so adding a message type breaks the lint, not the protocol.
 enum class MsgType : uint8_t {
   // Directory.
   kDirectoryLookup = 1,
@@ -54,6 +56,7 @@ enum class MsgType : uint8_t {
 // member of the master group (the paper's "only trusted server that does
 // not have a slave set"), so it learns writes and slave assignments from
 // the same ordered stream the masters use.
+// sdrlint:protocol-enum
 enum class TobPayloadType : uint8_t {
   kWrite = 1,   // a client write to be committed by every master
   kGossip = 2,  // a master's current slave set (liveness + crash recovery)

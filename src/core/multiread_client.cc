@@ -53,7 +53,24 @@ void MultiReadClient::HandleMessage(NodeId from, const Bytes& payload) {
     case MsgType::kDoubleCheckReply:
       HandleDoubleCheckReply(body);
       break;
-    default:
+    // The multi-read harness only ever receives read traffic; everything
+    // else is ignored by design.
+    case MsgType::kDirectoryLookup:
+    case MsgType::kDirectoryLookupReply:
+    case MsgType::kClientHello:
+    case MsgType::kClientHelloReply:
+    case MsgType::kReadRequest:
+    case MsgType::kWriteRequest:
+    case MsgType::kWriteReply:
+    case MsgType::kDoubleCheckRequest:
+    case MsgType::kAccusation:
+    case MsgType::kReassignment:
+    case MsgType::kStateUpdate:
+    case MsgType::kKeepAlive:
+    case MsgType::kSlaveAck:
+    case MsgType::kAuditSubmit:
+    case MsgType::kBroadcastEnvelope:
+    case MsgType::kBadReadNotice:
       break;
   }
 }

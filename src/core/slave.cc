@@ -33,7 +33,22 @@ void Slave::HandleMessage(NodeId from, const Bytes& payload) {
     case MsgType::kReadRequest:
       HandleReadRequest(from, body);
       break;
-    default:
+    // Not addressed to a slave; ignored by design.
+    case MsgType::kDirectoryLookup:
+    case MsgType::kDirectoryLookupReply:
+    case MsgType::kClientHello:
+    case MsgType::kClientHelloReply:
+    case MsgType::kReadReply:
+    case MsgType::kWriteRequest:
+    case MsgType::kWriteReply:
+    case MsgType::kDoubleCheckRequest:
+    case MsgType::kDoubleCheckReply:
+    case MsgType::kAccusation:
+    case MsgType::kReassignment:
+    case MsgType::kSlaveAck:
+    case MsgType::kAuditSubmit:
+    case MsgType::kBroadcastEnvelope:
+    case MsgType::kBadReadNotice:
       break;
   }
 }

@@ -1,0 +1,83 @@
+// Constant-time discipline hooks (ctgrind-style, via MemorySanitizer).
+//
+// The pledge protocol's evidence chain is only as strong as the secrecy of
+// the slaves' signing keys: a key recovered through a timing or cache side
+// channel forges the very pledges the auditor treats as proof. Following
+// the ctgrind / dudect line of work, we machine-check the Ed25519 fast
+// path instead of trusting review: `tools/ct_check` marks private-key
+// bytes as *tainted* (MSan "uninitialized"), runs key expansion and
+// signing, and lets MemorySanitizer report any branch or memory index
+// that depends on them — exactly the operations a microarchitectural
+// attacker can observe.
+//
+// Three hooks make that workable:
+//   - CtClassify(p, n): taint n bytes as secret (MSan poison). No-op in
+//     ordinary builds.
+//   - CtDeclassify(p, n): declare n bytes public by design. Placed at the
+//     protocol-level declassification boundaries only: the output point of
+//     a fixed-base scalar multiplication (A = aB and R = rB are published)
+//     and the signature scalar S (published in every signature). Everything
+//     between taint and declassification must be branch-free and
+//     index-free in the secret.
+//   - CtIsTainted(p, n): true when any of the n bytes still carries taint;
+//     lets the harness assert it is not vacuously passing.
+//
+// The static half of the same discipline is sdrlint rule R5 (see
+// docs/ANALYSIS.md): identifiers tagged `// sdrlint:secret` may not reach
+// comparisons, branch conditions, `memcmp`, or array subscripts unless the
+// line is annotated `// sdrlint:public`.
+#ifndef SDR_SRC_CRYPTO_CT_H_
+#define SDR_SRC_CRYPTO_CT_H_
+
+#include <cstddef>
+
+#if defined(__has_feature)
+#if __has_feature(memory_sanitizer)
+#include <sanitizer/msan_interface.h>
+#define SDR_CT_MSAN 1
+#endif
+#endif
+
+namespace sdr {
+
+// True when the taint harness is active (MemorySanitizer build); in such
+// builds CtClassify/CtDeclassify really move shadow state.
+constexpr bool CtTaintActive() {
+#if defined(SDR_CT_MSAN)
+  return true;
+#else
+  return false;
+#endif
+}
+
+inline void CtClassify(void* p, size_t n) {
+#if defined(SDR_CT_MSAN)
+  __msan_poison(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+inline void CtDeclassify(void* p, size_t n) {
+#if defined(SDR_CT_MSAN)
+  __msan_unpoison(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+inline bool CtIsTainted(const void* p, size_t n) {
+#if defined(SDR_CT_MSAN)
+  return __msan_test_shadow(p, n) != -1;
+#else
+  (void)p;
+  (void)n;
+  return false;
+#endif
+}
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_CRYPTO_CT_H_

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/crypto/ct.h"
 #include "src/crypto/sha2.h"
 
 namespace sdr {
@@ -502,11 +503,13 @@ Point PointNeg(const Point& p) {
 
 // scalar given as 32 little-endian bytes; plain double-and-add. This is the
 // naive reference ladder, kept as the cross-checking oracle for the
-// precomputed fast path.
-Point PointScalarMul(const Point& p, const uint8_t scalar[32]) {
+// precomputed fast path. NOT constant-time: it branches on scalar bits, so
+// it must never see a secret outside the naive reference configuration.
+Point PointScalarMul(const Point& p, const uint8_t scalar[32] /* sdrlint:secret */) {
   Point r = PointIdentity();
   for (int bit = 255; bit >= 0; --bit) {
     r = PointAdd(r, r);
+    // sdrlint:allow(R5) naive reference ladder, non-constant-time by design
     if ((scalar[bit / 8] >> (bit % 8)) & 1) {
       r = PointAdd(r, p);
     }
@@ -879,7 +882,10 @@ const BaseTables& GetBaseTables() {
 }
 
 // Decomposes a (< 2^253) into 64 signed radix-16 digits in [-8, 8].
-void SignedRadix16(int8_t e[64], const uint8_t a[32]) {
+// Branch-free: carry propagation is pure shift/mask arithmetic, so secret
+// scalars are safe here.
+void SignedRadix16(int8_t e[64] /* sdrlint:secret */,
+                   const uint8_t a[32] /* sdrlint:secret */) {
   for (int i = 0; i < 32; ++i) {
     e[2 * i] = a[i] & 15;
     e[2 * i + 1] = (a[i] >> 4) & 15;
@@ -893,6 +899,9 @@ void SignedRadix16(int8_t e[64], const uint8_t a[32]) {
   e[63] = (int8_t)(e[63] + carry);
 }
 
+// Variable-time digit addition: branches on the digit and indexes the table
+// with it. Only ever fed *public* scalars (the batch-verification
+// combination scalar); secret scalars go through SelectBaseDigit below.
 Point AddBaseDigit(const Point& h, const PrecompPoint row[8], int8_t digit) {
   if (digit > 0) {
     return AddPrecomp(h, row[digit - 1]);
@@ -903,13 +912,86 @@ Point AddBaseDigit(const Point& h, const PrecompPoint row[8], int8_t digit) {
   return h;
 }
 
+// ---- Constant-time table selection ----------------------------------------
+//
+// The radix-16 digits of a signing scalar are secret; loading row[digit]
+// directly would put the digit into a cache-line address, which is exactly
+// the side channel ct_check exists to rule out. Instead every lookup scans
+// the full row and accumulates the wanted entry with arithmetic masks, so
+// the memory trace is independent of the digit.
+
+// mask = all-ones when b == 1; b must be 0 or 1.
+void FeCMov(Fe& f, const Fe& g, uint8_t b) {
+  const uint64_t mask = (uint64_t)0 - (uint64_t)b;
+  for (int i = 0; i < 5; ++i) {
+    f.v[i] ^= mask & (f.v[i] ^ g.v[i]);
+  }
+}
+
+void PrecompCMov(PrecompPoint& t, const PrecompPoint& u, uint8_t b) {
+  FeCMov(t.y_plus_x, u.y_plus_x, b);
+  FeCMov(t.y_minus_x, u.y_minus_x, b);
+  FeCMov(t.xy2d, u.xy2d, b);
+}
+
+// 1 when a == b, 0 otherwise, without a data-dependent branch.
+uint8_t CtByteEqual(uint8_t a, uint8_t b) {
+  uint32_t x = (uint32_t)(a ^ b);
+  return (uint8_t)((x - 1) >> 31);
+}
+
+// Returns digit * (row base point) in precomputed form, digit in [-8, 8],
+// as a constant-time full-row select plus conditional negation. digit == 0
+// yields the neutral (1, 1, 0), which the unified addition formulas absorb.
+PrecompPoint SelectBaseDigit(const PrecompPoint row[8],
+                             int8_t digit /* sdrlint:secret */) {
+  const uint8_t negative = (uint8_t)((uint8_t)digit >> 7);
+  // |digit| via two's-complement identity (x ^ m) - m with m = -negative.
+  const int m = -(int)negative;
+  const uint8_t babs = (uint8_t)(((int)digit ^ m) - m);
+  PrecompPoint t{FeOne(), FeOne(), FeZero()};
+  for (uint8_t j = 1; j <= 8; ++j) {
+    PrecompCMov(t, row[j - 1], CtByteEqual(babs, j));
+  }
+  // Negation swaps (Y+X, Y-X) and negates 2dXY.
+  PrecompPoint minus_t;
+  minus_t.y_plus_x = t.y_minus_x;
+  minus_t.y_minus_x = t.y_plus_x;
+  minus_t.xy2d = FeNeg(t.xy2d);
+  PrecompCMov(t, minus_t, negative);
+  return t;
+}
+
 // a * B via the precomputed table: 64 table additions + 4 doublings instead
-// of the naive 256-double / ~128-add ladder.
-Point ScalarMulBaseFast(const uint8_t a[32]) {
+// of the naive 256-double / ~128-add ladder. Constant time in `a`: digit
+// decomposition is pure arithmetic, every table access is a full-row
+// select, and zero digits perform a neutral-element addition rather than
+// skipping. The resulting *point* (a·B — a public key or a signature's R)
+// is public by design, which is the declassification boundary.
+Point ScalarMulBaseCt(const uint8_t a[32] /* sdrlint:secret */) {
+  const BaseTables& bt = GetBaseTables();
+  int8_t e[64];  // sdrlint:secret
+  SignedRadix16(e, a);
+  // h = sum_{i odd} e[i] 16^(i-1) B, then x16, then + sum_{i even} e[i] 16^i B.
+  Point h = PointIdentity();
+  for (int i = 1; i < 64; i += 2) {
+    h = AddPrecomp(h, SelectBaseDigit(bt.table[i / 2], e[i]));
+  }
+  h = PointDouble(PointDouble(PointDouble(PointDouble(h))));
+  for (int i = 0; i < 64; i += 2) {
+    h = AddPrecomp(h, SelectBaseDigit(bt.table[i / 2], e[i]));
+  }
+  CtDeclassify(&h, sizeof(h));
+  return h;
+}
+
+// Variable-time fixed-base multiplication (zero digits skipped, direct
+// table indexing) for public scalars: the batch-verification combination
+// scalar, never a signing secret.
+Point ScalarMulBaseVartime(const uint8_t a[32]) {
   const BaseTables& bt = GetBaseTables();
   int8_t e[64];
   SignedRadix16(e, a);
-  // h = sum_{i odd} e[i] 16^(i-1) B, then x16, then + sum_{i even} e[i] 16^i B.
   Point h = PointIdentity();
   for (int i = 1; i < 64; i += 2) {
     h = AddBaseDigit(h, bt.table[i / 2], e[i]);
@@ -1057,7 +1139,7 @@ Point MultiScalarMulVartime(const std::vector<MsmTerm>& terms) {
 
 Bytes PublicKeyNaive(const Bytes& seed) {
   Bytes h = Sha512::Hash(seed);
-  uint8_t a[32];
+  uint8_t a[32];  // sdrlint:secret
   std::memcpy(a, h.data(), 32);
   ClampScalar(a);
   Point p = PointScalarMul(BasePoint(), a);
@@ -1068,7 +1150,7 @@ Bytes PublicKeyNaive(const Bytes& seed) {
 
 Bytes SignNaive(const Bytes& seed, const Bytes& message) {
   Bytes h = Sha512::Hash(seed);
-  uint8_t a[32];
+  uint8_t a[32];  // sdrlint:secret
   std::memcpy(a, h.data(), 32);
   ClampScalar(a);
 
@@ -1079,7 +1161,7 @@ Bytes SignNaive(const Bytes& seed, const Bytes& message) {
   hr.Update(h.data() + 32, 32);
   hr.Update(message);
   Bytes r_hash = hr.Final();
-  uint8_t r[32];
+  uint8_t r[32];  // sdrlint:secret
   ScReduceBytes(r, r_hash.data(), r_hash.size());
 
   Point rp = PointScalarMul(BasePoint(), r);
@@ -1129,6 +1211,8 @@ bool VerifyNaive(const Bytes& public_key, const Bytes& message,
   uint8_t e1[32], e2[32];
   PointCompress(e1, sb);
   PointCompress(e2, rka);
+  // sdrlint:public — R == R' over canonical point encodings; both sides
+  // derive from the (public) signature and key, not from signing secrets.
   return std::memcmp(e1, e2, 32) == 0;
 }
 
@@ -1152,19 +1236,19 @@ void ChallengeScalar(uint8_t k[32], const uint8_t r_enc[32], const Bytes& pub,
 // their compressions.
 Bytes SignSeedFast(const Bytes& seed, const Bytes& message) {
   Bytes h = Sha512::Hash(seed);
-  uint8_t a[32];
+  uint8_t a[32];  // sdrlint:secret
   std::memcpy(a, h.data(), 32);
   ClampScalar(a);
-  Point a_point = ScalarMulBaseFast(a);
+  Point a_point = ScalarMulBaseCt(a);
 
   // r = SHA512(prefix || M) mod L
   Sha512 hr;
   hr.Update(h.data() + 32, 32);
   hr.Update(message);
   Bytes r_hash = hr.Final();
-  uint8_t r[32];
+  uint8_t r[32];  // sdrlint:secret
   ScReduceBytes(r, r_hash.data(), r_hash.size());
-  Point r_point = ScalarMulBaseFast(r);
+  Point r_point = ScalarMulBaseCt(r);
 
   Fe inv = FeInvert(FeMul(a_point.z, r_point.z));
   Bytes pub(32);
@@ -1176,6 +1260,7 @@ Bytes SignSeedFast(const Bytes& seed, const Bytes& message) {
   ChallengeScalar(k, r_enc, pub, message);
   uint8_t s[32];
   ScMulAdd(s, k, a, r);
+  CtDeclassify(s, 32);  // S is published in the signature
 
   Bytes sig(kEd25519SignatureSize);
   std::memcpy(sig.data(), r_enc, 32);
@@ -1189,10 +1274,10 @@ Bytes SignExpandedFast(const Ed25519ExpandedKey& key, const Bytes& message) {
   hr.Update(key.prefix, 32);
   hr.Update(message);
   Bytes r_hash = hr.Final();
-  uint8_t r[32];
+  uint8_t r[32];  // sdrlint:secret
   ScReduceBytes(r, r_hash.data(), r_hash.size());
 
-  Point rp = ScalarMulBaseFast(r);
+  Point rp = ScalarMulBaseCt(r);
   uint8_t r_enc[32];
   PointCompress(r_enc, rp);
 
@@ -1202,6 +1287,7 @@ Bytes SignExpandedFast(const Ed25519ExpandedKey& key, const Bytes& message) {
   // S = (r + k*a) mod L
   uint8_t s[32];
   ScMulAdd(s, k, key.scalar, r);
+  CtDeclassify(s, 32);  // S is published in the signature
 
   Bytes sig(kEd25519SignatureSize);
   std::memcpy(sig.data(), r_enc, 32);
@@ -1247,7 +1333,7 @@ Ed25519ExpandedKey Ed25519ExpandKey(const Bytes& seed) {
   std::memcpy(key.scalar, h.data(), 32);
   ClampScalar(key.scalar);
   std::memcpy(key.prefix, h.data() + 32, 32);
-  Point p = g_fast_path ? ScalarMulBaseFast(key.scalar)
+  Point p = g_fast_path ? ScalarMulBaseCt(key.scalar)
                         : PointScalarMul(BasePoint(), key.scalar);
   key.public_key.resize(32);
   PointCompress(key.public_key.data(), p);
@@ -1273,6 +1359,7 @@ Bytes Ed25519SignExpanded(const Ed25519ExpandedKey& key, const Bytes& message) {
   ChallengeScalar(k, r_enc, key.public_key, message);
   uint8_t s[32];
   ScMulAdd(s, k, key.scalar, r);
+  CtDeclassify(s, 32);  // S is published in the signature
   Bytes sig(kEd25519SignatureSize);
   std::memcpy(sig.data(), r_enc, 32);
   std::memcpy(sig.data() + 32, s, 32);
@@ -1344,7 +1431,7 @@ bool BatchEquationHolds(const std::vector<BatchSlot>& slots,
     ta.point = &slot.a_point;
     terms.push_back(ta);
   }
-  Point lhs = ScalarMulBaseFast(c);
+  Point lhs = ScalarMulBaseVartime(c);
   Point rhs = MultiScalarMulVartime(terms);
   return PointsEqual(lhs, rhs);
 }

@@ -1,0 +1,159 @@
+#include "src/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sdr {
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  kind_ = Kind::kObject;
+  return obj_[key];
+}
+
+void JsonValue::Append(JsonValue v) {
+  kind_ = Kind::kArray;
+  arr_.push_back(std::move(v));
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Doubles print with a fixed format so identical values serialize to
+// identical bytes regardless of locale or stream state.
+std::string FormatDouble(double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    return "null";
+  }
+  if (d == static_cast<int64_t>(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld.0",
+                  static_cast<long long>(d));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", d);
+  return buf;
+}
+
+void NewlineIndent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kDouble:
+      out += FormatDouble(double_);
+      break;
+    case Kind::kString:
+      out += '"';
+      out += JsonEscape(str_);
+      out += '"';
+      break;
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, val] : obj_) {  // std::map: sorted keys
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        if (indent >= 0) {
+          NewlineIndent(out, indent, depth + 1);
+        }
+        out += '"';
+        out += JsonEscape(key);
+        out += indent >= 0 ? "\": " : "\":";
+        val.DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) {
+        NewlineIndent(out, indent, depth);
+      }
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const JsonValue& val : arr_) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        if (indent >= 0) {
+          NewlineIndent(out, indent, depth + 1);
+        }
+        val.DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) {
+        NewlineIndent(out, indent, depth);
+      }
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+}  // namespace sdr

@@ -1,0 +1,71 @@
+#include "src/util/json.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sdr {
+namespace {
+
+TEST(Json, ScalarDumps) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(int64_t{-42}).Dump(), "-42");
+  EXPECT_EQ(JsonValue(uint64_t{7}).Dump(), "7");
+  EXPECT_EQ(JsonValue(1.5).Dump(), "1.500000");
+  EXPECT_EQ(JsonValue(3.0).Dump(), "3.0");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+}
+
+TEST(Json, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd\te").Dump(),
+            "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, ObjectKeysEmitSorted) {
+  JsonValue v = JsonValue::Object();
+  v["zebra"] = 1;
+  v["alpha"] = 2;
+  v["midway"] = 3;
+  EXPECT_EQ(v.Dump(), "{\"alpha\":2,\"midway\":3,\"zebra\":1}");
+}
+
+TEST(Json, InsertionOrderDoesNotAffectBytes) {
+  JsonValue a = JsonValue::Object();
+  a["x"] = 1;
+  a["y"]["b"] = 2;
+  a["y"]["a"] = 3;
+
+  JsonValue b = JsonValue::Object();
+  b["y"]["a"] = 3;
+  b["y"]["b"] = 2;
+  b["x"] = 1;
+
+  EXPECT_EQ(a.Dump(), b.Dump());
+  EXPECT_EQ(a.Dump(2), b.Dump(2));
+}
+
+TEST(Json, ArraysPreserveOrder) {
+  JsonValue v = JsonValue::Array();
+  v.Append(3);
+  v.Append("two");
+  v.Append(JsonValue());
+  EXPECT_EQ(v.Dump(), "[3,\"two\",null]");
+}
+
+TEST(Json, PrettyPrintIsStable) {
+  JsonValue v = JsonValue::Object();
+  v["a"] = 1;
+  v["list"].Append(JsonValue::Object());
+  EXPECT_EQ(v.Dump(2),
+            "{\n  \"a\": 1,\n  \"list\": [\n    {}\n  ]\n}");
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).Dump(), "null");
+}
+
+}  // namespace
+}  // namespace sdr

@@ -1,0 +1,363 @@
+// Fixture tests for sdrlint: for each rule, one source that must fire and
+// one that must stay clean, plus suppression-comment handling. Fixtures are
+// inline strings driven straight through AnalyzeSource.
+#include "tools/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+namespace sdr::lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path, const std::string& src,
+                         const EnumRegistry& registry = {}) {
+  EnumRegistry reg = registry;
+  CollectProtocolEnums(src, reg);
+  return AnalyzeSource(path, src, ClassifyPath(path), reg);
+}
+
+int CountRule(const std::vector<Finding>& fs, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : fs) {
+    n += f.rule == rule ? 1 : 0;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokenKindsAndLines) {
+  auto toks = Tokenize("int x = 42; // note\n\"str\" == y");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[5].kind, TokKind::kComment);
+  EXPECT_EQ(toks[5].text, "// note");
+  EXPECT_EQ(toks[6].kind, TokKind::kString);
+  EXPECT_EQ(toks[6].line, 2);
+  EXPECT_EQ(toks[7].text, "==");  // longest-match punct
+}
+
+TEST(Lexer, RawStringsAndBlockComments) {
+  auto toks = Tokenize("R\"x(no // comment in here)x\" /* multi\nline */ z");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[1].kind, TokKind::kComment);
+  EXPECT_EQ(toks[2].line, 2);  // line counting through the block comment
+}
+
+// ---------------------------------------------------------------------------
+// R1 — determinism
+// ---------------------------------------------------------------------------
+
+TEST(R1, FiresOnAmbientRandomnessInCore) {
+  auto fs = Lint("src/core/foo.cc",
+                "#include <random>\n"
+                "int f() { std::random_device rd; return time(nullptr); }\n");
+  EXPECT_GE(CountRule(fs, "R1"), 3);  // include + random_device + time(
+}
+
+TEST(R1, CleanWhenUsingSeededRng) {
+  auto fs = Lint("src/core/foo.cc",
+                "#include \"src/util/rng.h\"\n"
+                "uint64_t f(sdr::Rng& rng) { return rng.Next(); }\n");
+  EXPECT_EQ(CountRule(fs, "R1"), 0);
+}
+
+TEST(R1, DoesNotApplyOutsideDeterminismDomain) {
+  auto fs = Lint("bench/bench_foo.cc",
+                "#include <chrono>\nint f() { return rand(); }\n");
+  EXPECT_EQ(CountRule(fs, "R1"), 0);
+}
+
+TEST(R1, RngImplementationIsExempt) {
+  EXPECT_FALSE(ClassifyPath("src/util/rng.cc").r1);
+  EXPECT_TRUE(ClassifyPath("src/core/master.cc").r1);
+}
+
+TEST(R1, SuppressedByAllow) {
+  auto fs = Lint("src/core/foo.cc",
+                "int f() {\n"
+                "  return time(nullptr);  // sdrlint:allow(R1 wall clock ok)\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R1"), 0);
+}
+
+TEST(R1, IdentInCommentOrStringDoesNotCount) {
+  auto fs = Lint("src/core/foo.cc",
+                "// rand() would be bad here\n"
+                "const char* k = \"rand\";\n");
+  EXPECT_EQ(CountRule(fs, "R1"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R2 — ordered output
+// ---------------------------------------------------------------------------
+
+TEST(R2, FiresOnUnorderedIterationFeedingASink) {
+  auto fs = Lint("src/core/foo.cc",
+                "#include <unordered_map>\n"
+                "void Dump(const std::unordered_map<int, int>& m) {\n"
+                "  for (const auto& [k, v] : m) {\n"
+                "    printf(\"%d %d\\n\", k, v);\n"
+                "  }\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R2"), 1);
+}
+
+TEST(R2, CleanWithoutASinkInTheFunction) {
+  auto fs = Lint("src/core/foo.cc",
+                "int Sum(const std::unordered_map<int, int>& m) {\n"
+                "  int s = 0;\n"
+                "  for (const auto& [k, v] : m) { s += v; }\n"
+                "  return s;\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R2"), 0);
+}
+
+TEST(R2, FiresOnExplicitBeginInSerializer) {
+  auto fs = Lint("src/core/foo.cc",
+                "void Encode(std::unordered_set<int>& s, Buf& out) {\n"
+                "  for (auto it = s.begin(); it != s.end(); ++it) {\n"
+                "    out.PutU32(*it);\n"
+                "  }\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R2"), 1);
+}
+
+TEST(R2, SortedMapIsClean) {
+  auto fs = Lint("src/core/foo.cc",
+                "void Dump(const std::map<int, int>& m) {\n"
+                "  for (const auto& [k, v] : m) { printf(\"%d\\n\", v); }\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R2"), 0);
+}
+
+TEST(R2, SuppressedByAllow) {
+  auto fs = Lint("src/core/foo.cc",
+                "void Dump(std::unordered_map<int, int>& m) {\n"
+                "  // sdrlint:allow(R2 order-insensitive aggregation)\n"
+                "  for (const auto& [k, v] : m) { printf(\"%d\\n\", v); }\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R2"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R3 — protocol-enum switch exhaustiveness
+// ---------------------------------------------------------------------------
+
+constexpr const char* kEnumDecl =
+    "// sdrlint:protocol-enum\n"
+    "enum class MsgKind : uint8_t { kRead = 1, kWrite, kAudit };\n";
+
+TEST(R3, FiresOnDefaultInProtocolSwitch) {
+  auto fs = Lint("src/core/foo.cc",
+                std::string(kEnumDecl) +
+                    "void f(MsgKind k) {\n"
+                    "  switch (k) {\n"
+                    "    case MsgKind::kRead: break;\n"
+                    "    case MsgKind::kWrite: break;\n"
+                    "    case MsgKind::kAudit: break;\n"
+                    "    default: break;\n"
+                    "  }\n"
+                    "}\n");
+  EXPECT_EQ(CountRule(fs, "R3"), 1);
+}
+
+TEST(R3, FiresOnMissingEnumerator) {
+  auto fs = Lint("src/core/foo.cc",
+                std::string(kEnumDecl) +
+                    "void f(MsgKind k) {\n"
+                    "  switch (k) {\n"
+                    "    case MsgKind::kRead: break;\n"
+                    "    case MsgKind::kWrite: break;\n"
+                    "  }\n"
+                    "}\n");
+  ASSERT_EQ(CountRule(fs, "R3"), 1);
+  for (const Finding& f : fs) {
+    if (f.rule == "R3") {
+      EXPECT_NE(f.message.find("kAudit"), std::string::npos);
+    }
+  }
+}
+
+TEST(R3, CleanWhenExhaustiveWithoutDefault) {
+  auto fs = Lint("src/core/foo.cc",
+                std::string(kEnumDecl) +
+                    "void f(MsgKind k) {\n"
+                    "  switch (k) {\n"
+                    "    case MsgKind::kRead: break;\n"
+                    "    case MsgKind::kWrite: break;\n"
+                    "    case MsgKind::kAudit: break;\n"
+                    "  }\n"
+                    "}\n");
+  EXPECT_EQ(CountRule(fs, "R3"), 0);
+}
+
+TEST(R3, UnannotatedEnumIsIgnored) {
+  auto fs = Lint("src/core/foo.cc",
+                "enum class Color { kRed, kBlue };\n"
+                "void f(Color c) {\n"
+                "  switch (c) { case Color::kRed: break; default: break; }\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R3"), 0);
+}
+
+TEST(R3, RegistrySpansFiles) {
+  // Enum annotated in a header; the switch lives in another file.
+  EnumRegistry reg;
+  CollectProtocolEnums(kEnumDecl, reg);
+  auto fs = Lint("src/core/other.cc",
+                "void f(MsgKind k) {\n"
+                "  switch (k) { case MsgKind::kRead: default: break; }\n"
+                "}\n",
+                reg);
+  EXPECT_GE(CountRule(fs, "R3"), 1);
+}
+
+TEST(R3, SuppressedByAllowOnSwitchLine) {
+  auto fs = Lint("src/core/foo.cc",
+                std::string(kEnumDecl) +
+                    "void f(MsgKind k) {\n"
+                    "  // sdrlint:allow(R3 partial handler by design)\n"
+                    "  switch (k) {\n"
+                    "    case MsgKind::kRead: break;\n"
+                    "    default: break;\n"
+                    "  }\n"
+                    "}\n");
+  EXPECT_EQ(CountRule(fs, "R3"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R4 — serde pairing
+// ---------------------------------------------------------------------------
+
+TEST(R4, FiresOnEncodeWithoutDecode) {
+  auto fs = Lint("src/core/messages.h",
+                "struct Ping {\n"
+                "  void Encode(Buf& out) const;\n"
+                "};\n");
+  EXPECT_EQ(CountRule(fs, "R4"), 1);
+}
+
+TEST(R4, CleanWhenPaired) {
+  auto fs = Lint("src/core/messages.h",
+                "struct Ping {\n"
+                "  void Encode(Buf& out) const;\n"
+                "  static Ping Decode(Reader& in);\n"
+                "};\n"
+                "struct Token {\n"
+                "  void EncodeTo(Buf& out) const;\n"
+                "  static Token DecodeFrom(Reader& in);\n"
+                "};\n");
+  EXPECT_EQ(CountRule(fs, "R4"), 0);
+}
+
+TEST(R4, SeesOutOfLineDefinitions) {
+  auto fs = Lint("src/core/messages.cc",
+                "void Ping::Encode(Buf& out) const { out.PutU8(1); }\n"
+                "Ping Ping::Decode(Reader& in) { return {}; }\n");
+  EXPECT_EQ(CountRule(fs, "R4"), 0);
+}
+
+TEST(R4, OnlyAppliesToSerdeFiles) {
+  auto fs = Lint("src/core/master.cc",
+                "struct Scratch { void Encode(Buf& out) const; };\n");
+  EXPECT_EQ(CountRule(fs, "R4"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R5 — constant-time discipline
+// ---------------------------------------------------------------------------
+
+TEST(R5, FiresOnBranchOverSecret) {
+  auto fs = Lint("src/crypto/foo.cc",
+                "int f(const uint8_t key[32] /* sdrlint:secret */) {\n"
+                "  if (key[0] != 0) { return 1; }\n"
+                "  return 0;\n"
+                "}\n");
+  EXPECT_GE(CountRule(fs, "R5"), 1);
+}
+
+TEST(R5, FiresOnSecretArrayIndex) {
+  auto fs = Lint("src/crypto/foo.cc",
+                "uint8_t table[256];\n"
+                "uint8_t f(uint8_t d) {\n"
+                "  uint8_t digit = d;  // sdrlint:secret\n"
+                "  return table[digit];\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R5"), 1);
+}
+
+TEST(R5, FiresOnBareMemcmpInCrypto) {
+  auto fs = Lint("src/crypto/foo.cc",
+                "bool Eq(const uint8_t* a, const uint8_t* b) {\n"
+                "  return memcmp(a, b, 32) == 0;\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R5"), 1);
+}
+
+TEST(R5, PublicAnnotationDowngradesMemcmp) {
+  auto fs = Lint("src/crypto/foo.cc",
+                "bool Eq(const uint8_t* a, const uint8_t* b) {\n"
+                "  // sdrlint:public — both encodings are published\n"
+                "  return memcmp(a, b, 32) == 0;\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R5"), 0);
+}
+
+TEST(R5, SecretScopeEndsWithTheFunction) {
+  auto fs = Lint("src/crypto/foo.cc",
+                "void g(const uint8_t key[32] /* sdrlint:secret */) {\n"
+                "  (void)key;\n"
+                "}\n"
+                "int h(int key) {\n"
+                "  if (key != 0) { return 1; }  // different, public `key`\n"
+                "  return 0;\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R5"), 0);
+}
+
+TEST(R5, ConstantTimeSelectIsClean) {
+  auto fs = Lint("src/crypto/foo.cc",
+                "uint8_t Select(const uint8_t t[8], uint8_t d) {\n"
+                "  uint8_t digit = d;  // sdrlint:secret\n"
+                "  uint8_t out = 0;\n"
+                "  for (uint8_t j = 0; j < 8; ++j) {\n"
+                "    uint8_t m = (uint8_t)(((uint32_t)(j ^ digit) - 1) >> 31);\n"
+                "    out |= (uint8_t)(t[j] & (uint8_t)(0 - m));\n"
+                "  }\n"
+                "  return out;\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R5"), 0);
+}
+
+TEST(R5, AllowSuppressesDesignatedVariableTimeCode) {
+  auto fs = Lint("src/crypto/foo.cc",
+                "int Ladder(const uint8_t scalar[32] /* sdrlint:secret */) {\n"
+                "  // sdrlint:allow(R5 reference ladder, vartime by design)\n"
+                "  if (scalar[0] & 1) { return 1; }\n"
+                "  return 0;\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R5"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+TEST(Classify, DomainsMatchTheRuleCatalogue) {
+  EXPECT_TRUE(ClassifyPath("src/crypto/ed25519.cc").r5);
+  EXPECT_FALSE(ClassifyPath("src/core/master.cc").r5);
+  EXPECT_TRUE(ClassifyPath("src/core/messages.h").r4);
+  EXPECT_TRUE(ClassifyPath("src/core/pledge.cc").r4);
+  EXPECT_FALSE(ClassifyPath("src/core/slave.cc").r4);
+  EXPECT_TRUE(ClassifyPath("src/chaos/runner.cc").r1);
+  EXPECT_FALSE(ClassifyPath("tools/sdrsim.cc").r1);
+  EXPECT_TRUE(ClassifyPath("tools/sdrsim.cc").r2);
+  EXPECT_TRUE(ClassifyPath("tools/sdrsim.cc").r3);
+}
+
+}  // namespace
+}  // namespace sdr::lint

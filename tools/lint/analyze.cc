@@ -1,0 +1,964 @@
+// Rule engine for sdrlint. Everything works over the token stream from
+// lexer.cc plus a per-line annotation table extracted from comments; no
+// type information is needed because the invariants are lexical by
+// construction (banned identifiers, annotated enums, tagged variables).
+#include <algorithm>
+#include <cstring>
+
+#include "tools/lint/lint.h"
+
+namespace sdr::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------
+
+struct LineAnn {
+  std::set<std::string> allow;  // rule names from sdrlint:allow(Rn ...)
+  bool is_public = false;
+  bool is_secret = false;
+  bool protocol_enum = false;
+};
+
+// Extracts sdrlint markers from one comment's text.
+void ParseMarkers(const std::string& text, LineAnn& ann) {
+  size_t pos = 0;
+  while ((pos = text.find("sdrlint:", pos)) != std::string::npos) {
+    size_t word_start = pos + std::strlen("sdrlint:");
+    size_t word_end = word_start;
+    while (word_end < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[word_end])) ||
+            text[word_end] == '-')) {
+      ++word_end;
+    }
+    std::string word = text.substr(word_start, word_end - word_start);
+    if (word == "secret") {
+      ann.is_secret = true;
+    } else if (word == "public") {
+      ann.is_public = true;
+    } else if (word == "protocol-enum") {
+      ann.protocol_enum = true;
+    } else if (word == "allow" && word_end < text.size() &&
+               text[word_end] == '(') {
+      size_t close = text.find(')', word_end);
+      std::string inner = close == std::string::npos
+                              ? text.substr(word_end + 1)
+                              : text.substr(word_end + 1,
+                                            close - word_end - 1);
+      // First whitespace-delimited word is the rule; the rest is rationale.
+      size_t sp = inner.find_first_of(" \t");
+      ann.allow.insert(sp == std::string::npos ? inner : inner.substr(0, sp));
+    }
+    pos = word_end;
+  }
+}
+
+class Annotations {
+ public:
+  Annotations(const std::vector<Token>& toks) {
+    // Raw per-line markers, and which lines hold only comments.
+    for (const Token& t : toks) {
+      if (t.kind == TokKind::kComment) {
+        ParseMarkers(t.text, raw_[t.line]);
+        int lines_spanned =
+            (int)std::count(t.text.begin(), t.text.end(), '\n');
+        comment_only_.insert(t.line);
+        last_comment_line_[t.line] = t.line + lines_spanned;
+      } else {
+        code_lines_.insert(t.line);
+      }
+    }
+    for (int l : code_lines_) {
+      comment_only_.erase(l);
+    }
+  }
+
+  // Annotations governing `line`: markers on the line itself plus markers
+  // from an immediately preceding run of comment-only lines.
+  LineAnn Effective(int line) const {
+    LineAnn out = Get(line);
+    int l = line - 1;
+    while (comment_only_.count(l) != 0) {
+      Merge(out, Get(l));
+      --l;
+    }
+    // A multi-line block comment ending just above also governs this line.
+    for (const auto& [start, end] : last_comment_line_) {
+      if (comment_only_.count(start) != 0 && end == line - 1 && start < l) {
+        Merge(out, Get(start));
+      }
+    }
+    return out;
+  }
+
+  bool Allowed(int line, const char* rule) const {
+    LineAnn a = Effective(line);
+    return a.allow.count(rule) != 0 || (std::strcmp(rule, "R5") == 0 &&
+                                        a.is_public);
+  }
+
+ private:
+  LineAnn Get(int line) const {
+    auto it = raw_.find(line);
+    return it == raw_.end() ? LineAnn{} : it->second;
+  }
+  static void Merge(LineAnn& into, const LineAnn& from) {
+    into.allow.insert(from.allow.begin(), from.allow.end());
+    into.is_public |= from.is_public;
+    into.is_secret |= from.is_secret;
+    into.protocol_enum |= from.protocol_enum;
+  }
+
+  std::map<int, LineAnn> raw_;
+  std::map<int, int> last_comment_line_;  // comment start line -> end line
+  std::set<int> comment_only_;
+  std::set<int> code_lines_;
+};
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers (comments skipped)
+// ---------------------------------------------------------------------------
+
+// Indices of non-comment tokens, in order.
+std::vector<size_t> CodeIndex(const std::vector<Token>& toks) {
+  std::vector<size_t> idx;
+  idx.reserve(toks.size());
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kComment) {
+      idx.push_back(i);
+    }
+  }
+  return idx;
+}
+
+bool IsPunct(const Token& t, const char* p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+bool IsIdent(const Token& t, const char* name) {
+  return t.kind == TokKind::kIdent && t.text == name;
+}
+
+// Matching close for the open bracket at code position `open` ("(" / "[" /
+// "{" / "<"); returns code-position of the closer, or `end` if unmatched.
+// For "<" the search bails out on tokens that cannot appear in a template
+// argument list, so comparison operators are not misparsed.
+size_t MatchForward(const std::vector<Token>& toks,
+                    const std::vector<size_t>& code, size_t open,
+                    const char* open_p, const char* close_p) {
+  int depth = 0;
+  const bool angle = std::strcmp(open_p, "<") == 0;
+  for (size_t i = open; i < code.size(); ++i) {
+    const Token& t = toks[code[i]];
+    if (angle) {
+      if (IsPunct(t, "<")) {
+        ++depth;
+      } else if (IsPunct(t, ">")) {
+        if (--depth == 0) {
+          return i;
+        }
+      } else if (IsPunct(t, ">>")) {
+        depth -= 2;
+        if (depth <= 0) {
+          return i;
+        }
+      } else if (t.kind == TokKind::kPunct &&
+                 (t.text == ";" || t.text == "{" || t.text == "}")) {
+        return code.size();  // not a template argument list after all
+      }
+      continue;
+    }
+    if (IsPunct(t, open_p)) {
+      ++depth;
+    } else if (IsPunct(t, close_p)) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return code.size();
+}
+
+// Function spans as line ranges, for scoping secret tags and sink checks.
+struct FuncSpan {
+  int start_line = 0;  // line of the opening "{"
+  int end_line = 0;    // line of the matching "}"
+  size_t header_code = 0;  // first token of the signature
+  size_t open_code = 0;
+  size_t close_code = 0;
+};
+
+std::vector<FuncSpan> FunctionSpans(const std::vector<Token>& toks,
+                                    const std::vector<size_t>& code) {
+  std::vector<FuncSpan> spans;
+  int depth = 0;
+  int open_depth = -1;
+  FuncSpan cur;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Token& t = toks[code[i]];
+    if (IsPunct(t, "{")) {
+      if (open_depth < 0) {
+        // A function body iff a ")" appears among the few preceding tokens
+        // before any statement terminator or declaration keyword.
+        bool is_func = false;
+        size_t back = i;
+        for (int steps = 0; steps < 8 && back > 0; ++steps) {
+          const Token& p = toks[code[--back]];
+          if (IsPunct(p, ")")) {
+            is_func = true;
+            break;
+          }
+          if (p.kind == TokKind::kPunct &&
+              (p.text == ";" || p.text == "{" || p.text == "}" ||
+               p.text == "=")) {
+            break;
+          }
+          if (IsIdent(p, "struct") || IsIdent(p, "class") ||
+              IsIdent(p, "enum") || IsIdent(p, "namespace") ||
+              IsIdent(p, "union")) {
+            break;
+          }
+        }
+        if (is_func) {
+          // Header starts after the previous statement/block boundary, so
+          // sink detection sees the function's own name (e.g. `Encode`).
+          size_t header = i;
+          while (header > 0) {
+            const Token& p = toks[code[header - 1]];
+            if (p.kind == TokKind::kPunct &&
+                (p.text == ";" || p.text == "{" || p.text == "}")) {
+              break;
+            }
+            --header;
+          }
+          open_depth = depth;
+          cur = FuncSpan{t.line, t.line, header, i, i};
+        }
+      }
+      ++depth;
+    } else if (IsPunct(t, "}")) {
+      --depth;
+      if (open_depth >= 0 && depth == open_depth) {
+        cur.end_line = t.line;
+        cur.close_code = i;
+        spans.push_back(cur);
+        open_depth = -1;
+      }
+    }
+  }
+  return spans;
+}
+
+const FuncSpan* SpanForLine(const std::vector<FuncSpan>& spans, int line) {
+  for (const FuncSpan& s : spans) {
+    if (line >= s.start_line && line <= s.end_line) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+// The span governing a tag written on a function's parameter line: the
+// span containing the line, or one opening within a few lines below it.
+const FuncSpan* SpanForTag(const std::vector<FuncSpan>& spans, int line) {
+  if (const FuncSpan* s = SpanForLine(spans, line)) {
+    return s;
+  }
+  for (const FuncSpan& s : spans) {
+    if (s.start_line >= line && s.start_line <= line + 4) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+bool IsTypeish(const std::string& s) {
+  static const std::set<std::string> kTypeish = {
+      "const",    "constexpr", "static",   "mutable",  "volatile", "register",
+      "signed",   "unsigned",  "int",      "char",     "short",    "long",
+      "float",    "double",    "bool",     "void",     "auto",     "struct",
+      "class",    "enum",      "union",    "typename", "template", "using",
+      "namespace", "return",   "if",       "else",     "while",    "for",
+      "switch",   "case",      "default",  "break",    "continue", "sizeof",
+      "true",     "false",     "nullptr",  "new",      "delete",   "operator",
+      "override", "final",     "noexcept", "inline",   "extern",   "this",
+  };
+  return kTypeish.count(s) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// R1 — determinism
+// ---------------------------------------------------------------------------
+
+void CheckR1(const std::string& path, const std::string& src,
+             const std::vector<Token>& toks, const std::vector<size_t>& code,
+             const Annotations& ann, std::vector<Finding>& out) {
+  static const std::set<std::string> kBannedIdents = {
+      "rand",          "srand",        "rand_r",
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "default_random_engine",
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "gettimeofday",  "localtime",    "gmtime",
+      "getenv",        "setenv",       "secure_getenv",
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Token& t = toks[code[i]];
+    if (t.kind != TokKind::kIdent) {
+      continue;
+    }
+    bool banned = kBannedIdents.count(t.text) != 0;
+    if (!banned && (t.text == "time" || t.text == "clock")) {
+      banned = i + 1 < code.size() && IsPunct(toks[code[i + 1]], "(");
+    }
+    if (banned && !ann.Allowed(t.line, "R1")) {
+      out.push_back(
+          {"R1", path, t.line,
+           "nondeterminism source `" + t.text +
+               "` outside util/rng; route randomness/time through the "
+               "seeded simulator"});
+    }
+  }
+  // Header includes that smuggle ambient nondeterminism in.
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= src.size()) {
+    size_t eol = src.find('\n', pos);
+    std::string line = src.substr(pos, eol == std::string::npos
+                                           ? std::string::npos
+                                           : eol - pos);
+    ++line_no;
+    for (const char* hdr : {"<random>", "<chrono>", "<ctime>", "<sys/time.h>"}) {
+      if (line.find("#include") != std::string::npos &&
+          line.find(hdr) != std::string::npos &&
+          !ann.Allowed(line_no, "R1")) {
+        out.push_back({"R1", path, line_no,
+                       std::string("include of ") + hdr +
+                           " in a determinism-critical directory"});
+      }
+    }
+    if (eol == std::string::npos) {
+      break;
+    }
+    pos = eol + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2 — ordered output
+// ---------------------------------------------------------------------------
+
+void CheckR2(const std::string& path, const std::vector<Token>& toks,
+             const std::vector<size_t>& code, const Annotations& ann,
+             const std::vector<FuncSpan>& spans, std::vector<Finding>& out) {
+  // Pass 1: names of unordered containers — direct declarations and
+  // `using Alias = std::unordered_...` aliases.
+  std::set<std::string> unordered_types = {"unordered_map", "unordered_set",
+                                           "unordered_multimap",
+                                           "unordered_multiset"};
+  std::set<std::string> vars;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < code.size(); ++i) {
+      const Token& t = toks[code[i]];
+      if (t.kind != TokKind::kIdent || unordered_types.count(t.text) == 0) {
+        continue;
+      }
+      size_t j = i + 1;
+      if (j < code.size() && IsPunct(toks[code[j]], "<")) {
+        j = MatchForward(toks, code, j, "<", ">");
+        if (j == code.size()) {
+          continue;
+        }
+        ++j;
+      } else if (t.text == "unordered_map" || t.text == "unordered_set") {
+        // Bare alias use (registered in pass 1) — fall through with j = i+1.
+      }
+      while (j < code.size() &&
+             (IsPunct(toks[code[j]], "&") || IsPunct(toks[code[j]], "*") ||
+              IsIdent(toks[code[j]], "const"))) {
+        ++j;
+      }
+      if (j >= code.size() || toks[code[j]].kind != TokKind::kIdent ||
+          IsTypeish(toks[code[j]].text)) {
+        continue;
+      }
+      const std::string& name = toks[code[j]].text;
+      // `using Alias = std::unordered_map<...>` registers a type, not a var.
+      bool is_alias = false;
+      for (size_t b = i; b > 0 && b + 8 > i; --b) {
+        const Token& p = toks[code[b - 1]];
+        if (IsIdent(p, "using")) {
+          is_alias = true;
+          break;
+        }
+        if (p.kind == TokKind::kPunct &&
+            (p.text == ";" || p.text == "{" || p.text == "}")) {
+          break;
+        }
+      }
+      if (is_alias) {
+        // The alias name precedes the '='; register it as a container type.
+        for (size_t b = i; b > 0; --b) {
+          if (IsPunct(toks[code[b - 1]], "=") && b >= 2) {
+            unordered_types.insert(toks[code[b - 2]].text);
+            break;
+          }
+        }
+      } else {
+        vars.insert(name);
+      }
+    }
+  }
+  if (vars.empty()) {
+    return;
+  }
+
+  // A function "feeds output" when it mentions a serialization / metrics /
+  // logging sink anywhere in its body.
+  static const std::set<std::string> kSinks = {
+      "SDR_LOG", "printf", "fprintf", "snprintf", "sprintf", "Encode",
+      "EncodeTo", "Serialize", "Append", "Writer", "JsonWriter", "Json",
+      "ToJson",  "ToString", "Dump",    "Report",
+  };
+  auto span_sink = [&](const FuncSpan* s) -> std::string {
+    if (s == nullptr) {
+      return "";
+    }
+    for (size_t i = s->header_code; i <= s->close_code && i < code.size();
+         ++i) {
+      const Token& t = toks[code[i]];
+      if (t.kind == TokKind::kIdent && kSinks.count(t.text) != 0) {
+        return t.text;
+      }
+    }
+    return "";
+  };
+
+  auto report = [&](int line, const std::string& var) {
+    const FuncSpan* s = SpanForLine(spans, line);
+    std::string sink = span_sink(s);
+    if (sink.empty() || ann.Allowed(line, "R2")) {
+      return;
+    }
+    out.push_back({"R2", path, line,
+                   "iteration over unordered container `" + var +
+                       "` in a function that feeds `" + sink +
+                       "`; hash order is not deterministic — iterate a "
+                       "sorted view or use std::map"});
+  };
+
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Token& t = toks[code[i]];
+    // Range-for over a tracked container.
+    if (IsIdent(t, "for") && i + 1 < code.size() &&
+        IsPunct(toks[code[i + 1]], "(")) {
+      size_t close = MatchForward(toks, code, i + 1, "(", ")");
+      for (size_t j = i + 2; j < close; ++j) {
+        if (IsPunct(toks[code[j]], ":")) {
+          for (size_t k = j + 1; k < close; ++k) {
+            const Token& e = toks[code[k]];
+            if (e.kind == TokKind::kIdent && vars.count(e.text) != 0) {
+              report(t.line, e.text);
+            }
+          }
+          break;
+        }
+      }
+    }
+    // Explicit iterator walk: var.begin() / var.cbegin() / var.rbegin().
+    if (t.kind == TokKind::kIdent && vars.count(t.text) != 0 &&
+        i + 2 < code.size() && IsPunct(toks[code[i + 1]], ".") &&
+        (IsIdent(toks[code[i + 2]], "begin") ||
+         IsIdent(toks[code[i + 2]], "cbegin") ||
+         IsIdent(toks[code[i + 2]], "rbegin"))) {
+      report(t.line, t.text);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3 — protocol-enum switch exhaustiveness
+// ---------------------------------------------------------------------------
+
+void CollectEnumsImpl(const std::vector<Token>& toks,
+                      const std::vector<size_t>& code, const Annotations& ann,
+                      EnumRegistry& registry) {
+  for (size_t i = 0; i + 2 < code.size(); ++i) {
+    if (!IsIdent(toks[code[i]], "enum")) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (IsIdent(toks[code[j]], "class") || IsIdent(toks[code[j]], "struct")) {
+      ++j;
+    }
+    if (toks[code[j]].kind != TokKind::kIdent) {
+      continue;
+    }
+    const std::string name = toks[code[j]].text;
+    const int decl_line = toks[code[i]].line;
+    if (!ann.Effective(decl_line).protocol_enum) {
+      continue;
+    }
+    // Skip ": underlying_type" to the "{".
+    while (j < code.size() && !IsPunct(toks[code[j]], "{") &&
+           !IsPunct(toks[code[j]], ";")) {
+      ++j;
+    }
+    if (j >= code.size() || !IsPunct(toks[code[j]], "{")) {
+      continue;  // forward declaration
+    }
+    size_t close = MatchForward(toks, code, j, "{", "}");
+    std::vector<std::string> enumerators;
+    bool expect_name = true;
+    for (size_t k = j + 1; k < close; ++k) {
+      const Token& t = toks[code[k]];
+      if (expect_name && t.kind == TokKind::kIdent) {
+        enumerators.push_back(t.text);
+        expect_name = false;
+      } else if (IsPunct(t, ",")) {
+        expect_name = true;
+      }
+    }
+    registry[name] = enumerators;
+  }
+}
+
+void CheckR3(const std::string& path, const std::vector<Token>& toks,
+             const std::vector<size_t>& code, const Annotations& ann,
+             const EnumRegistry& registry, std::vector<Finding>& out) {
+  if (registry.empty()) {
+    return;
+  }
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdent(toks[code[i]], "switch") || i + 1 >= code.size() ||
+        !IsPunct(toks[code[i + 1]], "(")) {
+      continue;
+    }
+    size_t cond_close = MatchForward(toks, code, i + 1, "(", ")");
+    if (cond_close + 1 >= code.size() ||
+        !IsPunct(toks[code[cond_close + 1]], "{")) {
+      continue;
+    }
+    size_t body_open = cond_close + 1;
+    size_t body_close = MatchForward(toks, code, body_open, "{", "}");
+
+    // Scan this switch's body at its own nesting level: nested switches are
+    // skipped (they are analyzed independently by the outer loop).
+    std::set<std::string> labels;
+    std::vector<int> default_lines;
+    for (size_t k = body_open + 1; k < body_close; ++k) {
+      const Token& t = toks[code[k]];
+      if (IsIdent(t, "switch") && k + 1 < body_close &&
+          IsPunct(toks[code[k + 1]], "(")) {
+        size_t inner_cond = MatchForward(toks, code, k + 1, "(", ")");
+        if (inner_cond + 1 < body_close &&
+            IsPunct(toks[code[inner_cond + 1]], "{")) {
+          k = MatchForward(toks, code, inner_cond + 1, "{", "}");
+        }
+        continue;
+      }
+      if (IsIdent(t, "default") && k + 1 < body_close &&
+          IsPunct(toks[code[k + 1]], ":")) {
+        default_lines.push_back(t.line);
+      }
+      if (IsIdent(t, "case")) {
+        // Tokens of the label up to the ":".
+        std::vector<size_t> label;
+        size_t m = k + 1;
+        while (m < body_close && !IsPunct(toks[code[m]], ":")) {
+          label.push_back(m);
+          ++m;
+        }
+        // Record both bare enumerators and the Enum::kValue qualified form.
+        for (size_t x = 0; x < label.size(); ++x) {
+          const Token& lt = toks[code[label[x]]];
+          if (lt.kind == TokKind::kIdent) {
+            std::string qualifier =
+                x >= 2 && IsPunct(toks[code[label[x - 1]]], "::")
+                    ? toks[code[label[x - 2]]].text
+                    : "";
+            labels.insert(qualifier.empty() ? lt.text
+                                            : qualifier + "::" + lt.text);
+          }
+        }
+        k = m;
+      }
+    }
+
+    // Which protocol enum, if any, do the labels reference?
+    const std::string* matched_enum = nullptr;
+    std::set<std::string> present;
+    for (const auto& [ename, values] : registry) {
+      std::set<std::string> hits;
+      for (const std::string& v : values) {
+        if (labels.count(ename + "::" + v) != 0 || labels.count(v) != 0) {
+          hits.insert(v);
+        }
+      }
+      if (!hits.empty()) {
+        matched_enum = &ename;
+        present = hits;
+        break;
+      }
+    }
+    if (matched_enum == nullptr) {
+      continue;
+    }
+    const int sw_line = toks[code[i]].line;
+    if (ann.Allowed(sw_line, "R3")) {
+      continue;
+    }
+    for (int dl : default_lines) {
+      if (!ann.Allowed(dl, "R3")) {
+        out.push_back({"R3", path, dl,
+                       "`default:` in switch over protocol enum " +
+                           *matched_enum +
+                           "; list every enumerator so new variants fail "
+                           "the lint instead of being silently dropped"});
+      }
+    }
+    std::string missing;
+    for (const std::string& v : registry.at(*matched_enum)) {
+      if (present.count(v) == 0) {
+        missing += missing.empty() ? v : ", " + v;
+      }
+    }
+    if (!missing.empty()) {
+      out.push_back({"R3", path, sw_line,
+                     "non-exhaustive switch over protocol enum " +
+                         *matched_enum + ": missing " + missing});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4 — serde pairing
+// ---------------------------------------------------------------------------
+
+void CheckR4(const std::string& path, const std::vector<Token>& toks,
+             const std::vector<size_t>& code, const Annotations& ann,
+             const std::vector<FuncSpan>& spans, std::vector<Finding>& out) {
+  // True when code position i sits inside a function body — a call site,
+  // not an out-of-line definition (whose header precedes its own span).
+  auto in_function_body = [&spans](size_t i) {
+    for (const FuncSpan& s : spans) {
+      if (i > s.open_code && i < s.close_code) {
+        return true;
+      }
+    }
+    return false;
+  };
+  struct Serde {
+    bool encode = false, decode = false;
+    bool encode_to = false, decode_from = false;
+    int line = 0;
+  };
+  std::map<std::string, Serde> structs;
+
+  // Header form: methods inside `struct Name { ... }`.
+  for (size_t i = 0; i + 2 < code.size(); ++i) {
+    if (!IsIdent(toks[code[i]], "struct") && !IsIdent(toks[code[i]], "class")) {
+      continue;
+    }
+    if (toks[code[i + 1]].kind != TokKind::kIdent) {
+      continue;
+    }
+    std::string name = toks[code[i + 1]].text;
+    size_t j = i + 2;
+    while (j < code.size() && !IsPunct(toks[code[j]], "{") &&
+           !IsPunct(toks[code[j]], ";")) {
+      ++j;
+    }
+    if (j >= code.size() || !IsPunct(toks[code[j]], "{")) {
+      continue;
+    }
+    size_t close = MatchForward(toks, code, j, "{", "}");
+    Serde& s = structs[name];
+    s.line = toks[code[i]].line;
+    for (size_t k = j + 1; k < close; ++k) {
+      const Token& t = toks[code[k]];
+      if (t.kind != TokKind::kIdent || k + 1 >= code.size() ||
+          !IsPunct(toks[code[k + 1]], "(")) {
+        continue;
+      }
+      if (t.text == "Encode") s.encode = true;
+      if (t.text == "Decode") s.decode = true;
+      if (t.text == "EncodeTo") s.encode_to = true;
+      if (t.text == "DecodeFrom") s.decode_from = true;
+    }
+    i = close;
+  }
+
+  // Definition form: `Name::Encode(` at namespace scope in .cc files.
+  for (size_t i = 0; i + 2 < code.size(); ++i) {
+    if (toks[code[i]].kind == TokKind::kIdent &&
+        IsPunct(toks[code[i + 1]], "::") &&
+        toks[code[i + 2]].kind == TokKind::kIdent && i + 3 < code.size() &&
+        IsPunct(toks[code[i + 3]], "(") && !in_function_body(i)) {
+      const std::string& name = toks[code[i]].text;
+      const std::string& method = toks[code[i + 2]].text;
+      if (method == "Encode" || method == "Decode" || method == "EncodeTo" ||
+          method == "DecodeFrom") {
+        Serde& s = structs[name];
+        if (s.line == 0) {
+          s.line = toks[code[i]].line;
+        }
+        if (method == "Encode") s.encode = true;
+        if (method == "Decode") s.decode = true;
+        if (method == "EncodeTo") s.encode_to = true;
+        if (method == "DecodeFrom") s.decode_from = true;
+      }
+    }
+  }
+
+  for (const auto& [name, s] : structs) {
+    if (ann.Allowed(s.line, "R4")) {
+      continue;
+    }
+    if (s.encode != s.decode) {
+      out.push_back({"R4", path, s.line,
+                     "struct " + name + " has " +
+                         (s.encode ? "Encode without Decode"
+                                   : "Decode without Encode") +
+                         "; wire messages must round-trip"});
+    }
+    if (s.encode_to != s.decode_from) {
+      out.push_back({"R4", path, s.line,
+                     "struct " + name + " has " +
+                         (s.encode_to ? "EncodeTo without DecodeFrom"
+                                      : "DecodeFrom without EncodeTo") +
+                         "; wire messages must round-trip"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5 — constant-time discipline
+// ---------------------------------------------------------------------------
+
+void CheckR5(const std::string& path, const std::vector<Token>& toks,
+             const std::vector<size_t>& code, const Annotations& ann,
+             const std::vector<FuncSpan>& spans, std::vector<Finding>& out) {
+  // Secret tags: names declared on `sdrlint:secret` lines, scoped to the
+  // enclosing (or immediately following) function, else file-wide.
+  struct SecretScope {
+    std::string name;
+    int from_line = 0;
+    int to_line = 1 << 30;
+  };
+  std::vector<SecretScope> secrets;
+  std::set<int> secret_lines;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kComment) {
+      LineAnn a;
+      ParseMarkers(t.text, a);
+      if (a.is_secret) {
+        secret_lines.insert(t.line);
+      }
+    }
+  }
+  for (int line : secret_lines) {
+    const FuncSpan* span = SpanForTag(spans, line);
+    for (size_t i = 0; i < code.size(); ++i) {
+      const Token& t = toks[code[i]];
+      if (t.line != line || t.kind != TokKind::kIdent ||
+          IsTypeish(t.text)) {
+        continue;
+      }
+      if (i + 1 >= code.size()) {
+        continue;
+      }
+      const Token& next = toks[code[i + 1]];
+      if (next.kind == TokKind::kPunct &&
+          (next.text == "[" || next.text == "=" || next.text == "," ||
+           next.text == ";" || next.text == ")")) {
+        SecretScope s;
+        s.name = t.text;
+        s.from_line = line;
+        if (span != nullptr) {
+          s.to_line = span->end_line;
+        }
+        secrets.push_back(s);
+      }
+    }
+  }
+
+  auto is_secret_at = [&secrets](const std::string& name, int line) {
+    for (const SecretScope& s : secrets) {
+      if (s.name == name && line >= s.from_line && line <= s.to_line) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto range_has_secret = [&](size_t from, size_t to,
+                              std::string* which) -> bool {
+    for (size_t i = from; i < to && i < code.size(); ++i) {
+      const Token& t = toks[code[i]];
+      if (t.kind == TokKind::kIdent && is_secret_at(t.text, t.line)) {
+        *which = t.text;
+        return true;
+      }
+    }
+    return false;
+  };
+  auto statement_bounds = [&](size_t at, size_t* from, size_t* to) {
+    size_t a = at;
+    while (a > 0) {
+      const Token& t = toks[code[a - 1]];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}")) {
+        break;
+      }
+      --a;
+    }
+    size_t b = at;
+    while (b < code.size()) {
+      const Token& t = toks[code[b]];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}")) {
+        break;
+      }
+      ++b;
+    }
+    *from = a;
+    *to = b;
+  };
+
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Token& t = toks[code[i]];
+    std::string which;
+
+    // Raw byte-compare primitives always need an explicit verdict.
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "memcmp" || t.text == "bcmp") &&
+        !ann.Allowed(t.line, "R5")) {
+      out.push_back({"R5", path, t.line,
+                     "`" + t.text +
+                         "` in crypto code leaks via early exit; use "
+                         "ConstantTimeEquals or annotate the line "
+                         "sdrlint:public"});
+      continue;
+    }
+    if (secrets.empty()) {
+      continue;
+    }
+
+    // Branch conditions: if / while / switch / for on a secret.
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "if" || t.text == "while" || t.text == "switch" ||
+         t.text == "for") &&
+        i + 1 < code.size() && IsPunct(toks[code[i + 1]], "(")) {
+      size_t close = MatchForward(toks, code, i + 1, "(", ")");
+      if (range_has_secret(i + 2, close, &which) &&
+          !ann.Allowed(t.line, "R5")) {
+        out.push_back({"R5", path, t.line,
+                       "branch on secret-tagged `" + which +
+                           "`; control flow must not depend on secrets"});
+      }
+      continue;
+    }
+
+    // ==/!= with a secret operand in the same statement.
+    if (t.kind == TokKind::kPunct && (t.text == "==" || t.text == "!=")) {
+      size_t from, to;
+      statement_bounds(i, &from, &to);
+      if (range_has_secret(from, to, &which) && !ann.Allowed(t.line, "R5")) {
+        out.push_back({"R5", path, t.line,
+                       "variable-time comparison involving secret-tagged `" +
+                           which + "`; use ConstantTimeEquals or mask "
+                                   "arithmetic"});
+      }
+      continue;
+    }
+
+    // Ternary selection on a secret in the same statement.
+    if (IsPunct(t, "?")) {
+      size_t from, to;
+      statement_bounds(i, &from, &to);
+      if (range_has_secret(from, i, &which) && !ann.Allowed(t.line, "R5")) {
+        out.push_back({"R5", path, t.line,
+                       "ternary select on secret-tagged `" + which +
+                           "`; compiles to a branch on many targets"});
+      }
+      continue;
+    }
+
+    // Array subscript indexed by a secret: a cache-line side channel.
+    if (IsPunct(t, "[")) {
+      size_t close = MatchForward(toks, code, i, "[", "]");
+      if (range_has_secret(i + 1, close, &which) &&
+          !ann.Allowed(t.line, "R5")) {
+        out.push_back({"R5", path, t.line,
+                       "memory index derived from secret-tagged `" + which +
+                           "`; the address is observable through the "
+                           "cache — use a constant-time full-table select"});
+      }
+      continue;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+FileClass ClassifyPath(const std::string& path) {
+  auto has = [&path](const char* s) {
+    return path.find(s) != std::string::npos;
+  };
+  FileClass fc;
+  fc.r1 = (has("src/sim/") || has("src/core/") || has("src/chaos/")) &&
+          !has("util/rng");
+  fc.r4 = has("src/core/messages.") || has("src/core/pledge.");
+  fc.r5 = has("src/crypto/");
+  return fc;
+}
+
+void CollectProtocolEnums(const std::string& src, EnumRegistry& registry) {
+  std::vector<Token> toks = Tokenize(src);
+  std::vector<size_t> code = CodeIndex(toks);
+  Annotations ann(toks);
+  CollectEnumsImpl(toks, code, ann, registry);
+}
+
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& src,
+                                   const FileClass& fc,
+                                   const EnumRegistry& registry) {
+  std::vector<Token> toks = Tokenize(src);
+  std::vector<size_t> code = CodeIndex(toks);
+  Annotations ann(toks);
+  std::vector<FuncSpan> spans = FunctionSpans(toks, code);
+
+  std::vector<Finding> out;
+  if (fc.r1) {
+    CheckR1(path, src, toks, code, ann, out);
+  }
+  if (fc.r2) {
+    CheckR2(path, toks, code, ann, spans, out);
+  }
+  if (fc.r3) {
+    CheckR3(path, toks, code, ann, registry, out);
+  }
+  if (fc.r4) {
+    CheckR4(path, toks, code, ann, spans, out);
+  }
+  if (fc.r5) {
+    CheckR5(path, toks, code, ann, spans, out);
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    if (a.rule != b.rule) {
+      return a.rule < b.rule;
+    }
+    return a.message < b.message;
+  });
+  return out;
+}
+
+}  // namespace sdr::lint

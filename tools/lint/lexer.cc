@@ -1,0 +1,163 @@
+// Tokenizer for sdrlint: enough C++ lexing to walk this repo reliably —
+// identifiers, numbers, string/char literals (incl. raw strings), comments,
+// and longest-match punctuation. No preprocessing; directives tokenize as
+// ordinary code.
+#include <cctype>
+
+#include "tools/lint/lint.h"
+
+namespace sdr::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuation, longest first so "==" wins over "=".
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "##",
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& src) {
+  std::vector<Token> out;
+  const size_t n = src.size();
+  size_t i = 0;
+  int line = 1;
+
+  auto push = [&out](TokKind kind, std::string text, int at) {
+    out.push_back(Token{kind, std::move(text), at});
+  };
+  auto count_lines = [&line](const std::string& text) {
+    for (char c : text) {
+      if (c == '\n') {
+        ++line;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && (src[i + 1] == '/' || src[i + 1] == '*')) {
+      const int at = line;
+      size_t start = i;
+      if (src[i + 1] == '/') {
+        while (i < n && src[i] != '\n') {
+          ++i;
+        }
+      } else {
+        i += 2;
+        while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+          ++i;
+        }
+        i = i + 1 < n ? i + 2 : n;
+      }
+      std::string text = src.substr(start, i - start);
+      push(TokKind::kComment, text, at);
+      count_lines(text);
+      continue;
+    }
+
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t delim_end = src.find('(', i + 2);
+      if (delim_end != std::string::npos) {
+        std::string delim = src.substr(i + 2, delim_end - (i + 2));
+        std::string closer = ")" + delim + "\"";
+        size_t body_end = src.find(closer, delim_end + 1);
+        const int at = line;
+        size_t end = body_end == std::string::npos
+                         ? n
+                         : body_end + closer.size();
+        std::string text = src.substr(i, end - i);
+        push(TokKind::kString, text, at);
+        count_lines(text);
+        i = end;
+        continue;
+      }
+    }
+
+    // String and character literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int at = line;
+      size_t start = i++;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        if (src[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      i = i < n ? i + 1 : n;
+      push(quote == '"' ? TokKind::kString : TokKind::kChar,
+           src.substr(start + 1, i - start - 2), at);
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(src[i])) {
+        ++i;
+      }
+      push(TokKind::kIdent, src.substr(start, i - start), line);
+      continue;
+    }
+
+    // Numbers (incl. hex, digit separators, suffixes, leading-dot floats).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      push(TokKind::kNumber, src.substr(start, i - start), line);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        push(TokKind::kPunct, p, line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(TokKind::kPunct, std::string(1, c), line);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace sdr::lint

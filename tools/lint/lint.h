@@ -1,0 +1,124 @@
+// sdrlint — project-invariant linter for the secure-data-replication repo.
+//
+// A self-contained static analyzer (own tokenizer, no libclang) that
+// enforces invariants the compiler cannot check but the paper's guarantees
+// depend on. Rules are named and individually suppressible:
+//
+//   R1 determinism      — no ambient nondeterminism (rand, random_device,
+//                         wall clocks, getenv, <random>/<chrono>/<ctime>
+//                         includes) in src/sim, src/core, src/chaos; the
+//                         seeded RNG in src/util/rng is the only sanctioned
+//                         source. Every chaos sweep and EXPERIMENTS.md
+//                         claim depends on bit-identical replays.
+//   R2 ordered-output   — no iteration over std::unordered_map/set inside
+//                         functions that feed serialization, metrics dumps,
+//                         or log lines (hash order differs across standard
+//                         libraries and runs).
+//   R3 exhaustiveness   — switches over protocol enums (annotated
+//                         `// sdrlint:protocol-enum`) must name every
+//                         enumerator and carry no `default:`, so a new
+//                         message type or fault kind fails the lint instead
+//                         of being silently dropped.
+//   R4 serde pairing    — every Encode/EncodeTo in src/core/messages.* and
+//                         src/core/pledge.* has a matching Decode/DecodeFrom
+//                         for the same struct in the same file.
+//   R5 constant-time    — in src/crypto, values tagged `// sdrlint:secret`
+//                         must not reach branch conditions, ==/!= compares,
+//                         memcmp, or array subscripts; `// sdrlint:public`
+//                         downgrades a genuinely public line. Raw memcmp in
+//                         crypto code always needs a public annotation or
+//                         ConstantTimeEquals.
+//
+// Annotation grammar (in any comment, same line or a comment-only line
+// directly above the code it governs):
+//   sdrlint:secret            tag variables declared on this line as secret
+//   sdrlint:public            declare this line's data public by design (R5)
+//   sdrlint:protocol-enum     mark the enum declared here as a protocol enum
+//   sdrlint:allow(Rn[ reason])  suppress rule Rn here
+//
+// See docs/ANALYSIS.md for the full rule catalogue and rationale.
+#ifndef SDR_TOOLS_LINT_LINT_H_
+#define SDR_TOOLS_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sdr::lint {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals
+  kString,   // string literal (text excludes quotes)
+  kChar,     // character literal
+  kPunct,    // operators and punctuation, longest-match (e.g. "==", "::")
+  kComment,  // // or /* */ comment, full text including markers
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+// Tokenizes C++ source. Comments are kept (annotations live there);
+// preprocessor directives are tokenized like ordinary code. Raw strings,
+// escapes, and line continuations are handled; the tokenizer never fails —
+// unterminated constructs run to end of file.
+std::vector<Token> Tokenize(const std::string& src);
+
+// ---------------------------------------------------------------------------
+// Findings and per-file rule applicability
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string rule;  // "R1".."R5"
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+// Which rules apply to a file, derived from its repo-relative path.
+struct FileClass {
+  bool r1 = false;  // determinism domain: src/sim, src/core, src/chaos
+  bool r2 = true;   // everywhere
+  bool r3 = true;   // everywhere
+  bool r4 = false;  // serde files: src/core/messages.*, src/core/pledge.*
+  bool r5 = false;  // src/crypto
+};
+
+FileClass ClassifyPath(const std::string& path);
+
+// Protocol-enum registry: enum name (unqualified) -> enumerator names.
+using EnumRegistry = std::map<std::string, std::vector<std::string>>;
+
+// First pass: records enums annotated `sdrlint:protocol-enum` in `src`.
+void CollectProtocolEnums(const std::string& src, EnumRegistry& registry);
+
+// Second pass: runs all applicable rules over one file's contents.
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& src,
+                                   const FileClass& fc,
+                                   const EnumRegistry& registry);
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+// Recursively collects .h/.cc files under each path (files are taken as
+// given), sorted for deterministic output.
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths);
+
+// Runs the two-pass lint over the given files/directories; prints findings
+// gcc-style ("file:line: [Rn] message") to stdout. Returns the number of
+// findings (0 == clean).
+int RunTool(const std::vector<std::string>& paths);
+
+}  // namespace sdr::lint
+
+#endif  // SDR_TOOLS_LINT_LINT_H_

@@ -2,17 +2,15 @@
 // invariant, which seeds passed and the first violating (seed, virtual
 // time, evidence) triple.
 //
-// Examples:
+// Examples (one line each; wrap with shell quoting as needed):
 //   # a slave starts lying mid-run, then gets partitioned from the masters
-//   ./build/tools/sdrchaos \
-//     --scenario="at 10s set_behavior slave:2 lie_probability=0.2; \
-//                 at 40s partition slave:2 master:*; at 60s heal all" \
-//     --seeds=20
+//   ./build/tools/sdrchaos --seeds=20
+//     --scenario="at 10s set_behavior slave:2 lie_probability=0.2;
+//                 at 40s partition slave:2 master:*; at 60s heal all"
 //
 //   # crash a master and watch availability / exclusion invariants
-//   ./build/tools/sdrchaos \
-//     --scenario="at 15s crash master:0; at 45s restart master:0" \
-//     --seeds=10 --seconds=120
+//   ./build/tools/sdrchaos --seeds=10 --seconds=120
+//     --scenario="at 15s crash master:0; at 45s restart master:0"
 #include <cstdio>
 
 #include "src/chaos/runner.h"

@@ -1,0 +1,28 @@
+// sdrlint CLI. Usage: sdrlint <path>... — lints .h/.cc files under each
+// path and exits nonzero when findings remain (the CI gate).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: sdrlint <path>...\n"
+          "Rules: R1 determinism, R2 ordered-output, R3 switch\n"
+          "exhaustiveness over protocol enums, R4 serde pairing,\n"
+          "R5 constant-time discipline. See docs/ANALYSIS.md.\n");
+      return 0;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: sdrlint <path>...\n");
+    return 2;
+  }
+  return sdr::lint::RunTool(paths) == 0 ? 0 : 1;
+}

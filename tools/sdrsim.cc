@@ -15,6 +15,7 @@
 #include "src/chaos/runner.h"
 #include "src/core/cluster.h"
 #include "src/util/flags.h"
+#include "src/util/json.h"
 
 using namespace sdr;
 
@@ -100,6 +101,158 @@ void PrintReport(Cluster& cluster) {
               static_cast<double>(cluster.net().bytes_sent()) / 1e6);
 }
 
+// Machine-readable report. JsonValue objects are std::map-backed, so keys
+// emit sorted and the dump is byte-identical across runs with the same
+// seed and flags — CI diffs these artifacts directly.
+JsonValue JsonReport(Cluster& cluster, const ChaosController* controller) {
+  JsonValue root = JsonValue::Object();
+  root["virtual_seconds"] =
+      static_cast<double>(cluster.sim().Now()) / kSecond;
+  root["seed"] = cluster.config().seed;
+
+  auto totals = cluster.ComputeTotals();
+  JsonValue& t = root["totals"];
+  t["reads_issued"] = totals.reads_issued;
+  t["reads_accepted"] = totals.reads_accepted;
+  t["reads_rejected_stale"] = totals.reads_rejected_stale;
+  t["retries"] = totals.retries;
+  t["double_checks_sent"] = totals.double_checks_sent;
+  t["double_check_mismatches"] = totals.double_check_mismatches;
+  t["pledges_forwarded"] = totals.pledges_forwarded;
+  t["writes_committed_clients"] = totals.writes_committed_clients;
+  t["slave_work_units"] = totals.slave_work_units;
+  t["master_work_units"] = totals.master_work_units;
+  t["auditor_work_units"] = totals.auditor_work_units;
+  t["slaves_excluded"] = totals.slaves_excluded;
+  t["auditor_mismatches"] = totals.auditor_mismatches;
+  t["lies_told"] = totals.lies_told;
+  if (cluster.config().track_ground_truth) {
+    JsonValue& g = root["ground_truth"];
+    g["accepted_checked"] = cluster.accepted_checked();
+    g["accepted_wrong"] = cluster.accepted_wrong();
+    g["accepted_uncheckable"] = cluster.accepted_uncheckable();
+  }
+
+  JsonValue clients = JsonValue::Array();
+  uint64_t cache_hits = 0, cache_misses = 0;
+  for (int c = 0; c < cluster.num_clients(); ++c) {
+    const ClientMetrics& cm = cluster.client(c).metrics();
+    JsonValue j = JsonValue::Object();
+    j["index"] = c;
+    j["reads_issued"] = cm.reads_issued;
+    j["reads_accepted"] = cm.reads_accepted;
+    j["reads_rejected_stale"] = cm.reads_rejected_stale;
+    j["reads_rejected_bad_sig"] = cm.reads_rejected_bad_sig;
+    j["reads_rejected_hash"] = cm.reads_rejected_hash;
+    j["double_checks_sent"] = cm.double_checks_sent;
+    j["double_check_mismatches"] = cm.double_check_mismatches;
+    j["writes_committed"] = cm.writes_committed;
+    j["bad_read_notices"] = cm.bad_read_notices;
+    j["sig_cache_hits"] = cm.sig_cache_hits;
+    j["sig_cache_misses"] = cm.sig_cache_misses;
+    j["read_latency_p50_us"] = cm.read_latency_us.Median();
+    j["read_latency_p99_us"] = cm.read_latency_us.P99();
+    cache_hits += cm.sig_cache_hits;
+    cache_misses += cm.sig_cache_misses;
+    clients.Append(std::move(j));
+  }
+  root["clients"] = std::move(clients);
+
+  JsonValue masters = JsonValue::Array();
+  for (int m = 0; m < cluster.num_masters(); ++m) {
+    const MasterMetrics& mm = cluster.master(m).metrics();
+    JsonValue j = JsonValue::Object();
+    j["index"] = m;
+    j["node"] = (int64_t)cluster.master(m).id();
+    j["version"] = cluster.master(m).version();
+    j["writes_committed"] = mm.writes_committed;
+    j["double_checks_served"] = mm.double_checks_served;
+    j["double_check_lies_found"] = mm.double_check_lies_found;
+    j["slaves_excluded"] = mm.slaves_excluded;
+    j["work_units"] = mm.work_units_executed;
+    j["sig_cache_hits"] = mm.sig_cache_hits;
+    j["sig_cache_misses"] = mm.sig_cache_misses;
+    cache_hits += mm.sig_cache_hits;
+    cache_misses += mm.sig_cache_misses;
+    masters.Append(std::move(j));
+  }
+  root["masters"] = std::move(masters);
+
+  JsonValue slaves = JsonValue::Array();
+  for (int s = 0; s < cluster.num_slaves(); ++s) {
+    const SlaveMetrics& sm = cluster.slave(s).metrics();
+    JsonValue j = JsonValue::Object();
+    j["index"] = s;
+    j["node"] = (int64_t)cluster.slave(s).id();
+    j["applied_version"] = cluster.slave(s).applied_version();
+    j["reads_served"] = sm.reads_served;
+    j["reads_declined_stale"] = sm.reads_declined_stale;
+    j["lies_told"] = sm.lies_told;
+    j["consistent_lies_told"] = sm.consistent_lies_told;
+    j["work_units"] = sm.work_units_executed;
+    j["sig_cache_hits"] = sm.sig_cache_hits;
+    j["sig_cache_misses"] = sm.sig_cache_misses;
+    j["excluded"] =
+        cluster.master(0).IsExcluded(cluster.slave(s).id()) ||
+        (cluster.num_masters() > 1 &&
+         cluster.master(1).IsExcluded(cluster.slave(s).id()));
+    cache_hits += sm.sig_cache_hits;
+    cache_misses += sm.sig_cache_misses;
+    slaves.Append(std::move(j));
+  }
+  root["slaves"] = std::move(slaves);
+
+  JsonValue auditors = JsonValue::Array();
+  for (int a = 0; a < cluster.num_auditors(); ++a) {
+    const AuditorMetrics& am = cluster.auditor(a).metrics();
+    JsonValue j = JsonValue::Object();
+    j["index"] = a;
+    j["node"] = (int64_t)cluster.auditor(a).id();
+    j["pledges_received"] = am.pledges_received;
+    j["pledges_audited"] = am.pledges_audited;
+    j["pledges_version_pruned"] = am.pledges_version_pruned;
+    j["pledges_bad_signature"] = am.pledges_bad_signature;
+    j["mismatches_found"] = am.mismatches_found;
+    j["bad_read_notices_sent"] = am.bad_read_notices_sent;
+    j["cache_hits"] = am.cache_hits;
+    j["verify_batches"] = am.verify_batches;
+    j["sigs_batch_verified"] = am.sigs_batch_verified;
+    j["sig_cache_hits"] = am.sig_cache_hits;
+    j["sig_cache_misses"] = am.sig_cache_misses;
+    j["version_lag"] = cluster.auditor(a).version_lag();
+    j["backlog"] = cluster.auditor(a).backlog();
+    cache_hits += am.sig_cache_hits;
+    cache_misses += am.sig_cache_misses;
+    auditors.Append(std::move(j));
+  }
+  root["auditors"] = std::move(auditors);
+
+  // Aggregate view of the VerifyCache across every role.
+  JsonValue& vc = root["verify_cache"];
+  vc["hits"] = cache_hits;
+  vc["misses"] = cache_misses;
+
+  JsonValue& net = root["network"];
+  net["messages_sent"] = cluster.net().messages_sent();
+  net["messages_delivered"] = cluster.net().messages_delivered();
+  net["bytes_sent"] = cluster.net().bytes_sent();
+
+  if (controller != nullptr) {
+    JsonValue verdicts = JsonValue::Array();
+    for (const auto& checker : controller->checkers()) {
+      JsonValue j = JsonValue::Object();
+      j["name"] = checker->name();
+      j["pass"] = !checker->violated();
+      if (checker->violated()) {
+        j["violation"] = checker->violation()->ToString();
+      }
+      verdicts.Append(std::move(j));
+    }
+    root["chaos_invariants"] = std::move(verdicts);
+  }
+  return root;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,7 +281,10 @@ int main(int argc, char** argv) {
       .Define("ground_truth", "true", "validate accepted reads")
       .Define("scenario", "",
               "chaos scenario applied during the run (see docs/CHAOS.md)")
-      .Define("chaos_cadence_ms", "250", "invariant-checking cadence");
+      .Define("chaos_cadence_ms", "250", "invariant-checking cadence")
+      .Define("json", "false",
+              "emit the report as deterministic JSON (sorted keys, "
+              "byte-stable per seed) instead of the text report");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -194,18 +350,21 @@ int main(int argc, char** argv) {
   }
   Scenario scenario = std::move(parsed).value();
 
-  std::printf("sdrsim: %d masters, %d auditors, %d slaves, %d clients, "
-              "scheme=%s, %lld virtual seconds\n",
-              config.num_masters, config.num_auditors,
-              config.num_masters * config.slaves_per_master,
-              config.num_clients, scheme.c_str(),
-              static_cast<long long>(flags.GetInt("seconds")));
-  // Echo the seed and every explicitly-set flag so the report alone is
-  // enough to reproduce the run.
-  std::printf("seed: %llu\n",
-              static_cast<unsigned long long>(config.seed));
-  for (const auto& [name, value] : flags.NonDefault()) {
-    std::printf("  --%s=%s\n", name.c_str(), value.c_str());
+  const bool emit_json = flags.GetBool("json");
+  if (!emit_json) {
+    std::printf("sdrsim: %d masters, %d auditors, %d slaves, %d clients, "
+                "scheme=%s, %lld virtual seconds\n",
+                config.num_masters, config.num_auditors,
+                config.num_masters * config.slaves_per_master,
+                config.num_clients, scheme.c_str(),
+                static_cast<long long>(flags.GetInt("seconds")));
+    // Echo the seed and every explicitly-set flag so the report alone is
+    // enough to reproduce the run.
+    std::printf("seed: %llu\n",
+                static_cast<unsigned long long>(config.seed));
+    for (const auto& [name, value] : flags.NonDefault()) {
+      std::printf("  --%s=%s\n", name.c_str(), value.c_str());
+    }
   }
 
   Cluster cluster(config);
@@ -213,13 +372,30 @@ int main(int argc, char** argv) {
       &cluster, scenario, DefaultCheckers(config),
       ChaosControllerOptions{flags.GetInt("chaos_cadence_ms") * kMillisecond});
   if (!scenario.empty()) {
-    std::printf("scenario: %s\n", scenario.ToString().c_str());
+    if (!emit_json) {
+      std::printf("scenario: %s\n", scenario.ToString().c_str());
+    }
     controller.Install();
   }
   cluster.RunFor(flags.GetInt("seconds") * kSecond);
-  PrintReport(cluster);
   if (!scenario.empty()) {
     controller.Finish();
+  }
+  if (emit_json) {
+    // Pure JSON on stdout: the whole report, flags echo included, so the
+    // artifact alone reproduces the run.
+    JsonValue root = JsonReport(cluster, scenario.empty() ? nullptr
+                                                          : &controller);
+    JsonValue fl = JsonValue::Object();
+    for (const auto& [name, value] : flags.NonDefault()) {
+      fl[name] = value;
+    }
+    root["flags"] = std::move(fl);
+    std::printf("%s\n", root.Dump(2).c_str());
+    return 0;
+  }
+  PrintReport(cluster);
+  if (!scenario.empty()) {
     std::printf("chaos invariants:\n");
     for (const auto& checker : controller.checkers()) {
       if (checker->violated()) {
