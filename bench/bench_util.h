@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sdr {
@@ -27,9 +29,25 @@ struct JsonSection {
   std::vector<std::string> notes;
 };
 
+// One measurement in google-benchmark's JSON schema; written by
+// --benchmark_out so the artifacts are readable by the google-benchmark
+// tooling (compare.py) and by the same CI scripts that consume E10's
+// native google-benchmark output.
+struct BenchmarkEntry {
+  std::string name;
+  int64_t iterations = 1;
+  double real_time = 0;
+  double cpu_time = 0;
+  std::string time_unit = "us";
+  std::vector<std::pair<std::string, double>> counters;
+};
+
 struct JsonState {
   std::string path;  // empty = JSON capture disabled
   std::vector<JsonSection> sections;
+  std::string benchmark_out;  // empty = gbench-style capture disabled
+  std::string executable;
+  std::vector<BenchmarkEntry> benchmarks;
 };
 
 inline JsonState& State() {
@@ -99,6 +117,54 @@ inline void WriteJsonAtExit() {
   std::fclose(f);
 }
 
+inline void WriteBenchmarkOutAtExit() {
+  JsonState& s = State();
+  if (s.benchmark_out.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(s.benchmark_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open --benchmark_out file %s\n",
+                 s.benchmark_out.c_str());
+    return;
+  }
+  // Context block matches google-benchmark's layout; fields whose values
+  // would vary run to run (date, host) stay fixed so the artifact diffs
+  // clean across CI runs of the same commit.
+  std::fprintf(f,
+               "{\n  \"context\": {\n    \"date\": \"\",\n"
+               "    \"host_name\": \"\",\n    \"executable\": \"%s\",\n"
+               "    \"num_cpus\": 0,\n    \"mhz_per_cpu\": 0,\n"
+               "    \"cpu_scaling_enabled\": false,\n    \"caches\": [],\n"
+               "    \"library_build_type\": \"release\"\n  },\n",
+               JsonEscape(s.executable).c_str());
+  std::fprintf(f, "  \"benchmarks\": [");
+  for (size_t i = 0; i < s.benchmarks.size(); ++i) {
+    const BenchmarkEntry& b = s.benchmarks[i];
+    std::fprintf(f,
+                 "%s\n    {\n      \"name\": \"%s\",\n"
+                 "      \"run_name\": \"%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"repetitions\": 1,\n"
+                 "      \"repetition_index\": 0,\n"
+                 "      \"threads\": 1,\n"
+                 "      \"iterations\": %lld,\n"
+                 "      \"real_time\": %.6g,\n"
+                 "      \"cpu_time\": %.6g,\n"
+                 "      \"time_unit\": \"%s\"",
+                 i ? "," : "", JsonEscape(b.name).c_str(),
+                 JsonEscape(b.name).c_str(),
+                 static_cast<long long>(b.iterations), b.real_time, b.cpu_time,
+                 JsonEscape(b.time_unit).c_str());
+    for (const auto& [key, value] : b.counters) {
+      std::fprintf(f, ",\n      \"%s\": %.6g", JsonEscape(key).c_str(), value);
+    }
+    std::fprintf(f, "\n    }");
+  }
+  std::fprintf(f, "%s]\n}\n", s.benchmarks.empty() ? "" : "\n  ");
+  std::fclose(f);
+}
+
 inline JsonSection* CurrentSection() {
   JsonState& s = State();
   if (s.path.empty()) {
@@ -115,17 +181,49 @@ inline JsonSection* CurrentSection() {
 // Parses the flags shared by the experiment binaries; unknown arguments are
 // ignored so binaries can add their own. Safe to call with (0, nullptr).
 inline void ParseBenchFlags(int argc, char** argv) {
+  if (argc > 0 && argv != nullptr) {
+    bench_internal::State().executable = argv[0];
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
       bench_internal::State().path = argv[++i];
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       bench_internal::State().path = arg + 7;
+    } else if (std::strcmp(arg, "--benchmark_out") == 0 && i + 1 < argc) {
+      bench_internal::State().benchmark_out = argv[++i];
+    } else if (std::strncmp(arg, "--benchmark_out=", 16) == 0) {
+      bench_internal::State().benchmark_out = arg + 16;
     }
   }
   if (!bench_internal::State().path.empty()) {
     std::atexit(bench_internal::WriteJsonAtExit);
   }
+  if (!bench_internal::State().benchmark_out.empty()) {
+    std::atexit(bench_internal::WriteBenchmarkOutAtExit);
+  }
+}
+
+// Records one google-benchmark-schema entry for --benchmark_out. `real_time`
+// and `cpu_time` are in `time_unit`; extra metrics ride along as counters.
+inline void ReportBenchmark(
+    const std::string& name, int64_t iterations, double real_time,
+    double cpu_time, const std::string& time_unit,
+    std::initializer_list<std::pair<const char*, double>> counters = {}) {
+  bench_internal::JsonState& s = bench_internal::State();
+  if (s.benchmark_out.empty()) {
+    return;
+  }
+  bench_internal::BenchmarkEntry entry;
+  entry.name = name;
+  entry.iterations = iterations;
+  entry.real_time = real_time;
+  entry.cpu_time = cpu_time;
+  entry.time_unit = time_unit;
+  for (const auto& [key, value] : counters) {
+    entry.counters.emplace_back(key, value);
+  }
+  s.benchmarks.push_back(std::move(entry));
 }
 
 // Prints a header like:

@@ -4,9 +4,41 @@
 #include <cstdio>
 #include <set>
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace sdr {
+namespace {
+
+// Timeline label for each fault kind. Exhaustive on purpose
+// (sdrlint:protocol-enum): a new chaos event must pick its trace name here.
+const char* ChaosEventTraceName(ChaosEvent::Type type) {
+  switch (type) {
+    case ChaosEvent::Type::kCrash:
+      return "chaos.crash";
+    case ChaosEvent::Type::kRestart:
+      return "chaos.restart";
+    case ChaosEvent::Type::kPartition:
+      return "chaos.partition";
+    case ChaosEvent::Type::kHeal:
+      return "chaos.heal";
+    case ChaosEvent::Type::kHealAll:
+      return "chaos.heal_all";
+    case ChaosEvent::Type::kSetLink:
+      return "chaos.set_link";
+    case ChaosEvent::Type::kSetBehavior:
+      return "chaos.set_behavior";
+    case ChaosEvent::Type::kBurstWrites:
+      return "chaos.burst_writes";
+    case ChaosEvent::Type::kPauseAuditor:
+      return "chaos.pause_auditor";
+    case ChaosEvent::Type::kResumeAuditor:
+      return "chaos.resume_auditor";
+  }
+  return "chaos.unknown";
+}
+
+}  // namespace
 
 ChaosController::ChaosController(
     Cluster* cluster, Scenario scenario,
@@ -94,6 +126,11 @@ std::vector<NodeId> ChaosController::Resolve(const NodeSelector& sel) {
 void ChaosController::ApplyEvent(const ChaosEvent& event) {
   using Type = ChaosEvent::Type;
   Network& net = cluster_->net();
+  if (TraceSink* t = cluster_->sim().trace()) {
+    // Fault injections appear as instants on the timeline so a chaos run's
+    // anomalies (latency spikes, exclusions) can be read in context.
+    t->Instant(TraceRole::kChaos, 0, ChaosEventTraceName(event.type));
+  }
   switch (event.type) {
     case Type::kCrash:
       for (NodeId id : Resolve(event.a)) {

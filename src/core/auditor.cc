@@ -1,5 +1,6 @@
 #include "src/core/auditor.h"
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace sdr {
@@ -13,6 +14,7 @@ Auditor::Auditor(Options options)
 
 void Auditor::Start() {
   queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.auditor_speed);
+  queue_->BindTrace(TraceRole::kAuditor, id());
   rng_ = sim()->rng().Fork();
 
   TotalOrderBroadcast::Config bc = options_.broadcast;
@@ -58,10 +60,10 @@ void Auditor::SetPaused(bool paused) {
     return;
   }
   // Resume: push the parked pledges through the normal admission path.
-  std::deque<std::pair<Pledge, NodeId>> backlog = std::move(paused_backlog_);
+  std::deque<PendingPledge> backlog = std::move(paused_backlog_);
   paused_backlog_.clear();
-  for (auto& [pledge, submitter] : backlog) {
-    EnqueueForVerify(std::move(pledge), submitter);
+  for (PendingPledge& item : backlog) {
+    EnqueueForVerify(std::move(item.pledge), item.submitter, item.trace_id);
   }
   FlushVerifyBatch();
   TryFinalizeVersions();
@@ -145,14 +147,14 @@ void Auditor::PumpCommitQueue() {
     last_commit_time_ = sim()->Now();
     commit_times_[version] = last_commit_time_;
     // Pledges that were waiting for this version can now be audited.
-    std::deque<std::pair<Pledge, NodeId>> still_future;
+    std::deque<PendingPledge> still_future;
     while (!future_.empty()) {
-      auto [p, submitter] = std::move(future_.front());
+      PendingPledge item = std::move(future_.front());
       future_.pop_front();
-      if (p.token.content_version <= oplog_.head_version()) {
-        AuditOne(std::move(p), submitter);
+      if (item.pledge.token.content_version <= oplog_.head_version()) {
+        AuditOne(std::move(item.pledge), item.submitter, item.trace_id);
       } else {
-        still_future.emplace_back(std::move(p), submitter);
+        still_future.push_back(std::move(item));
       }
     }
     future_ = std::move(still_future);
@@ -172,24 +174,35 @@ void Auditor::HandleAuditSubmit(NodeId from, const Bytes& body) {
     return;
   }
   ++metrics_.pledges_received;
+  TraceSink* t = sim()->trace();
+  if (t != nullptr) {
+    t->Instant(TraceRole::kAuditor, id(), "audit.recv", msg->trace_id);
+  }
   if (options_.params.audit_sample_fraction < 1.0 &&
       !rng_.NextBool(options_.params.audit_sample_fraction)) {
     ++metrics_.pledges_skipped_sampling;
     return;
   }
   if (paused_) {
-    paused_backlog_.emplace_back(std::move(msg->pledge), from);
+    if (t != nullptr) {
+      t->Instant(TraceRole::kAuditor, id(), "audit.park_paused",
+                 msg->trace_id);
+    }
+    paused_backlog_.push_back(
+        PendingPledge{std::move(msg->pledge), from, msg->trace_id});
     return;
   }
-  EnqueueForVerify(std::move(msg->pledge), from);
+  EnqueueForVerify(std::move(msg->pledge), from, msg->trace_id);
 }
 
 // Admission stage: buffer the pledge for batched signature verification.
 // The pledge counts as in flight from here, so version finalization can
 // never overtake a buffered pledge.
-void Auditor::EnqueueForVerify(Pledge pledge, NodeId submitter) {
+void Auditor::EnqueueForVerify(Pledge pledge, NodeId submitter,
+                               uint64_t trace_id) {
   ++in_flight_[pledge.token.content_version];
-  pending_verify_.emplace_back(std::move(pledge), submitter);
+  pending_verify_.push_back(
+      PendingPledge{std::move(pledge), submitter, trace_id});
   if (pending_verify_.size() >=
       static_cast<size_t>(options_.params.audit_verify_batch_size)) {
     FlushVerifyBatch();
@@ -214,14 +227,14 @@ void Auditor::FlushVerifyBatch() {
   if (pending_verify_.empty()) {
     return;
   }
-  std::deque<std::pair<Pledge, NodeId>> batch = std::move(pending_verify_);
+  std::deque<PendingPledge> batch = std::move(pending_verify_);
   pending_verify_.clear();
 
   // item index pairs per verifiable pledge: [slave sig, token sig].
   std::vector<VerifyItem> items;
   std::vector<int> first_item(batch.size(), -1);
   for (size_t i = 0; i < batch.size(); ++i) {
-    const Pledge& pledge = batch[i].first;
+    const Pledge& pledge = batch[i].pledge;
     auto cert = known_slave_certs_.find(pledge.slave);
     auto master_key = options_.master_keys.find(pledge.token.master);
     if (cert == known_slave_certs_.end() ||
@@ -241,27 +254,35 @@ void Auditor::FlushVerifyBatch() {
     ok = verify_cache_.VerifyBatch(options_.params.scheme, items);
   }
 
+  TraceSink* t = sim()->trace();
   for (size_t i = 0; i < batch.size(); ++i) {
-    auto& [pledge, submitter] = batch[i];
-    --in_flight_[pledge.token.content_version];
+    PendingPledge& item = batch[i];
+    --in_flight_[item.pledge.token.content_version];
     if (first_item[i] >= 0 &&
         (!ok[first_item[i]] || !ok[first_item[i] + 1])) {
       // Forged or tampered: proves nothing, audits nothing.
       ++metrics_.pledges_bad_signature;
+      if (t != nullptr) {
+        t->Instant(TraceRole::kAuditor, id(), "audit.bad_sig", item.trace_id);
+      }
       continue;
     }
-    if (pledge.token.content_version > oplog_.head_version()) {
+    if (item.pledge.token.content_version > oplog_.head_version()) {
       // The slave answered at a version whose commit has not reached us yet.
-      future_.emplace_back(std::move(pledge), submitter);
+      if (t != nullptr) {
+        t->Instant(TraceRole::kAuditor, id(), "audit.future", item.trace_id);
+      }
+      future_.push_back(std::move(item));
       continue;
     }
-    AuditOne(std::move(pledge), submitter);
+    AuditOne(std::move(item.pledge), item.submitter, item.trace_id);
   }
 }
 
-void Auditor::AuditOne(Pledge pledge, NodeId submitter) {
+void Auditor::AuditOne(Pledge pledge, NodeId submitter, uint64_t trace_id) {
   uint64_t version = pledge.token.content_version;
   ++in_flight_[version];
+  TraceSink* t = sim()->trace();
 
   // Cost: a cache hit is nearly free; otherwise re-execute and hash — but
   // never sign and never build a client reply (Section 3.4's advantages).
@@ -284,6 +305,9 @@ void Auditor::AuditOne(Pledge pledge, NodeId submitter) {
       // audit window guarantee makes this a protocol violation by the
       // client or extreme delay; skip.
       ++metrics_.pledges_version_pruned;
+      if (t != nullptr) {
+        t->Instant(TraceRole::kAuditor, id(), "audit.pruned", trace_id);
+      }
       --in_flight_[version];
       return;
     }
@@ -302,12 +326,22 @@ void Auditor::AuditOne(Pledge pledge, NodeId submitter) {
     }
   }
 
+  if (t != nullptr) {
+    t->SpanBegin(TraceRole::kAuditor, id(), "audit", trace_id,
+                 cache_hit ? 1 : 0);
+  }
   queue_->Enqueue(service_time, [this, pledge = std::move(pledge),
                                  correct_hash = std::move(correct_hash),
-                                 version, submitter] {
+                                 version, submitter, trace_id] {
     ++metrics_.pledges_audited;
     --in_flight_[version];
-    if (correct_hash != pledge.result_sha1) {
+    bool mismatch = correct_hash != pledge.result_sha1;
+    TraceSink* sink = sim()->trace();
+    if (sink != nullptr) {
+      sink->SpanEnd(TraceRole::kAuditor, id(), "audit", trace_id,
+                    mismatch ? 1 : 0);
+    }
+    if (mismatch) {
       // Check the signature before accusing: an unsigned "pledge" proves
       // nothing and forwarding it would let clients frame slaves.
       auto cert = known_slave_certs_.find(pledge.slave);
@@ -319,31 +353,47 @@ void Auditor::AuditOne(Pledge pledge, NodeId submitter) {
         return;
       }
       ++metrics_.mismatches_found;
-      RaiseAccusation(pledge);
-      NotifyVictim(submitter, pledge, correct_hash);
+      if (sink != nullptr) {
+        sink->Instant(TraceRole::kAuditor, id(), "audit.mismatch", trace_id,
+                      static_cast<int64_t>(pledge.slave));
+        sink->Hist(TraceRole::kAuditor, id(), "detection_latency_us")
+            .Record(sim()->Now() - pledge.token.timestamp);
+      }
+      RaiseAccusation(pledge, trace_id);
+      NotifyVictim(submitter, pledge, correct_hash, trace_id);
     }
     TryFinalizeVersions();
   });
 }
 
-void Auditor::RaiseAccusation(const Pledge& pledge) {
+void Auditor::RaiseAccusation(const Pledge& pledge, uint64_t trace_id) {
   auto owner = slave_owner_.find(pledge.slave);
   if (owner == slave_owner_.end()) {
     return;
   }
   ++metrics_.accusations_sent;
+  if (TraceSink* t = sim()->trace()) {
+    t->Instant(TraceRole::kAuditor, id(), "accuse", trace_id,
+               static_cast<int64_t>(pledge.slave));
+  }
   Accusation msg;
+  msg.trace_id = trace_id;
   msg.pledge = pledge;
   network()->Send(id(), owner->second,
                   WithType(MsgType::kAccusation, msg.Encode()));
 }
 
 void Auditor::NotifyVictim(NodeId client, const Pledge& pledge,
-                           const Bytes& correct_sha1) {
+                           const Bytes& correct_sha1, uint64_t trace_id) {
   // Delayed discovery: this client already accepted the bad answer; tell
   // it so the application can roll back (Section 3.5).
   ++metrics_.bad_read_notices_sent;
+  if (TraceSink* t = sim()->trace()) {
+    t->Instant(TraceRole::kAuditor, id(), "notify_victim", trace_id,
+               static_cast<int64_t>(client));
+  }
   BadReadNotice notice;
+  notice.trace_id = trace_id;
   notice.pledge = pledge;
   notice.correct_sha1 = correct_sha1;
   network()->Send(id(), client,
@@ -379,6 +429,10 @@ void Auditor::TryFinalizeVersions() {
     }
     // Every pledge for versions < next has been audited (queued audits are
     // counted in in_flight_ from acceptance), so those versions are closed.
+    if (TraceSink* t = sim()->trace()) {
+      t->Hist(TraceRole::kAuditor, id(), "audit_lag_us")
+          .Record(sim()->Now() - commit->second);
+    }
     audited_version_ = next;
     ++metrics_.versions_finalized;
     // Reclaim memory for closed versions.

@@ -88,17 +88,26 @@ class Auditor : public Node {
   }
 
  private:
+  // A pledge moving through the audit pipeline, with the client that
+  // submitted it (for delayed-discovery rollback notices) and the causal
+  // trace id it arrived on (0 when untraced).
+  struct PendingPledge {
+    Pledge pledge;
+    NodeId submitter = kInvalidNode;
+    uint64_t trace_id = 0;
+  };
+
   void OnDelivered(uint64_t seq, NodeId origin, const Bytes& payload);
   void PumpCommitQueue();
   void HandleAuditSubmit(NodeId from, const Bytes& body);
   void GossipAndFinalizeTick();
-  void EnqueueForVerify(Pledge pledge, NodeId submitter);
+  void EnqueueForVerify(Pledge pledge, NodeId submitter, uint64_t trace_id);
   void FlushVerifyBatch();
-  void AuditOne(Pledge pledge, NodeId submitter);
+  void AuditOne(Pledge pledge, NodeId submitter, uint64_t trace_id);
   void TryFinalizeVersions();
-  void RaiseAccusation(const Pledge& pledge);
+  void RaiseAccusation(const Pledge& pledge, uint64_t trace_id);
   void NotifyVictim(NodeId client, const Pledge& pledge,
-                    const Bytes& correct_sha1);
+                    const Bytes& correct_sha1, uint64_t trace_id);
 
   Options options_;
   Signer signer_;
@@ -114,16 +123,15 @@ class Auditor : public Node {
   // them has been audited and no client can accept a read for them any
   // more. audited_version_ itself is the oldest possibly-active version.
   uint64_t audited_version_ = 0;
-  // Pledges for versions we have not yet seen committed (with their
-  // submitting client, for delayed-discovery rollback notices).
-  std::deque<std::pair<Pledge, NodeId>> future_;
+  // Pledges for versions we have not yet seen committed.
+  std::deque<PendingPledge> future_;
   // Pledges parked while paused, drained on resume.
-  std::deque<std::pair<Pledge, NodeId>> paused_backlog_;
+  std::deque<PendingPledge> paused_backlog_;
   bool paused_ = false;
   // Admitted pledges awaiting the batched signature verification. Counted
   // in in_flight_ so finalization cannot overtake them; flushed at
   // audit_verify_batch_size or after audit_verify_batch_window.
-  std::deque<std::pair<Pledge, NodeId>> pending_verify_;
+  std::deque<PendingPledge> pending_verify_;
   bool verify_timer_armed_ = false;
   // Deduplicates signature verifications — chiefly the version token, which
   // is shared by every pledge answered under it.

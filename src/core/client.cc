@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace sdr {
@@ -147,6 +148,10 @@ void Client::HandleReassignment(NodeId from, const Bytes& body) {
     auditor_ = msg->auditor;  // the new slave may audit elsewhere
   }
   ++metrics_.reassignments;
+  if (TraceSink* t = sim()->trace()) {
+    t->Instant(TraceRole::kClient, id(), "reassigned", msg->trace_id,
+               static_cast<int64_t>(msg->excluded_slave));
+  }
   // Outstanding reads retry toward the new slave on their next attempt.
 }
 
@@ -164,6 +169,9 @@ void Client::HandleBadReadNotice(const Bytes& body) {
     return;
   }
   ++metrics_.bad_read_notices;
+  if (TraceSink* t = sim()->trace()) {
+    t->Instant(TraceRole::kClient, id(), "bad_read_notice", msg->trace_id);
+  }
   if (on_bad_read) {
     on_bad_read(msg->pledge.query, msg->pledge.token.content_version);
   }
@@ -189,6 +197,10 @@ void Client::IssueRead(Query query, ReadCallback cb) {
   read.query = std::move(query);
   read.first_issued = sim()->Now();
   read.cb = std::move(cb);
+  read.trace_id = MintTraceId(id(), request_id);
+  if (TraceSink* t = sim()->trace()) {
+    t->SpanBegin(TraceRole::kClient, id(), "read", read.trace_id);
+  }
   reads_.emplace(request_id, std::move(read));
   ++metrics_.reads_issued;
   SendRead(request_id);
@@ -203,9 +215,14 @@ void Client::SendRead(uint64_t request_id) {
   ++read.attempts;
   if (read.attempts > 1) {
     ++metrics_.retries;
+    if (TraceSink* t = sim()->trace()) {
+      t->Instant(TraceRole::kClient, id(), "read.retry", read.trace_id,
+                 read.attempts);
+    }
   }
   ReadRequest msg;
   msg.request_id = request_id;
+  msg.trace_id = read.trace_id;
   msg.query = read.query;
   network()->Send(id(), slave_cert_->subject,
                   WithType(MsgType::kReadRequest, msg.Encode()));
@@ -239,9 +256,13 @@ void Client::HandleReadReply(NodeId from, const Bytes& body) {
   }
   PendingRead& read = it->second;
 
+  TraceSink* t = sim()->trace();
   if (!msg->ok) {
     // Honest decline (slave out of sync). Back off and retry.
     ++metrics_.reads_failed_declined;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kClient, id(), "read.declined", read.trace_id);
+    }
     RetryRead(msg->request_id, options_.retry_backoff);
     return;
   }
@@ -251,6 +272,9 @@ void Client::HandleReadReply(NodeId from, const Bytes& body) {
   // 1. Result hash must match the pledge.
   if (msg->result.Sha1Digest() != pledge.result_sha1) {
     ++metrics_.reads_rejected_hash;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kClient, id(), "read.reject_hash", read.trace_id);
+    }
     RetryRead(msg->request_id, 0);
     return;
   }
@@ -265,12 +289,18 @@ void Client::HandleReadReply(NodeId from, const Bytes& body) {
                             slave_cert_->subject_public_key, *master_key,
                             pledge, &verify_cache_)) {
     ++metrics_.reads_rejected_bad_sig;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kClient, id(), "read.reject_sig", read.trace_id);
+    }
     RetryRead(msg->request_id, 0);
     return;
   }
   // 4. Freshness: reject results older than (the client's) max_latency.
   if (!TokenIsFresh(pledge.token, sim()->Now(), effective_max_latency())) {
     ++metrics_.reads_rejected_stale;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kClient, id(), "read.reject_stale", read.trace_id);
+    }
     RetryRead(msg->request_id, options_.retry_backoff);
     return;
   }
@@ -283,8 +313,12 @@ void Client::HandleReadReply(NodeId from, const Bytes& body) {
     read.awaiting_double_check = true;
     double_checking_[msg->request_id] = {msg->result, pledge};
     ++metrics_.double_checks_sent;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kClient, id(), "dc.send", read.trace_id);
+    }
     DoubleCheckRequest dc;
     dc.request_id = msg->request_id;
+    dc.trace_id = read.trace_id;
     dc.pledge = pledge;
     network()->Send(id(), master_,
                     WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
@@ -310,8 +344,12 @@ void Client::HandleReadReply(NodeId from, const Bytes& body) {
   // corresponding pledges to the auditor", Section 3.4).
   if (options_.params.audit_enabled && auditor_ != kInvalidNode) {
     AuditSubmit submit;
+    submit.trace_id = read.trace_id;
     submit.pledge = pledge;
     ++metrics_.pledges_forwarded;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kClient, id(), "pledge.forward", read.trace_id);
+    }
     network()->Send(id(), auditor_,
                     WithType(MsgType::kAuditSubmit, submit.Encode()));
   }
@@ -337,10 +375,14 @@ void Client::HandleDoubleCheckReply(const Bytes& body) {
   read_it->second.awaiting_double_check = false;
   sim()->Cancel(read_it->second.timeout);
 
+  TraceSink* t = sim()->trace();
   if (!msg->served) {
     // Quota-throttled (or version unavailable). The read itself passed all
     // client-side checks; accept it.
     ++metrics_.double_checks_unserved;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kClient, id(), "dc.unserved", msg->trace_id);
+    }
     AcceptRead(msg->request_id, result, pledge);
     return;
   }
@@ -352,6 +394,9 @@ void Client::HandleDoubleCheckReply(const Bytes& body) {
   // the double-check request and will exclude the slave and reassign us;
   // retry the read, which will land on the new slave.
   ++metrics_.double_check_mismatches;
+  if (t != nullptr) {
+    t->Instant(TraceRole::kClient, id(), "dc.mismatch", msg->trace_id);
+  }
   RetryRead(msg->request_id, options_.retry_backoff);
 }
 
@@ -382,6 +427,11 @@ void Client::AcceptRead(uint64_t request_id, const QueryResult& result,
   ++metrics_.reads_accepted;
   metrics_.read_latency_us.Add(
       static_cast<double>(sim()->Now() - it->second.first_issued));
+  if (TraceSink* t = sim()->trace()) {
+    t->Hist(TraceRole::kClient, id(), "read_rtt_us")
+        .Record(sim()->Now() - it->second.first_issued);
+    t->SpanEnd(TraceRole::kClient, id(), "read", it->second.trace_id, 1);
+  }
   sim()->Cancel(it->second.timeout);
   if (on_accept) {
     on_accept(it->second.query, pledge, result);
@@ -400,6 +450,9 @@ void Client::FailRead(uint64_t request_id) {
   auto it = reads_.find(request_id);
   if (it == reads_.end()) {
     return;
+  }
+  if (TraceSink* t = sim()->trace()) {
+    t->SpanEnd(TraceRole::kClient, id(), "read", it->second.trace_id, 0);
   }
   sim()->Cancel(it->second.timeout);
   ReadCallback cb = std::move(it->second.cb);
@@ -425,6 +478,10 @@ void Client::IssueWrite(WriteBatch batch, WriteCallback cb) {
   write.cb = std::move(cb);
   writes_.emplace(request_id, std::move(write));
   ++metrics_.writes_issued;
+  if (TraceSink* t = sim()->trace()) {
+    t->SpanBegin(TraceRole::kClient, id(), "write",
+                 MintTraceId(id(), request_id));
+  }
   SendWrite(request_id);
 }
 
@@ -474,6 +531,10 @@ void Client::HandleWriteReply(const Bytes& body) {
         static_cast<double>(sim()->Now() - it->second.first_issued));
   } else {
     ++metrics_.writes_rejected;
+  }
+  if (TraceSink* t = sim()->trace()) {
+    t->SpanEnd(TraceRole::kClient, id(), "write",
+               MintTraceId(id(), msg->request_id), msg->ok ? 1 : 0);
   }
   WriteCallback cb = std::move(it->second.cb);
   uint64_t version = msg->committed_version;

@@ -109,6 +109,7 @@ class Client : public Node {
     EventId timeout = 0;
     ReadCallback cb;
     bool awaiting_double_check = false;
+    uint64_t trace_id = 0;  // causal id spanning retries and double-checks
   };
   struct PendingWrite {
     WriteBatch batch;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
 #include "src/util/logging.h"
 
@@ -23,6 +24,16 @@ Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)),
       sim_(config_.seed),
       net_(&sim_, config_.default_link) {
+  if (config_.trace.enabled) {
+    TraceSink::Options topts;
+    topts.capacity = config_.trace.capacity;
+    topts.sim_spans = config_.trace.sim_spans;
+    trace_sink_ = std::make_unique<TraceSink>(&sim_, topts);
+    // Installed before any node starts so the first scheduled event is
+    // already observable.
+    sim_.set_trace(trace_sink_.get());
+  }
+
   Rng key_rng = sim_.rng().Fork();
 
   // --- Content owner: content key and identity. ---
@@ -67,10 +78,20 @@ Cluster::Cluster(ClusterConfig config)
   Rng corpus_rng = sim_.rng().Fork();
   DocumentStore base = BuildCatalogCorpus(config_.corpus, corpus_rng);
 
+  // Names the node in trace exports; no-op when tracing is off.
+  auto register_node = [this](NodeId id, TraceRole role, const char* kind,
+                              int index) {
+    if (trace_sink_ != nullptr) {
+      trace_sink_->RegisterNode(id, role,
+                                std::string(kind) + " " + std::to_string(index));
+    }
+  };
+
   // --- Directory. ---
   directory_ = std::make_unique<Directory>();
   NodeId got = net_.AddNode(directory_.get());
   CheckId(got, directory_id);
+  register_node(got, TraceRole::kDirectory, "directory", 0);
   directory_->Publish(content_.content_public_key, master_certs);
 
   // --- Masters. ---
@@ -88,6 +109,7 @@ Cluster::Cluster(ClusterConfig config)
     masters_.push_back(std::make_unique<Master>(&sim_, std::move(opts)));
     got = net_.AddNode(masters_.back().get());
     CheckId(got, master_ids[i]);
+    register_node(got, TraceRole::kMaster, "master", i);
     masters_.back()->SetBaseContent(base);
   }
 
@@ -105,6 +127,7 @@ Cluster::Cluster(ClusterConfig config)
     auditors_.push_back(std::make_unique<Auditor>(std::move(opts)));
     got = net_.AddNode(auditors_.back().get());
     CheckId(got, auditor_ids[i]);
+    register_node(got, TraceRole::kAuditor, "auditor", static_cast<int>(i));
     auditors_.back()->SetBaseContent(base);
   }
 
@@ -124,6 +147,7 @@ Cluster::Cluster(ClusterConfig config)
       }
       slaves_.push_back(std::make_unique<Slave>(std::move(opts)));
       NodeId sid = net_.AddNode(slaves_.back().get());
+      register_node(sid, TraceRole::kSlave, "slave", slave_index);
       slaves_.back()->SetBaseContent(base);
       masters_[m]->AddSlave(IssueCertificate(master_signer, sid, Role::kSlave,
                                              slaves_.back()->public_key()));
@@ -154,7 +178,8 @@ Cluster::Cluster(ClusterConfig config)
       config_.tweak_client(c, opts);
     }
     clients_.push_back(std::make_unique<Client>(std::move(opts)));
-    net_.AddNode(clients_.back().get());
+    NodeId cid = net_.AddNode(clients_.back().get());
+    register_node(cid, TraceRole::kClient, "client", c);
     clients_.back()->on_accept = [this, c](const Query& query,
                                            const Pledge& pledge,
                                            const QueryResult& result) {

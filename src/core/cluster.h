@@ -19,9 +19,19 @@
 #include "src/core/slave.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/trace/trace.h"
 #include "src/workload/workload.h"
 
 namespace sdr {
+
+// Observability knobs. Tracing is off by default: with `enabled` false the
+// cluster never creates a TraceSink, the simulator's trace() stays null, and
+// every instrumentation site reduces to one untaken branch.
+struct TraceConfig {
+  bool enabled = false;
+  size_t capacity = 1 << 20;  // ring-buffer event capacity
+  bool sim_spans = false;     // wrap every simulator event in a span (verbose)
+};
 
 struct ClusterConfig {
   uint64_t seed = 1;
@@ -59,6 +69,8 @@ struct ClusterConfig {
 
   uint64_t snapshot_interval = 16;
   TotalOrderBroadcast::Config broadcast;
+
+  TraceConfig trace;
 };
 
 class Cluster {
@@ -92,6 +104,8 @@ class Cluster {
 
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
+  // Null unless config.trace.enabled.
+  TraceSink* trace() { return trace_sink_.get(); }
   Directory& directory() { return *directory_; }
   Master& master(int i) { return *masters_[i]; }
   Auditor& auditor(int i = 0) { return *auditors_[i]; }
@@ -144,6 +158,9 @@ class Cluster {
 
   ClusterConfig config_;
   Simulator sim_;
+  // Owned here, surfaced to nodes through Simulator::trace(); must outlive
+  // every node, so it sits next to sim_ above the node containers.
+  std::unique_ptr<TraceSink> trace_sink_;
   Network net_;
   ContentIdentity content_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace sdr {
@@ -17,6 +18,7 @@ Master::Master(Simulator* /*sim*/, Options options)
 
 void Master::Start() {
   queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.master_speed);
+  queue_->BindTrace(TraceRole::kMaster, id());
   rng_ = sim()->rng().Fork();
 
   TotalOrderBroadcast::Config bc = options_.broadcast;
@@ -248,6 +250,10 @@ void Master::CommitWrite(const TobWrite& write) {
   oplog_.Append(version, write.batch);
   last_commit_time_ = sim()->Now();
   ++metrics_.writes_committed;
+  if (TraceSink* t = sim()->trace()) {
+    t->Instant(TraceRole::kMaster, id(), "write.commit", kNoTrace,
+               static_cast<int64_t>(version));
+  }
 
   if (write.origin_master == id()) {
     pending_writes_.erase({write.client, write.request_id});
@@ -470,6 +476,7 @@ void Master::HandleDoubleCheck(NodeId from, const Bytes& body) {
   }
   DoubleCheckReply reply;
   reply.request_id = msg->request_id;
+  reply.trace_id = msg->trace_id;
 
   if (!AllowDoubleCheck(from)) {
     ++metrics_.double_checks_throttled;
@@ -500,6 +507,10 @@ void Master::HandleDoubleCheck(NodeId from, const Bytes& body) {
   Bytes correct_hash = outcome->result.Sha1Digest();
   bool matches = correct_hash == pledge.result_sha1;
 
+  if (TraceSink* t = sim()->trace()) {
+    t->Instant(TraceRole::kMaster, id(), "dc.serve", msg->trace_id,
+               matches ? 1 : 0);
+  }
   SimTime service_time = options_.cost.ExecuteTime(
       outcome->cost, outcome->result.Encode().size());
   queue_->Enqueue(service_time, [this, from, reply, matches,
@@ -512,7 +523,13 @@ void Master::HandleDoubleCheck(NodeId from, const Bytes& body) {
                     WithType(MsgType::kDoubleCheckReply, reply.Encode()));
     if (!matches) {
       ++metrics_.double_check_lies_found;
-      ProcessIncriminatingPledge(pledge);
+      if (TraceSink* t = sim()->trace()) {
+        t->Instant(TraceRole::kMaster, id(), "dc.lie_found", reply.trace_id,
+                   static_cast<int64_t>(pledge.slave));
+        t->Hist(TraceRole::kMaster, id(), "detection_latency_us")
+            .Record(sim()->Now() - pledge.token.timestamp);
+      }
+      ProcessIncriminatingPledge(pledge, reply.trace_id);
     }
   });
 }
@@ -527,14 +544,19 @@ void Master::HandleAccusation(NodeId /*from*/, const Bytes& body) {
     return;
   }
   ++metrics_.accusations_received;
-  if (ProcessIncriminatingPledge(msg->pledge)) {
+  if (TraceSink* t = sim()->trace()) {
+    t->Instant(TraceRole::kMaster, id(), "accusation.recv", msg->trace_id,
+               static_cast<int64_t>(msg->pledge.slave));
+  }
+  if (ProcessIncriminatingPledge(msg->pledge, msg->trace_id)) {
     ++metrics_.accusations_confirmed;
   } else {
     ++metrics_.accusations_unfounded;
   }
 }
 
-bool Master::ProcessIncriminatingPledge(const Pledge& pledge) {
+bool Master::ProcessIncriminatingPledge(const Pledge& pledge,
+                                        uint64_t trace_id) {
   // 1. The pledge must really be signed by the slave — otherwise anyone
   //    could frame an innocent server.
   auto cert_it = known_slave_certs_.find(pledge.slave);
@@ -573,13 +595,14 @@ bool Master::ProcessIncriminatingPledge(const Pledge& pledge) {
   }
   if (my_slaves_.count(pledge.slave) > 0) {
     if (excluded_.count(pledge.slave) == 0) {
-      ExcludeSlave(pledge.slave);
+      ExcludeSlave(pledge.slave, trace_id);
     }
     return true;
   }
   auto owner = slave_owner_.find(pledge.slave);
   if (owner != slave_owner_.end() && owner->second != id()) {
     Accusation fwd;
+    fwd.trace_id = trace_id;
     fwd.pledge = pledge;
     network()->Send(id(), owner->second,
                     WithType(MsgType::kAccusation, fwd.Encode()));
@@ -588,15 +611,20 @@ bool Master::ProcessIncriminatingPledge(const Pledge& pledge) {
   return false;
 }
 
-void Master::ExcludeSlave(NodeId slave) {
-  RemoveSlaveAndReassignClients(slave, /*excluded=*/true);
+void Master::ExcludeSlave(NodeId slave, uint64_t trace_id) {
+  RemoveSlaveAndReassignClients(slave, /*excluded=*/true, trace_id);
 }
 
-void Master::RemoveSlaveAndReassignClients(NodeId slave, bool excluded) {
+void Master::RemoveSlaveAndReassignClients(NodeId slave, bool excluded,
+                                           uint64_t trace_id) {
   if (excluded) {
     excluded_.insert(slave);
     ++metrics_.slaves_excluded;
     SDR_LOG(kInfo) << "master " << id() << ": excluded slave " << slave;
+    if (TraceSink* t = sim()->trace()) {
+      t->Instant(TraceRole::kMaster, id(), "master.exclude", trace_id,
+                 static_cast<int64_t>(slave));
+    }
   }
   my_slaves_.erase(slave);
 
@@ -614,10 +642,15 @@ void Master::RemoveSlaveAndReassignClients(NodeId slave, bool excluded) {
     }
     client_slave_[client] = replacement;
     ++metrics_.clients_reassigned;
+    if (TraceSink* t = sim()->trace()) {
+      t->Instant(TraceRole::kMaster, id(), "reassign", trace_id,
+                 static_cast<int64_t>(client));
+    }
     Reassignment msg;
     msg.new_slave_cert = my_slaves_[replacement].cert;
     msg.auditor = AuditorFor(replacement);
     msg.excluded_slave = excluded ? slave : kInvalidNode;
+    msg.trace_id = trace_id;
     msg.signature = signer_.Sign(msg.SignedBody());
     network()->Send(id(), client,
                     WithType(MsgType::kReassignment, msg.Encode()));

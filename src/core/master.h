@@ -125,9 +125,14 @@ class Master : public Node {
   // Corrective action (Section 3.5): returns true when the pledge proves
   // the slave guilty and the exclusion was executed.
   NodeId AuditorFor(NodeId slave) const;
-  bool ProcessIncriminatingPledge(const Pledge& pledge);
-  void ExcludeSlave(NodeId slave);
-  void RemoveSlaveAndReassignClients(NodeId slave, bool excluded);
+  // `trace_id` is the causal chain the incriminating pledge arrived on
+  // (0 when untraced); it is threaded through to the exclusion verdict and
+  // the resulting Reassignment messages so sdrtrace can show the full
+  // evidence path.
+  bool ProcessIncriminatingPledge(const Pledge& pledge, uint64_t trace_id = 0);
+  void ExcludeSlave(NodeId slave, uint64_t trace_id = 0);
+  void RemoveSlaveAndReassignClients(NodeId slave, bool excluded,
+                                     uint64_t trace_id = 0);
   NodeId PickSlaveFor(NodeId client);
 
   // Greedy-client policing: token bucket per client.

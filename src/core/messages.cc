@@ -144,6 +144,7 @@ Result<ClientHelloReply> ClientHelloReply::Decode(const Bytes& body) {
 Bytes ReadRequest::Encode() const {
   Writer w;
   w.U64(request_id);
+  w.U64(trace_id);
   query.EncodeTo(w);
   return w.Take();
 }
@@ -152,6 +153,7 @@ Result<ReadRequest> ReadRequest::Decode(const Bytes& body) {
   Reader r(body);
   ReadRequest m;
   m.request_id = r.U64();
+  m.trace_id = r.U64();
   m.query = Query::DecodeFrom(r);
   return FinishDecode(std::move(m), r);
 }
@@ -159,6 +161,7 @@ Result<ReadRequest> ReadRequest::Decode(const Bytes& body) {
 Bytes ReadReply::Encode() const {
   Writer w;
   w.U64(request_id);
+  w.U64(trace_id);
   w.Bool(ok);
   EncodeResult(w, result);
   pledge.EncodeTo(w);
@@ -169,6 +172,7 @@ Result<ReadReply> ReadReply::Decode(const Bytes& body) {
   Reader r(body);
   ReadReply m;
   m.request_id = r.U64();
+  m.trace_id = r.U64();
   m.ok = r.Bool();
   m.result = DecodeResult(r);
   m.pledge = Pledge::DecodeFrom(r);
@@ -212,6 +216,7 @@ Result<WriteReply> WriteReply::Decode(const Bytes& body) {
 Bytes DoubleCheckRequest::Encode() const {
   Writer w;
   w.U64(request_id);
+  w.U64(trace_id);
   pledge.EncodeTo(w);
   return w.Take();
 }
@@ -220,6 +225,7 @@ Result<DoubleCheckRequest> DoubleCheckRequest::Decode(const Bytes& body) {
   Reader r(body);
   DoubleCheckRequest m;
   m.request_id = r.U64();
+  m.trace_id = r.U64();
   m.pledge = Pledge::DecodeFrom(r);
   return FinishDecode(std::move(m), r);
 }
@@ -227,6 +233,7 @@ Result<DoubleCheckRequest> DoubleCheckRequest::Decode(const Bytes& body) {
 Bytes DoubleCheckReply::Encode() const {
   Writer w;
   w.U64(request_id);
+  w.U64(trace_id);
   w.Bool(served);
   w.Bool(matches);
   EncodeResult(w, correct_result);
@@ -237,6 +244,7 @@ Result<DoubleCheckReply> DoubleCheckReply::Decode(const Bytes& body) {
   Reader r(body);
   DoubleCheckReply m;
   m.request_id = r.U64();
+  m.trace_id = r.U64();
   m.served = r.Bool();
   m.matches = r.Bool();
   m.correct_result = DecodeResult(r);
@@ -245,6 +253,7 @@ Result<DoubleCheckReply> DoubleCheckReply::Decode(const Bytes& body) {
 
 Bytes Accusation::Encode() const {
   Writer w;
+  w.U64(trace_id);
   pledge.EncodeTo(w);
   return w.Take();
 }
@@ -252,6 +261,7 @@ Bytes Accusation::Encode() const {
 Result<Accusation> Accusation::Decode(const Bytes& body) {
   Reader r(body);
   Accusation m;
+  m.trace_id = r.U64();
   m.pledge = Pledge::DecodeFrom(r);
   return FinishDecode(std::move(m), r);
 }
@@ -267,6 +277,10 @@ Bytes Reassignment::SignedBody() const {
 
 Bytes Reassignment::Encode() const {
   Writer w;
+  // Leads the encoding like the other evidence-path messages, and stays
+  // outside SignedBody(): the trace id is observability metadata, not a
+  // protocol commitment, so it must not invalidate signatures.
+  w.U64(trace_id);
   new_slave_cert.EncodeTo(w);
   w.U32(auditor);
   w.U32(excluded_slave);
@@ -277,6 +291,7 @@ Bytes Reassignment::Encode() const {
 Result<Reassignment> Reassignment::Decode(const Bytes& body) {
   Reader r(body);
   Reassignment m;
+  m.trace_id = r.U64();
   m.new_slave_cert = Certificate::DecodeFrom(r);
   m.auditor = r.U32();
   m.excluded_slave = r.U32();
@@ -329,6 +344,7 @@ Result<SlaveAck> SlaveAck::Decode(const Bytes& body) {
 
 Bytes AuditSubmit::Encode() const {
   Writer w;
+  w.U64(trace_id);
   pledge.EncodeTo(w);
   return w.Take();
 }
@@ -336,12 +352,14 @@ Bytes AuditSubmit::Encode() const {
 Result<AuditSubmit> AuditSubmit::Decode(const Bytes& body) {
   Reader r(body);
   AuditSubmit m;
+  m.trace_id = r.U64();
   m.pledge = Pledge::DecodeFrom(r);
   return FinishDecode(std::move(m), r);
 }
 
 Bytes BadReadNotice::Encode() const {
   Writer w;
+  w.U64(trace_id);
   pledge.EncodeTo(w);
   w.Blob(correct_sha1);
   return w.Take();
@@ -350,6 +368,7 @@ Bytes BadReadNotice::Encode() const {
 Result<BadReadNotice> BadReadNotice::Decode(const Bytes& body) {
   Reader r(body);
   BadReadNotice m;
+  m.trace_id = r.U64();
   m.pledge = Pledge::DecodeFrom(r);
   m.correct_sha1 = r.Blob();
   return FinishDecode(std::move(m), r);

@@ -104,6 +104,11 @@ struct ClientHelloReply {
 
 struct ReadRequest {
   uint64_t request_id = 0;
+  // Causal trace id for the observability subsystem (src/trace/). Minted
+  // by the issuing client, echoed through replies, double-checks, audit
+  // submissions and verdicts so one read's pledge can be followed across
+  // nodes. Always carried (0 = untraced), never part of any signed body.
+  uint64_t trace_id = 0;
   Query query;
   Bytes Encode() const;
   static Result<ReadRequest> Decode(const Bytes& body);
@@ -111,6 +116,7 @@ struct ReadRequest {
 
 struct ReadReply {
   uint64_t request_id = 0;
+  uint64_t trace_id = 0;    // echoed from the request
   bool ok = false;          // false: slave declined (e.g. stale, excluded)
   QueryResult result;
   Pledge pledge;
@@ -136,6 +142,7 @@ struct WriteReply {
 
 struct DoubleCheckRequest {
   uint64_t request_id = 0;
+  uint64_t trace_id = 0;
   Pledge pledge;
   Bytes Encode() const;
   static Result<DoubleCheckRequest> Decode(const Bytes& body);
@@ -143,6 +150,7 @@ struct DoubleCheckRequest {
 
 struct DoubleCheckReply {
   uint64_t request_id = 0;
+  uint64_t trace_id = 0;
   bool served = false;   // false: quota exceeded / version unavailable
   bool matches = false;  // master's hash == pledge hash
   QueryResult correct_result;  // master's result (when served)
@@ -151,6 +159,7 @@ struct DoubleCheckReply {
 };
 
 struct Accusation {
+  uint64_t trace_id = 0;
   Pledge pledge;
   Bytes Encode() const;
   static Result<Accusation> Decode(const Bytes& body);
@@ -161,7 +170,8 @@ struct Reassignment {
   // The auditor responsible for the new slave's pledges.
   NodeId auditor = kInvalidNode;
   NodeId excluded_slave = kInvalidNode;  // kInvalidNode: master-initiated move
-  Bytes signature;                        // master's, over the body
+  uint64_t trace_id = 0;  // evidence chain that triggered the exclusion
+  Bytes signature;        // master's, over the body (trace_id excluded)
 
   Bytes SignedBody() const;
   Bytes Encode() const;
@@ -189,6 +199,7 @@ struct SlaveAck {
 };
 
 struct AuditSubmit {
+  uint64_t trace_id = 0;
   Pledge pledge;
   Bytes Encode() const;
   static Result<AuditSubmit> Decode(const Bytes& body);
@@ -199,6 +210,7 @@ struct AuditSubmit {
 // auditor sends the incriminating pledge back to the client that accepted
 // the bad read, together with the correct result hash.
 struct BadReadNotice {
+  uint64_t trace_id = 0;
   Pledge pledge;
   Bytes correct_sha1;
   Bytes Encode() const;

@@ -1,5 +1,7 @@
 #include "src/core/multiread_client.h"
 
+#include "src/trace/trace.h"
+
 namespace sdr {
 
 MultiReadClient::MultiReadClient(Options options)
@@ -26,9 +28,14 @@ void MultiReadClient::IssueRead(const Query& query, Callback cb) {
   read.expected = options_.slave_certs.size();
   read.cb = std::move(cb);
   ++metrics_.reads_issued;
+  if (TraceSink* t = sim()->trace()) {
+    t->SpanBegin(TraceRole::kClient, id(), "read",
+                 MintTraceId(id(), request_id));
+  }
 
   ReadRequest msg;
   msg.request_id = request_id;
+  msg.trace_id = MintTraceId(id(), request_id);
   msg.query = query;
   Bytes wire = WithType(MsgType::kReadRequest, msg.Encode());
   for (const Certificate& cert : options_.slave_certs) {
@@ -128,6 +135,10 @@ void MultiReadClient::Resolve(uint64_t request_id) {
   PendingRead& read = it->second;
   if (read.replies.empty()) {
     ++metrics_.reads_failed;
+    if (TraceSink* t = sim()->trace()) {
+      t->SpanEnd(TraceRole::kClient, id(), "read",
+                 MintTraceId(id(), request_id), 0);
+    }
     Callback cb = std::move(read.cb);
     pending_.erase(it);
     if (cb) {
@@ -154,7 +165,12 @@ void MultiReadClient::Resolve(uint64_t request_id) {
     const auto& [result, pledge] = read.replies.begin()->second;
     if (options_.params.audit_enabled && options_.auditor != kInvalidNode) {
       AuditSubmit submit;
+      submit.trace_id = MintTraceId(id(), request_id);
       submit.pledge = pledge;
+      if (TraceSink* t = sim()->trace()) {
+        t->Instant(TraceRole::kClient, id(), "pledge.forward",
+                   submit.trace_id);
+      }
       network()->Send(id(), options_.auditor,
                       WithType(MsgType::kAuditSubmit, submit.Encode()));
     }
@@ -169,8 +185,13 @@ void MultiReadClient::Resolve(uint64_t request_id) {
   }
   read.double_checking = true;
   ++metrics_.double_checks_sent;
+  if (TraceSink* t = sim()->trace()) {
+    t->Instant(TraceRole::kClient, id(), "dc.send",
+               MintTraceId(id(), request_id));
+  }
   DoubleCheckRequest dc;
   dc.request_id = request_id;
+  dc.trace_id = MintTraceId(id(), request_id);
   dc.pledge = read.replies.begin()->second.second;
   network()->Send(id(), options_.master,
                   WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
@@ -190,6 +211,9 @@ void MultiReadClient::HandleDoubleCheckReply(const Bytes& body) {
   if (!msg->served) {
     // Cannot establish the truth: fail the read (rare).
     ++metrics_.reads_failed;
+    if (TraceSink* t = sim()->trace()) {
+      t->SpanEnd(TraceRole::kClient, id(), "read", msg->trace_id, 0);
+    }
     Callback cb = std::move(read.cb);
     pending_.erase(it);
     if (cb) {
@@ -205,7 +229,12 @@ void MultiReadClient::HandleDoubleCheckReply(const Bytes& body) {
   for (const auto& [slave, reply] : read.replies) {
     if (reply.second.result_sha1 != correct_hash) {
       ++metrics_.accusations_sent;
+      if (TraceSink* t = sim()->trace()) {
+        t->Instant(TraceRole::kClient, id(), "accuse", msg->trace_id,
+                   static_cast<int64_t>(slave));
+      }
       Accusation accusation;
+      accusation.trace_id = msg->trace_id;
       accusation.pledge = reply.second;
       network()->Send(id(), options_.master,
                       WithType(MsgType::kAccusation, accusation.Encode()));
@@ -229,6 +258,12 @@ void MultiReadClient::Accept(uint64_t request_id, const QueryResult& result,
     return;
   }
   ++metrics_.reads_accepted;
+  if (TraceSink* t = sim()->trace()) {
+    t->Hist(TraceRole::kClient, id(), "read_rtt_us")
+        .Record(sim()->Now() - it->second.issued);
+    t->SpanEnd(TraceRole::kClient, id(), "read",
+               MintTraceId(id(), request_id), 1);
+  }
   sim()->Cancel(it->second.timeout);
   if (on_accept) {
     on_accept(it->second.query, pledge.token.content_version, result);

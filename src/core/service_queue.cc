@@ -18,6 +18,12 @@ void ServiceQueue::Enqueue(SimTime service_time, std::function<void()> done) {
   SimTime scaled = std::max<SimTime>(
       1, static_cast<SimTime>(static_cast<double>(service_time) / speed_));
   SimTime start = busy_until();
+  if (trace_role_ != TraceRole::kNone) {
+    if (TraceSink* t = sim_->trace()) {
+      t->Hist(trace_role_, trace_node_, "queue_wait_us")
+          .Record(start - sim_->Now());
+    }
+  }
   busy_until_ = start + scaled;
   busy_time_ += scaled;
   ++depth_;

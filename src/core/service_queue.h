@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "src/sim/simulator.h"
+#include "src/trace/trace.h"
 
 namespace sdr {
 
@@ -17,6 +18,14 @@ class ServiceQueue {
  public:
   // speed > 1.0 models a faster server (service times divided by speed).
   ServiceQueue(Simulator* sim, double speed = 1.0);
+
+  // Attributes this queue's wait-time samples ("queue_wait_us") to the
+  // owning node. Until called (or when the sim has no trace sink), no
+  // samples are recorded.
+  void BindTrace(TraceRole role, uint32_t node) {
+    trace_role_ = role;
+    trace_node_ = node;
+  }
 
   // Enqueues a job; `done` runs when the server finishes it.
   void Enqueue(SimTime service_time, std::function<void()> done);
@@ -36,6 +45,8 @@ class ServiceQueue {
  private:
   Simulator* sim_;
   double speed_;
+  TraceRole trace_role_ = TraceRole::kNone;
+  uint32_t trace_node_ = 0;
   SimTime busy_until_ = 0;
   SimTime busy_time_ = 0;
   size_t depth_ = 0;

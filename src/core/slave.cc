@@ -1,5 +1,6 @@
 #include "src/core/slave.h"
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace sdr {
@@ -11,6 +12,7 @@ Slave::Slave(Options options)
 
 void Slave::Start() {
   queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.slave_speed);
+  queue_->BindTrace(TraceRole::kSlave, id());
 }
 
 void Slave::SetBaseContent(const DocumentStore& base) {
@@ -130,13 +132,18 @@ void Slave::HandleReadRequest(NodeId from, const Bytes& body) {
       rng_.NextBool(options_.behavior.drop_probability)) {
     return;
   }
+  TraceSink* t = sim()->trace();
   if (!token_.has_value() ||
       (!TokenFresh() && !options_.behavior.serve_despite_stale)) {
     // An honest slave that is out of sync "should stop handling user
     // requests until they are back in sync" (Section 3).
     ++metrics_.reads_declined_stale;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kSlave, id(), "slave.decline", msg->trace_id);
+    }
     ReadReply reply;
     reply.request_id = msg->request_id;
+    reply.trace_id = msg->trace_id;
     reply.ok = false;
     network()->Send(id(), from,
                     WithType(MsgType::kReadReply, reply.Encode()));
@@ -147,6 +154,7 @@ void Slave::HandleReadRequest(NodeId from, const Bytes& body) {
   if (!outcome.ok()) {
     ReadReply reply;
     reply.request_id = msg->request_id;
+    reply.trace_id = msg->trace_id;
     reply.ok = false;
     network()->Send(id(), from,
                     WithType(MsgType::kReadReply, reply.Encode()));
@@ -169,6 +177,10 @@ void Slave::HandleReadRequest(NodeId from, const Bytes& body) {
     lied_consistently = true;
     ++metrics_.lies_told;
     ++metrics_.consistent_lies_told;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kSlave, id(), "slave.lie.consistent",
+                 msg->trace_id);
+    }
   }
 
   Bytes hashed = result.Sha1Digest();
@@ -183,6 +195,10 @@ void Slave::HandleReadRequest(NodeId from, const Bytes& body) {
       result.rows.emplace_back("phantom", "entry");
     }
     ++metrics_.lies_told;
+    if (t != nullptr) {
+      t->Instant(TraceRole::kSlave, id(), "slave.lie.inconsistent",
+                 msg->trace_id);
+    }
   }
 
   metrics_.work_units_executed += outcome->cost;
@@ -193,15 +209,23 @@ void Slave::HandleReadRequest(NodeId from, const Bytes& body) {
   // Capture everything needed — including the token the result was computed
   // under — so a state update arriving mid-service cannot skew the pledge;
   // the reply leaves when the simulated CPU has produced and signed it.
+  if (t != nullptr) {
+    t->SpanBegin(TraceRole::kSlave, id(), "slave.serve", msg->trace_id);
+  }
   queue_->Enqueue(service_time, [this, from, request_id = msg->request_id,
-                                 query = msg->query, result = std::move(result),
+                                 trace_id = msg->trace_id, query = msg->query,
+                                 result = std::move(result),
                                  hashed = std::move(hashed), token = *token_] {
     ReadReply reply;
     reply.request_id = request_id;
+    reply.trace_id = trace_id;
     reply.ok = true;
     reply.result = result;
     reply.pledge = MakePledge(signer_, id(), query, hashed, token);
     ++metrics_.reads_served;
+    if (TraceSink* sink = sim()->trace()) {
+      sink->SpanEnd(TraceRole::kSlave, id(), "slave.serve", trace_id);
+    }
     network()->Send(id(), from, WithType(MsgType::kReadReply, reply.Encode()));
   });
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/trace.h"
+
 namespace sdr {
 
 EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
@@ -28,6 +30,19 @@ bool Simulator::IsCancelled(EventId id) {
   return true;
 }
 
+void Simulator::Dispatch(Event& ev) {
+  if (trace_ != nullptr && trace_->sim_spans()) {
+    // Event-loop span: the payload is the pending-event count, a cheap
+    // live gauge of queue depth on the timeline.
+    trace_->SpanBegin(TraceRole::kSim, 0, "sim.event", kNoTrace,
+                      static_cast<int64_t>(pending_events()));
+    ev.fn();
+    trace_->SpanEnd(TraceRole::kSim, 0, "sim.event");
+    return;
+  }
+  ev.fn();
+}
+
 bool Simulator::Step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
@@ -36,7 +51,7 @@ bool Simulator::Step() {
       continue;
     }
     now_ = ev.time;
-    ev.fn();
+    Dispatch(ev);
     return true;
   }
   return false;
@@ -50,7 +65,7 @@ void Simulator::RunUntil(SimTime t) {
       continue;
     }
     now_ = ev.time;
-    ev.fn();
+    Dispatch(ev);
   }
   now_ = std::max(now_, t);
 }

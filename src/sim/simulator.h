@@ -14,6 +14,8 @@
 
 namespace sdr {
 
+class TraceSink;
+
 // Virtual time in microseconds.
 using SimTime = int64_t;
 
@@ -56,6 +58,12 @@ class Simulator {
 
   size_t pending_events() const { return queue_.size() - cancelled_live_; }
 
+  // Optional trace sink (owned by the harness, e.g. Cluster). Null when
+  // tracing is off — instrumentation sites branch once on this pointer,
+  // which is the whole "zero overhead when disabled" story.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+  TraceSink* trace() const { return trace_; }
+
  private:
   struct Event {
     SimTime time;
@@ -72,8 +80,10 @@ class Simulator {
   std::vector<EventId> cancelled_;  // sorted lazily; small in practice
   size_t cancelled_live_ = 0;
   Rng rng_;
+  TraceSink* trace_ = nullptr;
 
   bool IsCancelled(EventId id);
+  void Dispatch(Event& ev);
 };
 
 }  // namespace sdr

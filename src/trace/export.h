@@ -1,0 +1,69 @@
+// Trace exporters: a compact binary trace file (loadable by sdrtrace), a
+// Chrome trace_event JSON document (loadable in Perfetto / chrome://tracing),
+// and histogram summaries for the byte-stable --json report. All three are
+// deterministic functions of the sink contents.
+#ifndef SDR_SRC_TRACE_EXPORT_H_
+#define SDR_SRC_TRACE_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/trace/histogram.h"
+#include "src/trace/trace.h"
+#include "src/util/bytes.h"
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace sdr {
+
+// In-memory image of a trace: what the binary file round-trips. Built from
+// a live sink via Snapshot() or from a file via DecodeTrace().
+struct TraceData {
+  std::vector<std::string> names;  // index 0 is the reserved empty name
+  std::map<uint32_t, TraceSink::NodeInfo> nodes;
+  std::vector<TraceEvent> events;  // emission order, oldest first
+
+  struct HistEntry {
+    uint16_t name = 0;
+    TraceRole role = TraceRole::kNone;
+    uint32_t node = 0;
+    LatencyHistogram hist;
+  };
+  std::vector<HistEntry> histograms;  // sorted by (name, role, node)
+
+  uint64_t dropped = 0;
+
+  const std::string& Name(uint16_t id) const {
+    static const std::string kUnknown = "?";
+    return id < names.size() ? names[id] : kUnknown;
+  }
+  std::map<std::string, LatencyHistogram> MergedHistograms() const;
+};
+
+TraceData Snapshot(const TraceSink& sink);
+
+// Binary format "SDRT": string table, node registry, fixed-width events,
+// sparse histogram buckets. Byte-stable for equal sink contents.
+Bytes EncodeTrace(const TraceData& data);
+inline Bytes EncodeTrace(const TraceSink& sink) {
+  return EncodeTrace(Snapshot(sink));
+}
+Result<TraceData> DecodeTrace(const Bytes& buf);
+
+// Chrome trace_event JSON (https://docs.google.com/document/d/1CvAClvFfyA5R-
+// PhYUmn5OOQtYMH4h6I0nSsKchNAySU): one process per registered node, spans as
+// B/E pairs, instants as "i", counters as "C". ts is virtual microseconds.
+JsonValue ChromeTraceJson(const TraceData& data);
+inline JsonValue ChromeTraceJson(const TraceSink& sink) {
+  return ChromeTraceJson(Snapshot(sink));
+}
+
+// Histogram summary block for the sdrsim --json report: per-name merged
+// {count, min, max, mean, p50, p99} objects keyed by histogram name.
+JsonValue HistogramSummaryJson(
+    const std::map<std::string, LatencyHistogram>& merged);
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_TRACE_EXPORT_H_

@@ -1,0 +1,67 @@
+// Query layer over a decoded trace: follow one causal chain end to end,
+// rank the slowest read chains, and summarize exclusion verdicts with their
+// evidence paths. Backs the sdrtrace CLI; also used in tests.
+#ifndef SDR_SRC_TRACE_QUERY_H_
+#define SDR_SRC_TRACE_QUERY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
+
+namespace sdr {
+
+class TraceQuery {
+ public:
+  explicit TraceQuery(const TraceData& data);
+
+  // All events carrying `id`, in emission order.
+  std::vector<TraceEvent> Chain(TraceId id) const;
+
+  // Human-readable causal chain: one line per event with absolute sim
+  // time, per-hop latency from the previous event, role/node, and name.
+  // Returns an explanatory message when the id is unknown.
+  std::string FormatChain(TraceId id) const;
+
+  struct ReadDuration {
+    TraceId id = kNoTrace;
+    uint32_t node = 0;   // client that issued the read
+    SimTime begin = 0;
+    SimTime duration = 0;
+    bool accepted = false;  // span-end value: 1 accepted, 0 failed
+  };
+  // Completed "read" spans ranked by duration (desc), ties by trace id.
+  std::vector<ReadDuration> SlowestReads(size_t n) const;
+  std::string FormatSlowest(size_t n) const;
+
+  struct Verdict {
+    SimTime time = 0;
+    uint32_t master = 0;
+    uint32_t excluded_slave = 0;  // the exclude instant's value payload
+    TraceId id = kNoTrace;        // evidence chain, if traced
+  };
+  // Every "master.exclude" instant, in time order.
+  std::vector<Verdict> Verdicts() const;
+  // Each verdict plus the full evidence chain that produced it.
+  std::string FormatVerdicts() const;
+
+  // Event-name frequency table, node registry, histogram summaries.
+  std::string FormatSummary() const;
+
+  // All trace ids present, ascending. Useful for picking a chain to follow.
+  std::vector<TraceId> TraceIds() const;
+
+ private:
+  const TraceData& data_;
+  std::map<TraceId, std::vector<size_t>> by_id_;  // event indices, in order
+};
+
+// Parses a trace id written either as decimal or 0x-hex.
+bool ParseTraceId(const std::string& s, TraceId* out);
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_TRACE_QUERY_H_

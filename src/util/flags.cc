@@ -14,8 +14,19 @@ Flags& Flags::Define(const std::string& name, const std::string& default_value,
   return *this;
 }
 
+Flags& Flags::AllowPositional(const std::string& help) {
+  allow_positional_ = true;
+  positional_help_ = help;
+  return *this;
+}
+
 void Flags::PrintUsage(const char* program) const {
-  std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program);
+  if (allow_positional_) {
+    std::fprintf(stderr, "usage: %s %s [--flag=value ...]\n", program,
+                 positional_help_.c_str());
+  } else {
+    std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program);
+  }
   for (const std::string& name : order_) {
     const Spec& spec = specs_.at(name);
     std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
@@ -31,6 +42,10 @@ bool Flags::Parse(int argc, char** argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      if (allow_positional_) {
+        positional_.push_back(arg);
+        continue;
+      }
       std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
       PrintUsage(argv[0]);
       return false;

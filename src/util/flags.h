@@ -18,9 +18,16 @@ class Flags {
   Flags& Define(const std::string& name, const std::string& default_value,
                 const std::string& help);
 
+  // Opts in to non-flag arguments (collected via positional()). Without
+  // this, a stray argument is an error — tools that take no operands keep
+  // rejecting typos.
+  Flags& AllowPositional(const std::string& help);
+
   // Parses argv. Returns false (and prints usage) on unknown flags,
   // missing values, or --help.
   bool Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
 
   std::string GetString(const std::string& name) const;
   int64_t GetInt(const std::string& name) const;
@@ -42,6 +49,9 @@ class Flags {
   std::map<std::string, Spec> specs_;
   std::vector<std::string> order_;
   std::map<std::string, std::string> values_;
+  bool allow_positional_ = false;
+  std::string positional_help_;
+  std::vector<std::string> positional_;
 };
 
 }  // namespace sdr

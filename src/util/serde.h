@@ -60,7 +60,17 @@ class Reader {
   uint32_t U32();
   uint64_t U64();
   int64_t I64() { return static_cast<int64_t>(U64()); }
-  bool Bool() { return U8() != 0; }
+  // Canonical: the writer only ever emits 0 or 1, so any other byte marks
+  // the buffer corrupt. This keeps decoders prefix-hostile — random bytes
+  // cannot masquerade as a bool field.
+  bool Bool() {
+    uint8_t v = U8();
+    if (v > 1) {
+      ok_ = false;
+      return false;
+    }
+    return v == 1;
+  }
   double Double();
 
   Bytes Blob();

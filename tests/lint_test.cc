@@ -143,6 +143,29 @@ TEST(R2, SuppressedByAllow) {
   EXPECT_EQ(CountRule(fs, "R2"), 0);
 }
 
+TEST(R2, FiresOnUnorderedIterationFeedingTraceSerialization) {
+  // Trace exporters are byte-stable artifacts: unordered iteration ahead
+  // of EncodeTrace / ChromeTraceJson is a determinism bug.
+  auto fs = Lint("src/trace/foo.cc",
+                "#include <unordered_map>\n"
+                "Bytes Export(const std::unordered_map<int, Hist>& hists) {\n"
+                "  TraceData data;\n"
+                "  for (const auto& [k, v] : hists) {\n"
+                "    data.Add(k, v);\n"
+                "  }\n"
+                "  return EncodeTrace(data);\n"
+                "}\n");
+  EXPECT_EQ(CountRule(fs, "R2"), 1);
+}
+
+TEST(R2, TraceDomainIsCoveredByR1Too) {
+  // src/trace/ is part of the determinism domain: ambient time or
+  // randomness in trace code would skew the byte-stable artifacts.
+  auto fs = Lint("src/trace/foo.cc",
+                "uint64_t Stamp() { return rand(); }\n");
+  EXPECT_EQ(CountRule(fs, "R1"), 1);
+}
+
 // ---------------------------------------------------------------------------
 // R3 — protocol-enum switch exhaustiveness
 // ---------------------------------------------------------------------------
@@ -354,6 +377,7 @@ TEST(Classify, DomainsMatchTheRuleCatalogue) {
   EXPECT_TRUE(ClassifyPath("src/core/pledge.cc").r4);
   EXPECT_FALSE(ClassifyPath("src/core/slave.cc").r4);
   EXPECT_TRUE(ClassifyPath("src/chaos/runner.cc").r1);
+  EXPECT_TRUE(ClassifyPath("src/trace/export.cc").r1);
   EXPECT_FALSE(ClassifyPath("tools/sdrsim.cc").r1);
   EXPECT_TRUE(ClassifyPath("tools/sdrsim.cc").r2);
   EXPECT_TRUE(ClassifyPath("tools/sdrsim.cc").r3);

@@ -416,9 +416,13 @@ void CheckR2(const std::string& path, const std::vector<Token>& toks,
   // A function "feeds output" when it mentions a serialization / metrics /
   // logging sink anywhere in its body.
   static const std::set<std::string> kSinks = {
-      "SDR_LOG", "printf", "fprintf", "snprintf", "sprintf", "Encode",
-      "EncodeTo", "Serialize", "Append", "Writer", "JsonWriter", "Json",
-      "ToJson",  "ToString", "Dump",    "Report",
+      "SDR_LOG",     "printf",         "fprintf", "snprintf",
+      "sprintf",     "Encode",         "EncodeTo", "Serialize",
+      "Append",      "Writer",         "JsonWriter", "Json",
+      "ToJson",      "ToString",       "Dump",     "Report",
+      // Trace serialization: events and histograms feed byte-stable
+      // artifacts, so iteration order ahead of these is determinism-bearing.
+      "EncodeTrace", "ChromeTraceJson", "Snapshot", "Emit",
   };
   auto span_sink = [&](const FuncSpan* s) -> std::string {
     if (s == nullptr) {
@@ -910,7 +914,8 @@ FileClass ClassifyPath(const std::string& path) {
     return path.find(s) != std::string::npos;
   };
   FileClass fc;
-  fc.r1 = (has("src/sim/") || has("src/core/") || has("src/chaos/")) &&
+  fc.r1 = (has("src/sim/") || has("src/core/") || has("src/chaos/") ||
+           has("src/trace/")) &&
           !has("util/rng");
   fc.r4 = has("src/core/messages.") || has("src/core/pledge.");
   fc.r5 = has("src/crypto/");

@@ -14,12 +14,32 @@
 
 #include "src/chaos/runner.h"
 #include "src/core/cluster.h"
+#include "src/trace/export.h"
 #include "src/util/flags.h"
 #include "src/util/json.h"
 
 using namespace sdr;
 
 namespace {
+
+bool WriteFileBytes(const std::string& path, const Bytes& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  size_t n = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (n != data.size()) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool WriteFileString(const std::string& path, const std::string& data) {
+  return WriteFileBytes(path, Bytes(data.begin(), data.end()));
+}
 
 void PrintReport(Cluster& cluster) {
   std::printf("\n--- simulation report (t = %.1f virtual seconds) ---\n",
@@ -139,6 +159,7 @@ JsonValue JsonReport(Cluster& cluster, const ChaosController* controller) {
     const ClientMetrics& cm = cluster.client(c).metrics();
     JsonValue j = JsonValue::Object();
     j["index"] = c;
+    j["node"] = (int64_t)cluster.client(c).id();
     j["reads_issued"] = cm.reads_issued;
     j["reads_accepted"] = cm.reads_accepted;
     j["reads_rejected_stale"] = cm.reads_rejected_stale;
@@ -237,6 +258,16 @@ JsonValue JsonReport(Cluster& cluster, const ChaosController* controller) {
   net["messages_delivered"] = cluster.net().messages_delivered();
   net["bytes_sent"] = cluster.net().bytes_sent();
 
+  // With --trace the run-wide latency histograms (read RTT, audit lag,
+  // detection latency, queue wait) merge into the report; keys stay sorted
+  // so the dump remains byte-stable per seed.
+  if (TraceSink* sink = cluster.trace()) {
+    root["histograms"] = HistogramSummaryJson(sink->MergedHistograms());
+    JsonValue& tr = root["trace"];
+    tr["events"] = sink->total_emitted();
+    tr["dropped"] = sink->dropped();
+  }
+
   if (controller != nullptr) {
     JsonValue verdicts = JsonValue::Array();
     for (const auto& checker : controller->checkers()) {
@@ -284,7 +315,17 @@ int main(int argc, char** argv) {
       .Define("chaos_cadence_ms", "250", "invariant-checking cadence")
       .Define("json", "false",
               "emit the report as deterministic JSON (sorted keys, "
-              "byte-stable per seed) instead of the text report");
+              "byte-stable per seed) instead of the text report")
+      .Define("trace", "false",
+              "enable the tracing subsystem (adds histogram summaries to "
+              "--json; implied by --trace_out / --trace_chrome)")
+      .Define("trace_out", "",
+              "write the binary trace (SDRT) to this file, for sdrtrace")
+      .Define("trace_chrome", "",
+              "write a Chrome trace_event JSON file (Perfetto-loadable)")
+      .Define("trace_capacity", "1048576", "trace ring-buffer capacity")
+      .Define("trace_sim_spans", "false",
+              "also trace every simulator event dispatch (verbose)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -342,6 +383,14 @@ int main(int argc, char** argv) {
     };
   }
 
+  const std::string trace_out = flags.GetString("trace_out");
+  const std::string trace_chrome = flags.GetString("trace_chrome");
+  config.trace.enabled = flags.GetBool("trace") || !trace_out.empty() ||
+                         !trace_chrome.empty();
+  config.trace.capacity =
+      static_cast<size_t>(flags.GetInt("trace_capacity"));
+  config.trace.sim_spans = flags.GetBool("trace_sim_spans");
+
   auto parsed = ParseScenario(flags.GetString("scenario"));
   if (!parsed.ok()) {
     std::fprintf(stderr, "bad --scenario: %s\n",
@@ -380,6 +429,20 @@ int main(int argc, char** argv) {
   cluster.RunFor(flags.GetInt("seconds") * kSecond);
   if (!scenario.empty()) {
     controller.Finish();
+  }
+  if (cluster.trace() != nullptr) {
+    // One snapshot feeds both exporters so the files agree byte-for-byte
+    // with each other on the same run.
+    TraceData data = Snapshot(*cluster.trace());
+    if (!trace_out.empty() &&
+        !WriteFileBytes(trace_out, EncodeTrace(data))) {
+      return 1;
+    }
+    if (!trace_chrome.empty() &&
+        !WriteFileString(trace_chrome,
+                         ChromeTraceJson(data).Dump() + "\n")) {
+      return 1;
+    }
   }
   if (emit_json) {
     // Pure JSON on stdout: the whole report, flags echo included, so the

@@ -1,0 +1,142 @@
+// sdrtrace — offline analysis of a binary trace produced by
+// `sdrsim --trace_out=<file>` (or any tool that calls EncodeTrace).
+//
+// Examples:
+//   # what happened, who was involved, where did time go
+//   ./build/tools/sdrtrace run.sdrt --summary
+//
+//   # follow one read's causal chain: client -> slave -> auditor -> master
+//   ./build/tools/sdrtrace run.sdrt --follow 0x800000001
+//
+//   # the ten slowest reads, with their trace ids
+//   ./build/tools/sdrtrace run.sdrt --slowest 10
+//
+//   # every exclusion verdict plus the evidence chain that produced it
+//   ./build/tools/sdrtrace run.sdrt --verdicts
+//
+//   # re-export as Chrome trace_event JSON (chrome://tracing, Perfetto)
+//   ./build/tools/sdrtrace run.sdrt --chrome trace.json
+#include <cstdio>
+#include <string>
+
+#include "src/trace/export.h"
+#include "src/trace/query.h"
+#include "src/util/flags.h"
+
+using namespace sdr;
+
+namespace {
+
+bool ReadFileBytes(const std::string& path, Bytes* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sdrtrace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out->clear();
+  uint8_t buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "sdrtrace: error reading %s\n", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.AllowPositional("<trace.sdrt>");
+  flags.Define("follow", "",
+               "print the causal chain for this trace id (decimal or 0x-hex)")
+      .Define("slowest", "0", "rank the N slowest completed reads")
+      .Define("verdicts", "false",
+              "list exclusion verdicts with their evidence chains")
+      .Define("summary", "false",
+              "event/name/node/histogram overview of the trace")
+      .Define("ids", "false", "list every trace id present")
+      .Define("chrome", "",
+              "write the trace as Chrome trace_event JSON to this file");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: sdrtrace <trace.sdrt> [--follow ID] [--slowest N] "
+                 "[--verdicts] [--summary] [--ids] [--chrome FILE]\n");
+    return 1;
+  }
+
+  Bytes raw;
+  if (!ReadFileBytes(flags.positional()[0], &raw)) {
+    return 1;
+  }
+  auto decoded = DecodeTrace(raw);
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "sdrtrace: %s: %s\n", flags.positional()[0].c_str(),
+                 decoded.error().message().c_str());
+    return 1;
+  }
+  TraceData data = std::move(decoded).value();
+  TraceQuery query(data);
+
+  bool did_something = false;
+
+  if (flags.GetBool("summary")) {
+    std::fputs(query.FormatSummary().c_str(), stdout);
+    did_something = true;
+  }
+  if (!flags.GetString("follow").empty()) {
+    TraceId id = kNoTrace;
+    if (!ParseTraceId(flags.GetString("follow"), &id)) {
+      std::fprintf(stderr, "sdrtrace: bad trace id: %s\n",
+                   flags.GetString("follow").c_str());
+      return 1;
+    }
+    std::fputs(query.FormatChain(id).c_str(), stdout);
+    did_something = true;
+  }
+  if (flags.GetInt("slowest") > 0) {
+    std::fputs(
+        query.FormatSlowest(static_cast<size_t>(flags.GetInt("slowest")))
+            .c_str(),
+        stdout);
+    did_something = true;
+  }
+  if (flags.GetBool("verdicts")) {
+    std::fputs(query.FormatVerdicts().c_str(), stdout);
+    did_something = true;
+  }
+  if (flags.GetBool("ids")) {
+    for (TraceId id : query.TraceIds()) {
+      std::printf("0x%llx\n", static_cast<unsigned long long>(id));
+    }
+    did_something = true;
+  }
+  if (!flags.GetString("chrome").empty()) {
+    std::string json = ChromeTraceJson(data).Dump() + "\n";
+    std::FILE* f = std::fopen(flags.GetString("chrome").c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "sdrtrace: cannot write %s\n",
+                   flags.GetString("chrome").c_str());
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+      return 1;
+    }
+    std::fclose(f);
+    did_something = true;
+  }
+
+  if (!did_something) {
+    // Bare invocation: the summary is the most useful default.
+    std::fputs(query.FormatSummary().c_str(), stdout);
+  }
+  return 0;
+}
