@@ -36,7 +36,7 @@ class BftMember : public Node {
         [this](uint64_t seq, NodeId, const Bytes&) { last_seq_ = seq; });
   }
   void Start() override { bcast_->Start(); }
-  void HandleMessage(NodeId from, const Bytes& payload) override {
+  void HandleMessage(NodeId from, const Payload& payload) override {
     bcast_->OnMessage(from, payload);
   }
   BftOrderBroadcast& bcast() { return *bcast_; }

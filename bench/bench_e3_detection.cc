@@ -24,11 +24,19 @@ struct Outcome {
   double mean_wrong_accepted = 0;       // wrong answers clients accepted
 };
 
-Outcome Run(double q, double p, bool audit, uint64_t seed) {
+struct TrialResult {
+  bool caught = false;
+  double reads = 0;
+  double secs = 0;
+  double wrong = 0;
+};
+
+Outcome Run(double q, double p, bool audit, uint64_t seed, int jobs) {
   const int kTrials = 8;
-  int caught = 0;
-  double reads_sum = 0, secs_sum = 0, wrong_sum = 0;
-  for (int trial = 0; trial < kTrials; ++trial) {
+  // Each trial is a self-contained simulation; run them on worker threads
+  // and reduce in trial order so the output is identical for any --jobs.
+  std::vector<TrialResult> trials(kTrials);
+  RunIndexedParallel(kTrials, jobs, [&](int trial) {
     ClusterConfig config;
     config.seed = seed * 977 + static_cast<uint64_t>(trial);
     config.num_masters = 1;
@@ -65,11 +73,22 @@ Outcome Run(double q, double p, bool audit, uint64_t seed) {
         break;
       }
     }
-    wrong_sum += static_cast<double>(cluster.accepted_wrong());
+    TrialResult& r = trials[trial];
+    r.wrong = static_cast<double>(cluster.accepted_wrong());
     if (caught_at >= 0) {
+      r.caught = true;
+      r.reads = static_cast<double>(cluster.slave(0).metrics().reads_served);
+      r.secs = static_cast<double>(caught_at) / kSecond;
+    }
+  });
+  int caught = 0;
+  double reads_sum = 0, secs_sum = 0, wrong_sum = 0;
+  for (const TrialResult& r : trials) {
+    wrong_sum += r.wrong;
+    if (r.caught) {
       ++caught;
-      reads_sum += static_cast<double>(cluster.slave(0).metrics().reads_served);
-      secs_sum += static_cast<double>(caught_at) / kSecond;
+      reads_sum += r.reads;
+      secs_sum += r.secs;
     }
   }
   Outcome o;
@@ -87,6 +106,7 @@ Outcome Run(double q, double p, bool audit, uint64_t seed) {
 
 int main(int argc, char** argv) {
   sdr::ParseBenchFlags(argc, argv);
+  int jobs = sdr::ParseJobsFlag(argc, argv);
   using namespace sdr;
   PrintHeader("E3: detection latency vs lie rate (Sections 3.3-3.4)");
   Note("slave 0 lies with rate q; 8 trials x <=600 virtual seconds each");
@@ -103,7 +123,7 @@ int main(int argc, char** argv) {
     for (const Config& c : {Config{"dc-only", 0.05, false},
                             Config{"audit-only", 0.0, true},
                             Config{"both", 0.05, true}}) {
-      Outcome o = Run(q, c.p, c.audit, 11);
+      Outcome o = Run(q, c.p, c.audit, 11, jobs);
       Row("%-8.2f %-12s %7.0f%% %14.1f %12.1f %14.1f", q, c.name,
           100 * o.caught_fraction, o.mean_reads_to_exclusion,
           o.mean_seconds_to_exclusion, o.mean_wrong_accepted);

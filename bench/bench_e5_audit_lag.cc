@@ -119,31 +119,40 @@ void PrintSeries(const char* name, const Series& s) {
 
 int main(int argc, char** argv) {
   sdr::ParseBenchFlags(argc, argv);
+  int jobs = sdr::ParseJobsFlag(argc, argv);
   using namespace sdr;
   PrintHeader("E5: auditor backlog under diurnal load, 48 virtual hours");
   Note("open-loop clients, raised-cosine diurnal curve with 3AM trough");
 
-  Series cached = Run(/*speed=*/0.15, /*sample=*/1.0, /*cache=*/true, 31);
-  PrintSeries("auditor with result cache (Section 3.4's optimization)",
-              cached);
-  ReportSeries("cached", cached);
-
-  Series nocache = Run(/*speed=*/0.15, /*sample=*/1.0, /*cache=*/false, 31);
-  PrintSeries("no cache: lags at the daytime peak, catches up at night",
-              nocache);
-  ReportSeries("no_cache", nocache);
-
-  Series undersized =
-      Run(/*speed=*/0.075, /*sample=*/1.0, /*cache=*/false, 31);
-  PrintSeries("no cache, half speed: over-used, diverges across days",
-              undersized);
-  ReportSeries("no_cache_half_speed", undersized);
-
-  Series sampling =
-      Run(/*speed=*/0.075, /*sample=*/0.35, /*cache=*/false, 31);
-  PrintSeries("no cache, half speed + 35% sampling (the paper's fallback)",
-              sampling);
-  ReportSeries("no_cache_half_speed_sampling", sampling);
+  // The four provisionings are independent simulations: compute them on
+  // worker threads, then print in the fixed order below.
+  struct Case {
+    const char* bench_name;
+    const char* label;
+    double speed;
+    double sample;
+    bool cache;
+  };
+  const Case cases[] = {
+      {"cached", "auditor with result cache (Section 3.4's optimization)",
+       0.15, 1.0, true},
+      {"no_cache", "no cache: lags at the daytime peak, catches up at night",
+       0.15, 1.0, false},
+      {"no_cache_half_speed",
+       "no cache, half speed: over-used, diverges across days", 0.075, 1.0,
+       false},
+      {"no_cache_half_speed_sampling",
+       "no cache, half speed + 35% sampling (the paper's fallback)", 0.075,
+       0.35, false},
+  };
+  Series series[4];
+  RunIndexedParallel(4, jobs, [&](int i) {
+    series[i] = Run(cases[i].speed, cases[i].sample, cases[i].cache, 31);
+  });
+  for (int i = 0; i < 4; ++i) {
+    PrintSeries(cases[i].label, series[i]);
+    ReportSeries(cases[i].bench_name, series[i]);
+  }
 
   Note("shape: the cached auditor keeps up trivially; without the cache the");
   Note("backlog swells at daytime peak and drains overnight; an over-used");

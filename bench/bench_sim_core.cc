@@ -1,0 +1,382 @@
+// Simulator-core microbenchmarks: the discrete-event hot path that every
+// experiment (E1-E11), chaos sweep, and trace run sits on top of.
+//
+//   - e4_shape:    events/sec on the simulator-core slice of the E4
+//                  workload (same topology and message/timer mix, no
+//                  crypto or query compute) — the headline number for the
+//                  hot-path rewrite.
+//   - e4_events:   events/sec driving the full E4 cluster workload
+//                  (lying slave, closed-loop clients, audits + double
+//                  checks), where protocol compute shares the bill.
+//   - churn:       schedule/cancel/fire interleavings on a bare Simulator,
+//                  the pattern produced by protocol timeouts (most timers
+//                  are cancelled before they fire).
+//   - fanout:      one sender pushing a large payload to many receivers —
+//                  prices per-send payload copying.
+//   - sweep:       an 8-seed chaos sweep at --jobs worker threads.
+//
+// Emits BENCH_SIM.json (google-benchmark schema) via --benchmark_out, the
+// same contract as bench_e3/bench_e5.
+#include <chrono>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/chaos/runner.h"
+#include "src/core/cluster.h"
+#include "src/core/service_queue.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace sdr {
+namespace {
+
+double MeasureRealSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// E4-shaped workload: the same cluster bench_e4 uses for its tracing
+// overhead mode — reads, pledge forwarding, audits, double-checks, one
+// lying slave. Virtual seconds are fixed, so the event count is
+// deterministic; wall time is what the hot path buys down.
+void BenchE4Events() {
+  ClusterConfig config;
+  config.seed = 7;
+  config.num_masters = 1;
+  config.slaves_per_master = 2;
+  config.num_clients = 4;
+  config.corpus.n_items = 100;
+  config.params.scheme = SignatureScheme::kHmacSha256;
+  config.params.double_check_probability = 0.05;
+  config.client_mode = Client::LoadMode::kClosedLoop;
+  config.client_think_time = 5 * kMillisecond;
+  config.client_write_fraction = 0.02;
+  config.track_ground_truth = false;
+  config.slave_behavior = [](int index) {
+    Slave::Behavior b;
+    if (index == 0) {
+      b.lie_probability = 0.01;
+    }
+    return b;
+  };
+
+  const int kReps = 5;
+  double best = 1e9;
+  size_t events = 0;
+  {
+    Cluster warm(config);
+    warm.RunFor(120 * kSecond);  // warm-up, not measured
+  }
+  for (int r = 0; r < kReps; ++r) {
+    Cluster cluster(config);
+    double secs = MeasureRealSeconds([&] { cluster.RunFor(120 * kSecond); });
+    events = cluster.sim().events_processed();
+    best = std::min(best, secs);
+  }
+  double events_per_sec = static_cast<double>(events) / best;
+  Row("%-34s %12.0f ev/s %10.1f ms (%zu events, best of %d)",
+      "E4 workload events/sec", events_per_sec, 1e3 * best, events, kReps);
+  ReportBenchmark("sim_core/e4_events", kReps, 1e3 * best, 1e3 * best, "ms",
+                  {{"events_per_second", events_per_sec},
+                   {"events", static_cast<double>(events)}});
+}
+
+// ---- E4-shaped simulator-core workload (no protocol compute) --------------
+//
+// The same topology and message/timer mix as the E4 cluster — closed-loop
+// clients reading from slaves through a service queue, a per-request
+// timeout armed and cancelled, pledge forwards to a batching auditor,
+// periodic keep-alive fan-out — with the crypto and query execution
+// stripped out. What remains is exactly the layer this rewrite targets:
+// event scheduling/cancellation, payload hand-off, link lookup.
+namespace shape {
+
+constexpr SimTime kServiceTime = 400 * kMicrosecond;
+constexpr SimTime kThinkTime = 2 * kMillisecond;
+constexpr SimTime kTimeout = 1 * kSecond;
+constexpr size_t kReqBytes = 300;
+constexpr size_t kReplyBytes = 900;
+constexpr size_t kPledgeBytes = 350;
+constexpr size_t kKeepAliveBytes = 120;
+
+class ShapeSlave : public Node {
+ public:
+  void Start() override { queue_ = std::make_unique<ServiceQueue>(sim()); }
+  void HandleMessage(NodeId from, const Payload& payload) override {
+    if (payload.size() == kKeepAliveBytes) {
+      return;  // keep-alive, absorbed
+    }
+    BytesView body = payload.view().substr(1);
+    (void)body;
+    queue_->Enqueue(kServiceTime, [this, from] {
+      network()->Send(id(), from, Bytes(kReplyBytes, 0x5A));
+    });
+  }
+
+ private:
+  std::unique_ptr<ServiceQueue> queue_;
+};
+
+class ShapeAuditor : public Node {
+ public:
+  void Start() override { queue_ = std::make_unique<ServiceQueue>(sim()); }
+  void HandleMessage(NodeId, const Payload& payload) override {
+    BytesView body = payload.view().substr(1);
+    (void)body;
+    if (++buffered_ >= 16) {
+      buffered_ = 0;
+      queue_->Enqueue(8 * kServiceTime, [this] { ++batches_; });
+    }
+  }
+
+ private:
+  std::unique_ptr<ServiceQueue> queue_;
+  size_t buffered_ = 0;
+  size_t batches_ = 0;
+};
+
+class ShapeMaster : public Node {
+ public:
+  void SetSlaves(std::vector<NodeId> slaves) { slaves_ = std::move(slaves); }
+  void Start() override { Tick(); }
+  void HandleMessage(NodeId from, const Payload& payload) override {
+    // Double-check request: answer immediately (the master's re-execution
+    // cost is charged on its own queue in the real protocol; the shape
+    // keeps the message pattern only).
+    BytesView body = payload.view().substr(1);
+    (void)body;
+    network()->Send(id(), from, Bytes(kReplyBytes / 2, 0x3C));
+  }
+
+ private:
+  void Tick() {
+    sim()->ScheduleAfter(500 * kMillisecond, [this] { Tick(); });
+    Payload wire = Bytes(kKeepAliveBytes, 0x11);  // shared fan-out buffer
+    for (NodeId s : slaves_) {
+      network()->Send(id(), s, wire);
+    }
+  }
+  std::vector<NodeId> slaves_;
+};
+
+class ShapeClient : public Node {
+ public:
+  void Configure(NodeId slave, NodeId master, NodeId auditor) {
+    slave_ = slave;
+    master_ = master;
+    auditor_ = auditor;
+  }
+  void Start() override { IssueRead(); }
+  void HandleMessage(NodeId from, const Payload& payload) override {
+    if (from == master_) {
+      return;  // double-check reply; nothing further
+    }
+    sim()->Cancel(timeout_);
+    timeout_ = 0;
+    ++replies_;
+    // Forward the pledge to the auditor (fire-and-forget), occasionally
+    // double-check with the master — E4's 5%.
+    network()->Send(id(), auditor_, payload.Slice(0, kPledgeBytes));
+    if (sim()->rng().NextBool(0.05)) {
+      network()->Send(id(), master_, Bytes(kReqBytes, 0x22));
+    }
+    sim()->ScheduleAfter(kThinkTime, [this] { IssueRead(); });
+  }
+  size_t replies() const { return replies_; }
+
+ private:
+  void IssueRead() {
+    Bytes req(kReqBytes, 0x01);
+    network()->Send(id(), slave_, std::move(req));
+    timeout_ = sim()->ScheduleAfter(kTimeout, [this] { IssueRead(); });
+  }
+  NodeId slave_ = 0, master_ = 0, auditor_ = 0;
+  EventId timeout_ = 0;
+  size_t replies_ = 0;
+};
+
+}  // namespace shape
+
+void BenchE4Shape() {
+  const int kReps = 5;
+  double best = 1e9;
+  size_t events = 0;
+  size_t replies = 0;
+  for (int r = 0; r < kReps + 1; ++r) {  // first rep is warm-up
+    Simulator sim(7);
+    Network net(&sim, LinkModel::Lan());
+    shape::ShapeMaster master;
+    shape::ShapeAuditor auditor;
+    shape::ShapeSlave slaves[2];
+    shape::ShapeClient clients[4];
+    NodeId master_id = net.AddNode(&master);
+    NodeId auditor_id = net.AddNode(&auditor);
+    NodeId slave_ids[2] = {net.AddNode(&slaves[0]), net.AddNode(&slaves[1])};
+    master.SetSlaves({slave_ids[0], slave_ids[1]});
+    for (int c = 0; c < 4; ++c) {
+      NodeId cid = net.AddNode(&clients[c]);
+      (void)cid;
+      clients[c].Configure(slave_ids[c % 2], master_id, auditor_id);
+    }
+    double secs = MeasureRealSeconds([&] {
+      net.StartAll();
+      sim.RunUntil(60 * kSecond);
+    });
+    events = sim.events_processed();
+    replies = 0;
+    for (int c = 0; c < 4; ++c) {
+      replies += clients[c].replies();
+    }
+    if (r > 0) {
+      best = std::min(best, secs);
+    }
+  }
+  double events_per_sec = static_cast<double>(events) / best;
+  Row("%-34s %12.0f ev/s %10.1f ms (%zu events, %zu replies, best of %d)",
+      "E4-shaped core events/sec", events_per_sec, 1e3 * best, events, replies,
+      kReps);
+  ReportBenchmark("sim_core/e4_shape", kReps, 1e3 * best, 1e3 * best, "ms",
+                  {{"events_per_second", events_per_sec},
+                   {"events", static_cast<double>(events)},
+                   {"replies", static_cast<double>(replies)}});
+}
+
+// Timeout-heavy churn: keep a ring of outstanding timers; each iteration
+// schedules one far-out timer, cancels the oldest outstanding one, and
+// lets near events fire. This is the client/master timeout pattern, where
+// nearly every scheduled timeout is cancelled before it fires.
+void BenchChurn() {
+  const size_t kRing = 4096;
+  const size_t kOps = 400000;
+
+  double secs = MeasureRealSeconds([&] {
+    Simulator sim(1);
+    Rng rng(99);
+    std::vector<EventId> ring(kRing, 0);
+    size_t fired = 0;
+    for (size_t i = 0; i < kOps; ++i) {
+      size_t slot = i % kRing;
+      if (ring[slot] != 0) {
+        sim.Cancel(ring[slot]);
+      }
+      SimTime delay =
+          static_cast<SimTime>(1 + rng.NextBounded(10 * kMillisecond));
+      ring[slot] = sim.ScheduleAfter(delay, [&fired] { ++fired; });
+      if ((i & 7) == 0) {
+        sim.Step();
+      }
+    }
+    sim.RunUntilIdle();
+  });
+  double ops_per_sec = static_cast<double>(kOps) / secs;
+  Row("%-34s %12.0f op/s %10.1f ms (%zu schedule+cancel ops)",
+      "schedule/cancel churn", ops_per_sec, 1e3 * secs, kOps);
+  ReportBenchmark("sim_core/churn", 1, 1e3 * secs, 1e3 * secs, "ms",
+                  {{"ops_per_second", ops_per_sec}});
+}
+
+class SinkNode : public Node {
+ public:
+  void HandleMessage(NodeId, const Payload& payload) override {
+    bytes_seen += payload.size();
+  }
+  size_t bytes_seen = 0;
+};
+
+// One sender fanning a 4 KiB payload out to many receivers, repeatedly:
+// prices the per-send copy (pre-rewrite) vs the shared refcount bump
+// (post-rewrite).
+void BenchFanout() {
+  const size_t kReceivers = 32;
+  const size_t kRounds = 4000;
+  const size_t kPayload = 4096;
+
+  double secs = 0;
+  size_t delivered = 0;
+  {
+    Simulator sim(1);
+    Network net(&sim, LinkModel::Lan());
+    SinkNode sender;
+    net.AddNode(&sender);
+    std::vector<SinkNode> receivers(kReceivers);
+    for (auto& r : receivers) {
+      net.AddNode(&r);
+    }
+    Payload payload = Bytes(kPayload, 0xAB);  // one buffer, shared by refcount
+    secs = MeasureRealSeconds([&] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (NodeId to = 2; to <= 1 + kReceivers; ++to) {
+          net.Send(1, to, payload);
+        }
+        sim.RunUntilIdle();
+      }
+    });
+    delivered = net.messages_delivered();
+  }
+  double msgs_per_sec = static_cast<double>(delivered) / secs;
+  Row("%-34s %12.0f msg/s %10.1f ms (%zu msgs x %zu B)", "payload fan-out",
+      msgs_per_sec, 1e3 * secs, delivered, kPayload);
+  ReportBenchmark("sim_core/fanout", 1, 1e3 * secs, 1e3 * secs, "ms",
+                  {{"messages_per_second", msgs_per_sec},
+                   {"payload_bytes", static_cast<double>(kPayload)}});
+}
+
+// Seed-sweep wall time at the requested --jobs: the scaling number for the
+// parallel sweep engine. The report is byte-identical for any jobs value
+// (asserted in tests/chaos_test.cc); this prices the wall-clock side.
+void BenchSweep(int jobs) {
+  ClusterConfig config;
+  config.num_masters = 1;
+  config.slaves_per_master = 2;
+  config.num_clients = 2;
+  config.corpus.n_items = 50;
+  config.params.scheme = SignatureScheme::kHmacSha256;
+  config.client_mode = Client::LoadMode::kClosedLoop;
+  config.client_think_time = 20 * kMillisecond;
+  config.client_write_fraction = 0.02;
+
+  SweepOptions sweep;
+  sweep.first_seed = 1;
+  sweep.num_seeds = 8;
+  sweep.duration = 20 * kSecond;
+  sweep.jobs = jobs;
+
+  Scenario scenario;  // honest baseline: invariants only
+  size_t seeds_ok = 0;
+  double secs = MeasureRealSeconds([&] {
+    SweepReport report = RunSeedSweep(config, scenario, sweep);
+    for (const SeedVerdict& v : report.seeds) {
+      seeds_ok += v.all_passed() ? 1 : 0;
+    }
+  });
+  double seeds_per_sec = static_cast<double>(sweep.num_seeds) / secs;
+  Row("%-34s %12.2f seeds/s %8.1f ms (%d seeds, jobs=%d, %zu passed)",
+      "seed-sweep throughput", seeds_per_sec, 1e3 * secs, sweep.num_seeds,
+      jobs, seeds_ok);
+  ReportBenchmark("sim_core/sweep", sweep.num_seeds, 1e3 * secs, 1e3 * secs,
+                  "ms",
+                  {{"seeds_per_second", seeds_per_sec},
+                   {"jobs", static_cast<double>(jobs)}});
+}
+
+}  // namespace
+}  // namespace sdr
+
+int main(int argc, char** argv) {
+  sdr::ParseBenchFlags(argc, argv);
+  int jobs = sdr::ParseJobsFlag(argc, argv);
+  using namespace sdr;
+  PrintHeader("SIM: simulator-core hot path (event queue, payloads)");
+  Note("e4_shape is the simulator-core slice of the E4 workload (no");
+  Note("crypto/query compute); e4_events drives the full E4 cluster;");
+  Note("churn and fanout isolate the queue and the payload path; sweep");
+  Note("runs an 8-seed chaos sweep at --jobs worker threads.");
+  BenchE4Shape();
+  BenchE4Events();
+  BenchChurn();
+  BenchFanout();
+  BenchSweep(jobs);
+  return 0;
+}

@@ -10,12 +10,15 @@
 #ifndef SDR_BENCH_BENCH_UTIL_H_
 #define SDR_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <initializer_list>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -255,6 +258,48 @@ inline void Note(const std::string& text) {
   std::printf("  note: %s\n", text.c_str());
   if (auto* section = bench_internal::CurrentSection()) {
     section->notes.push_back(text);
+  }
+}
+
+// Parses --jobs=N / --jobs N (clamped to >= 1). Benches that honor it run
+// independent simulations on worker threads but print and aggregate in a
+// fixed order, so the output bytes never depend on the value.
+inline int ParseJobsFlag(int argc, char** argv) {
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = std::atoi(arg + 7);
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
+  }
+  return std::max(1, jobs);
+}
+
+// Runs fn(0..n-1) across `jobs` threads (worker w takes i ≡ w mod jobs).
+// fn must write only to its own index's slot; results are then reduced by
+// the caller in index order, keeping float sums and output deterministic.
+inline void RunIndexedParallel(int n, int jobs,
+                               const std::function<void(int)>& fn) {
+  jobs = std::max(1, std::min(jobs, n));
+  if (jobs == 1) {
+    for (int i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back([&fn, n, jobs, w] {
+      for (int i = w; i < n; i += jobs) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
   }
 }
 

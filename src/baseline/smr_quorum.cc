@@ -19,7 +19,7 @@ void QrReplica::SetContent(const DocumentStore& content) {
   store_ = content;
 }
 
-void QrReplica::HandleMessage(NodeId from, const Bytes& payload) {
+void QrReplica::HandleMessage(NodeId from, const Payload& payload) {
   Reader r(payload);
   if (r.U8() != kQrRead) {
     return;
@@ -81,7 +81,7 @@ void QrClient::IssueRead(const Query& query, Callback cb) {
   }
 }
 
-void QrClient::HandleMessage(NodeId /*from*/, const Bytes& payload) {
+void QrClient::HandleMessage(NodeId /*from*/, const Payload& payload) {
   Reader r(payload);
   if (r.U8() != kQrReadReply) {
     return;

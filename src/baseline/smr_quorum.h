@@ -35,7 +35,7 @@ class QrReplica : public Node {
 
   explicit QrReplica(Options options);
   void Start() override;
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   void SetContent(const DocumentStore& content);
 
@@ -60,7 +60,7 @@ class QrClient : public Node {
   };
 
   explicit QrClient(Options options);
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   using Callback = std::function<void(bool ok, const QueryResult& result)>;
   // Sends the query to 2f+1 replicas; accepts on f+1 matching hashes.

@@ -120,7 +120,7 @@ void SsMaster::CommitWrite(const WriteBatch& batch) {
   }
 }
 
-void SsMaster::HandleMessage(NodeId from, const Bytes& payload) {
+void SsMaster::HandleMessage(NodeId from, const Payload& payload) {
   Reader r(payload);
   uint8_t tag = r.U8();
   if (tag != kSsDynRead) {
@@ -166,7 +166,7 @@ void SsSlave::SetContent(const DocumentStore& content,
   root_ = root;
 }
 
-void SsSlave::HandleMessage(NodeId from, const Bytes& payload) {
+void SsSlave::HandleMessage(NodeId from, const Payload& payload) {
   Reader r(payload);
   uint8_t tag = r.U8();
   if (tag == kSsStateUpdate) {
@@ -239,7 +239,7 @@ void SsClient::IssueRead(const Query& query, Callback cb) {
   }
 }
 
-void SsClient::HandleMessage(NodeId /*from*/, const Bytes& payload) {
+void SsClient::HandleMessage(NodeId /*from*/, const Payload& payload) {
   Reader r(payload);
   uint8_t tag = r.U8();
   if (tag == kSsDynReadReply) {

@@ -53,7 +53,7 @@ class SsMaster : public Node {
 
   explicit SsMaster(Options options);
   void Start() override;
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   void SetContent(const DocumentStore& content);
   // Commits a write batch: applies it, rebuilds + re-signs the tree, and
@@ -92,7 +92,7 @@ class SsSlave : public Node {
 
   explicit SsSlave(Options options);
   void Start() override;
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   void SetContent(const DocumentStore& content, const SignedRoot& root);
 
@@ -120,7 +120,7 @@ class SsClient : public Node {
   };
 
   explicit SsClient(Options options);
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   using Callback = std::function<void(bool ok)>;
   // Routes by query class: GET -> slave (proof-verified), anything else ->

@@ -53,7 +53,7 @@ void BftOrderBroadcast::Broadcast(Bytes payload) {
   }
 }
 
-void BftOrderBroadcast::OnMessage(NodeId from, const Bytes& payload) {
+void BftOrderBroadcast::OnMessage(NodeId from, BytesView payload) {
   if (!started_ || !owner_->up()) {
     return;
   }

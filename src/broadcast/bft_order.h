@@ -49,7 +49,7 @@ class BftOrderBroadcast {
   // Submits a payload for Byzantine-tolerant total ordering.
   void Broadcast(Bytes payload);
 
-  void OnMessage(NodeId from, const Bytes& payload);
+  void OnMessage(NodeId from, BytesView payload);
 
   int f() const { return (static_cast<int>(config_.group.size()) - 1) / 3; }
   int quorum() const { return 2 * f() + 1; }

@@ -65,7 +65,7 @@ uint64_t TotalOrderBroadcast::Broadcast(Bytes payload) {
   return local_id;
 }
 
-void TotalOrderBroadcast::OnMessage(NodeId from, const Bytes& payload) {
+void TotalOrderBroadcast::OnMessage(NodeId from, BytesView payload) {
   if (!Active()) {
     return;
   }

@@ -63,7 +63,7 @@ class TotalOrderBroadcast {
   uint64_t Broadcast(Bytes payload);
 
   // Feeds a received broadcast-protocol payload.
-  void OnMessage(NodeId from, const Bytes& payload);
+  void OnMessage(NodeId from, BytesView payload);
 
   uint64_t epoch() const { return epoch_; }
   NodeId sequencer() const;

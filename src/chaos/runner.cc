@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "src/trace/trace.h"
 #include "src/util/logging.h"
@@ -347,38 +349,86 @@ std::string SweepReport::Summary() const {
   return out;
 }
 
+namespace {
+
+// Runs one seed end to end on the calling thread. Everything it touches —
+// simulator, cluster, checkers — is freshly built here, so concurrent calls
+// never share mutable state. `invariants_out` is filled only when non-null
+// (the caller passes it for seed index 0 alone).
+SeedVerdict RunOneSweepSeed(const ClusterConfig& config,
+                            const Scenario& scenario,
+                            const SweepOptions& options,
+                            std::vector<std::unique_ptr<InvariantChecker>>
+                                checkers,
+                            std::vector<std::string>* invariants_out) {
+  if (invariants_out != nullptr) {
+    for (const auto& checker : checkers) {
+      invariants_out->push_back(checker->name());
+    }
+  }
+  Cluster cluster(config);
+  ChaosController controller(&cluster, scenario, std::move(checkers),
+                             ChaosControllerOptions{options.cadence});
+  controller.Install();
+  cluster.RunFor(options.duration);
+  controller.Finish();
+
+  SeedVerdict verdict;
+  verdict.seed = config.seed;
+  verdict.violations = controller.violations();
+  Cluster::Totals totals = cluster.ComputeTotals();
+  verdict.accepted_reads = totals.reads_accepted;
+  verdict.accepted_wrong = cluster.accepted_wrong();
+  verdict.double_check_mismatches = totals.double_check_mismatches;
+  verdict.auditor_mismatches = totals.auditor_mismatches;
+  verdict.slaves_excluded = totals.slaves_excluded;
+  return verdict;
+}
+
+}  // namespace
+
 SweepReport RunSeedSweep(const ClusterConfig& base, const Scenario& scenario,
                          const SweepOptions& options,
                          const CheckerFactory& factory) {
   SweepReport report;
-  for (int i = 0; i < options.num_seeds; ++i) {
-    ClusterConfig config = base;
-    config.seed = options.first_seed + static_cast<uint64_t>(i);
-    auto checkers =
-        factory ? factory(config) : DefaultCheckers(config);
-    if (report.invariants.empty()) {
-      for (const auto& checker : checkers) {
-        report.invariants.push_back(checker->name());
-      }
+  if (options.num_seeds <= 0) {
+    return report;
+  }
+  const int jobs =
+      std::min(std::max(options.jobs, 1), options.num_seeds);
+  report.seeds.resize(static_cast<size_t>(options.num_seeds));
+
+  // The factory is caller-supplied and may not be reentrant, so calls are
+  // serialized; the checkers each call returns stay thread-confined.
+  std::mutex factory_mu;
+  auto make_checkers = [&](const ClusterConfig& config) {
+    std::lock_guard<std::mutex> lock(factory_mu);
+    return factory ? factory(config) : DefaultCheckers(config);
+  };
+  auto run_indices = [&](int worker) {
+    for (int i = worker; i < options.num_seeds; i += jobs) {
+      ClusterConfig config = base;
+      config.seed = options.first_seed + static_cast<uint64_t>(i);
+      // Only the worker that owns index 0 writes report.invariants, so the
+      // merge needs no further synchronization: each verdict slot has
+      // exactly one writer.
+      report.seeds[static_cast<size_t>(i)] = RunOneSweepSeed(
+          config, scenario, options, make_checkers(config),
+          i == 0 ? &report.invariants : nullptr);
     }
+  };
 
-    Cluster cluster(config);
-    ChaosController controller(&cluster, scenario, std::move(checkers),
-                               ChaosControllerOptions{options.cadence});
-    controller.Install();
-    cluster.RunFor(options.duration);
-    controller.Finish();
-
-    SeedVerdict verdict;
-    verdict.seed = config.seed;
-    verdict.violations = controller.violations();
-    Cluster::Totals totals = cluster.ComputeTotals();
-    verdict.accepted_reads = totals.reads_accepted;
-    verdict.accepted_wrong = cluster.accepted_wrong();
-    verdict.double_check_mismatches = totals.double_check_mismatches;
-    verdict.auditor_mismatches = totals.auditor_mismatches;
-    verdict.slaves_excluded = totals.slaves_excluded;
-    report.seeds.push_back(std::move(verdict));
+  if (jobs == 1) {
+    run_indices(0);
+    return report;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back(run_indices, w);
+  }
+  for (std::thread& t : workers) {
+    t.join();
   }
   return report;
 }

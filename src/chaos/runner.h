@@ -72,6 +72,11 @@ struct SweepOptions {
   int num_seeds = 20;
   SimTime duration = 90 * kSecond;
   SimTime cadence = 250 * kMillisecond;
+  // Worker threads for the sweep. Each seed's simulator, cluster, and
+  // checkers are confined to one thread, and verdicts are merged in seed
+  // order, so the report is byte-identical for any jobs value. Values < 1
+  // are treated as 1.
+  int jobs = 1;
 };
 
 struct SeedVerdict {
@@ -105,7 +110,9 @@ using CheckerFactory =
         const ClusterConfig&)>;
 
 // Runs `scenario` on a fresh cluster per seed. `base` supplies everything
-// but the seed. A null factory uses DefaultCheckers.
+// but the seed. A null factory uses DefaultCheckers. With options.jobs > 1
+// seeds run on worker threads; `factory` calls are serialized under a lock,
+// but the checkers it returns must not share mutable state across calls.
 SweepReport RunSeedSweep(const ClusterConfig& base, const Scenario& scenario,
                          const SweepOptions& options,
                          const CheckerFactory& factory = nullptr);

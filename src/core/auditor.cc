@@ -69,12 +69,12 @@ void Auditor::SetPaused(bool paused) {
   TryFinalizeVersions();
 }
 
-void Auditor::HandleMessage(NodeId from, const Bytes& payload) {
+void Auditor::HandleMessage(NodeId from, const Payload& payload) {
   auto type = PeekType(payload);
   if (!type.ok()) {
     return;
   }
-  Bytes body(payload.begin() + 1, payload.end());
+  BytesView body = BytesView(payload).substr(1);
   switch (*type) {
     case MsgType::kAuditSubmit:
       HandleAuditSubmit(from, body);
@@ -110,7 +110,7 @@ void Auditor::OnDelivered(uint64_t /*seq*/, NodeId /*origin*/,
   if (!type.ok()) {
     return;
   }
-  Bytes body(payload.begin() + 1, payload.end());
+  BytesView body = BytesView(payload).substr(1);
   switch (*type) {
     case TobPayloadType::kWrite: {
       auto write = TobWrite::Decode(body);
@@ -168,7 +168,7 @@ void Auditor::PumpCommitQueue() {
   });
 }
 
-void Auditor::HandleAuditSubmit(NodeId from, const Bytes& body) {
+void Auditor::HandleAuditSubmit(NodeId from, BytesView body) {
   auto msg = AuditSubmit::Decode(body);
   if (!msg.ok()) {
     return;

@@ -52,7 +52,7 @@ class Auditor : public Node {
   explicit Auditor(Options options);
 
   void Start() override;
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   // Installs initial content at version 0 (must match the masters').
   void SetBaseContent(const DocumentStore& base) {
@@ -99,7 +99,7 @@ class Auditor : public Node {
 
   void OnDelivered(uint64_t seq, NodeId origin, const Bytes& payload);
   void PumpCommitQueue();
-  void HandleAuditSubmit(NodeId from, const Bytes& body);
+  void HandleAuditSubmit(NodeId from, BytesView body);
   void GossipAndFinalizeTick();
   void EnqueueForVerify(Pledge pledge, NodeId submitter, uint64_t trace_id);
   void FlushVerifyBatch();

@@ -43,7 +43,7 @@ void Client::BeginSetup() {
   });
 }
 
-void Client::HandleDirectoryReply(const Bytes& body) {
+void Client::HandleDirectoryReply(BytesView body) {
   if (phase_ != Phase::kAwaitDirectory) {
     return;
   }
@@ -86,7 +86,7 @@ void Client::HandleDirectoryReply(const Bytes& body) {
                   WithType(MsgType::kClientHello, hello.Encode()));
 }
 
-void Client::HandleHelloReply(NodeId from, const Bytes& body) {
+void Client::HandleHelloReply(NodeId from, BytesView body) {
   if (phase_ != Phase::kAwaitHello || from != master_) {
     return;
   }
@@ -127,7 +127,7 @@ void Client::HandleHelloReply(NodeId from, const Bytes& body) {
   }
 }
 
-void Client::HandleReassignment(NodeId from, const Bytes& body) {
+void Client::HandleReassignment(NodeId from, BytesView body) {
   if (from != master_) {
     return;
   }
@@ -155,7 +155,7 @@ void Client::HandleReassignment(NodeId from, const Bytes& body) {
   // Outstanding reads retry toward the new slave on their next attempt.
 }
 
-void Client::HandleBadReadNotice(const Bytes& body) {
+void Client::HandleBadReadNotice(BytesView body) {
   auto msg = BadReadNotice::Decode(body);
   if (!msg.ok()) {
     return;
@@ -242,7 +242,7 @@ void Client::SendRead(uint64_t request_id) {
       });
 }
 
-void Client::HandleReadReply(NodeId from, const Bytes& body) {
+void Client::HandleReadReply(NodeId from, BytesView body) {
   auto msg = ReadReply::Decode(body);
   if (!msg.ok()) {
     return;
@@ -356,7 +356,7 @@ void Client::HandleReadReply(NodeId from, const Bytes& body) {
   AcceptRead(msg->request_id, msg->result, pledge);
 }
 
-void Client::HandleDoubleCheckReply(const Bytes& body) {
+void Client::HandleDoubleCheckReply(BytesView body) {
   auto msg = DoubleCheckReply::Decode(body);
   if (!msg.ok()) {
     return;
@@ -515,7 +515,7 @@ void Client::SendWrite(uint64_t request_id) {
       });
 }
 
-void Client::HandleWriteReply(const Bytes& body) {
+void Client::HandleWriteReply(BytesView body) {
   auto msg = WriteReply::Decode(body);
   if (!msg.ok()) {
     return;
@@ -589,12 +589,12 @@ void Client::IssueGeneratedOp() {
 
 // ---------------------------------------------------------------------------
 
-void Client::HandleMessage(NodeId from, const Bytes& payload) {
+void Client::HandleMessage(NodeId from, const Payload& payload) {
   auto type = PeekType(payload);
   if (!type.ok()) {
     return;
   }
-  Bytes body(payload.begin() + 1, payload.end());
+  BytesView body = BytesView(payload).substr(1);
   switch (*type) {
     case MsgType::kDirectoryLookupReply:
       HandleDirectoryReply(body);

@@ -64,7 +64,7 @@ class Client : public Node {
   explicit Client(Options options);
 
   void Start() override;
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   // Manual-mode entry points (also used internally by the load loops).
   // Completion callbacks are optional.
@@ -121,15 +121,15 @@ class Client : public Node {
 
   // Setup phase.
   void BeginSetup();
-  void HandleDirectoryReply(const Bytes& body);
-  void HandleHelloReply(NodeId from, const Bytes& body);
-  void HandleReassignment(NodeId from, const Bytes& body);
-  void HandleBadReadNotice(const Bytes& body);
+  void HandleDirectoryReply(BytesView body);
+  void HandleHelloReply(NodeId from, BytesView body);
+  void HandleReassignment(NodeId from, BytesView body);
+  void HandleBadReadNotice(BytesView body);
 
   // Reads.
   void SendRead(uint64_t request_id);
-  void HandleReadReply(NodeId from, const Bytes& body);
-  void HandleDoubleCheckReply(const Bytes& body);
+  void HandleReadReply(NodeId from, BytesView body);
+  void HandleDoubleCheckReply(BytesView body);
   void RetryRead(uint64_t request_id, SimTime delay);
   void AcceptRead(uint64_t request_id, const QueryResult& result,
                   const Pledge& pledge);
@@ -137,7 +137,7 @@ class Client : public Node {
 
   // Writes.
   void SendWrite(uint64_t request_id);
-  void HandleWriteReply(const Bytes& body);
+  void HandleWriteReply(BytesView body);
 
   // Load generation.
   void ScheduleNextOp();

@@ -9,12 +9,12 @@ void Directory::Publish(const Bytes& content_public_key,
   by_content_[content_public_key] = std::move(master_certs);
 }
 
-void Directory::HandleMessage(NodeId from, const Bytes& payload) {
+void Directory::HandleMessage(NodeId from, const Payload& payload) {
   auto type = PeekType(payload);
   if (!type.ok() || *type != MsgType::kDirectoryLookup) {
     return;
   }
-  auto msg = DirectoryLookup::Decode(Bytes(payload.begin() + 1, payload.end()));
+  auto msg = DirectoryLookup::Decode(payload.view().substr(1));
   if (!msg.ok()) {
     return;
   }

@@ -22,7 +22,7 @@ class Directory : public Node {
   void Publish(const Bytes& content_public_key,
                std::vector<Certificate> master_certs);
 
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   uint64_t lookups_served() const { return lookups_served_; }
 

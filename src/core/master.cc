@@ -61,12 +61,12 @@ VersionToken Master::CurrentToken() {
   return MakeVersionToken(signer_, id(), oplog_.head_version(), sim()->Now());
 }
 
-void Master::HandleMessage(NodeId from, const Bytes& payload) {
+void Master::HandleMessage(NodeId from, const Payload& payload) {
   auto type = PeekType(payload);
   if (!type.ok()) {
     return;
   }
-  Bytes body(payload.begin() + 1, payload.end());
+  BytesView body = BytesView(payload).substr(1);
   switch (*type) {
     case MsgType::kClientHello:
       HandleClientHello(from, body);
@@ -131,7 +131,7 @@ NodeId Master::PickSlaveFor(NodeId client) {
   return best;
 }
 
-void Master::HandleClientHello(NodeId from, const Bytes& body) {
+void Master::HandleClientHello(NodeId from, BytesView body) {
   auto msg = ClientHello::Decode(body);
   if (!msg.ok()) {
     return;
@@ -156,7 +156,7 @@ void Master::HandleClientHello(NodeId from, const Bytes& body) {
 // Write protocol (Section 3.1).
 // ---------------------------------------------------------------------------
 
-void Master::HandleWriteRequest(NodeId from, const Bytes& body) {
+void Master::HandleWriteRequest(NodeId from, BytesView body) {
   auto msg = WriteRequest::Decode(body);
   if (!msg.ok()) {
     return;
@@ -201,7 +201,7 @@ void Master::OnDelivered(uint64_t /*seq*/, NodeId /*origin*/,
   if (!type.ok()) {
     return;
   }
-  Bytes body(payload.begin() + 1, payload.end());
+  BytesView body = BytesView(payload).substr(1);
   switch (*type) {
     case TobPayloadType::kWrite: {
       auto write = TobWrite::Decode(body);
@@ -286,7 +286,7 @@ void Master::PushStateUpdate(NodeId slave, uint64_t version) {
                   WithType(MsgType::kStateUpdate, update.Encode()));
 }
 
-void Master::HandleSlaveAck(NodeId from, const Bytes& body) {
+void Master::HandleSlaveAck(NodeId from, BytesView body) {
   auto msg = SlaveAck::Decode(body);
   if (!msg.ok()) {
     return;
@@ -312,7 +312,8 @@ void Master::SendKeepAlives() {
   }
   KeepAlive msg;
   msg.token = CurrentToken();
-  Bytes wire = WithType(MsgType::kKeepAlive, msg.Encode());
+  // One shared buffer for the whole fan-out: each Send bumps a refcount.
+  Payload wire = WithType(MsgType::kKeepAlive, msg.Encode());
   for (const auto& [slave_id, state] : my_slaves_) {
     ++metrics_.keepalives_sent;
     network()->Send(id(), slave_id, wire);
@@ -469,7 +470,7 @@ bool Master::AllowDoubleCheck(NodeId client) {
   return true;
 }
 
-void Master::HandleDoubleCheck(NodeId from, const Bytes& body) {
+void Master::HandleDoubleCheck(NodeId from, BytesView body) {
   auto msg = DoubleCheckRequest::Decode(body);
   if (!msg.ok()) {
     return;
@@ -538,7 +539,7 @@ void Master::HandleDoubleCheck(NodeId from, const Bytes& body) {
 // Corrective action (Section 3.5).
 // ---------------------------------------------------------------------------
 
-void Master::HandleAccusation(NodeId /*from*/, const Bytes& body) {
+void Master::HandleAccusation(NodeId /*from*/, BytesView body) {
   auto msg = Accusation::Decode(body);
   if (!msg.ok()) {
     return;

@@ -54,7 +54,7 @@ class Master : public Node {
   explicit Master(Simulator* sim, Options options);
 
   void Start() override;
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   // Pre-start wiring by the content owner / harness.
   void AddSlave(const Certificate& cert);
@@ -98,11 +98,11 @@ class Master : public Node {
   };
 
   // Message handlers.
-  void HandleClientHello(NodeId from, const Bytes& body);
-  void HandleWriteRequest(NodeId from, const Bytes& body);
-  void HandleDoubleCheck(NodeId from, const Bytes& body);
-  void HandleAccusation(NodeId from, const Bytes& body);
-  void HandleSlaveAck(NodeId from, const Bytes& body);
+  void HandleClientHello(NodeId from, BytesView body);
+  void HandleWriteRequest(NodeId from, BytesView body);
+  void HandleDoubleCheck(NodeId from, BytesView body);
+  void HandleAccusation(NodeId from, BytesView body);
+  void HandleSlaveAck(NodeId from, BytesView body);
 
   // Total-order deliveries.
   void OnDelivered(uint64_t seq, NodeId origin, const Bytes& payload);

@@ -40,7 +40,7 @@ QueryResult DecodeResult(Reader& r) {
 }
 }  // namespace
 
-Result<MsgType> PeekType(const Bytes& payload) {
+Result<MsgType> PeekType(BytesView payload) {
   if (payload.empty()) {
     return Error(ErrorCode::kCorrupt, "empty payload");
   }
@@ -55,7 +55,7 @@ Bytes WithType(MsgType type, const Bytes& body) {
   return out;
 }
 
-Result<TobPayloadType> PeekTobType(const Bytes& payload) {
+Result<TobPayloadType> PeekTobType(BytesView payload) {
   if (payload.empty()) {
     return Error(ErrorCode::kCorrupt, "empty TOB payload");
   }
@@ -79,7 +79,7 @@ Bytes DirectoryLookup::Encode() const {
   return w.Take();
 }
 
-Result<DirectoryLookup> DirectoryLookup::Decode(const Bytes& body) {
+Result<DirectoryLookup> DirectoryLookup::Decode(BytesView body) {
   Reader r(body);
   DirectoryLookup m;
   m.content_public_key = r.Blob();
@@ -92,7 +92,7 @@ Bytes DirectoryLookupReply::Encode() const {
   return w.Take();
 }
 
-Result<DirectoryLookupReply> DirectoryLookupReply::Decode(const Bytes& body) {
+Result<DirectoryLookupReply> DirectoryLookupReply::Decode(BytesView body) {
   Reader r(body);
   DirectoryLookupReply m;
   m.master_certs = DecodeCerts(r);
@@ -105,7 +105,7 @@ Bytes ClientHello::Encode() const {
   return w.Take();
 }
 
-Result<ClientHello> ClientHello::Decode(const Bytes& body) {
+Result<ClientHello> ClientHello::Decode(BytesView body) {
   Reader r(body);
   ClientHello m;
   m.client_nonce = r.Blob();
@@ -131,7 +131,7 @@ Bytes ClientHelloReply::Encode() const {
   return w.Take();
 }
 
-Result<ClientHelloReply> ClientHelloReply::Decode(const Bytes& body) {
+Result<ClientHelloReply> ClientHelloReply::Decode(BytesView body) {
   Reader r(body);
   ClientHelloReply m;
   m.server_nonce = r.Blob();
@@ -149,7 +149,7 @@ Bytes ReadRequest::Encode() const {
   return w.Take();
 }
 
-Result<ReadRequest> ReadRequest::Decode(const Bytes& body) {
+Result<ReadRequest> ReadRequest::Decode(BytesView body) {
   Reader r(body);
   ReadRequest m;
   m.request_id = r.U64();
@@ -168,7 +168,7 @@ Bytes ReadReply::Encode() const {
   return w.Take();
 }
 
-Result<ReadReply> ReadReply::Decode(const Bytes& body) {
+Result<ReadReply> ReadReply::Decode(BytesView body) {
   Reader r(body);
   ReadReply m;
   m.request_id = r.U64();
@@ -186,7 +186,7 @@ Bytes WriteRequest::Encode() const {
   return w.Take();
 }
 
-Result<WriteRequest> WriteRequest::Decode(const Bytes& body) {
+Result<WriteRequest> WriteRequest::Decode(BytesView body) {
   Reader r(body);
   WriteRequest m;
   m.request_id = r.U64();
@@ -203,7 +203,7 @@ Bytes WriteReply::Encode() const {
   return w.Take();
 }
 
-Result<WriteReply> WriteReply::Decode(const Bytes& body) {
+Result<WriteReply> WriteReply::Decode(BytesView body) {
   Reader r(body);
   WriteReply m;
   m.request_id = r.U64();
@@ -221,7 +221,7 @@ Bytes DoubleCheckRequest::Encode() const {
   return w.Take();
 }
 
-Result<DoubleCheckRequest> DoubleCheckRequest::Decode(const Bytes& body) {
+Result<DoubleCheckRequest> DoubleCheckRequest::Decode(BytesView body) {
   Reader r(body);
   DoubleCheckRequest m;
   m.request_id = r.U64();
@@ -240,7 +240,7 @@ Bytes DoubleCheckReply::Encode() const {
   return w.Take();
 }
 
-Result<DoubleCheckReply> DoubleCheckReply::Decode(const Bytes& body) {
+Result<DoubleCheckReply> DoubleCheckReply::Decode(BytesView body) {
   Reader r(body);
   DoubleCheckReply m;
   m.request_id = r.U64();
@@ -258,7 +258,7 @@ Bytes Accusation::Encode() const {
   return w.Take();
 }
 
-Result<Accusation> Accusation::Decode(const Bytes& body) {
+Result<Accusation> Accusation::Decode(BytesView body) {
   Reader r(body);
   Accusation m;
   m.trace_id = r.U64();
@@ -288,7 +288,7 @@ Bytes Reassignment::Encode() const {
   return w.Take();
 }
 
-Result<Reassignment> Reassignment::Decode(const Bytes& body) {
+Result<Reassignment> Reassignment::Decode(BytesView body) {
   Reader r(body);
   Reassignment m;
   m.trace_id = r.U64();
@@ -307,7 +307,7 @@ Bytes StateUpdate::Encode() const {
   return w.Take();
 }
 
-Result<StateUpdate> StateUpdate::Decode(const Bytes& body) {
+Result<StateUpdate> StateUpdate::Decode(BytesView body) {
   Reader r(body);
   StateUpdate m;
   m.version = r.U64();
@@ -322,7 +322,7 @@ Bytes KeepAlive::Encode() const {
   return w.Take();
 }
 
-Result<KeepAlive> KeepAlive::Decode(const Bytes& body) {
+Result<KeepAlive> KeepAlive::Decode(BytesView body) {
   Reader r(body);
   KeepAlive m;
   m.token = VersionToken::DecodeFrom(r);
@@ -335,7 +335,7 @@ Bytes SlaveAck::Encode() const {
   return w.Take();
 }
 
-Result<SlaveAck> SlaveAck::Decode(const Bytes& body) {
+Result<SlaveAck> SlaveAck::Decode(BytesView body) {
   Reader r(body);
   SlaveAck m;
   m.applied_version = r.U64();
@@ -349,7 +349,7 @@ Bytes AuditSubmit::Encode() const {
   return w.Take();
 }
 
-Result<AuditSubmit> AuditSubmit::Decode(const Bytes& body) {
+Result<AuditSubmit> AuditSubmit::Decode(BytesView body) {
   Reader r(body);
   AuditSubmit m;
   m.trace_id = r.U64();
@@ -365,7 +365,7 @@ Bytes BadReadNotice::Encode() const {
   return w.Take();
 }
 
-Result<BadReadNotice> BadReadNotice::Decode(const Bytes& body) {
+Result<BadReadNotice> BadReadNotice::Decode(BytesView body) {
   Reader r(body);
   BadReadNotice m;
   m.trace_id = r.U64();
@@ -383,7 +383,7 @@ Bytes TobWrite::Encode() const {
   return w.Take();
 }
 
-Result<TobWrite> TobWrite::Decode(const Bytes& body) {
+Result<TobWrite> TobWrite::Decode(BytesView body) {
   Reader r(body);
   TobWrite m;
   m.origin_master = r.U32();
@@ -400,7 +400,7 @@ Bytes TobGossip::Encode() const {
   return w.Take();
 }
 
-Result<TobGossip> TobGossip::Decode(const Bytes& body) {
+Result<TobGossip> TobGossip::Decode(BytesView body) {
   Reader r(body);
   TobGossip m;
   m.master = r.U32();

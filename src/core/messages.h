@@ -63,7 +63,7 @@ enum class TobPayloadType : uint8_t {
 };
 
 // Returns the MsgType of a payload, or kCorrupt error when empty.
-Result<MsgType> PeekType(const Bytes& payload);
+Result<MsgType> PeekType(BytesView payload);
 
 // Prepends the type byte.
 Bytes WithType(MsgType type, const Bytes& body);
@@ -73,19 +73,19 @@ Bytes WithType(MsgType type, const Bytes& body);
 struct DirectoryLookup {
   Bytes content_public_key;
   Bytes Encode() const;
-  static Result<DirectoryLookup> Decode(const Bytes& body);
+  static Result<DirectoryLookup> Decode(BytesView body);
 };
 
 struct DirectoryLookupReply {
   std::vector<Certificate> master_certs;
   Bytes Encode() const;
-  static Result<DirectoryLookupReply> Decode(const Bytes& body);
+  static Result<DirectoryLookupReply> Decode(BytesView body);
 };
 
 struct ClientHello {
   Bytes client_nonce;
   Bytes Encode() const;
-  static Result<ClientHello> Decode(const Bytes& body);
+  static Result<ClientHello> Decode(BytesView body);
 };
 
 // The master's handshake reply: signed over (client_nonce || server_nonce ||
@@ -99,7 +99,7 @@ struct ClientHelloReply {
 
   Bytes SignedBody(const Bytes& client_nonce) const;
   Bytes Encode() const;
-  static Result<ClientHelloReply> Decode(const Bytes& body);
+  static Result<ClientHelloReply> Decode(BytesView body);
 };
 
 struct ReadRequest {
@@ -111,7 +111,7 @@ struct ReadRequest {
   uint64_t trace_id = 0;
   Query query;
   Bytes Encode() const;
-  static Result<ReadRequest> Decode(const Bytes& body);
+  static Result<ReadRequest> Decode(BytesView body);
 };
 
 struct ReadReply {
@@ -121,14 +121,14 @@ struct ReadReply {
   QueryResult result;
   Pledge pledge;
   Bytes Encode() const;
-  static Result<ReadReply> Decode(const Bytes& body);
+  static Result<ReadReply> Decode(BytesView body);
 };
 
 struct WriteRequest {
   uint64_t request_id = 0;
   WriteBatch batch;
   Bytes Encode() const;
-  static Result<WriteRequest> Decode(const Bytes& body);
+  static Result<WriteRequest> Decode(BytesView body);
 };
 
 struct WriteReply {
@@ -137,7 +137,7 @@ struct WriteReply {
   uint64_t committed_version = 0;
   uint8_t error_code = 0;  // ErrorCode when !ok
   Bytes Encode() const;
-  static Result<WriteReply> Decode(const Bytes& body);
+  static Result<WriteReply> Decode(BytesView body);
 };
 
 struct DoubleCheckRequest {
@@ -145,7 +145,7 @@ struct DoubleCheckRequest {
   uint64_t trace_id = 0;
   Pledge pledge;
   Bytes Encode() const;
-  static Result<DoubleCheckRequest> Decode(const Bytes& body);
+  static Result<DoubleCheckRequest> Decode(BytesView body);
 };
 
 struct DoubleCheckReply {
@@ -155,14 +155,14 @@ struct DoubleCheckReply {
   bool matches = false;  // master's hash == pledge hash
   QueryResult correct_result;  // master's result (when served)
   Bytes Encode() const;
-  static Result<DoubleCheckReply> Decode(const Bytes& body);
+  static Result<DoubleCheckReply> Decode(BytesView body);
 };
 
 struct Accusation {
   uint64_t trace_id = 0;
   Pledge pledge;
   Bytes Encode() const;
-  static Result<Accusation> Decode(const Bytes& body);
+  static Result<Accusation> Decode(BytesView body);
 };
 
 struct Reassignment {
@@ -175,7 +175,7 @@ struct Reassignment {
 
   Bytes SignedBody() const;
   Bytes Encode() const;
-  static Result<Reassignment> Decode(const Bytes& body);
+  static Result<Reassignment> Decode(BytesView body);
 };
 
 struct StateUpdate {
@@ -183,26 +183,26 @@ struct StateUpdate {
   WriteBatch batch;
   VersionToken token;
   Bytes Encode() const;
-  static Result<StateUpdate> Decode(const Bytes& body);
+  static Result<StateUpdate> Decode(BytesView body);
 };
 
 struct KeepAlive {
   VersionToken token;
   Bytes Encode() const;
-  static Result<KeepAlive> Decode(const Bytes& body);
+  static Result<KeepAlive> Decode(BytesView body);
 };
 
 struct SlaveAck {
   uint64_t applied_version = 0;
   Bytes Encode() const;
-  static Result<SlaveAck> Decode(const Bytes& body);
+  static Result<SlaveAck> Decode(BytesView body);
 };
 
 struct AuditSubmit {
   uint64_t trace_id = 0;
   Pledge pledge;
   Bytes Encode() const;
-  static Result<AuditSubmit> Decode(const Bytes& body);
+  static Result<AuditSubmit> Decode(BytesView body);
 };
 
 // "In some applications, the harm may be undone, by rolling back the
@@ -214,12 +214,12 @@ struct BadReadNotice {
   Pledge pledge;
   Bytes correct_sha1;
   Bytes Encode() const;
-  static Result<BadReadNotice> Decode(const Bytes& body);
+  static Result<BadReadNotice> Decode(BytesView body);
 };
 
 // ---- Total-order broadcast inner payloads ----------------------------------
 
-Result<TobPayloadType> PeekTobType(const Bytes& payload);
+Result<TobPayloadType> PeekTobType(BytesView payload);
 Bytes WithTobType(TobPayloadType type, const Bytes& body);
 
 struct TobWrite {
@@ -228,14 +228,14 @@ struct TobWrite {
   uint64_t request_id = 0;
   WriteBatch batch;
   Bytes Encode() const;
-  static Result<TobWrite> Decode(const Bytes& body);
+  static Result<TobWrite> Decode(BytesView body);
 };
 
 struct TobGossip {
   NodeId master = kInvalidNode;
   std::vector<Certificate> slave_certs;
   Bytes Encode() const;
-  static Result<TobGossip> Decode(const Bytes& body);
+  static Result<TobGossip> Decode(BytesView body);
 };
 
 }  // namespace sdr

@@ -47,12 +47,12 @@ void MultiReadClient::IssueRead(const Query& query, Callback cb) {
   pending_.emplace(request_id, std::move(read));
 }
 
-void MultiReadClient::HandleMessage(NodeId from, const Bytes& payload) {
+void MultiReadClient::HandleMessage(NodeId from, const Payload& payload) {
   auto type = PeekType(payload);
   if (!type.ok()) {
     return;
   }
-  Bytes body(payload.begin() + 1, payload.end());
+  BytesView body = BytesView(payload).substr(1);
   switch (*type) {
     case MsgType::kReadReply:
       HandleReadReply(from, body);
@@ -82,7 +82,7 @@ void MultiReadClient::HandleMessage(NodeId from, const Bytes& payload) {
   }
 }
 
-void MultiReadClient::HandleReadReply(NodeId from, const Bytes& body) {
+void MultiReadClient::HandleReadReply(NodeId from, BytesView body) {
   auto msg = ReadReply::Decode(body);
   if (!msg.ok()) {
     return;
@@ -197,7 +197,7 @@ void MultiReadClient::Resolve(uint64_t request_id) {
                   WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
 }
 
-void MultiReadClient::HandleDoubleCheckReply(const Bytes& body) {
+void MultiReadClient::HandleDoubleCheckReply(BytesView body) {
   auto msg = DoubleCheckReply::Decode(body);
   if (!msg.ok()) {
     return;

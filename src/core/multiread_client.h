@@ -47,7 +47,7 @@ class MultiReadClient : public Node {
   explicit MultiReadClient(Options options);
 
   void Start() override;
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   using Callback = std::function<void(bool ok, const QueryResult& result)>;
   void IssueRead(const Query& query, Callback cb = nullptr);
@@ -73,8 +73,8 @@ class MultiReadClient : public Node {
     Callback cb;
   };
 
-  void HandleReadReply(NodeId from, const Bytes& body);
-  void HandleDoubleCheckReply(const Bytes& body);
+  void HandleReadReply(NodeId from, BytesView body);
+  void HandleDoubleCheckReply(BytesView body);
   void Resolve(uint64_t request_id);
   void Accept(uint64_t request_id, const QueryResult& result,
               const Pledge& pledge);

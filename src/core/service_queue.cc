@@ -14,7 +14,7 @@ SimTime ServiceQueue::busy_until() const {
   return std::max(busy_until_, sim_->Now());
 }
 
-void ServiceQueue::Enqueue(SimTime service_time, std::function<void()> done) {
+void ServiceQueue::Enqueue(SimTime service_time, InlineFunction<void()> done) {
   SimTime scaled = std::max<SimTime>(
       1, static_cast<SimTime>(static_cast<double>(service_time) / speed_));
   SimTime start = busy_until();
@@ -27,7 +27,7 @@ void ServiceQueue::Enqueue(SimTime service_time, std::function<void()> done) {
   busy_until_ = start + scaled;
   busy_time_ += scaled;
   ++depth_;
-  sim_->ScheduleAt(busy_until_, [this, done = std::move(done)] {
+  sim_->ScheduleAt(busy_until_, [this, done = std::move(done)]() mutable {
     --depth_;
     ++jobs_completed_;
     done();

@@ -7,10 +7,10 @@
 #define SDR_SRC_CORE_SERVICE_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "src/sim/simulator.h"
 #include "src/trace/trace.h"
+#include "src/util/inline_function.h"
 
 namespace sdr {
 
@@ -28,7 +28,7 @@ class ServiceQueue {
   }
 
   // Enqueues a job; `done` runs when the server finishes it.
-  void Enqueue(SimTime service_time, std::function<void()> done);
+  void Enqueue(SimTime service_time, InlineFunction<void()> done);
 
   // Jobs accepted but not yet completed.
   size_t depth() const { return depth_; }

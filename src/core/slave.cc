@@ -19,12 +19,12 @@ void Slave::SetBaseContent(const DocumentStore& base) {
   store_ = base;
 }
 
-void Slave::HandleMessage(NodeId from, const Bytes& payload) {
+void Slave::HandleMessage(NodeId from, const Payload& payload) {
   auto type = PeekType(payload);
   if (!type.ok()) {
     return;
   }
-  Bytes body(payload.begin() + 1, payload.end());
+  BytesView body = BytesView(payload).substr(1);
   switch (*type) {
     case MsgType::kStateUpdate:
       HandleStateUpdate(from, body);
@@ -72,7 +72,7 @@ void Slave::MaybeAdoptToken(const VersionToken& token) {
   }
 }
 
-void Slave::HandleStateUpdate(NodeId from, const Bytes& body) {
+void Slave::HandleStateUpdate(NodeId from, BytesView body) {
   auto msg = StateUpdate::Decode(body);
   if (!msg.ok()) {
     return;
@@ -102,7 +102,7 @@ void Slave::ApplyBuffered() {
   }
 }
 
-void Slave::HandleKeepAlive(NodeId from, const Bytes& body) {
+void Slave::HandleKeepAlive(NodeId from, BytesView body) {
   auto msg = KeepAlive::Decode(body);
   if (!msg.ok()) {
     return;
@@ -123,7 +123,7 @@ bool Slave::TokenFresh() const {
          TokenIsFresh(*token_, sim()->Now(), options_.params.max_latency);
 }
 
-void Slave::HandleReadRequest(NodeId from, const Bytes& body) {
+void Slave::HandleReadRequest(NodeId from, BytesView body) {
   auto msg = ReadRequest::Decode(body);
   if (!msg.ok()) {
     return;

@@ -56,7 +56,7 @@ class Slave : public Node {
   explicit Slave(Options options);
 
   void Start() override;
-  void HandleMessage(NodeId from, const Bytes& payload) override;
+  void HandleMessage(NodeId from, const Payload& payload) override;
 
   // Installs initial content at version 0 (out-of-band distribution).
   void SetBaseContent(const DocumentStore& base);
@@ -77,9 +77,9 @@ class Slave : public Node {
   const DocumentStore& store() const { return store_; }
 
  private:
-  void HandleStateUpdate(NodeId from, const Bytes& body);
-  void HandleKeepAlive(NodeId from, const Bytes& body);
-  void HandleReadRequest(NodeId from, const Bytes& body);
+  void HandleStateUpdate(NodeId from, BytesView body);
+  void HandleKeepAlive(NodeId from, BytesView body);
+  void HandleReadRequest(NodeId from, BytesView body);
   void ApplyBuffered();
   void MaybeAdoptToken(const VersionToken& token);
   bool TokenFresh() const;

@@ -11,6 +11,7 @@ NodeId Network::AddNode(Node* node) {
   node->id_ = id;
   node->network_ = this;
   node->sim_ = sim_;
+  RebuildTables();
   return id;
 }
 
@@ -27,8 +28,30 @@ void Network::StartAll() {
   }
 }
 
+void Network::RebuildTables() {
+  size_t n = nodes_.size();
+  link_table_.assign(n * n, default_link_);
+  for (const auto& [pair, model] : links_) {
+    auto [from, to] = pair;
+    if (from >= 1 && from <= n && to >= 1 && to <= n) {
+      link_table_[(from - 1) * n + (to - 1)] = model;
+    }
+  }
+  partition_table_.assign(n * n, 0);
+  for (const auto& [a, b] : partitions_) {
+    if (a >= 1 && a <= n && b >= 1 && b <= n) {
+      partition_table_[(a - 1) * n + (b - 1)] = 1;
+      partition_table_[(b - 1) * n + (a - 1)] = 1;
+    }
+  }
+}
+
 void Network::SetLink(NodeId from, NodeId to, LinkModel model) {
   links_[{from, to}] = model;
+  size_t n = nodes_.size();
+  if (from >= 1 && from <= n && to >= 1 && to <= n) {
+    link_table_[(from - 1) * n + (to - 1)] = model;
+  }
 }
 
 void Network::SetLinkSymmetric(NodeId a, NodeId b, LinkModel model) {
@@ -36,29 +59,23 @@ void Network::SetLinkSymmetric(NodeId a, NodeId b, LinkModel model) {
   SetLink(b, a, model);
 }
 
-const LinkModel& Network::LinkFor(NodeId from, NodeId to) const {
-  auto it = links_.find({from, to});
-  return it != links_.end() ? it->second : default_link_;
-}
-
-void Network::Send(NodeId from, NodeId to, Bytes payload) {
+void Network::Send(NodeId from, NodeId to, Payload payload) {
   ++messages_sent_;
   bytes_sent_ += payload.size();
 
   Node* src = node(from);
   Node* dst = node(to);
   if (src == nullptr || dst == nullptr || !src->up()) {
-    ++messages_dropped_;
+    ++dropped_node_;
     return;
   }
-  auto key = std::minmax(from, to);
-  if (partitions_.count({key.first, key.second}) > 0) {
-    ++messages_dropped_;
+  if (PartitionedFast(from, to)) {
+    ++dropped_partition_;
     return;
   }
   const LinkModel& link = LinkFor(from, to);
   if (link.drop_probability > 0.0 && rng_.NextBool(link.drop_probability)) {
-    ++messages_dropped_;
+    ++dropped_loss_;
     return;
   }
   SimTime jitter =
@@ -66,10 +83,12 @@ void Network::Send(NodeId from, NodeId to, Bytes payload) {
                             static_cast<uint64_t>(link.jitter) + 1))
                       : 0;
   SimTime delivery = link.base_latency + jitter;
+  // this + from + to + Payload fits InlineFunction's inline buffer: the
+  // delivery event costs no allocation beyond the one shared buffer.
   sim_->ScheduleAfter(delivery, [this, from, to, msg = std::move(payload)]() {
     Node* receiver = node(to);
     if (receiver == nullptr || !receiver->up()) {
-      ++messages_dropped_;
+      ++dropped_node_;
       return;
     }
     ++messages_delivered_;
@@ -91,6 +110,17 @@ void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
   } else {
     partitions_.erase({key.first, key.second});
   }
+  size_t n = nodes_.size();
+  if (key.first >= 1 && key.second <= n) {
+    uint8_t v = partitioned ? 1 : 0;
+    partition_table_[(key.first - 1) * n + (key.second - 1)] = v;
+    partition_table_[(key.second - 1) * n + (key.first - 1)] = v;
+  }
+}
+
+void Network::ClearPartitions() {
+  partitions_.clear();
+  partition_table_.assign(partition_table_.size(), 0);
 }
 
 }  // namespace sdr

@@ -1,6 +1,11 @@
 // Simulated message network: nodes exchange opaque byte messages over links
 // with configurable latency, jitter, and loss. Nodes can be taken down
 // (crash) and pairs of nodes can be partitioned.
+//
+// Hot-path layout: payloads are ref-counted (Payload), so a send shares the
+// buffer with the in-flight event and the receiver instead of copying it;
+// link and partition lookups hit flat per-pair tables (rebuilt on AddNode /
+// SetLink) instead of std::map/std::set.
 #ifndef SDR_SRC_SIM_NETWORK_H_
 #define SDR_SRC_SIM_NETWORK_H_
 
@@ -31,8 +36,10 @@ class Node {
 
   // Called on message delivery. `from` is the (unauthenticated) sender id;
   // protocol layers must not trust it for security decisions — that is what
-  // the signatures inside the payloads are for.
-  virtual void HandleMessage(NodeId from, const Bytes& payload) = 0;
+  // the signatures inside the payloads are for. The payload is an immutable
+  // shared view; handlers that need to keep it alive copy the cheap Payload
+  // handle, not the bytes.
+  virtual void HandleMessage(NodeId from, const Payload& payload) = 0;
 
   NodeId id() const { return id_; }
   bool up() const { return up_; }
@@ -83,8 +90,10 @@ class Network {
   void SetLinkSymmetric(NodeId a, NodeId b, LinkModel model);
 
   // Sends `payload` from `from` to `to`. Messages from/to down nodes and
-  // across partitions are silently dropped, as are random losses.
-  void Send(NodeId from, NodeId to, Bytes payload);
+  // across partitions are silently dropped, as are random losses. The
+  // payload buffer is shared, not copied — fanning one encoded message out
+  // to N peers costs N refcount bumps.
+  void Send(NodeId from, NodeId to, Payload payload);
 
   // Crash / restart a node. Messages in flight toward a down node are
   // dropped at delivery time.
@@ -93,7 +102,7 @@ class Network {
   // Blocks (or unblocks) both directions between a and b.
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
   // Removes every partition at once (a chaos scenario's "heal all").
-  void ClearPartitions() { partitions_.clear(); }
+  void ClearPartitions();
   // Number of currently partitioned node pairs (0 = fully connected).
   size_t active_partitions() const { return partitions_.size(); }
   bool IsPartitioned(NodeId a, NodeId b) const {
@@ -104,22 +113,47 @@ class Network {
   // Traffic counters (for benches: bytes on the wire per protocol).
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_delivered() const { return messages_delivered_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_dropped() const {
+    return dropped_node_ + dropped_partition_ + dropped_loss_;
+  }
+  // Drop breakdown: sender/receiver missing or down; active partition;
+  // random link loss.
+  uint64_t messages_dropped_node() const { return dropped_node_; }
+  uint64_t messages_dropped_partition() const { return dropped_partition_; }
+  uint64_t messages_dropped_loss() const { return dropped_loss_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
-  const LinkModel& LinkFor(NodeId from, NodeId to) const;
+  const LinkModel& LinkFor(NodeId from, NodeId to) const {
+    size_t n = nodes_.size();
+    if (from == kInvalidNode || to == kInvalidNode || from > n || to > n) {
+      return default_link_;
+    }
+    return link_table_[(from - 1) * n + (to - 1)];
+  }
+  bool PartitionedFast(NodeId a, NodeId b) const {
+    return partition_table_[(a - 1) * nodes_.size() + (b - 1)] != 0;
+  }
+  // Re-derives the flat per-pair tables from links_/partitions_ after the
+  // node count grows.
+  void RebuildTables();
 
   Simulator* sim_;
   LinkModel default_link_;
   Rng rng_;
   std::vector<Node*> nodes_;  // index = id - 1
+  // Source of truth for custom links/partitions (covers ids not yet
+  // registered); the flat tables below are the per-send fast path.
   std::map<std::pair<NodeId, NodeId>, LinkModel> links_;
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  std::vector<LinkModel> link_table_;       // n*n, [from-1][to-1]
+  std::vector<uint8_t> partition_table_;    // n*n, symmetric
 
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
-  uint64_t messages_dropped_ = 0;
+  uint64_t dropped_node_ = 0;
+  uint64_t dropped_partition_ = 0;
+  uint64_t dropped_loss_ = 0;
   uint64_t bytes_sent_ = 0;
 };
 

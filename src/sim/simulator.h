@@ -2,14 +2,19 @@
 // queue. All protocol timing (keep-alives, max_latency freshness windows,
 // audit lag, detection latency) is measured in virtual time, so runs are
 // exactly reproducible from a seed.
+//
+// The queue is an index-tracked binary heap: every pending event owns a
+// slot in a side table that records its heap position, so Cancel is a true
+// O(log n) removal instead of the former lazy tombstone scan. EventIds are
+// (generation << 32 | slot), which makes double-cancel and cancel-after-
+// fire exact no-ops — a stale id's generation no longer matches.
 #ifndef SDR_SRC_SIM_SIMULATOR_H_
 #define SDR_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "src/util/inline_function.h"
 #include "src/util/rng.h"
 
 namespace sdr {
@@ -25,7 +30,7 @@ constexpr SimTime kSecond = 1000 * kMillisecond;
 constexpr SimTime kMinute = 60 * kSecond;
 constexpr SimTime kHour = 60 * kMinute;
 
-// Identifies a scheduled event for cancellation.
+// Identifies a scheduled event for cancellation. 0 is never a valid id.
 using EventId = uint64_t;
 
 class Simulator {
@@ -36,14 +41,15 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   // Schedules `fn` to run at absolute virtual time `t` (clamped to Now()).
-  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  EventId ScheduleAt(SimTime t, InlineFunction<void()> fn);
 
   // Schedules `fn` to run `delay` from now.
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  EventId ScheduleAfter(SimTime delay, InlineFunction<void()> fn) {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  // Cancels a pending event. Safe to call on already-fired ids (no-op).
+  // Cancels a pending event. Safe to call on already-fired, already-
+  // cancelled, or invalid ids (no-op), any number of times.
   void Cancel(EventId id);
 
   // Runs the next event, if any. Returns false when the queue is empty.
@@ -56,7 +62,10 @@ class Simulator {
   // guard). Returns the number of events processed.
   size_t RunUntilIdle(size_t max_events = SIZE_MAX);
 
-  size_t pending_events() const { return queue_.size() - cancelled_live_; }
+  size_t pending_events() const { return heap_.size(); }
+
+  // Total events dispatched since construction (perf instrumentation).
+  size_t events_processed() const { return events_processed_; }
 
   // Optional trace sink (owned by the harness, e.g. Cluster). Null when
   // tracing is off — instrumentation sites branch once on this pointer,
@@ -65,25 +74,35 @@ class Simulator {
   TraceSink* trace() const { return trace_; }
 
  private:
-  struct Event {
+  struct Slot {
+    uint32_t generation = 1;  // bumped on retire; never 0, so id != 0
+    int32_t heap_pos = -1;    // -1: not pending
+  };
+  struct HeapEntry {
     SimTime time;
-    EventId id;
-    std::function<void()> fn;
-    bool operator>(const Event& other) const {
-      return time != other.time ? time > other.time : id > other.id;
-    }
+    uint64_t seq;   // schedule order; ties at equal time fire in this order
+    uint32_t slot;
+    InlineFunction<void()> fn;
   };
 
+  bool Before(const HeapEntry& a, const HeapEntry& b) const {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  void Place(size_t pos, HeapEntry entry);
+  // Removes the root, retiring its slot; returns its callback.
+  InlineFunction<void()> PopTop();
+  void Dispatch(InlineFunction<void()>& fn);
+
   SimTime now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  std::vector<EventId> cancelled_;  // sorted lazily; small in practice
-  size_t cancelled_live_ = 0;
+  uint64_t next_seq_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t events_processed_ = 0;
   Rng rng_;
   TraceSink* trace_ = nullptr;
-
-  bool IsCancelled(EventId id);
-  void Dispatch(Event& ev);
 };
 
 }  // namespace sdr

@@ -42,6 +42,38 @@ Bytes QueryResult::Sha1Digest() const {
   return Sha1::Hash(Encode());
 }
 
+namespace {
+
+// True when `p` contains no ECMAScript metacharacter, i.e. regex_search
+// (p) is exactly substring search. The workload's canned grep patterns are
+// plain vocabulary words, so the hot path never builds a regex machine.
+bool IsLiteralPattern(const std::string& p) {
+  for (char c : p) {
+    switch (c) {
+      case '.':
+      case '^':
+      case '$':
+      case '|':
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case '{':
+      case '}':
+      case '*':
+      case '+':
+      case '?':
+      case '\\':
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 const std::regex* QueryExecutor::CompiledPattern(const std::string& pattern) {
   if (cache_regex_) {
     auto it = regex_cache_.find(pattern);
@@ -89,11 +121,18 @@ Result<QueryExecutor::Outcome> QueryExecutor::Execute(
     }
     case QueryKind::kGrep: {
       res.type = QueryResult::Type::kRows;
+      // Literal patterns (the common case) match by substring search;
+      // regex_search over a metacharacter-free ECMAScript pattern is
+      // exactly std::string::find, minus the regex engine and its
+      // per-match allocations.
+      const bool literal = IsLiteralPattern(q.pattern);
       const std::regex* re = nullptr;
-      try {
-        re = CompiledPattern(q.pattern);
-      } catch (const std::regex_error&) {
-        return Error(ErrorCode::kParseError, "bad regex: " + q.pattern);
+      if (!literal) {
+        try {
+          re = CompiledPattern(q.pattern);
+        } catch (const std::regex_error&) {
+          return Error(ErrorCode::kParseError, "bad regex: " + q.pattern);
+        }
       }
       auto it = store.RangeBegin(q.range_lo);
       auto end = store.RangeEnd(q.range_hi);
@@ -102,7 +141,9 @@ Result<QueryExecutor::Outcome> QueryExecutor::Execute(
         if (q.limit > 0 && res.rows.size() >= q.limit) {
           break;
         }
-        if (std::regex_search(it->second, *re)) {
+        bool match = literal ? it->second.find(q.pattern) != std::string::npos
+                             : std::regex_search(it->second, *re);
+        if (match) {
           res.rows.emplace_back(it->first, it->second);
         }
       }

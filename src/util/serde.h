@@ -53,6 +53,7 @@ class Writer {
 class Reader {
  public:
   explicit Reader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  explicit Reader(BytesView buf) : data_(buf.data()), size_(buf.size()) {}
   Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   uint8_t U8();

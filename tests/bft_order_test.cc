@@ -23,7 +23,7 @@ class BftMember : public Node {
         });
   }
   void Start() override { bcast_->Start(); }
-  void HandleMessage(NodeId from, const Bytes& payload) override {
+  void HandleMessage(NodeId from, const Payload& payload) override {
     bcast_->OnMessage(from, payload);
   }
 

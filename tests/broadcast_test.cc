@@ -29,7 +29,7 @@ class MemberNode : public Node {
 
   void Start() override { bcast_->Start(); }
 
-  void HandleMessage(NodeId from, const Bytes& payload) override {
+  void HandleMessage(NodeId from, const Payload& payload) override {
     bcast_->OnMessage(from, payload);
   }
 

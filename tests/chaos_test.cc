@@ -485,6 +485,50 @@ TEST(SeedSweepTest, ReportsPerSeedVerdictsAndIsDeterministic) {
   }
 }
 
+TEST(SeedSweepTest, ParallelSweepIsByteIdenticalPlain) {
+  // The determinism gate for the parallel sweep engine: report bytes must
+  // not depend on the number of worker threads. Plain run, no scenario.
+  ClusterConfig config = FastConfig();
+  SweepOptions options;
+  options.num_seeds = 8;
+  options.duration = 10 * kSecond;
+
+  options.jobs = 1;
+  SweepReport serial = RunSeedSweep(config, Scenario{}, options);
+  options.jobs = 8;
+  SweepReport parallel = RunSeedSweep(config, Scenario{}, options);
+
+  ASSERT_EQ(parallel.seeds.size(), 8u);
+  EXPECT_EQ(serial.invariants, parallel.invariants);
+  EXPECT_EQ(serial.Summary(), parallel.Summary());
+  for (size_t i = 0; i < serial.seeds.size(); ++i) {
+    EXPECT_EQ(serial.seeds[i].seed, parallel.seeds[i].seed);
+    EXPECT_EQ(serial.seeds[i].accepted_reads, parallel.seeds[i].accepted_reads);
+  }
+}
+
+TEST(SeedSweepTest, ParallelSweepIsByteIdenticalWithChaosScenario) {
+  ClusterConfig config = FastConfig();
+  auto scenario = ParseScenario(
+      "at 2s set_behavior slave:0 lie_probability=0.5; "
+      "at 4s partition slave:1 master:*; at 7s heal all");
+  ASSERT_TRUE(scenario.ok());
+  SweepOptions options;
+  options.num_seeds = 6;
+  options.duration = 12 * kSecond;
+
+  options.jobs = 1;
+  SweepReport serial = RunSeedSweep(config, *scenario, options);
+  options.jobs = 8;
+  SweepReport parallel = RunSeedSweep(config, *scenario, options);
+
+  EXPECT_EQ(serial.Summary(), parallel.Summary());
+  // jobs beyond num_seeds must clamp, not crash or reorder.
+  options.jobs = 64;
+  SweepReport overcommitted = RunSeedSweep(config, *scenario, options);
+  EXPECT_EQ(serial.Summary(), overcommitted.Summary());
+}
+
 TEST(SeedSweepTest, BlindClusterSweepPinsFirstViolatingSeed) {
   ClusterConfig config = BlindConfig();
   SweepOptions options;

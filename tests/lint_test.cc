@@ -370,6 +370,68 @@ TEST(R5, AllowSuppressesDesignatedVariableTimeCode) {
 // Path classification
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Hot-path fixtures: the InlineFunction / Payload idioms introduced by the
+// simulator rewrite must stay clean under every rule that covers their
+// directories, and the constructs they rely on must not regress into the
+// banned lists.
+// ---------------------------------------------------------------------------
+
+TEST(HotPath, InlineFunctionIdiomsAreCleanInUtil) {
+  // Placement new, launder, and an Ops vtable — the inline_function.h
+  // pattern — must not trip any rule in src/util.
+  auto fs = Lint("src/util/inline_function.h",
+                 "template <typename Fn>\n"
+                 "void Store(void* buf, Fn&& f) {\n"
+                 "  ::new (buf) Fn(static_cast<Fn&&>(f));\n"
+                 "  (*std::launder(reinterpret_cast<Fn*>(buf)))();\n"
+                 "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HotPath, PayloadDeliveryLambdaIsCleanInSimDomain) {
+  // The network delivery event: shared Payload moved into an event lambda,
+  // inside the determinism domain. Seeded Rng draws are fine; the payload
+  // machinery must not look like ambient nondeterminism.
+  auto fs = Lint("src/sim/network.cc",
+                 "#include \"src/util/bytes.h\"\n"
+                 "void Network::Send(NodeId from, NodeId to, Payload p) {\n"
+                 "  if (rng_.NextBool(link.drop_probability)) { return; }\n"
+                 "  sim_->ScheduleAfter(d, [this, from, to,\n"
+                 "                          msg = std::move(p)]() {\n"
+                 "    node(to)->HandleMessage(from, msg);\n"
+                 "  });\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R1"), 0);
+  EXPECT_EQ(CountRule(fs, "R2"), 0);
+}
+
+TEST(HotPath, ThreadPrimitivesAllowedInChaosDomain) {
+  // The parallel seed sweep uses std::thread/std::mutex inside src/chaos —
+  // R1 bans ambient *randomness and clocks*, not threads; each seed's
+  // simulation stays seed-deterministic.
+  auto fs = Lint("src/chaos/runner.cc",
+                 "#include <thread>\n"
+                 "#include <mutex>\n"
+                 "void Sweep(int jobs) {\n"
+                 "  std::mutex mu;\n"
+                 "  std::vector<std::thread> workers;\n"
+                 "  workers.emplace_back([&] { std::lock_guard<std::mutex> "
+                 "l(mu); });\n"
+                 "  for (auto& t : workers) { t.join(); }\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R1"), 0);
+}
+
+TEST(HotPath, WallClockInChaosDomainStillFires) {
+  // The thread allowance must not loosen the clock ban: timing the sweep
+  // with a wall clock inside src/chaos is still a determinism violation.
+  auto fs = Lint("src/chaos/runner.cc",
+                 "#include <chrono>\n"
+                 "double Elapsed() { return time(nullptr); }\n");
+  EXPECT_GE(CountRule(fs, "R1"), 2);  // include + time(
+}
+
 TEST(Classify, DomainsMatchTheRuleCatalogue) {
   EXPECT_TRUE(ClassifyPath("src/crypto/ed25519.cc").r5);
   EXPECT_FALSE(ClassifyPath("src/core/master.cc").r5);

@@ -14,8 +14,8 @@ namespace {
 // Captures everything a node sends.
 class SinkNode : public Node {
  public:
-  void HandleMessage(NodeId from, const Bytes& payload) override {
-    received.emplace_back(from, payload);
+  void HandleMessage(NodeId from, const Payload& payload) override {
+    received.emplace_back(from, payload.ToBytes());
   }
   std::vector<std::pair<NodeId, Bytes>> received;
 };

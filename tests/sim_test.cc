@@ -2,12 +2,14 @@
 // channel handshake.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/sim/channel.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/util/bytes.h"
+#include "src/util/rng.h"
 
 namespace sdr {
 namespace {
@@ -64,6 +66,102 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(SimulatorTest, DoubleCancelKeepsPendingCountCorrect) {
+  // Regression: the lazy-cancel queue counted every Cancel call against the
+  // pending total, so cancelling the same id twice underflowed it.
+  Simulator sim(1);
+  int fired = 0;
+  EventId a = sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Cancel(a);  // second cancel of the same id must be a no-op
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, StaleCancelDoesNotHitSlotReuse) {
+  // After an event fires, its id is dead; a later Cancel with that id must
+  // not cancel whatever event now occupies the recycled slot.
+  Simulator sim(1);
+  int fired = 0;
+  EventId a = sim.ScheduleAt(10, [&] { ++fired; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  EventId b = sim.ScheduleAt(20, [&] { ++fired; });
+  EXPECT_NE(a, b);
+  sim.Cancel(a);  // stale id; b likely reuses a's slot
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StressMatchesReferenceModel) {
+  // Randomized schedule/cancel/fire interleavings against a brute-force
+  // reference: pending events as a plain vector, fire order = min by
+  // (time, schedule seq). The indexed heap must agree on every firing and
+  // on the pending count after every operation.
+  Simulator sim(7);
+  Rng rng(20260806);
+  struct RefEvent {
+    SimTime time;
+    uint64_t seq;
+    int tag;
+    EventId id;
+  };
+  std::vector<RefEvent> ref;  // reference pending set
+  std::vector<int> fired_real;
+  std::vector<int> fired_ref;
+  uint64_t next_seq = 0;
+
+  auto ref_fire_one = [&] {
+    size_t best = 0;
+    for (size_t i = 1; i < ref.size(); ++i) {
+      if (ref[i].time < ref[best].time ||
+          (ref[i].time == ref[best].time && ref[i].seq < ref[best].seq)) {
+        best = i;
+      }
+    }
+    fired_ref.push_back(ref[best].tag);
+    ref.erase(ref.begin() + static_cast<long>(best));
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    uint64_t pick = rng.NextBounded(100);
+    if (pick < 55 || ref.empty()) {
+      SimTime t = sim.Now() + static_cast<SimTime>(rng.NextBounded(500));
+      int tag = op;
+      EventId id = sim.ScheduleAt(t, [&fired_real, tag] {
+        fired_real.push_back(tag);
+      });
+      ref.push_back(RefEvent{std::max(t, sim.Now()), next_seq++, tag, id});
+    } else if (pick < 80) {
+      size_t i = rng.NextBounded(ref.size());
+      sim.Cancel(ref[i].id);
+      if (rng.NextBool(0.25)) {
+        sim.Cancel(ref[i].id);  // double-cancel must stay a no-op
+      }
+      ref.erase(ref.begin() + static_cast<long>(i));
+    } else {
+      size_t steps = 1 + rng.NextBounded(3);
+      for (size_t s = 0; s < steps && !ref.empty(); ++s) {
+        ref_fire_one();
+        sim.Step();
+      }
+    }
+    ASSERT_EQ(sim.pending_events(), ref.size());
+  }
+  while (!ref.empty()) {
+    ref_fire_one();
+    sim.Step();
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(fired_real, fired_ref);
+}
+
 TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
   Simulator sim(1);
   int chain = 0;
@@ -81,8 +179,8 @@ TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
 // A node that records everything it receives.
 class EchoNode : public Node {
  public:
-  void HandleMessage(NodeId from, const Bytes& payload) override {
-    received.emplace_back(from, payload);
+  void HandleMessage(NodeId from, const Payload& payload) override {
+    received.emplace_back(from, payload.ToBytes());
   }
   std::vector<std::pair<NodeId, Bytes>> received;
 };
@@ -251,6 +349,47 @@ TEST(NetworkTest, LossyLinkDropsSomeMessages) {
   EXPECT_LT(b.received.size(), 650u);
   EXPECT_EQ(b.received.size() + net.messages_dropped(),
             static_cast<size_t>(kSends));
+}
+
+TEST(NetworkTest, DropCountersSplitByCause) {
+  Simulator sim(5);
+  Network net(&sim, LinkModel{1 * kMillisecond, 0, 0.0});
+  EchoNode a, b, c;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  NodeId idc = net.AddNode(&c);
+
+  // Random loss on the a->b link only.
+  net.SetLink(ida, idb, LinkModel{1 * kMillisecond, 0, 1.0});
+  net.Send(ida, idb, ToBytes("lost"));
+  EXPECT_EQ(net.messages_dropped_loss(), 1u);
+  net.SetLink(ida, idb, LinkModel{1 * kMillisecond, 0, 0.0});
+
+  // Partition between a and c.
+  net.SetPartitioned(ida, idc, true);
+  net.Send(ida, idc, ToBytes("blocked"));
+  net.Send(idc, ida, ToBytes("blocked"));
+  EXPECT_EQ(net.messages_dropped_partition(), 2u);
+  net.SetPartitioned(ida, idc, false);
+
+  // Down receiver: the message is dropped at delivery time (matching the
+  // network's long-standing semantics) and attributed to the node.
+  net.SetNodeUp(idb, false);
+  net.Send(ida, idb, ToBytes("down"));
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.messages_dropped_node(), 1u);
+
+  // Down sender drops at send time, also against the node.
+  net.SetNodeUp(idb, true);
+  net.SetNodeUp(ida, false);
+  net.Send(ida, idb, ToBytes("from-down"));
+  EXPECT_EQ(net.messages_dropped_node(), 2u);
+  net.SetNodeUp(ida, true);
+
+  EXPECT_EQ(net.messages_dropped(), net.messages_dropped_loss() +
+                                        net.messages_dropped_partition() +
+                                        net.messages_dropped_node());
+  EXPECT_EQ(net.messages_dropped(), 5u);
 }
 
 TEST(NetworkTest, PerLinkOverrideApplies) {

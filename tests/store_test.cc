@@ -150,10 +150,26 @@ TEST(ExecutorTest, GrepBadRegexFails) {
 TEST(ExecutorTest, RegexCacheHits) {
   DocumentStore s = MakeCatalog();
   QueryExecutor exec(/*cache_regex=*/true);
+  // A pattern with a metacharacter goes through the regex engine (and its
+  // cache); literal patterns take the substring fast path and never touch it.
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(exec.Execute(s, Query::Grep("widget")).ok());
+    ASSERT_TRUE(exec.Execute(s, Query::Grep("widge.")).ok());
   }
   EXPECT_EQ(exec.regex_cache_hits(), 4u);
+}
+
+TEST(ExecutorTest, LiteralGrepSkipsRegexCacheAndMatchesRegexPath) {
+  DocumentStore s = MakeCatalog();
+  QueryExecutor exec(/*cache_regex=*/true);
+  auto lit = exec.Execute(s, Query::Grep("widget"));
+  ASSERT_TRUE(lit.ok());
+  EXPECT_EQ(exec.regex_cache_hits(), 0u);
+  // "(widget)" is semantically the same search but is not literal, so it
+  // exercises the regex engine; both paths must return identical rows.
+  auto rex = exec.Execute(s, Query::Grep("(widget)"));
+  ASSERT_TRUE(rex.ok());
+  EXPECT_EQ(lit->result.rows, rex->result.rows);
+  EXPECT_EQ(lit->cost, rex->cost);
 }
 
 TEST(ExecutorTest, Aggregates) {

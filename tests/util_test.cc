@@ -39,6 +39,56 @@ TEST(BytesTest, ConstantTimeEquals) {
   EXPECT_TRUE(ConstantTimeEquals({}, {}));
 }
 
+TEST(BytesViewTest, ViewsAliasTheSourceWithoutCopying) {
+  Bytes data = ToBytes("abcdefgh");
+  BytesView view(data);
+  EXPECT_EQ(view.size(), data.size());
+  EXPECT_EQ(view.data(), data.data());  // a view, not a copy
+
+  BytesView tail = view.substr(3);
+  EXPECT_EQ(tail.size(), 5u);
+  EXPECT_EQ(tail.data(), data.data() + 3);
+  EXPECT_EQ(tail[0], 'd');
+
+  BytesView mid = view.substr(2, 3);
+  EXPECT_EQ(mid.ToBytes(), ToBytes("cde"));
+
+  // substr clamps instead of throwing.
+  EXPECT_EQ(view.substr(100).size(), 0u);
+  EXPECT_EQ(view.substr(6, 100).size(), 2u);
+}
+
+TEST(PayloadTest, SlicesShareOneBuffer) {
+  Payload p = ToBytes("0123456789");
+  Payload slice = p.Slice(2, 4);
+  EXPECT_EQ(slice.size(), 4u);
+  // Slicing aliases the parent's buffer: same allocation, offset pointer.
+  EXPECT_EQ(slice.view().data(), p.view().data() + 2);
+  EXPECT_EQ(slice.ToBytes(), ToBytes("2345"));
+
+  Payload nested = slice.Slice(1, 2);
+  EXPECT_EQ(nested.view().data(), p.view().data() + 3);
+  EXPECT_EQ(nested.ToBytes(), ToBytes("34"));
+}
+
+TEST(PayloadTest, BufferOutlivesEveryHandleButNotTheData) {
+  Payload slice;
+  {
+    Bytes original = ToBytes("the quick brown fox");
+    Payload whole = original;  // moves a copy into shared ownership
+    slice = whole.Slice(4, 5);
+  }  // `original` and `whole` are gone; the shared buffer must survive
+  EXPECT_EQ(slice.ToBytes(), ToBytes("quick"));
+}
+
+TEST(PayloadTest, ConvertsToViewAndReader) {
+  Payload p = ToBytes("abc");
+  BytesView v = p;  // implicit, used by every message dispatcher
+  EXPECT_EQ(v.size(), 3u);
+  Reader r(p.view());
+  EXPECT_EQ(r.U8(), 'a');
+}
+
 TEST(SerdeTest, PrimitivesRoundTrip) {
   Writer w;
   w.U8(0xab);

@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
       .Define("link_ms", "5", "one-way link latency")
       .Define("availability_floor", "0.5",
               "minimum accepted reads/sec outside partitions")
+      .Define("jobs", "1", "worker threads for the sweep (report bytes are "
+              "identical for any value)")
       .Define("fail_on_violation", "false",
               "exit nonzero when any invariant fails");
   if (!flags.Parse(argc, argv)) {
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
   sweep.num_seeds = static_cast<int>(flags.GetInt("seeds"));
   sweep.duration = flags.GetInt("seconds") * kSecond;
   sweep.cadence = flags.GetInt("cadence_ms") * kMillisecond;
+  sweep.jobs = static_cast<int>(flags.GetInt("jobs"));
 
   double floor = flags.GetDouble("availability_floor");
   CheckerFactory factory = [floor](const ClusterConfig& cfg) {
@@ -105,6 +108,9 @@ int main(int argc, char** argv) {
               config.num_clients, scheme.c_str(), sweep.num_seeds,
               static_cast<long long>(flags.GetInt("seconds")));
   for (const auto& [name, value] : flags.NonDefault()) {
+    if (name == "jobs") {
+      continue;  // --jobs must not change output bytes
+    }
     std::printf("  --%s=%s\n", name.c_str(), value.c_str());
   }
   if (scenario.empty()) {

@@ -257,6 +257,10 @@ JsonValue JsonReport(Cluster& cluster, const ChaosController* controller) {
   net["messages_sent"] = cluster.net().messages_sent();
   net["messages_delivered"] = cluster.net().messages_delivered();
   net["bytes_sent"] = cluster.net().bytes_sent();
+  net["messages_dropped"] = cluster.net().messages_dropped();
+  net["dropped_node"] = cluster.net().messages_dropped_node();
+  net["dropped_partition"] = cluster.net().messages_dropped_partition();
+  net["dropped_loss"] = cluster.net().messages_dropped_loss();
 
   // With --trace the run-wide latency histograms (read RTT, audit lag,
   // detection latency, queue wait) merge into the report; keys stay sorted
