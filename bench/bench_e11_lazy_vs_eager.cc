@@ -27,11 +27,11 @@ namespace {
 
 class BftMember : public Node {
  public:
-  void Init(Simulator* sim, BftOrderBroadcast::Config config) {
+  void Init(BftOrderBroadcast::Config config) {
     bcast_ = std::make_unique<BftOrderBroadcast>(
-        sim, this, std::move(config),
+        env(), this, std::move(config),
         [this](NodeId to, const Bytes& payload) {
-          network()->Send(id(), to, payload);
+          env()->Send(to, payload);
         },
         [this](uint64_t seq, NodeId, const Bytes&) { last_seq_ = seq; });
   }
@@ -63,7 +63,7 @@ EagerResult RunEager(int n, uint64_t seed) {
     config.group.push_back(net.AddNode(members.back().get()));
   }
   for (auto& m : members) {
-    m->Init(&sim, config);
+    m->Init(config);
   }
   net.StartAll();
 

@@ -103,7 +103,7 @@ constexpr size_t kKeepAliveBytes = 120;
 
 class ShapeSlave : public Node {
  public:
-  void Start() override { queue_ = std::make_unique<ServiceQueue>(sim()); }
+  void Start() override { queue_ = std::make_unique<ServiceQueue>(env()); }
   void HandleMessage(NodeId from, const Payload& payload) override {
     if (payload.size() == kKeepAliveBytes) {
       return;  // keep-alive, absorbed
@@ -111,7 +111,7 @@ class ShapeSlave : public Node {
     BytesView body = payload.view().substr(1);
     (void)body;
     queue_->Enqueue(kServiceTime, [this, from] {
-      network()->Send(id(), from, Bytes(kReplyBytes, 0x5A));
+      env()->Send(from, Bytes(kReplyBytes, 0x5A));
     });
   }
 
@@ -121,7 +121,7 @@ class ShapeSlave : public Node {
 
 class ShapeAuditor : public Node {
  public:
-  void Start() override { queue_ = std::make_unique<ServiceQueue>(sim()); }
+  void Start() override { queue_ = std::make_unique<ServiceQueue>(env()); }
   void HandleMessage(NodeId, const Payload& payload) override {
     BytesView body = payload.view().substr(1);
     (void)body;
@@ -147,15 +147,15 @@ class ShapeMaster : public Node {
     // keeps the message pattern only).
     BytesView body = payload.view().substr(1);
     (void)body;
-    network()->Send(id(), from, Bytes(kReplyBytes / 2, 0x3C));
+    env()->Send(from, Bytes(kReplyBytes / 2, 0x3C));
   }
 
  private:
   void Tick() {
-    sim()->ScheduleAfter(500 * kMillisecond, [this] { Tick(); });
+    env()->ScheduleAfter(500 * kMillisecond, [this] { Tick(); });
     Payload wire = Bytes(kKeepAliveBytes, 0x11);  // shared fan-out buffer
     for (NodeId s : slaves_) {
-      network()->Send(id(), s, wire);
+      env()->Send(s, wire);
     }
   }
   std::vector<NodeId> slaves_;
@@ -173,24 +173,24 @@ class ShapeClient : public Node {
     if (from == master_) {
       return;  // double-check reply; nothing further
     }
-    sim()->Cancel(timeout_);
+    env()->Cancel(timeout_);
     timeout_ = 0;
     ++replies_;
     // Forward the pledge to the auditor (fire-and-forget), occasionally
     // double-check with the master — E4's 5%.
-    network()->Send(id(), auditor_, payload.Slice(0, kPledgeBytes));
-    if (sim()->rng().NextBool(0.05)) {
-      network()->Send(id(), master_, Bytes(kReqBytes, 0x22));
+    env()->Send(auditor_, payload.Slice(0, kPledgeBytes));
+    if (env()->rng().NextBool(0.05)) {
+      env()->Send(master_, Bytes(kReqBytes, 0x22));
     }
-    sim()->ScheduleAfter(kThinkTime, [this] { IssueRead(); });
+    env()->ScheduleAfter(kThinkTime, [this] { IssueRead(); });
   }
   size_t replies() const { return replies_; }
 
  private:
   void IssueRead() {
     Bytes req(kReqBytes, 0x01);
-    network()->Send(id(), slave_, std::move(req));
-    timeout_ = sim()->ScheduleAfter(kTimeout, [this] { IssueRead(); });
+    env()->Send(slave_, std::move(req));
+    timeout_ = env()->ScheduleAfter(kTimeout, [this] { IssueRead(); });
   }
   NodeId slave_ = 0, master_ = 0, auditor_ = 0;
   EventId timeout_ = 0;

@@ -12,7 +12,7 @@ enum QrMsg : uint8_t {
 QrReplica::QrReplica(Options options) : options_(std::move(options)) {}
 
 void QrReplica::Start() {
-  queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.slave_speed);
+  queue_ = std::make_unique<ServiceQueue>(env(), options_.cost.slave_speed);
 }
 
 void QrReplica::SetContent(const DocumentStore& content) {
@@ -55,7 +55,7 @@ void QrReplica::HandleMessage(NodeId from, const Payload& payload) {
     w.U8(kQrReadReply);
     w.U64(request_id);
     w.Blob(result.Encode());
-    network()->Send(id(), from, w.Take());
+    env()->Send(from, w.Take());
   });
 }
 
@@ -65,7 +65,7 @@ void QrClient::IssueRead(const Query& query, Callback cb) {
   uint64_t request_id = next_request_id_++;
   PendingRead read;
   read.query = query;
-  read.issued = sim()->Now();
+  read.issued = env()->Now();
   read.quorum_size =
       std::min<int>(2 * options_.f + 1, static_cast<int>(options_.replicas.size()));
   read.cb = std::move(cb);
@@ -77,7 +77,7 @@ void QrClient::IssueRead(const Query& query, Callback cb) {
   query.EncodeTo(w);
   Bytes wire = w.Take();
   for (int i = 0; i < pending_[request_id].quorum_size; ++i) {
-    network()->Send(id(), options_.replicas[i], wire);
+    env()->Send(options_.replicas[i], wire);
   }
 }
 
@@ -109,7 +109,7 @@ void QrClient::HandleMessage(NodeId /*from*/, const Payload& payload) {
       // most f faulty replicas... unless more than f collude.
       read.done = true;
       ++reads_accepted_;
-      latency_us_.Add(static_cast<double>(sim()->Now() - read.issued));
+      latency_us_.Add(static_cast<double>(env()->Now() - read.issued));
       if (on_accept) {
         on_accept(read.query, slot.second);
       }

@@ -17,7 +17,7 @@
 
 #include "src/core/config.h"
 #include "src/core/service_queue.h"
-#include "src/sim/network.h"
+#include "src/runtime/env.h"
 #include "src/store/executor.h"
 #include "src/util/stats.h"
 

@@ -62,14 +62,14 @@ SsMaster::SsMaster(Options options)
     : options_(std::move(options)), signer_(options_.key_pair) {}
 
 void SsMaster::Start() {
-  queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.master_speed);
+  queue_ = std::make_unique<ServiceQueue>(env(), options_.cost.master_speed);
   // Periodically re-sign the root so slave-held roots stay fresh even
   // without writes (the keep-alive analogue).
   RefreshTick();
 }
 
 void SsMaster::RefreshTick() {
-  sim()->ScheduleAfter(options_.params.keepalive_period,
+  env()->ScheduleAfter(options_.params.keepalive_period,
                        [this] { RefreshTick(); });
   if (!up()) {
     return;
@@ -88,7 +88,7 @@ void SsMaster::AddSlave(NodeId slave) {
 
 void SsMaster::RefreshRoot() {
   SignedRoot root =
-      MakeSignedRoot(signer_, tree_.root(), version_, sim()->Now());
+      MakeSignedRoot(signer_, tree_.root(), version_, env()->Now());
   Writer w;
   w.U8(kSsStateUpdate);
   EncodeRoot(w, root);
@@ -96,7 +96,7 @@ void SsMaster::RefreshRoot() {
   EncodeBatch(w, WriteBatch{});
   Bytes wire = w.Take();
   for (NodeId slave : slaves_) {
-    network()->Send(id(), slave, wire);
+    env()->Send(slave, wire);
   }
 }
 
@@ -109,14 +109,14 @@ void SsMaster::CommitWrite(const WriteBatch& batch) {
   work_units_ += store_.size();
 
   SignedRoot root =
-      MakeSignedRoot(signer_, tree_.root(), version_, sim()->Now());
+      MakeSignedRoot(signer_, tree_.root(), version_, env()->Now());
   Writer w;
   w.U8(kSsStateUpdate);
   EncodeRoot(w, root);
   EncodeBatch(w, batch);
   Bytes wire = w.Take();
   for (NodeId slave : slaves_) {
-    network()->Send(id(), slave, wire);
+    env()->Send(slave, wire);
   }
 }
 
@@ -145,7 +145,7 @@ void SsMaster::HandleMessage(NodeId from, const Payload& payload) {
                     w.U8(kSsDynReadReply);
                     w.U64(request_id);
                     w.Blob(result.Encode());
-                    network()->Send(id(), from, w.Take());
+                    env()->Send(from, w.Take());
                   });
 }
 
@@ -156,7 +156,7 @@ void SsMaster::HandleMessage(NodeId from, const Payload& payload) {
 SsSlave::SsSlave(Options options) : options_(std::move(options)) {}
 
 void SsSlave::Start() {
-  queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.slave_speed);
+  queue_ = std::make_unique<ServiceQueue>(env(), options_.cost.slave_speed);
 }
 
 void SsSlave::SetContent(const DocumentStore& content,
@@ -209,7 +209,7 @@ void SsSlave::HandleMessage(NodeId from, const Payload& payload) {
       w.Blob(proof->Encode());
     }
     EncodeRoot(w, *root_);
-    network()->Send(id(), from, w.Take());
+    env()->Send(from, w.Take());
   });
 }
 
@@ -221,21 +221,21 @@ SsClient::SsClient(Options options) : options_(std::move(options)) {}
 
 void SsClient::IssueRead(const Query& query, Callback cb) {
   uint64_t request_id = next_request_id_++;
-  pending_[request_id] = PendingRead{query, sim()->Now(), std::move(cb)};
+  pending_[request_id] = PendingRead{query, env()->Now(), std::move(cb)};
   if (query.kind == QueryKind::kGet) {
     ++reads_to_slave_;
     Writer w;
     w.U8(kSsPointRead);
     w.U64(request_id);
     w.Blob(query.key);
-    network()->Send(id(), options_.slave, w.Take());
+    env()->Send(options_.slave, w.Take());
   } else {
     ++reads_to_master_;
     Writer w;
     w.U8(kSsDynRead);
     w.U64(request_id);
     query.EncodeTo(w);
-    network()->Send(id(), options_.master, w.Take());
+    env()->Send(options_.master, w.Take());
   }
 }
 
@@ -254,7 +254,7 @@ void SsClient::HandleMessage(NodeId /*from*/, const Payload& payload) {
     }
     // Executed by a trusted master: accepted as-is.
     ++reads_accepted_;
-    latency_us_.Add(static_cast<double>(sim()->Now() - it->second.issued));
+    latency_us_.Add(static_cast<double>(env()->Now() - it->second.issued));
     Callback cb = std::move(it->second.cb);
     pending_.erase(it);
     if (cb) {
@@ -282,7 +282,7 @@ void SsClient::HandleMessage(NodeId /*from*/, const Payload& payload) {
   // Root must be authentic and fresh.
   if (!VerifySignedRoot(options_.params.scheme, options_.master_public_key,
                         root) ||
-      sim()->Now() - root.timestamp > options_.params.max_latency) {
+      env()->Now() - root.timestamp > options_.params.max_latency) {
     ++proof_failures_;
     pending_.erase(it);
     return;
@@ -301,7 +301,7 @@ void SsClient::HandleMessage(NodeId /*from*/, const Payload& payload) {
     w.U8(kSsDynRead);
     w.U64(new_id);
     query.EncodeTo(w);
-    network()->Send(id(), options_.master, w.Take());
+    env()->Send(options_.master, w.Take());
     return;
   }
   auto proof = MerkleTree::Proof::Decode(proof_enc);
@@ -312,7 +312,7 @@ void SsClient::HandleMessage(NodeId /*from*/, const Payload& payload) {
     return;
   }
   ++reads_accepted_;
-  latency_us_.Add(static_cast<double>(sim()->Now() - it->second.issued));
+  latency_us_.Add(static_cast<double>(env()->Now() - it->second.issued));
   Callback cb = std::move(it->second.cb);
   pending_.erase(it);
   if (cb) {

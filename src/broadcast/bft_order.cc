@@ -4,10 +4,9 @@
 
 namespace sdr {
 
-BftOrderBroadcast::BftOrderBroadcast(Simulator* sim, Node* owner,
-                                     Config config, SendFn send,
-                                     DeliverFn deliver)
-    : sim_(sim),
+BftOrderBroadcast::BftOrderBroadcast(Env* env, Node* owner, Config config,
+                                     SendFn send, DeliverFn deliver)
+    : env_(env),
       owner_(owner),
       config_(std::move(config)),
       send_(std::move(send)),
@@ -226,7 +225,7 @@ void BftOrderBroadcast::DeliverReady() {
 }
 
 void BftOrderBroadcast::RetransmitTick() {
-  sim_->ScheduleAfter(config_.retransmit_timeout, [this] { RetransmitTick(); });
+  env_->ScheduleAfter(config_.retransmit_timeout, [this] { RetransmitTick(); });
   if (!started_ || !owner_->up()) {
     return;
   }

@@ -22,8 +22,7 @@
 #include <set>
 #include <vector>
 
-#include "src/sim/network.h"
-#include "src/sim/simulator.h"
+#include "src/runtime/env.h"
 #include "src/util/bytes.h"
 #include "src/util/serde.h"
 
@@ -41,7 +40,7 @@ class BftOrderBroadcast {
   using DeliverFn =
       std::function<void(uint64_t seq, NodeId origin, const Bytes& payload)>;
 
-  BftOrderBroadcast(Simulator* sim, Node* owner, Config config, SendFn send,
+  BftOrderBroadcast(Env* env, Node* owner, Config config, SendFn send,
                     DeliverFn deliver);
 
   void Start();
@@ -91,7 +90,7 @@ class BftOrderBroadcast {
   void DeliverReady();
   void RetransmitTick();
 
-  Simulator* sim_;
+  Env* env_;
   Node* owner_;
   Config config_;
   SendFn send_;

@@ -8,10 +8,9 @@
 
 namespace sdr {
 
-TotalOrderBroadcast::TotalOrderBroadcast(Simulator* sim, Node* owner,
-                                         Config config, SendFn send,
-                                         DeliverFn deliver)
-    : sim_(sim),
+TotalOrderBroadcast::TotalOrderBroadcast(Env* env, Node* owner, Config config,
+                                         SendFn send, DeliverFn deliver)
+    : env_(env),
       owner_(owner),
       config_(std::move(config)),
       send_(std::move(send)),
@@ -29,7 +28,7 @@ bool TotalOrderBroadcast::IsSequencer() const {
 
 void TotalOrderBroadcast::Start() {
   started_ = true;
-  last_heard_ = sim_->Now();
+  last_heard_ = env_->Now();
   HeartbeatTick();
   RetransmitTick();
   FailureCheckTick();
@@ -99,7 +98,7 @@ void TotalOrderBroadcast::AdoptEpoch(uint64_t epoch) {
   if (epoch > epoch_) {
     epoch_ = epoch;
     syncing_ = false;
-    last_heard_ = sim_->Now();
+    last_heard_ = env_->Now();
   }
 }
 
@@ -158,7 +157,7 @@ void TotalOrderBroadcast::HandleOrdered(Reader& r) {
     return;
   }
   AdoptEpoch(epoch);
-  last_heard_ = sim_->Now();
+  last_heard_ = env_->Now();
   StoreOrdered(seq, OrderedMsg{origin, local_id, payload});
   DeliverReady();
   MaybeNackGap();
@@ -231,7 +230,7 @@ void TotalOrderBroadcast::HandleHeartbeat(NodeId from, Reader& r) {
     return;  // stale sequencer; ignore
   }
   AdoptEpoch(epoch);
-  last_heard_ = sim_->Now();
+  last_heard_ = env_->Now();
   // If the sequencer has ordered messages we have not seen, fetch them.
   if (next_seq > 0 && next_seq - 1 > MaxKnownSeq()) {
     Writer w;
@@ -289,7 +288,7 @@ uint64_t TotalOrderBroadcast::MaxKnownSeq() const {
 }
 
 void TotalOrderBroadcast::HeartbeatTick() {
-  sim_->ScheduleAfter(config_.heartbeat_period, [this] { HeartbeatTick(); });
+  env_->ScheduleAfter(config_.heartbeat_period, [this] { HeartbeatTick(); });
   if (!Active() || !IsSequencer() || syncing_) {
     return;
   }
@@ -301,7 +300,7 @@ void TotalOrderBroadcast::HeartbeatTick() {
 }
 
 void TotalOrderBroadcast::RetransmitTick() {
-  sim_->ScheduleAfter(config_.retransmit_timeout, [this] { RetransmitTick(); });
+  env_->ScheduleAfter(config_.retransmit_timeout, [this] { RetransmitTick(); });
   if (!Active()) {
     return;
   }
@@ -327,17 +326,17 @@ void TotalOrderBroadcast::RetransmitTick() {
 }
 
 void TotalOrderBroadcast::FailureCheckTick() {
-  sim_->ScheduleAfter(config_.heartbeat_period, [this] { FailureCheckTick(); });
+  env_->ScheduleAfter(config_.heartbeat_period, [this] { FailureCheckTick(); });
   if (!Active() || IsSequencer()) {
     return;
   }
-  if (sim_->Now() - last_heard_ <= config_.failure_timeout) {
+  if (env_->Now() - last_heard_ <= config_.failure_timeout) {
     return;
   }
   // Sequencer presumed crashed: advance the epoch. The role rotates to
   // group[epoch % n]; if that is us, announce and sync.
   epoch_ += 1;
-  last_heard_ = sim_->Now();
+  last_heard_ = env_->Now();
   SDR_LOG(kInfo) << "broadcast: node " << owner_->id() << " moves to epoch "
                  << epoch_ << ", sequencer now " << sequencer();
   if (IsSequencer()) {
@@ -356,7 +355,7 @@ void TotalOrderBroadcast::AnnounceEpoch() {
   w.U8(kNewEpoch);
   w.U64(epoch_);
   SendToAll(w.Take(), /*include_self=*/false);
-  sim_->ScheduleAfter(config_.sync_window, [this, epoch = epoch_] {
+  env_->ScheduleAfter(config_.sync_window, [this, epoch = epoch_] {
     if (epoch != epoch_ || !IsSequencer() || !syncing_) {
       return;
     }

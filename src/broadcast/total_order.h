@@ -20,7 +20,8 @@
 //
 // The class is transport-agnostic: the owner supplies a send callback and
 // feeds incoming wire payloads to OnMessage(). All timing runs on the
-// simulator.
+// owning node's Env (virtual time in simulation, wall clock on a live
+// node).
 #ifndef SDR_SRC_BROADCAST_TOTAL_ORDER_H_
 #define SDR_SRC_BROADCAST_TOTAL_ORDER_H_
 
@@ -29,8 +30,7 @@
 #include <map>
 #include <vector>
 
-#include "src/sim/network.h"
-#include "src/sim/simulator.h"
+#include "src/runtime/env.h"
 #include "src/util/bytes.h"
 #include "src/util/serde.h"
 
@@ -52,7 +52,7 @@ class TotalOrderBroadcast {
   using DeliverFn =
       std::function<void(uint64_t seq, NodeId origin, const Bytes& payload)>;
 
-  TotalOrderBroadcast(Simulator* sim, Node* owner, Config config, SendFn send,
+  TotalOrderBroadcast(Env* env, Node* owner, Config config, SendFn send,
                       DeliverFn deliver);
 
   // Arms timers. Call once after the network is wired.
@@ -111,7 +111,7 @@ class TotalOrderBroadcast {
   uint64_t MaxKnownSeq() const;
   bool Active() const { return started_ && owner_->up(); }
 
-  Simulator* sim_;
+  Env* env_;
   Node* owner_;
   Config config_;
   SendFn send_;

@@ -13,17 +13,17 @@ Auditor::Auditor(Options options)
       executor_(/*cache_regex=*/options_.use_result_cache) {}
 
 void Auditor::Start() {
-  queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.auditor_speed);
+  queue_ = std::make_unique<ServiceQueue>(env(), options_.cost.auditor_speed);
   queue_->BindTrace(TraceRole::kAuditor, id());
-  rng_ = sim()->rng().Fork();
+  rng_ = env()->rng().Fork();
 
   TotalOrderBroadcast::Config bc = options_.broadcast;
   bc.group = options_.group;
   broadcast_ = std::make_unique<TotalOrderBroadcast>(
-      sim(), this, bc,
+      env(), this, bc,
       [this](NodeId to, const Bytes& payload) {
-        network()->Send(id(), to,
-                        WithType(MsgType::kBroadcastEnvelope, payload));
+        env()->Send(to,
+                    WithType(MsgType::kBroadcastEnvelope, payload));
       },
       [this](uint64_t seq, NodeId origin, const Bytes& payload) {
         OnDelivered(seq, origin, payload);
@@ -36,7 +36,7 @@ void Auditor::Start() {
 }
 
 void Auditor::GossipAndFinalizeTick() {
-  sim()->ScheduleAfter(options_.params.gossip_period,
+  env()->ScheduleAfter(options_.params.gossip_period,
                        [this] { GossipAndFinalizeTick(); });
   if (!up()) {
     return;
@@ -140,11 +140,11 @@ void Auditor::PumpCommitQueue() {
     return;
   }
   SimTime earliest = last_commit_time_ + options_.params.max_latency;
-  if (sim()->Now() >= earliest) {
+  if (env()->Now() >= earliest) {
     uint64_t version = oplog_.head_version() + 1;
     oplog_.Append(version, commit_queue_.front());
     commit_queue_.pop_front();
-    last_commit_time_ = sim()->Now();
+    last_commit_time_ = env()->Now();
     commit_times_[version] = last_commit_time_;
     // Pledges that were waiting for this version can now be audited.
     std::deque<PendingPledge> still_future;
@@ -162,7 +162,7 @@ void Auditor::PumpCommitQueue() {
     return;
   }
   commit_timer_armed_ = true;
-  sim()->ScheduleAt(earliest, [this] {
+  env()->ScheduleAt(earliest, [this] {
     commit_timer_armed_ = false;
     PumpCommitQueue();
   });
@@ -174,7 +174,7 @@ void Auditor::HandleAuditSubmit(NodeId from, BytesView body) {
     return;
   }
   ++metrics_.pledges_received;
-  TraceSink* t = sim()->trace();
+  TraceSink* t = env()->trace();
   if (t != nullptr) {
     t->Instant(TraceRole::kAuditor, id(), "audit.recv", msg->trace_id);
   }
@@ -210,7 +210,7 @@ void Auditor::EnqueueForVerify(Pledge pledge, NodeId submitter,
   }
   if (!verify_timer_armed_) {
     verify_timer_armed_ = true;
-    sim()->ScheduleAfter(options_.params.audit_verify_batch_window, [this] {
+    env()->ScheduleAfter(options_.params.audit_verify_batch_window, [this] {
       verify_timer_armed_ = false;
       FlushVerifyBatch();
     });
@@ -254,7 +254,7 @@ void Auditor::FlushVerifyBatch() {
     ok = verify_cache_.VerifyBatch(options_.params.scheme, items);
   }
 
-  TraceSink* t = sim()->trace();
+  TraceSink* t = env()->trace();
   for (size_t i = 0; i < batch.size(); ++i) {
     PendingPledge& item = batch[i];
     --in_flight_[item.pledge.token.content_version];
@@ -282,7 +282,7 @@ void Auditor::FlushVerifyBatch() {
 void Auditor::AuditOne(Pledge pledge, NodeId submitter, uint64_t trace_id) {
   uint64_t version = pledge.token.content_version;
   ++in_flight_[version];
-  TraceSink* t = sim()->trace();
+  TraceSink* t = env()->trace();
 
   // Cost: a cache hit is nearly free; otherwise re-execute and hash — but
   // never sign and never build a client reply (Section 3.4's advantages).
@@ -336,7 +336,7 @@ void Auditor::AuditOne(Pledge pledge, NodeId submitter, uint64_t trace_id) {
     ++metrics_.pledges_audited;
     --in_flight_[version];
     bool mismatch = correct_hash != pledge.result_sha1;
-    TraceSink* sink = sim()->trace();
+    TraceSink* sink = env()->trace();
     if (sink != nullptr) {
       sink->SpanEnd(TraceRole::kAuditor, id(), "audit", trace_id,
                     mismatch ? 1 : 0);
@@ -357,7 +357,7 @@ void Auditor::AuditOne(Pledge pledge, NodeId submitter, uint64_t trace_id) {
         sink->Instant(TraceRole::kAuditor, id(), "audit.mismatch", trace_id,
                       static_cast<int64_t>(pledge.slave));
         sink->Hist(TraceRole::kAuditor, id(), "detection_latency_us")
-            .Record(sim()->Now() - pledge.token.timestamp);
+            .Record(env()->Now() - pledge.token.timestamp);
       }
       RaiseAccusation(pledge, trace_id);
       NotifyVictim(submitter, pledge, correct_hash, trace_id);
@@ -372,15 +372,15 @@ void Auditor::RaiseAccusation(const Pledge& pledge, uint64_t trace_id) {
     return;
   }
   ++metrics_.accusations_sent;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->Instant(TraceRole::kAuditor, id(), "accuse", trace_id,
                static_cast<int64_t>(pledge.slave));
   }
   Accusation msg;
   msg.trace_id = trace_id;
   msg.pledge = pledge;
-  network()->Send(id(), owner->second,
-                  WithType(MsgType::kAccusation, msg.Encode()));
+  env()->Send(owner->second,
+              WithType(MsgType::kAccusation, msg.Encode()));
 }
 
 void Auditor::NotifyVictim(NodeId client, const Pledge& pledge,
@@ -388,7 +388,7 @@ void Auditor::NotifyVictim(NodeId client, const Pledge& pledge,
   // Delayed discovery: this client already accepted the bad answer; tell
   // it so the application can roll back (Section 3.5).
   ++metrics_.bad_read_notices_sent;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->Instant(TraceRole::kAuditor, id(), "notify_victim", trace_id,
                static_cast<int64_t>(client));
   }
@@ -396,8 +396,8 @@ void Auditor::NotifyVictim(NodeId client, const Pledge& pledge,
   notice.trace_id = trace_id;
   notice.pledge = pledge;
   notice.correct_sha1 = correct_sha1;
-  network()->Send(id(), client,
-                  WithType(MsgType::kBadReadNotice, notice.Encode()));
+  env()->Send(client,
+              WithType(MsgType::kBadReadNotice, notice.Encode()));
 }
 
 void Auditor::TryFinalizeVersions() {
@@ -416,7 +416,7 @@ void Auditor::TryFinalizeVersions() {
     if (commit == commit_times_.end()) {
       return;
     }
-    if (sim()->Now() <=
+    if (env()->Now() <=
         commit->second + options_.params.max_latency +
             options_.params.audit_slack) {
       return;
@@ -429,9 +429,9 @@ void Auditor::TryFinalizeVersions() {
     }
     // Every pledge for versions < next has been audited (queued audits are
     // counted in in_flight_ from acceptance), so those versions are closed.
-    if (TraceSink* t = sim()->trace()) {
+    if (TraceSink* t = env()->trace()) {
       t->Hist(TraceRole::kAuditor, id(), "audit_lag_us")
-          .Record(sim()->Now() - commit->second);
+          .Record(env()->Now() - commit->second);
     }
     audited_version_ = next;
     ++metrics_.versions_finalized;

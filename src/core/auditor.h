@@ -29,7 +29,7 @@
 #include "src/core/messages.h"
 #include "src/core/metrics.h"
 #include "src/core/service_queue.h"
-#include "src/sim/network.h"
+#include "src/runtime/env.h"
 #include "src/store/executor.h"
 #include "src/store/oplog.h"
 

@@ -15,7 +15,7 @@
 #include <string>
 
 #include "src/crypto/signer.h"
-#include "src/sim/network.h"
+#include "src/runtime/env.h"
 #include "src/util/bytes.h"
 #include "src/util/result.h"
 #include "src/util/serde.h"

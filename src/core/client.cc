@@ -33,10 +33,10 @@ void Client::BeginSetup() {
   ++setup_attempts_;
   DirectoryLookup lookup;
   lookup.content_public_key = options_.content.content_public_key;
-  network()->Send(id(), options_.directory,
-                  WithType(MsgType::kDirectoryLookup, lookup.Encode()));
-  sim()->Cancel(setup_timeout_);
-  setup_timeout_ = sim()->ScheduleAfter(options_.params.client_timeout, [this] {
+  env()->Send(options_.directory,
+              WithType(MsgType::kDirectoryLookup, lookup.Encode()));
+  env()->Cancel(setup_timeout_);
+  setup_timeout_ = env()->ScheduleAfter(options_.params.client_timeout, [this] {
     if (phase_ != Phase::kReady) {
       BeginSetup();
     }
@@ -82,8 +82,8 @@ void Client::HandleDirectoryReply(BytesView body) {
   setup_nonce_ = rng_.NextBytes(16);
   ClientHello hello;
   hello.client_nonce = setup_nonce_;
-  network()->Send(id(), master_,
-                  WithType(MsgType::kClientHello, hello.Encode()));
+  env()->Send(master_,
+              WithType(MsgType::kClientHello, hello.Encode()));
 }
 
 void Client::HandleHelloReply(NodeId from, BytesView body) {
@@ -109,7 +109,7 @@ void Client::HandleHelloReply(NodeId from, BytesView body) {
   slave_cert_ = msg->slave_cert;
   auditor_ = msg->auditor;
   phase_ = Phase::kReady;
-  sim()->Cancel(setup_timeout_);
+  env()->Cancel(setup_timeout_);
   ++metrics_.setups_completed;
 
   // Re-issue anything that was in flight when the old master died.
@@ -148,7 +148,7 @@ void Client::HandleReassignment(NodeId from, BytesView body) {
     auditor_ = msg->auditor;  // the new slave may audit elsewhere
   }
   ++metrics_.reassignments;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->Instant(TraceRole::kClient, id(), "reassigned", msg->trace_id,
                static_cast<int64_t>(msg->excluded_slave));
   }
@@ -169,7 +169,7 @@ void Client::HandleBadReadNotice(BytesView body) {
     return;
   }
   ++metrics_.bad_read_notices;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->Instant(TraceRole::kClient, id(), "bad_read_notice", msg->trace_id);
   }
   if (on_bad_read) {
@@ -195,10 +195,10 @@ void Client::IssueRead(Query query, ReadCallback cb) {
   uint64_t request_id = next_request_id_++;
   PendingRead read;
   read.query = std::move(query);
-  read.first_issued = sim()->Now();
+  read.first_issued = env()->Now();
   read.cb = std::move(cb);
   read.trace_id = MintTraceId(id(), request_id);
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->SpanBegin(TraceRole::kClient, id(), "read", read.trace_id);
   }
   reads_.emplace(request_id, std::move(read));
@@ -215,7 +215,7 @@ void Client::SendRead(uint64_t request_id) {
   ++read.attempts;
   if (read.attempts > 1) {
     ++metrics_.retries;
-    if (TraceSink* t = sim()->trace()) {
+    if (TraceSink* t = env()->trace()) {
       t->Instant(TraceRole::kClient, id(), "read.retry", read.trace_id,
                  read.attempts);
     }
@@ -224,11 +224,11 @@ void Client::SendRead(uint64_t request_id) {
   msg.request_id = request_id;
   msg.trace_id = read.trace_id;
   msg.query = read.query;
-  network()->Send(id(), slave_cert_->subject,
-                  WithType(MsgType::kReadRequest, msg.Encode()));
-  sim()->Cancel(read.timeout);
+  env()->Send(slave_cert_->subject,
+              WithType(MsgType::kReadRequest, msg.Encode()));
+  env()->Cancel(read.timeout);
   read.timeout =
-      sim()->ScheduleAfter(options_.params.client_timeout, [this, request_id] {
+      env()->ScheduleAfter(options_.params.client_timeout, [this, request_id] {
         auto it = reads_.find(request_id);
         if (it == reads_.end() || it->second.awaiting_double_check) {
           return;
@@ -256,7 +256,7 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
   }
   PendingRead& read = it->second;
 
-  TraceSink* t = sim()->trace();
+  TraceSink* t = env()->trace();
   if (!msg->ok) {
     // Honest decline (slave out of sync). Back off and retry.
     ++metrics_.reads_failed_declined;
@@ -296,7 +296,7 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
     return;
   }
   // 4. Freshness: reject results older than (the client's) max_latency.
-  if (!TokenIsFresh(pledge.token, sim()->Now(), effective_max_latency())) {
+  if (!TokenIsFresh(pledge.token, env()->Now(), effective_max_latency())) {
     ++metrics_.reads_rejected_stale;
     if (t != nullptr) {
       t->Instant(TraceRole::kClient, id(), "read.reject_stale", read.trace_id);
@@ -320,10 +320,10 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
     dc.request_id = msg->request_id;
     dc.trace_id = read.trace_id;
     dc.pledge = pledge;
-    network()->Send(id(), master_,
-                    WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
-    sim()->Cancel(read.timeout);
-    read.timeout = sim()->ScheduleAfter(
+    env()->Send(master_,
+                WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
+    env()->Cancel(read.timeout);
+    read.timeout = env()->ScheduleAfter(
         options_.params.client_timeout, [this, request_id = msg->request_id] {
           // Master silent on a double-check: treat the (already verified)
           // read as accepted and re-setup toward a live master.
@@ -350,8 +350,8 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
     if (t != nullptr) {
       t->Instant(TraceRole::kClient, id(), "pledge.forward", read.trace_id);
     }
-    network()->Send(id(), auditor_,
-                    WithType(MsgType::kAuditSubmit, submit.Encode()));
+    env()->Send(auditor_,
+                WithType(MsgType::kAuditSubmit, submit.Encode()));
   }
   AcceptRead(msg->request_id, msg->result, pledge);
 }
@@ -373,9 +373,9 @@ void Client::HandleDoubleCheckReply(BytesView body) {
     return;
   }
   read_it->second.awaiting_double_check = false;
-  sim()->Cancel(read_it->second.timeout);
+  env()->Cancel(read_it->second.timeout);
 
-  TraceSink* t = sim()->trace();
+  TraceSink* t = env()->trace();
   if (!msg->served) {
     // Quota-throttled (or version unavailable). The read itself passed all
     // client-side checks; accept it.
@@ -410,11 +410,11 @@ void Client::RetryRead(uint64_t request_id, SimTime delay) {
     FailRead(request_id);
     return;
   }
-  sim()->Cancel(it->second.timeout);
+  env()->Cancel(it->second.timeout);
   if (delay <= 0) {
     SendRead(request_id);
   } else {
-    sim()->ScheduleAfter(delay, [this, request_id] { SendRead(request_id); });
+    env()->ScheduleAfter(delay, [this, request_id] { SendRead(request_id); });
   }
 }
 
@@ -426,13 +426,13 @@ void Client::AcceptRead(uint64_t request_id, const QueryResult& result,
   }
   ++metrics_.reads_accepted;
   metrics_.read_latency_us.Add(
-      static_cast<double>(sim()->Now() - it->second.first_issued));
-  if (TraceSink* t = sim()->trace()) {
+      static_cast<double>(env()->Now() - it->second.first_issued));
+  if (TraceSink* t = env()->trace()) {
     t->Hist(TraceRole::kClient, id(), "read_rtt_us")
-        .Record(sim()->Now() - it->second.first_issued);
+        .Record(env()->Now() - it->second.first_issued);
     t->SpanEnd(TraceRole::kClient, id(), "read", it->second.trace_id, 1);
   }
-  sim()->Cancel(it->second.timeout);
+  env()->Cancel(it->second.timeout);
   if (on_accept) {
     on_accept(it->second.query, pledge, result);
   }
@@ -451,10 +451,10 @@ void Client::FailRead(uint64_t request_id) {
   if (it == reads_.end()) {
     return;
   }
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->SpanEnd(TraceRole::kClient, id(), "read", it->second.trace_id, 0);
   }
-  sim()->Cancel(it->second.timeout);
+  env()->Cancel(it->second.timeout);
   ReadCallback cb = std::move(it->second.cb);
   reads_.erase(it);
   double_checking_.erase(request_id);
@@ -474,11 +474,11 @@ void Client::IssueWrite(WriteBatch batch, WriteCallback cb) {
   uint64_t request_id = next_request_id_++;
   PendingWrite write;
   write.batch = std::move(batch);
-  write.first_issued = sim()->Now();
+  write.first_issued = env()->Now();
   write.cb = std::move(cb);
   writes_.emplace(request_id, std::move(write));
   ++metrics_.writes_issued;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->SpanBegin(TraceRole::kClient, id(), "write",
                  MintTraceId(id(), request_id));
   }
@@ -495,11 +495,11 @@ void Client::SendWrite(uint64_t request_id) {
   WriteRequest msg;
   msg.request_id = request_id;
   msg.batch = write.batch;
-  network()->Send(id(), master_,
-                  WithType(MsgType::kWriteRequest, msg.Encode()));
-  sim()->Cancel(write.timeout);
+  env()->Send(master_,
+              WithType(MsgType::kWriteRequest, msg.Encode()));
+  env()->Cancel(write.timeout);
   write.timeout =
-      sim()->ScheduleAfter(options_.params.client_timeout, [this, request_id] {
+      env()->ScheduleAfter(options_.params.client_timeout, [this, request_id] {
         auto it = writes_.find(request_id);
         if (it == writes_.end()) {
           return;
@@ -524,15 +524,15 @@ void Client::HandleWriteReply(BytesView body) {
   if (it == writes_.end()) {
     return;
   }
-  sim()->Cancel(it->second.timeout);
+  env()->Cancel(it->second.timeout);
   if (msg->ok) {
     ++metrics_.writes_committed;
     metrics_.write_latency_us.Add(
-        static_cast<double>(sim()->Now() - it->second.first_issued));
+        static_cast<double>(env()->Now() - it->second.first_issued));
   } else {
     ++metrics_.writes_rejected;
   }
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->SpanEnd(TraceRole::kClient, id(), "write",
                MintTraceId(id(), msg->request_id), msg->ok ? 1 : 0);
   }
@@ -554,18 +554,18 @@ void Client::HandleWriteReply(BytesView body) {
 
 void Client::ScheduleNextOp() {
   if (options_.mode == LoadMode::kClosedLoop) {
-    sim()->ScheduleAfter(options_.think_time, [this] { IssueGeneratedOp(); });
+    env()->ScheduleAfter(options_.think_time, [this] { IssueGeneratedOp(); });
     return;
   }
   if (options_.mode == LoadMode::kOpenLoop) {
     double rate = options_.reads_per_second;
     if (options_.rate_multiplier) {
-      rate *= options_.rate_multiplier(sim()->Now());
+      rate *= options_.rate_multiplier(env()->Now());
     }
     rate = std::max(rate, 1e-6);
     SimTime gap = static_cast<SimTime>(
         rng_.NextExponential(static_cast<double>(kSecond) / rate));
-    sim()->ScheduleAfter(gap, [this] {
+    env()->ScheduleAfter(gap, [this] {
       IssueGeneratedOp();
       ScheduleNextOp();  // open loop: arrivals independent of completions
     });
@@ -575,7 +575,7 @@ void Client::ScheduleNextOp() {
 void Client::IssueGeneratedOp() {
   if (phase_ != Phase::kReady) {
     // Mid re-setup: postpone one think-time.
-    sim()->ScheduleAfter(options_.think_time, [this] { IssueGeneratedOp(); });
+    env()->ScheduleAfter(options_.think_time, [this] { IssueGeneratedOp(); });
     return;
   }
   bool write = options_.write_fraction > 0.0 && options_.write_source &&

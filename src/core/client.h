@@ -23,7 +23,7 @@
 #include "src/core/config.h"
 #include "src/core/messages.h"
 #include "src/core/metrics.h"
-#include "src/sim/network.h"
+#include "src/runtime/env.h"
 #include "src/store/executor.h"
 #include "src/store/query.h"
 

@@ -106,7 +106,7 @@ Cluster::Cluster(ClusterConfig config)
     opts.master_keys = master_key_map;
     opts.snapshot_interval = config_.snapshot_interval;
     opts.broadcast = config_.broadcast;
-    masters_.push_back(std::make_unique<Master>(&sim_, std::move(opts)));
+    masters_.push_back(std::make_unique<Master>(std::move(opts)));
     got = net_.AddNode(masters_.back().get());
     CheckId(got, master_ids[i]);
     register_node(got, TraceRole::kMaster, "master", i);

@@ -5,7 +5,7 @@
 #include <cstdint>
 
 #include "src/crypto/signer.h"
-#include "src/sim/simulator.h"
+#include "src/runtime/env.h"
 
 namespace sdr {
 

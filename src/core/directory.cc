@@ -24,8 +24,8 @@ void Directory::HandleMessage(NodeId from, const Payload& payload) {
     reply.master_certs = it->second;
   }
   ++lookups_served_;
-  network()->Send(id(), from,
-                  WithType(MsgType::kDirectoryLookupReply, reply.Encode()));
+  env()->Send(from,
+              WithType(MsgType::kDirectoryLookupReply, reply.Encode()));
 }
 
 }  // namespace sdr

@@ -12,7 +12,7 @@
 
 #include "src/core/certificate.h"
 #include "src/core/messages.h"
-#include "src/sim/network.h"
+#include "src/runtime/env.h"
 
 namespace sdr {
 

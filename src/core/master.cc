@@ -7,7 +7,7 @@
 
 namespace sdr {
 
-Master::Master(Simulator* /*sim*/, Options options)
+Master::Master(Options options)
     : options_(std::move(options)),
       signer_(options_.key_pair),
       rng_(options_.key_pair.public_key.empty()
@@ -17,17 +17,17 @@ Master::Master(Simulator* /*sim*/, Options options)
       last_commit_time_(0) {}
 
 void Master::Start() {
-  queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.master_speed);
+  queue_ = std::make_unique<ServiceQueue>(env(), options_.cost.master_speed);
   queue_->BindTrace(TraceRole::kMaster, id());
-  rng_ = sim()->rng().Fork();
+  rng_ = env()->rng().Fork();
 
   TotalOrderBroadcast::Config bc = options_.broadcast;
   bc.group = options_.group;
   broadcast_ = std::make_unique<TotalOrderBroadcast>(
-      sim(), this, bc,
+      env(), this, bc,
       [this](NodeId to, const Bytes& payload) {
-        network()->Send(id(), to,
-                        WithType(MsgType::kBroadcastEnvelope, payload));
+        env()->Send(to,
+                    WithType(MsgType::kBroadcastEnvelope, payload));
       },
       [this](uint64_t seq, NodeId origin, const Bytes& payload) {
         OnDelivered(seq, origin, payload);
@@ -35,11 +35,11 @@ void Master::Start() {
   broadcast_->Start();
 
   // Allow the very first write to commit immediately.
-  last_commit_time_ = sim()->Now() - options_.params.max_latency;
+  last_commit_time_ = env()->Now() - options_.params.max_latency;
 
   for (NodeId peer : options_.group) {
     if (peer != id()) {
-      peer_last_gossip_[peer] = sim()->Now();
+      peer_last_gossip_[peer] = env()->Now();
     }
   }
 
@@ -58,7 +58,7 @@ void Master::SetBaseContent(const DocumentStore& base) {
 }
 
 VersionToken Master::CurrentToken() {
-  return MakeVersionToken(signer_, id(), oplog_.head_version(), sim()->Now());
+  return MakeVersionToken(signer_, id(), oplog_.head_version(), env()->Now());
 }
 
 void Master::HandleMessage(NodeId from, const Payload& payload) {
@@ -148,8 +148,8 @@ void Master::HandleClientHello(NodeId from, BytesView body) {
   reply.slave_cert = my_slaves_[slave].cert;
   reply.auditor = AuditorFor(slave);
   reply.signature = signer_.Sign(reply.SignedBody(msg->client_nonce));
-  network()->Send(id(), from,
-                  WithType(MsgType::kClientHelloReply, reply.Encode()));
+  env()->Send(from,
+              WithType(MsgType::kClientHelloReply, reply.Encode()));
 }
 
 // ---------------------------------------------------------------------------
@@ -168,8 +168,8 @@ void Master::HandleWriteRequest(NodeId from, BytesView body) {
     reply.request_id = msg->request_id;
     reply.ok = false;
     reply.error_code = static_cast<uint8_t>(ErrorCode::kPermissionDenied);
-    network()->Send(id(), from,
-                    WithType(MsgType::kWriteReply, reply.Encode()));
+    env()->Send(from,
+                WithType(MsgType::kWriteReply, reply.Encode()));
     return;
   }
   auto key = std::make_pair(from, msg->request_id);
@@ -180,8 +180,8 @@ void Master::HandleWriteRequest(NodeId from, BytesView body) {
     reply.request_id = msg->request_id;
     reply.ok = true;
     reply.committed_version = done->second;
-    network()->Send(id(), from,
-                    WithType(MsgType::kWriteReply, reply.Encode()));
+    env()->Send(from,
+                WithType(MsgType::kWriteReply, reply.Encode()));
     return;
   }
   if (!pending_writes_.insert(key).second) {
@@ -230,7 +230,7 @@ void Master::PumpCommitQueue() {
     return;
   }
   SimTime earliest = last_commit_time_ + options_.params.max_latency;
-  if (sim()->Now() >= earliest) {
+  if (env()->Now() >= earliest) {
     TobWrite write = std::move(commit_queue_.front());
     commit_queue_.pop_front();
     CommitWrite(write);
@@ -238,7 +238,7 @@ void Master::PumpCommitQueue() {
     return;
   }
   commit_timer_armed_ = true;
-  sim()->ScheduleAt(earliest, [this] {
+  env()->ScheduleAt(earliest, [this] {
     commit_timer_armed_ = false;
     PumpCommitQueue();
   });
@@ -248,9 +248,9 @@ void Master::CommitWrite(const TobWrite& write) {
   uint64_t version = oplog_.head_version() + 1;
   metrics_.work_units_executed += write.batch.size();
   oplog_.Append(version, write.batch);
-  last_commit_time_ = sim()->Now();
+  last_commit_time_ = env()->Now();
   ++metrics_.writes_committed;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->Instant(TraceRole::kMaster, id(), "write.commit", kNoTrace,
                static_cast<int64_t>(version));
   }
@@ -262,8 +262,8 @@ void Master::CommitWrite(const TobWrite& write) {
     reply.request_id = write.request_id;
     reply.ok = true;
     reply.committed_version = version;
-    network()->Send(id(), write.client,
-                    WithType(MsgType::kWriteReply, reply.Encode()));
+    env()->Send(write.client,
+                WithType(MsgType::kWriteReply, reply.Encode()));
   }
 
   // Lazy state propagation: updates go out only after the commit.
@@ -282,8 +282,8 @@ void Master::PushStateUpdate(NodeId slave, uint64_t version) {
   update.batch = *batch;
   update.token = CurrentToken();
   ++metrics_.state_updates_sent;
-  network()->Send(id(), slave,
-                  WithType(MsgType::kStateUpdate, update.Encode()));
+  env()->Send(slave,
+              WithType(MsgType::kStateUpdate, update.Encode()));
 }
 
 void Master::HandleSlaveAck(NodeId from, BytesView body) {
@@ -305,7 +305,7 @@ void Master::HandleSlaveAck(NodeId from, BytesView body) {
 }
 
 void Master::SendKeepAlives() {
-  sim()->ScheduleAfter(options_.params.keepalive_period,
+  env()->ScheduleAfter(options_.params.keepalive_period,
                        [this] { SendKeepAlives(); });
   if (!up()) {
     return;
@@ -316,7 +316,7 @@ void Master::SendKeepAlives() {
   Payload wire = WithType(MsgType::kKeepAlive, msg.Encode());
   for (const auto& [slave_id, state] : my_slaves_) {
     ++metrics_.keepalives_sent;
-    network()->Send(id(), slave_id, wire);
+    env()->Send(slave_id, wire);
   }
 }
 
@@ -325,7 +325,7 @@ void Master::SendKeepAlives() {
 // ---------------------------------------------------------------------------
 
 void Master::GossipTick() {
-  sim()->ScheduleAfter(options_.params.gossip_period, [this] { GossipTick(); });
+  env()->ScheduleAfter(options_.params.gossip_period, [this] { GossipTick(); });
   if (!up()) {
     return;
   }
@@ -340,7 +340,7 @@ void Master::GossipTick() {
 }
 
 void Master::OnTobGossip(const TobGossip& gossip) {
-  peer_last_gossip_[gossip.master] = sim()->Now();
+  peer_last_gossip_[gossip.master] = env()->Now();
   if (dead_masters_.count(gossip.master) > 0) {
     // Peer resurrected: yield back the slaves we adopted from it.
     dead_masters_.erase(gossip.master);
@@ -372,7 +372,7 @@ void Master::CheckPeerLiveness() {
     if (dead_masters_.count(peer) > 0) {
       continue;
     }
-    if (sim()->Now() - last > options_.params.master_failure_timeout) {
+    if (env()->Now() - last > options_.params.master_failure_timeout) {
       dead_masters_.insert(peer);
       SDR_LOG(kInfo) << "master " << id() << ": presumes master " << peer
                      << " crashed, dividing its slave set";
@@ -434,8 +434,8 @@ void Master::AdoptOrphanedSlaves(NodeId dead_master) {
     // Wake the adopted slave: keep-alive + ack-driven catch-up.
     KeepAlive ka;
     ka.token = CurrentToken();
-    network()->Send(id(), orphans[i],
-                    WithType(MsgType::kKeepAlive, ka.Encode()));
+    env()->Send(orphans[i],
+                WithType(MsgType::kKeepAlive, ka.Encode()));
   }
   if (adopted_any) {
     ++metrics_.slave_sets_adopted;
@@ -451,7 +451,7 @@ bool Master::AllowDoubleCheck(NodeId client) {
     return true;
   }
   Bucket& bucket = greedy_buckets_[client];
-  SimTime now = sim()->Now();
+  SimTime now = env()->Now();
   if (bucket.last_refill == 0) {
     bucket.tokens = options_.params.greedy_burst;
   } else {
@@ -482,8 +482,8 @@ void Master::HandleDoubleCheck(NodeId from, BytesView body) {
   if (!AllowDoubleCheck(from)) {
     ++metrics_.double_checks_throttled;
     reply.served = false;
-    network()->Send(id(), from,
-                    WithType(MsgType::kDoubleCheckReply, reply.Encode()));
+    env()->Send(from,
+                WithType(MsgType::kDoubleCheckReply, reply.Encode()));
     return;
   }
 
@@ -491,15 +491,15 @@ void Master::HandleDoubleCheck(NodeId from, BytesView body) {
   auto at_version = oplog_.MaterializeAt(pledge.token.content_version);
   if (!at_version.ok()) {
     reply.served = false;
-    network()->Send(id(), from,
-                    WithType(MsgType::kDoubleCheckReply, reply.Encode()));
+    env()->Send(from,
+                WithType(MsgType::kDoubleCheckReply, reply.Encode()));
     return;
   }
   auto outcome = executor_.Execute(*at_version, pledge.query);
   if (!outcome.ok()) {
     reply.served = false;
-    network()->Send(id(), from,
-                    WithType(MsgType::kDoubleCheckReply, reply.Encode()));
+    env()->Send(from,
+                WithType(MsgType::kDoubleCheckReply, reply.Encode()));
     return;
   }
   metrics_.work_units_executed += outcome->cost;
@@ -508,7 +508,7 @@ void Master::HandleDoubleCheck(NodeId from, BytesView body) {
   Bytes correct_hash = outcome->result.Sha1Digest();
   bool matches = correct_hash == pledge.result_sha1;
 
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->Instant(TraceRole::kMaster, id(), "dc.serve", msg->trace_id,
                matches ? 1 : 0);
   }
@@ -520,15 +520,15 @@ void Master::HandleDoubleCheck(NodeId from, BytesView body) {
     reply.served = true;
     reply.matches = matches;
     reply.correct_result = std::move(result);
-    network()->Send(id(), from,
-                    WithType(MsgType::kDoubleCheckReply, reply.Encode()));
+    env()->Send(from,
+                WithType(MsgType::kDoubleCheckReply, reply.Encode()));
     if (!matches) {
       ++metrics_.double_check_lies_found;
-      if (TraceSink* t = sim()->trace()) {
+      if (TraceSink* t = env()->trace()) {
         t->Instant(TraceRole::kMaster, id(), "dc.lie_found", reply.trace_id,
                    static_cast<int64_t>(pledge.slave));
         t->Hist(TraceRole::kMaster, id(), "detection_latency_us")
-            .Record(sim()->Now() - pledge.token.timestamp);
+            .Record(env()->Now() - pledge.token.timestamp);
       }
       ProcessIncriminatingPledge(pledge, reply.trace_id);
     }
@@ -545,7 +545,7 @@ void Master::HandleAccusation(NodeId /*from*/, BytesView body) {
     return;
   }
   ++metrics_.accusations_received;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->Instant(TraceRole::kMaster, id(), "accusation.recv", msg->trace_id,
                static_cast<int64_t>(msg->pledge.slave));
   }
@@ -605,8 +605,8 @@ bool Master::ProcessIncriminatingPledge(const Pledge& pledge,
     Accusation fwd;
     fwd.trace_id = trace_id;
     fwd.pledge = pledge;
-    network()->Send(id(), owner->second,
-                    WithType(MsgType::kAccusation, fwd.Encode()));
+    env()->Send(owner->second,
+                WithType(MsgType::kAccusation, fwd.Encode()));
     return true;
   }
   return false;
@@ -622,7 +622,7 @@ void Master::RemoveSlaveAndReassignClients(NodeId slave, bool excluded,
     excluded_.insert(slave);
     ++metrics_.slaves_excluded;
     SDR_LOG(kInfo) << "master " << id() << ": excluded slave " << slave;
-    if (TraceSink* t = sim()->trace()) {
+    if (TraceSink* t = env()->trace()) {
       t->Instant(TraceRole::kMaster, id(), "master.exclude", trace_id,
                  static_cast<int64_t>(slave));
     }
@@ -643,7 +643,7 @@ void Master::RemoveSlaveAndReassignClients(NodeId slave, bool excluded,
     }
     client_slave_[client] = replacement;
     ++metrics_.clients_reassigned;
-    if (TraceSink* t = sim()->trace()) {
+    if (TraceSink* t = env()->trace()) {
       t->Instant(TraceRole::kMaster, id(), "reassign", trace_id,
                  static_cast<int64_t>(client));
     }
@@ -653,8 +653,8 @@ void Master::RemoveSlaveAndReassignClients(NodeId slave, bool excluded,
     msg.excluded_slave = excluded ? slave : kInvalidNode;
     msg.trace_id = trace_id;
     msg.signature = signer_.Sign(msg.SignedBody());
-    network()->Send(id(), client,
-                    WithType(MsgType::kReassignment, msg.Encode()));
+    env()->Send(client,
+                WithType(MsgType::kReassignment, msg.Encode()));
   }
 }
 

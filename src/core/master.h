@@ -25,7 +25,7 @@
 #include "src/core/messages.h"
 #include "src/core/metrics.h"
 #include "src/core/service_queue.h"
-#include "src/sim/network.h"
+#include "src/runtime/env.h"
 #include "src/store/executor.h"
 #include "src/store/oplog.h"
 
@@ -51,7 +51,7 @@ class Master : public Node {
     TotalOrderBroadcast::Config broadcast;  // group is filled from `group`
   };
 
-  explicit Master(Simulator* sim, Options options);
+  explicit Master(Options options);
 
   void Start() override;
   void HandleMessage(NodeId from, const Payload& payload) override;

@@ -6,7 +6,7 @@
 #include <cstdint>
 #include <string>
 
-#include "src/sim/simulator.h"
+#include "src/runtime/env.h"
 #include "src/util/stats.h"
 
 namespace sdr {

@@ -24,11 +24,11 @@ void MultiReadClient::IssueRead(const Query& query, Callback cb) {
   uint64_t request_id = next_request_id_++;
   PendingRead read;
   read.query = query;
-  read.issued = sim()->Now();
+  read.issued = env()->Now();
   read.expected = options_.slave_certs.size();
   read.cb = std::move(cb);
   ++metrics_.reads_issued;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->SpanBegin(TraceRole::kClient, id(), "read",
                  MintTraceId(id(), request_id));
   }
@@ -39,9 +39,9 @@ void MultiReadClient::IssueRead(const Query& query, Callback cb) {
   msg.query = query;
   Bytes wire = WithType(MsgType::kReadRequest, msg.Encode());
   for (const Certificate& cert : options_.slave_certs) {
-    network()->Send(id(), cert.subject, wire);
+    env()->Send(cert.subject, wire);
   }
-  read.timeout = sim()->ScheduleAfter(
+  read.timeout = env()->ScheduleAfter(
       options_.params.client_timeout,
       [this, request_id] { Resolve(request_id); });
   pending_.emplace(request_id, std::move(read));
@@ -100,7 +100,7 @@ void MultiReadClient::HandleReadReply(NodeId from, BytesView body) {
   if (!msg->ok) {
     ++read.declines;
     if (read.replies.size() + read.declines >= read.expected) {
-      sim()->Cancel(read.timeout);
+      env()->Cancel(read.timeout);
       Resolve(msg->request_id);
     }
     return;
@@ -117,12 +117,12 @@ void MultiReadClient::HandleReadReply(NodeId from, BytesView body) {
   if (master_key == options_.master_keys.end() ||
       !VerifyVersionToken(options_.params.scheme, master_key->second,
                           pledge.token) ||
-      !TokenIsFresh(pledge.token, sim()->Now(), options_.params.max_latency)) {
+      !TokenIsFresh(pledge.token, env()->Now(), options_.params.max_latency)) {
     return;
   }
   read.replies[from] = {msg->result, pledge};
   if (read.replies.size() + read.declines >= read.expected) {
-    sim()->Cancel(read.timeout);
+    env()->Cancel(read.timeout);
     Resolve(msg->request_id);
   }
 }
@@ -135,7 +135,7 @@ void MultiReadClient::Resolve(uint64_t request_id) {
   PendingRead& read = it->second;
   if (read.replies.empty()) {
     ++metrics_.reads_failed;
-    if (TraceSink* t = sim()->trace()) {
+    if (TraceSink* t = env()->trace()) {
       t->SpanEnd(TraceRole::kClient, id(), "read",
                  MintTraceId(id(), request_id), 0);
     }
@@ -167,12 +167,12 @@ void MultiReadClient::Resolve(uint64_t request_id) {
       AuditSubmit submit;
       submit.trace_id = MintTraceId(id(), request_id);
       submit.pledge = pledge;
-      if (TraceSink* t = sim()->trace()) {
+      if (TraceSink* t = env()->trace()) {
         t->Instant(TraceRole::kClient, id(), "pledge.forward",
                    submit.trace_id);
       }
-      network()->Send(id(), options_.auditor,
-                      WithType(MsgType::kAuditSubmit, submit.Encode()));
+      env()->Send(options_.auditor,
+                  WithType(MsgType::kAuditSubmit, submit.Encode()));
     }
     Accept(request_id, result, pledge);
     return;
@@ -185,7 +185,7 @@ void MultiReadClient::Resolve(uint64_t request_id) {
   }
   read.double_checking = true;
   ++metrics_.double_checks_sent;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->Instant(TraceRole::kClient, id(), "dc.send",
                MintTraceId(id(), request_id));
   }
@@ -193,8 +193,8 @@ void MultiReadClient::Resolve(uint64_t request_id) {
   dc.request_id = request_id;
   dc.trace_id = MintTraceId(id(), request_id);
   dc.pledge = read.replies.begin()->second.second;
-  network()->Send(id(), options_.master,
-                  WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
+  env()->Send(options_.master,
+              WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
 }
 
 void MultiReadClient::HandleDoubleCheckReply(BytesView body) {
@@ -211,7 +211,7 @@ void MultiReadClient::HandleDoubleCheckReply(BytesView body) {
   if (!msg->served) {
     // Cannot establish the truth: fail the read (rare).
     ++metrics_.reads_failed;
-    if (TraceSink* t = sim()->trace()) {
+    if (TraceSink* t = env()->trace()) {
       t->SpanEnd(TraceRole::kClient, id(), "read", msg->trace_id, 0);
     }
     Callback cb = std::move(read.cb);
@@ -229,15 +229,15 @@ void MultiReadClient::HandleDoubleCheckReply(BytesView body) {
   for (const auto& [slave, reply] : read.replies) {
     if (reply.second.result_sha1 != correct_hash) {
       ++metrics_.accusations_sent;
-      if (TraceSink* t = sim()->trace()) {
+      if (TraceSink* t = env()->trace()) {
         t->Instant(TraceRole::kClient, id(), "accuse", msg->trace_id,
                    static_cast<int64_t>(slave));
       }
       Accusation accusation;
       accusation.trace_id = msg->trace_id;
       accusation.pledge = reply.second;
-      network()->Send(id(), options_.master,
-                      WithType(MsgType::kAccusation, accusation.Encode()));
+      env()->Send(options_.master,
+                  WithType(MsgType::kAccusation, accusation.Encode()));
     } else if (!have_reference) {
       reference = reply.second;
       have_reference = true;
@@ -258,13 +258,13 @@ void MultiReadClient::Accept(uint64_t request_id, const QueryResult& result,
     return;
   }
   ++metrics_.reads_accepted;
-  if (TraceSink* t = sim()->trace()) {
+  if (TraceSink* t = env()->trace()) {
     t->Hist(TraceRole::kClient, id(), "read_rtt_us")
-        .Record(sim()->Now() - it->second.issued);
+        .Record(env()->Now() - it->second.issued);
     t->SpanEnd(TraceRole::kClient, id(), "read",
                MintTraceId(id(), request_id), 1);
   }
-  sim()->Cancel(it->second.timeout);
+  env()->Cancel(it->second.timeout);
   if (on_accept) {
     on_accept(it->second.query, pledge.token.content_version, result);
   }

@@ -18,7 +18,7 @@
 
 #include "src/core/certificate.h"
 #include "src/crypto/signer.h"
-#include "src/sim/simulator.h"
+#include "src/runtime/env.h"
 #include "src/store/query.h"
 #include "src/util/bytes.h"
 #include "src/util/result.h"

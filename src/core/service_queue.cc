@@ -5,13 +5,13 @@
 
 namespace sdr {
 
-ServiceQueue::ServiceQueue(Simulator* sim, double speed)
-    : sim_(sim), speed_(speed) {
+ServiceQueue::ServiceQueue(Env* env, double speed)
+    : env_(env), speed_(speed) {
   assert(speed_ > 0);
 }
 
 SimTime ServiceQueue::busy_until() const {
-  return std::max(busy_until_, sim_->Now());
+  return std::max(busy_until_, env_->Now());
 }
 
 void ServiceQueue::Enqueue(SimTime service_time, InlineFunction<void()> done) {
@@ -19,15 +19,15 @@ void ServiceQueue::Enqueue(SimTime service_time, InlineFunction<void()> done) {
       1, static_cast<SimTime>(static_cast<double>(service_time) / speed_));
   SimTime start = busy_until();
   if (trace_role_ != TraceRole::kNone) {
-    if (TraceSink* t = sim_->trace()) {
+    if (TraceSink* t = env_->trace()) {
       t->Hist(trace_role_, trace_node_, "queue_wait_us")
-          .Record(start - sim_->Now());
+          .Record(start - env_->Now());
     }
   }
   busy_until_ = start + scaled;
   busy_time_ += scaled;
   ++depth_;
-  sim_->ScheduleAt(busy_until_, [this, done = std::move(done)]() mutable {
+  env_->ScheduleAt(busy_until_, [this, done = std::move(done)]() mutable {
     --depth_;
     ++jobs_completed_;
     done();

@@ -1,14 +1,14 @@
-// A single-server FIFO work queue in virtual time. Servers (slaves,
+// A single-server FIFO work queue in environment time. Servers (slaves,
 // masters, the auditor) push jobs with a service time from the CostModel;
-// completions fire in order once the simulated CPU gets to them. This is
-// what makes load arguments measurable: utilization, queueing delay, and
-// backlog all emerge from job costs.
+// completions fire in order once the (simulated or real) CPU gets to them.
+// This is what makes load arguments measurable: utilization, queueing
+// delay, and backlog all emerge from job costs.
 #ifndef SDR_SRC_CORE_SERVICE_QUEUE_H_
 #define SDR_SRC_CORE_SERVICE_QUEUE_H_
 
 #include <cstdint>
 
-#include "src/sim/simulator.h"
+#include "src/runtime/env.h"
 #include "src/trace/trace.h"
 #include "src/util/inline_function.h"
 
@@ -17,7 +17,7 @@ namespace sdr {
 class ServiceQueue {
  public:
   // speed > 1.0 models a faster server (service times divided by speed).
-  ServiceQueue(Simulator* sim, double speed = 1.0);
+  ServiceQueue(Env* env, double speed = 1.0);
 
   // Attributes this queue's wait-time samples ("queue_wait_us") to the
   // owning node. Until called (or when the sim has no trace sink), no
@@ -43,7 +43,7 @@ class ServiceQueue {
   double UtilizationSince(SimTime start, SimTime now) const;
 
  private:
-  Simulator* sim_;
+  Env* env_;
   double speed_;
   TraceRole trace_role_ = TraceRole::kNone;
   uint32_t trace_node_ = 0;

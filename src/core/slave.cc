@@ -11,7 +11,7 @@ Slave::Slave(Options options)
       rng_(options_.rng_seed) {}
 
 void Slave::Start() {
-  queue_ = std::make_unique<ServiceQueue>(sim(), options_.cost.slave_speed);
+  queue_ = std::make_unique<ServiceQueue>(env(), options_.cost.slave_speed);
   queue_->BindTrace(TraceRole::kSlave, id());
 }
 
@@ -115,12 +115,12 @@ void Slave::HandleKeepAlive(NodeId from, BytesView body) {
 void Slave::AckTo(NodeId master) {
   SlaveAck ack;
   ack.applied_version = applied_version_;
-  network()->Send(id(), master, WithType(MsgType::kSlaveAck, ack.Encode()));
+  env()->Send(master, WithType(MsgType::kSlaveAck, ack.Encode()));
 }
 
 bool Slave::TokenFresh() const {
   return token_.has_value() &&
-         TokenIsFresh(*token_, sim()->Now(), options_.params.max_latency);
+         TokenIsFresh(*token_, env()->Now(), options_.params.max_latency);
 }
 
 void Slave::HandleReadRequest(NodeId from, BytesView body) {
@@ -132,7 +132,7 @@ void Slave::HandleReadRequest(NodeId from, BytesView body) {
       rng_.NextBool(options_.behavior.drop_probability)) {
     return;
   }
-  TraceSink* t = sim()->trace();
+  TraceSink* t = env()->trace();
   if (!token_.has_value() ||
       (!TokenFresh() && !options_.behavior.serve_despite_stale)) {
     // An honest slave that is out of sync "should stop handling user
@@ -145,8 +145,8 @@ void Slave::HandleReadRequest(NodeId from, BytesView body) {
     reply.request_id = msg->request_id;
     reply.trace_id = msg->trace_id;
     reply.ok = false;
-    network()->Send(id(), from,
-                    WithType(MsgType::kReadReply, reply.Encode()));
+    env()->Send(from,
+                WithType(MsgType::kReadReply, reply.Encode()));
     return;
   }
 
@@ -156,8 +156,8 @@ void Slave::HandleReadRequest(NodeId from, BytesView body) {
     reply.request_id = msg->request_id;
     reply.trace_id = msg->trace_id;
     reply.ok = false;
-    network()->Send(id(), from,
-                    WithType(MsgType::kReadReply, reply.Encode()));
+    env()->Send(from,
+                WithType(MsgType::kReadReply, reply.Encode()));
     return;
   }
 
@@ -223,10 +223,10 @@ void Slave::HandleReadRequest(NodeId from, BytesView body) {
     reply.result = result;
     reply.pledge = MakePledge(signer_, id(), query, hashed, token);
     ++metrics_.reads_served;
-    if (TraceSink* sink = sim()->trace()) {
+    if (TraceSink* sink = env()->trace()) {
       sink->SpanEnd(TraceRole::kSlave, id(), "slave.serve", trace_id);
     }
-    network()->Send(id(), from, WithType(MsgType::kReadReply, reply.Encode()));
+    env()->Send(from, WithType(MsgType::kReadReply, reply.Encode()));
   });
 }
 

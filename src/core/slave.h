@@ -16,7 +16,7 @@
 #include "src/core/metrics.h"
 #include "src/core/pledge.h"
 #include "src/core/service_queue.h"
-#include "src/sim/network.h"
+#include "src/runtime/env.h"
 #include "src/store/document_store.h"
 #include "src/store/executor.h"
 

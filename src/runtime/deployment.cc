@@ -1,0 +1,320 @@
+#include "src/runtime/deployment.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sdr {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDirectory:
+      return "directory";
+    case NodeKind::kMaster:
+      return "master";
+    case NodeKind::kAuditor:
+      return "auditor";
+    case NodeKind::kSlave:
+      return "slave";
+    case NodeKind::kClient:
+      return "client";
+  }
+  return "unknown";
+}
+
+NodeKind DeploymentPlan::KindOf(NodeId id) const {
+  if (id == directory_id) {
+    return NodeKind::kDirectory;
+  }
+  NodeId n = id - 2;  // ids after the directory, zero-based
+  if (n < master_ids.size()) {
+    return NodeKind::kMaster;
+  }
+  n -= static_cast<NodeId>(master_ids.size());
+  if (n < auditor_ids.size()) {
+    return NodeKind::kAuditor;
+  }
+  n -= static_cast<NodeId>(auditor_ids.size());
+  if (n < slave_ids.size()) {
+    return NodeKind::kSlave;
+  }
+  return NodeKind::kClient;
+}
+
+int DeploymentPlan::RoleIndexOf(NodeId id) const {
+  switch (KindOf(id)) {
+    case NodeKind::kDirectory:
+      return 0;
+    case NodeKind::kMaster:
+      return static_cast<int>(id - master_ids.front());
+    case NodeKind::kAuditor:
+      return static_cast<int>(id - auditor_ids.front());
+    case NodeKind::kSlave:
+      return static_cast<int>(id - slave_ids.front());
+    case NodeKind::kClient:
+      return static_cast<int>(id - client_ids.front());
+  }
+  return 0;
+}
+
+DeploymentPlan BuildDeployment(const DeploymentConfig& config) {
+  DeploymentPlan plan;
+  plan.config = config;
+
+  // Key derivation mirrors the simulator Cluster's order (content key,
+  // master keys, auditor keys, then slave keys interleaved with nothing
+  // else) so the derivation is auditable against cluster.cc.
+  Rng root(config.seed);
+  Rng key_rng = root.Fork();
+
+  KeyPair content_key = KeyPair::Generate(config.params.scheme, key_rng);
+  Signer owner(content_key);
+  plan.content.scheme = config.params.scheme;
+  plan.content.content_public_key = content_key.public_key;
+
+  plan.directory_id = 1;
+  for (int i = 0; i < config.num_masters; ++i) {
+    plan.master_ids.push_back(static_cast<NodeId>(2 + i));
+  }
+  int num_auditors = config.num_auditors < 1 ? 1 : config.num_auditors;
+  for (int i = 0; i < num_auditors; ++i) {
+    plan.auditor_ids.push_back(
+        static_cast<NodeId>(2 + config.num_masters + i));
+  }
+  NodeId next = static_cast<NodeId>(2 + config.num_masters + num_auditors);
+  for (int i = 0; i < config.num_masters * config.slaves_per_master; ++i) {
+    plan.slave_ids.push_back(next++);
+  }
+  for (int i = 0; i < config.num_clients; ++i) {
+    plan.client_ids.push_back(next++);
+  }
+
+  for (int i = 0; i < config.num_masters; ++i) {
+    plan.master_keys.push_back(
+        KeyPair::Generate(config.params.scheme, key_rng));
+    plan.master_key_map[plan.master_ids[i]] =
+        plan.master_keys.back().public_key;
+    plan.master_certs.push_back(
+        IssueCertificate(owner, plan.master_ids[i], Role::kMaster,
+                         plan.master_keys.back().public_key));
+  }
+  for (int i = 0; i < num_auditors; ++i) {
+    plan.auditor_keys.push_back(
+        KeyPair::Generate(config.params.scheme, key_rng));
+  }
+
+  Rng corpus_rng = root.Fork();
+  plan.base = BuildCatalogCorpus(config.corpus, corpus_rng);
+
+  for (size_t s = 0; s < plan.slave_ids.size(); ++s) {
+    plan.slave_keys.push_back(
+        KeyPair::Generate(config.params.scheme, key_rng));
+    int owner_master = plan.OwnerMasterOf(static_cast<int>(s));
+    Signer master_signer(plan.master_keys[owner_master]);
+    plan.slave_certs.push_back(
+        IssueCertificate(master_signer, plan.slave_ids[s], Role::kSlave,
+                         plan.slave_keys.back().public_key));
+  }
+  return plan;
+}
+
+Master::Options MasterOptionsFor(const DeploymentPlan& plan, int index) {
+  Master::Options opts;
+  opts.params = plan.config.params;
+  opts.cost = plan.config.cost;
+  opts.key_pair = plan.master_keys[index];
+  opts.content = plan.content;
+  opts.group = plan.master_ids;
+  for (NodeId a : plan.auditor_ids) {
+    opts.group.push_back(a);
+  }
+  opts.auditors = plan.auditor_ids;
+  opts.master_keys = plan.master_key_map;
+  return opts;
+}
+
+Auditor::Options AuditorOptionsFor(const DeploymentPlan& plan, int index) {
+  Auditor::Options opts;
+  opts.params = plan.config.params;
+  opts.cost = plan.config.cost;
+  opts.key_pair = plan.auditor_keys[index];
+  opts.group = plan.master_ids;
+  for (NodeId a : plan.auditor_ids) {
+    opts.group.push_back(a);
+  }
+  opts.master_keys = plan.master_key_map;
+  return opts;
+}
+
+Slave::Options SlaveOptionsFor(const DeploymentPlan& plan, int slave_index) {
+  Slave::Options opts;
+  opts.params = plan.config.params;
+  opts.cost = plan.config.cost;
+  opts.key_pair = plan.slave_keys[slave_index];
+  opts.master_keys = plan.master_key_map;
+  opts.rng_seed = plan.config.seed * 1000003 + slave_index;
+  return opts;
+}
+
+Client::Options ClientOptionsFor(const DeploymentPlan& plan, int client_index,
+                                 Client::LoadMode mode) {
+  Client::Options opts;
+  opts.params = plan.config.params;
+  opts.content = plan.content;
+  opts.directory = plan.directory_id;
+  opts.mode = mode;
+  opts.think_time = plan.config.client_think_time;
+  opts.write_fraction = plan.config.client_write_fraction;
+  opts.rng_seed = plan.config.seed * 7919 + client_index;
+  QueryMix mix = plan.config.mix;
+  mix.n_items = plan.config.corpus.n_items;
+  opts.query_source = [mix](Rng& rng) { return mix.Generate(rng); };
+  WriteGen write_gen = plan.config.write_gen;
+  write_gen.n_items = plan.config.corpus.n_items;
+  opts.write_source = [write_gen](Rng& rng) { return write_gen.Generate(rng); };
+  return opts;
+}
+
+namespace {
+
+bool SplitHostPort(const std::string& s, std::string* host, uint16_t* port) {
+  size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= s.size()) {
+    return false;
+  }
+  *host = s.substr(0, colon);
+  long p = std::strtol(s.c_str() + colon + 1, nullptr, 10);
+  if (p < 0 || p > 65535) {
+    return false;
+  }
+  *port = static_cast<uint16_t>(p);
+  return !host->empty();
+}
+
+}  // namespace
+
+Result<NodeConfig> ParseNodeConfig(const std::string& text) {
+  NodeConfig config;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) {
+      continue;  // blank / comment-only line
+    }
+    auto fail = [&](const std::string& why) {
+      return Error(ErrorCode::kParseError,
+                   "config line " + std::to_string(lineno) + ": " + why);
+    };
+    if (key == "node_id") {
+      uint32_t v;
+      if (!(ls >> v)) return fail("node_id needs an integer");
+      config.node_id = v;
+    } else if (key == "seed") {
+      if (!(ls >> config.deployment.seed)) return fail("seed needs an integer");
+    } else if (key == "masters") {
+      if (!(ls >> config.deployment.num_masters)) return fail("bad masters");
+    } else if (key == "auditors") {
+      if (!(ls >> config.deployment.num_auditors)) return fail("bad auditors");
+    } else if (key == "slaves_per_master") {
+      if (!(ls >> config.deployment.slaves_per_master)) {
+        return fail("bad slaves_per_master");
+      }
+    } else if (key == "clients") {
+      if (!(ls >> config.deployment.num_clients)) return fail("bad clients");
+    } else if (key == "items") {
+      if (!(ls >> config.deployment.corpus.n_items)) return fail("bad items");
+    } else if (key == "max_latency_ms") {
+      int64_t ms;
+      if (!(ls >> ms)) return fail("bad max_latency_ms");
+      config.deployment.params.max_latency = ms * kMillisecond;
+    } else if (key == "keepalive_ms") {
+      int64_t ms;
+      if (!(ls >> ms)) return fail("bad keepalive_ms");
+      config.deployment.params.keepalive_period = ms * kMillisecond;
+    } else if (key == "audit_slack_ms") {
+      int64_t ms;
+      if (!(ls >> ms)) return fail("bad audit_slack_ms");
+      config.deployment.params.audit_slack = ms * kMillisecond;
+    } else if (key == "double_check_p") {
+      if (!(ls >> config.deployment.params.double_check_probability)) {
+        return fail("bad double_check_p");
+      }
+    } else if (key == "think_ms") {
+      int64_t ms;
+      if (!(ls >> ms)) return fail("bad think_ms");
+      config.deployment.client_think_time = ms * kMillisecond;
+    } else if (key == "write_fraction") {
+      if (!(ls >> config.deployment.client_write_fraction)) {
+        return fail("bad write_fraction");
+      }
+    } else if (key == "liar_index") {
+      if (!(ls >> config.liar_index)) return fail("bad liar_index");
+    } else if (key == "lie_probability") {
+      if (!(ls >> config.lie_probability)) return fail("bad lie_probability");
+    } else if (key == "epoch_us") {
+      if (!(ls >> config.epoch_us)) return fail("bad epoch_us");
+    } else if (key == "start_delay_ms") {
+      if (!(ls >> config.start_delay_ms)) return fail("bad start_delay_ms");
+    } else if (key == "listen") {
+      std::string addr;
+      if (!(ls >> addr) ||
+          !SplitHostPort(addr, &config.listen_host, &config.listen_port)) {
+        return fail("listen needs HOST:PORT");
+      }
+    } else if (key == "peer") {
+      NodeConfig::PeerAddr peer;
+      std::string addr;
+      if (!(ls >> peer.id >> addr) ||
+          !SplitHostPort(addr, &peer.host, &peer.port)) {
+        return fail("peer needs ID HOST:PORT");
+      }
+      config.peers.push_back(std::move(peer));
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  if (config.node_id == kInvalidNode) {
+    return Error(ErrorCode::kParseError, "config missing node_id");
+  }
+  return config;
+}
+
+std::string FormatNodeConfig(const NodeConfig& config) {
+  std::ostringstream out;
+  out << "node_id " << config.node_id << "\n";
+  out << "seed " << config.deployment.seed << "\n";
+  out << "masters " << config.deployment.num_masters << "\n";
+  out << "auditors " << config.deployment.num_auditors << "\n";
+  out << "slaves_per_master " << config.deployment.slaves_per_master << "\n";
+  out << "clients " << config.deployment.num_clients << "\n";
+  out << "items " << config.deployment.corpus.n_items << "\n";
+  out << "max_latency_ms "
+      << config.deployment.params.max_latency / kMillisecond << "\n";
+  out << "keepalive_ms "
+      << config.deployment.params.keepalive_period / kMillisecond << "\n";
+  out << "audit_slack_ms "
+      << config.deployment.params.audit_slack / kMillisecond << "\n";
+  out << "double_check_p " << config.deployment.params.double_check_probability
+      << "\n";
+  out << "think_ms " << config.deployment.client_think_time / kMillisecond
+      << "\n";
+  out << "write_fraction " << config.deployment.client_write_fraction << "\n";
+  out << "liar_index " << config.liar_index << "\n";
+  out << "lie_probability " << config.lie_probability << "\n";
+  out << "epoch_us " << config.epoch_us << "\n";
+  out << "start_delay_ms " << config.start_delay_ms << "\n";
+  out << "listen " << config.listen_host << ":" << config.listen_port << "\n";
+  for (const auto& peer : config.peers) {
+    out << "peer " << peer.id << " " << peer.host << ":" << peer.port << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sdr

@@ -1,0 +1,147 @@
+// Deterministic deployment provisioning: every process in a real cluster
+// derives the complete roster — node ids, key pairs, certificates, initial
+// corpus — from one shared (seed, counts) tuple, so no key distribution
+// step is needed to stand a cluster up. This is a provisioning stand-in:
+// production would distribute real keys out of band; the *protocol* trust
+// story is unchanged either way because every key still only ever lives
+// with its owner role in a real deployment (deriving all of them here is a
+// convenience the test harness exploits, same as the simulator's Cluster).
+//
+// The roster layout matches the simulator's Cluster exactly:
+//   id 1                      directory
+//   ids 2 .. 1+M              masters
+//   ids 2+M .. 1+M+A          auditors
+//   then M*S slaves (grouped by owning master), then C clients.
+//
+// Also here: the node-config grammar sdrnode consumes and sdrcluster
+// emits — a line-oriented `key value` format (see ParseNodeConfig).
+#ifndef SDR_SRC_RUNTIME_DEPLOYMENT_H_
+#define SDR_SRC_RUNTIME_DEPLOYMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/auditor.h"
+#include "src/core/client.h"
+#include "src/core/config.h"
+#include "src/core/master.h"
+#include "src/core/slave.h"
+#include "src/runtime/env.h"
+#include "src/store/document_store.h"
+#include "src/util/result.h"
+#include "src/workload/workload.h"
+
+namespace sdr {
+
+// The shared tuple every process must agree on.
+struct DeploymentConfig {
+  uint64_t seed = 1;
+  int num_masters = 1;
+  int num_auditors = 1;
+  int slaves_per_master = 2;
+  int num_clients = 1;
+
+  ProtocolParams params;
+  CostModel cost;
+  CorpusConfig corpus;
+  QueryMix mix;
+  WriteGen write_gen;
+
+  // Client load shape (closed-loop in real deployments).
+  SimTime client_think_time = 100 * kMillisecond;
+  double client_write_fraction = 0.0;
+};
+
+enum class NodeKind : uint8_t {
+  kDirectory = 0,
+  kMaster = 1,
+  kAuditor = 2,
+  kSlave = 3,
+  kClient = 4,
+};
+
+const char* NodeKindName(NodeKind kind);
+
+// Everything derivable from a DeploymentConfig. Holds every role's private
+// key — callers building a single node use only their own (see file
+// comment).
+struct DeploymentPlan {
+  DeploymentConfig config;
+
+  ContentIdentity content;
+  NodeId directory_id = 1;
+  std::vector<NodeId> master_ids;
+  std::vector<NodeId> auditor_ids;
+  std::vector<NodeId> slave_ids;
+  std::vector<NodeId> client_ids;
+
+  std::vector<KeyPair> master_keys;
+  std::vector<KeyPair> auditor_keys;
+  std::vector<KeyPair> slave_keys;
+  std::map<NodeId, Bytes> master_key_map;
+  std::vector<Certificate> master_certs;
+  // slave_certs[i] is issued by the owning master (i / slaves_per_master).
+  std::vector<Certificate> slave_certs;
+
+  DocumentStore base;  // initial content at version 0
+
+  int num_nodes() const {
+    return 1 + static_cast<int>(master_ids.size() + auditor_ids.size() +
+                                slave_ids.size() + client_ids.size());
+  }
+  NodeKind KindOf(NodeId id) const;
+  // Index within the node's role group (master 0.., slave 0.., ...).
+  int RoleIndexOf(NodeId id) const;
+  int OwnerMasterOf(int slave_index) const {
+    return slave_index / config.slaves_per_master;
+  }
+};
+
+DeploymentPlan BuildDeployment(const DeploymentConfig& config);
+
+// Role option factories; index is the role-group index. Query/write sources
+// for clients come from the plan's mix/write_gen.
+Master::Options MasterOptionsFor(const DeploymentPlan& plan, int index);
+Auditor::Options AuditorOptionsFor(const DeploymentPlan& plan, int index);
+Slave::Options SlaveOptionsFor(const DeploymentPlan& plan, int slave_index);
+Client::Options ClientOptionsFor(const DeploymentPlan& plan, int client_index,
+                                 Client::LoadMode mode);
+
+// --- Node config file (sdrnode input, sdrcluster output). ---
+//
+// Line-oriented `key value...` pairs; '#' starts a comment. Keys:
+//   node_id N            this process's node id (required)
+//   seed N               deployment seed (required)
+//   masters N / auditors N / slaves_per_master N / clients N
+//   items N              corpus size
+//   max_latency_ms N / keepalive_ms N / double_check_p X / think_ms N
+//   write_fraction X / lie_probability X (slaves pick it up by index)
+//   liar_index N         global slave index that lies (-1 = none)
+//   epoch_us N           shared cluster epoch (CLOCK_REALTIME microseconds)
+//   start_delay_ms N     defer this node's Start() after its env comes up
+//   listen HOST:PORT     this node's listen address
+//   peer ID HOST:PORT    one line per peer this node talks to
+struct NodeConfig {
+  NodeId node_id = kInvalidNode;
+  DeploymentConfig deployment;
+  int liar_index = -1;
+  double lie_probability = 1.0;
+  int64_t epoch_us = 0;
+  int64_t start_delay_ms = 0;
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;
+  struct PeerAddr {
+    NodeId id;
+    std::string host;
+    uint16_t port;
+  };
+  std::vector<PeerAddr> peers;
+};
+
+Result<NodeConfig> ParseNodeConfig(const std::string& text);
+std::string FormatNodeConfig(const NodeConfig& config);
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_RUNTIME_DEPLOYMENT_H_

@@ -1,0 +1,9 @@
+#include "src/runtime/sim_env.h"
+
+namespace sdr {
+
+void SimEnv::Send(NodeId to, Payload payload) {
+  net_->Send(self_, to, std::move(payload));
+}
+
+}  // namespace sdr

@@ -1,0 +1,36 @@
+#include "src/runtime/timer_queue.h"
+
+namespace sdr {
+
+EventId TimerQueue::Schedule(SimTime t, InlineFunction<void()> fn) {
+  EventId id = next_id_++;
+  timers_.emplace(Key{t, id}, std::move(fn));
+  deadlines_.emplace(id, t);
+  return id;
+}
+
+bool TimerQueue::Cancel(EventId id) {
+  auto it = deadlines_.find(id);
+  if (it == deadlines_.end()) {
+    return false;
+  }
+  timers_.erase(Key{it->second, id});
+  deadlines_.erase(it);
+  return true;
+}
+
+size_t TimerQueue::RunDue(SimTime now) {
+  size_t fired = 0;
+  while (!timers_.empty() && timers_.begin()->first.first <= now) {
+    auto it = timers_.begin();
+    // Retire before running: the callback may Schedule or Cancel freely.
+    InlineFunction<void()> fn = std::move(it->second);
+    deadlines_.erase(it->first.second);
+    timers_.erase(it);
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace sdr

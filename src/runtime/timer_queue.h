@@ -1,0 +1,49 @@
+// Timer bookkeeping for RealEnv: an ordered map of (deadline, sequence) ->
+// callback plus an id index, mirroring the simulator's event-queue
+// semantics exactly — same-deadline timers fire in schedule order, and
+// Cancel on a fired, cancelled, or invalid id is an exact no-op. Pure data
+// structure (no clock, no syscalls) so it unit-tests without a RealEnv:
+// the caller supplies `now`, whatever its timescale.
+#ifndef SDR_SRC_RUNTIME_TIMER_QUEUE_H_
+#define SDR_SRC_RUNTIME_TIMER_QUEUE_H_
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "src/runtime/env.h"
+#include "src/util/inline_function.h"
+
+namespace sdr {
+
+class TimerQueue {
+ public:
+  // Registers `fn` to fire at absolute time `t` (the caller's timescale).
+  // The returned id is never 0 and never reused.
+  EventId Schedule(SimTime t, InlineFunction<void()> fn);
+
+  // Removes a pending timer. Returns false (and does nothing) when the id
+  // has already fired, was already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  bool empty() const { return timers_.empty(); }
+  size_t size() const { return timers_.size(); }
+
+  // Deadline of the earliest pending timer; only valid when !empty().
+  SimTime next_deadline() const { return timers_.begin()->first.first; }
+
+  // Fires every timer with deadline <= now, in (deadline, schedule-order)
+  // order, including timers the callbacks themselves add within the window.
+  // Returns the number fired.
+  size_t RunDue(SimTime now);
+
+ private:
+  using Key = std::pair<SimTime, EventId>;  // (deadline, id); id breaks ties
+  std::map<Key, InlineFunction<void()>> timers_;
+  std::map<EventId, SimTime> deadlines_;  // pending id -> its deadline
+  EventId next_id_ = 1;
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_RUNTIME_TIMER_QUEUE_H_

@@ -2,15 +2,21 @@
 
 #include <cassert>
 
+#include "src/runtime/sim_env.h"
+
 namespace sdr {
+
+Network::Network(Simulator* sim, LinkModel default_link)
+    : sim_(sim), default_link_(default_link), rng_(sim->rng().Fork()) {}
+
+Network::~Network() = default;
 
 NodeId Network::AddNode(Node* node) {
   assert(node != nullptr);
   nodes_.push_back(node);
   NodeId id = static_cast<NodeId>(nodes_.size());
-  node->id_ = id;
-  node->network_ = this;
-  node->sim_ = sim_;
+  envs_.push_back(std::make_unique<SimEnv>(sim_, this, id));
+  envs_.back()->Attach(node);
   RebuildTables();
   return id;
 }

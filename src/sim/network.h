@@ -2,6 +2,10 @@
 // with configurable latency, jitter, and loss. Nodes can be taken down
 // (crash) and pairs of nodes can be partitioned.
 //
+// Registration owns the substrate wiring: AddNode creates a per-node SimEnv
+// (the Env adapter over this network and its simulator) and binds it to the
+// node, so role code written against Env runs here unchanged.
+//
 // Hot-path layout: payloads are ref-counted (Payload), so a send shares the
 // buffer with the in-flight event and the receiver instead of copying it;
 // link and partition lookups hit flat per-pair tables (rebuilt on AddNode /
@@ -12,49 +16,17 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
+#include "src/runtime/env.h"
 #include "src/sim/simulator.h"
 #include "src/util/bytes.h"
 
 namespace sdr {
 
-using NodeId = uint32_t;
-constexpr NodeId kInvalidNode = 0;  // ids start at 1
-
-class Network;
-
-// Base class for simulated hosts. Subclasses implement HandleMessage; the
-// cluster harness calls Start() once all nodes are registered.
-class Node {
- public:
-  virtual ~Node() = default;
-
-  // Called once, after every node has an id and the network is wired.
-  virtual void Start() {}
-
-  // Called on message delivery. `from` is the (unauthenticated) sender id;
-  // protocol layers must not trust it for security decisions — that is what
-  // the signatures inside the payloads are for. The payload is an immutable
-  // shared view; handlers that need to keep it alive copy the cheap Payload
-  // handle, not the bytes.
-  virtual void HandleMessage(NodeId from, const Payload& payload) = 0;
-
-  NodeId id() const { return id_; }
-  bool up() const { return up_; }
-
- protected:
-  Network* network() const { return network_; }
-  Simulator* sim() const { return sim_; }
-
- private:
-  friend class Network;
-  NodeId id_ = kInvalidNode;
-  bool up_ = true;
-  Network* network_ = nullptr;
-  Simulator* sim_ = nullptr;
-};
+class SimEnv;
 
 // Latency/loss model for one direction of a link.
 struct LinkModel {
@@ -72,10 +44,11 @@ struct LinkModel {
 
 class Network {
  public:
-  Network(Simulator* sim, LinkModel default_link)
-      : sim_(sim), default_link_(default_link), rng_(sim->rng().Fork()) {}
+  Network(Simulator* sim, LinkModel default_link);
+  ~Network();
 
-  // Registers a node (not owned) and assigns it an id.
+  // Registers a node (not owned), assigns it an id, and binds a SimEnv
+  // (owned by the network) to it.
   NodeId AddNode(Node* node);
 
   Node* node(NodeId id) const;
@@ -142,6 +115,9 @@ class Network {
   LinkModel default_link_;
   Rng rng_;
   std::vector<Node*> nodes_;  // index = id - 1
+  // One SimEnv per registered node, same index; must outlive the delivery
+  // events that reference the nodes, which the simulator guarantees.
+  std::vector<std::unique_ptr<SimEnv>> envs_;
   // Source of truth for custom links/partitions (covers ids not yet
   // registered); the flat tables below are the per-send fast path.
   std::map<std::pair<NodeId, NodeId>, LinkModel> links_;

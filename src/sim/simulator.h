@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/runtime/env.h"
 #include "src/util/inline_function.h"
 #include "src/util/rng.h"
 
@@ -21,23 +22,13 @@ namespace sdr {
 
 class TraceSink;
 
-// Virtual time in microseconds.
-using SimTime = int64_t;
-
-constexpr SimTime kMicrosecond = 1;
-constexpr SimTime kMillisecond = 1000;
-constexpr SimTime kSecond = 1000 * kMillisecond;
-constexpr SimTime kMinute = 60 * kSecond;
-constexpr SimTime kHour = 60 * kMinute;
-
-// Identifies a scheduled event for cancellation. 0 is never a valid id.
-using EventId = uint64_t;
-
-class Simulator {
+// SimTime, the time constants, and EventId live in src/runtime/env.h (the
+// substrate-neutral vocabulary); the simulator is the virtual-time Clock.
+class Simulator final : public Clock {
  public:
   explicit Simulator(uint64_t seed) : rng_(seed) {}
 
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
   Rng& rng() { return rng_; }
 
   // Schedules `fn` to run at absolute virtual time `t` (clamped to Now()).

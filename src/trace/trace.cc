@@ -24,8 +24,8 @@ const char* TraceRoleName(TraceRole role) {
   return "unknown";
 }
 
-TraceSink::TraceSink(const Simulator* sim, Options options)
-    : sim_(sim), options_(options) {
+TraceSink::TraceSink(const Clock* clock, Options options)
+    : clock_(clock), options_(options) {
   if (options_.capacity == 0) {
     options_.capacity = 1;
   }
@@ -54,7 +54,7 @@ uint16_t TraceSink::InternName(const std::string& name) {
 void TraceSink::Emit(TraceEventType type, TraceRole role, uint32_t node,
                      const char* name, TraceId trace_id, int64_t value) {
   TraceEvent ev;
-  ev.time = sim_->Now();
+  ev.time = clock_->Now();
   ev.trace_id = trace_id;
   ev.value = value;
   ev.node = node;

@@ -21,7 +21,7 @@
 #include <tuple>
 #include <vector>
 
-#include "src/sim/simulator.h"
+#include "src/runtime/env.h"
 #include "src/trace/histogram.h"
 
 namespace sdr {
@@ -70,8 +70,9 @@ struct TraceEvent {
 };
 
 // Ring-buffered event sink plus per-(name, role, node) latency histograms.
-// Owned by the Cluster; nodes reach it via sim()->trace() (null when
-// tracing is off, making every instrumentation site one branch).
+// Owned by the harness (Cluster or sdrnode); nodes reach it via
+// env()->trace() (null when tracing is off, making every instrumentation
+// site one branch).
 class TraceSink {
  public:
   struct Options {
@@ -82,7 +83,9 @@ class TraceSink {
     bool sim_spans = false;
   };
 
-  TraceSink(const Simulator* sim, Options options);
+  // `clock` stamps events: the Simulator in simulations, the RealEnv on a
+  // live node. Only Now() is read.
+  TraceSink(const Clock* clock, Options options);
 
   bool sim_spans() const { return options_.sim_spans; }
 
@@ -133,7 +136,7 @@ class TraceSink {
   void Emit(TraceEventType type, TraceRole role, uint32_t node,
             const char* name, TraceId trace_id, int64_t value);
 
-  const Simulator* sim_;
+  const Clock* clock_;
   Options options_;
   std::vector<TraceEvent> ring_;
   size_t head_ = 0;     // next write slot once the ring is full

@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "src/sim/simulator.h"
+#include "src/runtime/env.h"
 #include "src/store/document_store.h"
 #include "src/store/query.h"
 #include "src/util/rng.h"

@@ -4,6 +4,8 @@
 
 #include "src/baseline/smr_quorum.h"
 #include "src/baseline/state_signing.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
 #include "src/workload/workload.h"
 
 namespace sdr {

@@ -12,11 +12,11 @@ namespace {
 
 class BftMember : public Node {
  public:
-  void Init(Simulator* sim, BftOrderBroadcast::Config config) {
+  void Init(BftOrderBroadcast::Config config) {
     bcast_ = std::make_unique<BftOrderBroadcast>(
-        sim, this, std::move(config),
+        env(), this, std::move(config),
         [this](NodeId to, const Bytes& payload) {
-          network()->Send(id(), to, payload);
+          env()->Send(to, payload);
         },
         [this](uint64_t seq, NodeId origin, const Bytes& payload) {
           delivered.push_back({seq, origin, payload});
@@ -51,7 +51,7 @@ struct BftHarness {
       config.group.push_back(m->id());
     }
     for (auto& m : members) {
-      m->Init(&sim, config);
+      m->Init(config);
     }
     net.StartAll();
   }

@@ -16,11 +16,11 @@ namespace {
 // A master-like node whose only job is to participate in the broadcast.
 class MemberNode : public Node {
  public:
-  void Init(Simulator* sim, TotalOrderBroadcast::Config config) {
+  void Init(TotalOrderBroadcast::Config config) {
     bcast_ = std::make_unique<TotalOrderBroadcast>(
-        sim, this, std::move(config),
+        env(), this, std::move(config),
         [this](NodeId to, const Bytes& payload) {
-          network()->Send(id(), to, payload);
+          env()->Send(to, payload);
         },
         [this](uint64_t seq, NodeId origin, const Bytes& payload) {
           delivered.push_back({seq, origin, payload});
@@ -57,7 +57,7 @@ struct Harness {
       config.group.push_back(m->id());
     }
     for (auto& m : members) {
-      m->Init(&sim, config);
+      m->Init(config);
     }
     net.StartAll();
   }

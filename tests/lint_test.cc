@@ -84,6 +84,40 @@ TEST(R1, SuppressedByAllow) {
   EXPECT_EQ(CountRule(fs, "R1"), 0);
 }
 
+TEST(R1, RealTransportRuntimeDomainIsExempt) {
+  // src/runtime/ and the deployment tools own real clocks and sockets by
+  // design; R1 must not fire there.
+  EXPECT_FALSE(ClassifyPath("src/runtime/real_env.cc").r1);
+  EXPECT_FALSE(ClassifyPath("src/runtime/timer_queue.cc").r1);
+  EXPECT_FALSE(ClassifyPath("tools/sdrnode.cc").r1);
+  EXPECT_FALSE(ClassifyPath("tools/sdrcluster.cc").r1);
+  auto fs = Lint("src/runtime/real_env.cc",
+                 "#include <sys/epoll.h>\n"
+                 "#include <ctime>\n"
+                 "int64_t NowUs() {\n"
+                 "  timespec ts;\n"
+                 "  clock_gettime(CLOCK_MONOTONIC, &ts);\n"
+                 "  return ts.tv_sec * 1000000 + ts.tv_nsec / 1000;\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R1"), 0);
+}
+
+TEST(R1, RoleCodeMustReachClocksAndSocketsThroughEnv) {
+  // The inverse direction: the same real-clock/socket code inside the
+  // protocol core is a violation — roles get time from Env::Now() and
+  // transport from Env::Send().
+  auto fs = Lint("src/core/slave.cc",
+                 "#include <sys/epoll.h>\n"
+                 "int64_t NowUs() {\n"
+                 "  timespec ts;\n"
+                 "  clock_gettime(CLOCK_MONOTONIC, &ts);\n"
+                 "  nanosleep(&ts, nullptr);\n"
+                 "  return ts.tv_sec;\n"
+                 "}\n");
+  // epoll include + clock_gettime + nanosleep.
+  EXPECT_GE(CountRule(fs, "R1"), 3);
+}
+
 TEST(R1, IdentInCommentOrStringDoesNotCount) {
   auto fs = Lint("src/core/foo.cc",
                 "// rand() would be bad here\n"

@@ -1,13 +1,15 @@
 #include <gtest/gtest.h>
 
 #include "src/core/service_queue.h"
+#include "src/runtime/sim_env.h"
 
 namespace sdr {
 namespace {
 
 TEST(ServiceQueueTest, JobsCompleteInFifoOrderWithQueueing) {
   Simulator sim(1);
-  ServiceQueue q(&sim, 1.0);
+  SimEnv env(&sim, nullptr, 1);
+  ServiceQueue q(&env, 1.0);
   std::vector<int> done;
   q.Enqueue(100, [&] { done.push_back(1); });
   q.Enqueue(50, [&] { done.push_back(2); });
@@ -27,7 +29,8 @@ TEST(ServiceQueueTest, JobsCompleteInFifoOrderWithQueueing) {
 
 TEST(ServiceQueueTest, IdleGapsDoNotAccumulate) {
   Simulator sim(1);
-  ServiceQueue q(&sim, 1.0);
+  SimEnv env(&sim, nullptr, 1);
+  ServiceQueue q(&env, 1.0);
   int done = 0;
   q.Enqueue(10, [&] { ++done; });
   sim.RunUntil(1000);  // long idle
@@ -39,8 +42,9 @@ TEST(ServiceQueueTest, IdleGapsDoNotAccumulate) {
 
 TEST(ServiceQueueTest, SpeedScalesServiceTime) {
   Simulator sim(1);
-  ServiceQueue fast(&sim, 4.0);
-  ServiceQueue slow(&sim, 0.5);
+  SimEnv env(&sim, nullptr, 1);
+  ServiceQueue fast(&env, 4.0);
+  ServiceQueue slow(&env, 0.5);
   int fast_done = 0, slow_done = 0;
   fast.Enqueue(100, [&] { ++fast_done; });
   slow.Enqueue(100, [&] { ++slow_done; });
@@ -53,7 +57,8 @@ TEST(ServiceQueueTest, SpeedScalesServiceTime) {
 
 TEST(ServiceQueueTest, UtilizationTracksBusyFraction) {
   Simulator sim(1);
-  ServiceQueue q(&sim, 1.0);
+  SimEnv env(&sim, nullptr, 1);
+  ServiceQueue q(&env, 1.0);
   q.Enqueue(250, [] {});
   sim.RunUntil(1000);
   EXPECT_NEAR(q.UtilizationSince(0, sim.Now()), 0.25, 1e-9);
@@ -61,7 +66,8 @@ TEST(ServiceQueueTest, UtilizationTracksBusyFraction) {
 
 TEST(ServiceQueueTest, ZeroCostJobStillTakesMinimumTick) {
   Simulator sim(1);
-  ServiceQueue q(&sim, 10.0);
+  SimEnv env(&sim, nullptr, 1);
+  ServiceQueue q(&env, 10.0);
   int done = 0;
   q.Enqueue(0, [&] { ++done; });
   sim.RunUntilIdle();

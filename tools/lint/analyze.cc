@@ -301,6 +301,8 @@ void CheckR1(const std::string& path, const std::string& src,
       "system_clock",  "steady_clock", "high_resolution_clock",
       "gettimeofday",  "localtime",    "gmtime",
       "getenv",        "setenv",       "secure_getenv",
+      "clock_gettime", "clock_getres", "nanosleep",
+      "epoll_create1", "epoll_wait",
   };
   for (size_t i = 0; i < code.size(); ++i) {
     const Token& t = toks[code[i]];
@@ -328,7 +330,8 @@ void CheckR1(const std::string& path, const std::string& src,
                                            ? std::string::npos
                                            : eol - pos);
     ++line_no;
-    for (const char* hdr : {"<random>", "<chrono>", "<ctime>", "<sys/time.h>"}) {
+    for (const char* hdr : {"<random>", "<chrono>", "<ctime>", "<sys/time.h>",
+                            "<sys/epoll.h>", "<sys/socket.h>"}) {
       if (line.find("#include") != std::string::npos &&
           line.find(hdr) != std::string::npos &&
           !ann.Allowed(line_no, "R1")) {
@@ -914,6 +917,11 @@ FileClass ClassifyPath(const std::string& path) {
     return path.find(s) != std::string::npos;
   };
   FileClass fc;
+  // The determinism domain is the protocol/simulation core. src/runtime/
+  // and tools/ (RealEnv, sdrnode, sdrcluster) are deliberately outside it:
+  // that is the real-transport domain, where wall clocks, sockets, and
+  // event-loop syscalls are the whole point — role code in src/core may
+  // reach time and transport only through the Env interface.
   fc.r1 = (has("src/sim/") || has("src/core/") || has("src/chaos/") ||
            has("src/trace/")) &&
           !has("util/rng");

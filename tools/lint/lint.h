@@ -5,11 +5,17 @@
 // depend on. Rules are named and individually suppressible:
 //
 //   R1 determinism      — no ambient nondeterminism (rand, random_device,
-//                         wall clocks, getenv, <random>/<chrono>/<ctime>
-//                         includes) in src/sim, src/core, src/chaos; the
-//                         seeded RNG in src/util/rng is the only sanctioned
-//                         source. Every chaos sweep and EXPERIMENTS.md
-//                         claim depends on bit-identical replays.
+//                         wall clocks, clock_gettime/nanosleep, sockets,
+//                         getenv, <random>/<chrono>/<ctime>/<sys/epoll.h>
+//                         includes) in src/sim, src/core, src/chaos,
+//                         src/trace; the seeded RNG in src/util/rng is the
+//                         only sanctioned source. Every chaos sweep and
+//                         EXPERIMENTS.md claim depends on bit-identical
+//                         replays. src/runtime/ and tools/ are exempt by
+//                         design: that is the real-transport domain
+//                         (RealEnv, sdrnode, sdrcluster) where real clocks,
+//                         sockets, and threads live — protocol role code
+//                         reaches them only through the Env interface.
 //   R2 ordered-output   — no iteration over std::unordered_map/set inside
 //                         functions that feed serialization, metrics dumps,
 //                         or log lines (hash order differs across standard

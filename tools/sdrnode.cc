@@ -1,0 +1,410 @@
+// sdrnode — run ONE protocol role (directory, master, auditor, slave, or
+// client) as a real OS process on the RealEnv transport. Every process in a
+// deployment reads a small config file (see ParseNodeConfig in
+// src/runtime/deployment.h) naming its node id, the shared deployment tuple
+// (seed + counts — from which the full roster, keys, and corpus derive
+// deterministically), its listen address, and its peers' addresses.
+//
+// The role code that runs here is the *same* code the simulator runs — the
+// Env abstraction is the only seam. sdrcluster launches fleets of this
+// binary for end-to-end real-transport runs.
+//
+// Reports: on SIGINT/SIGTERM the event loop exits cleanly and the process
+// writes a final JSON report (sorted keys, byte-stable given identical
+// counter values) whose per-role sections use the exact field names of
+// `sdrsim --json`, so the same analysis scripts read both. With
+// --stats_interval=N a compact one-line snapshot of the same report is
+// printed to stdout every N seconds while running.
+//
+// Example (by hand; sdrcluster generates all of this):
+//   cat > node5.conf <<EOF
+//   node_id 5
+//   seed 1
+//   masters 1
+//   clients 1
+//   listen 127.0.0.1:7105
+//   peer 1 127.0.0.1:7101
+//   peer 2 127.0.0.1:7102
+//   EOF
+//   ./build/tools/sdrnode --config node5.conf --out node5.json
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/directory.h"
+#include "src/runtime/deployment.h"
+#include "src/runtime/real_env.h"
+#include "src/trace/export.h"
+#include "src/util/flags.h"
+#include "src/util/json.h"
+
+using namespace sdr;
+
+namespace {
+
+// Signal handlers may only touch async-signal-safe state; RealEnv's
+// RequestStop is exactly that (atomic flag + self-pipe write).
+RealEnv* g_env = nullptr;
+
+void OnSignal(int) {
+  if (g_env != nullptr) {
+    g_env->RequestStop();
+  }
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool WriteFileString(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sdrnode: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  size_t n = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return n == data.size();
+}
+
+TraceRole TraceRoleFor(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDirectory:
+      return TraceRole::kDirectory;
+    case NodeKind::kMaster:
+      return TraceRole::kMaster;
+    case NodeKind::kAuditor:
+      return TraceRole::kAuditor;
+    case NodeKind::kSlave:
+      return TraceRole::kSlave;
+    case NodeKind::kClient:
+      return TraceRole::kClient;
+  }
+  return TraceRole::kNone;
+}
+
+// The one role this process runs. Exactly one pointer is non-null.
+struct RoleSet {
+  std::unique_ptr<Directory> directory;
+  std::unique_ptr<Master> master;
+  std::unique_ptr<Auditor> auditor;
+  std::unique_ptr<Slave> slave;
+  std::unique_ptr<Client> client;
+  Node* node = nullptr;
+};
+
+RoleSet BuildRole(const DeploymentPlan& plan, const NodeConfig& config,
+                  NodeKind kind, int index) {
+  RoleSet roles;
+  switch (kind) {
+    case NodeKind::kDirectory: {
+      roles.directory = std::make_unique<Directory>();
+      roles.directory->Publish(plan.content.content_public_key,
+                               plan.master_certs);
+      roles.node = roles.directory.get();
+      break;
+    }
+    case NodeKind::kMaster: {
+      roles.master = std::make_unique<Master>(MasterOptionsFor(plan, index));
+      for (size_t s = 0; s < plan.slave_ids.size(); ++s) {
+        if (plan.OwnerMasterOf(static_cast<int>(s)) == index) {
+          roles.master->AddSlave(plan.slave_certs[s]);
+        }
+      }
+      roles.master->SetBaseContent(plan.base);
+      roles.node = roles.master.get();
+      break;
+    }
+    case NodeKind::kAuditor: {
+      roles.auditor =
+          std::make_unique<Auditor>(AuditorOptionsFor(plan, index));
+      roles.auditor->SetBaseContent(plan.base);
+      roles.node = roles.auditor.get();
+      break;
+    }
+    case NodeKind::kSlave: {
+      Slave::Options opts = SlaveOptionsFor(plan, index);
+      if (config.liar_index == index) {
+        opts.behavior.lie_probability = config.lie_probability;
+      }
+      roles.slave = std::make_unique<Slave>(std::move(opts));
+      roles.slave->SetBaseContent(plan.base);
+      roles.node = roles.slave.get();
+      break;
+    }
+    case NodeKind::kClient: {
+      roles.client = std::make_unique<Client>(
+          ClientOptionsFor(plan, index, Client::LoadMode::kClosedLoop));
+      roles.node = roles.client.get();
+      break;
+    }
+  }
+  return roles;
+}
+
+// Single-node report in the sdrsim --json shape: the same top-level
+// sections and the same per-role field names, with the role arrays holding
+// just this process's entry. Keys emit sorted (JsonValue is map-backed) so
+// the dump is byte-stable for given counter values.
+JsonValue NodeReport(const RealEnv& env, const DeploymentPlan& plan,
+                     NodeKind kind, int index, const RoleSet& roles,
+                     const TraceSink* sink) {
+  JsonValue root = JsonValue::Object();
+  root["wall_seconds"] = static_cast<double>(env.Now()) / kSecond;
+  root["seed"] = plan.config.seed;
+  root["node"] = static_cast<int64_t>(roles.node->id());
+  root["role"] = NodeKindName(kind);
+  root["role_index"] = index;
+
+  uint64_t cache_hits = 0, cache_misses = 0;
+  switch (kind) {
+    case NodeKind::kDirectory: {
+      JsonValue& d = root["directory"];
+      d["lookups_served"] = roles.directory->lookups_served();
+      break;
+    }
+    case NodeKind::kMaster: {
+      const Master& master = *roles.master;
+      const MasterMetrics& mm = master.metrics();
+      JsonValue j = JsonValue::Object();
+      j["index"] = index;
+      j["node"] = static_cast<int64_t>(master.id());
+      j["version"] = master.version();
+      j["writes_committed"] = mm.writes_committed;
+      j["double_checks_served"] = mm.double_checks_served;
+      j["double_check_lies_found"] = mm.double_check_lies_found;
+      j["slaves_excluded"] = mm.slaves_excluded;
+      j["work_units"] = mm.work_units_executed;
+      j["sig_cache_hits"] = mm.sig_cache_hits;
+      j["sig_cache_misses"] = mm.sig_cache_misses;
+      // Which slaves this master has excluded, by node id — sdrcluster
+      // asserts the injected liar shows up here.
+      JsonValue excluded = JsonValue::Array();
+      for (NodeId slave : plan.slave_ids) {
+        if (master.IsExcluded(slave)) {
+          excluded.Append(static_cast<int64_t>(slave));
+        }
+      }
+      j["excluded_nodes"] = std::move(excluded);
+      cache_hits += mm.sig_cache_hits;
+      cache_misses += mm.sig_cache_misses;
+      JsonValue masters = JsonValue::Array();
+      masters.Append(std::move(j));
+      root["masters"] = std::move(masters);
+      break;
+    }
+    case NodeKind::kAuditor: {
+      const Auditor& auditor = *roles.auditor;
+      const AuditorMetrics& am = auditor.metrics();
+      JsonValue j = JsonValue::Object();
+      j["index"] = index;
+      j["node"] = static_cast<int64_t>(auditor.id());
+      j["pledges_received"] = am.pledges_received;
+      j["pledges_audited"] = am.pledges_audited;
+      j["pledges_version_pruned"] = am.pledges_version_pruned;
+      j["pledges_bad_signature"] = am.pledges_bad_signature;
+      j["mismatches_found"] = am.mismatches_found;
+      j["bad_read_notices_sent"] = am.bad_read_notices_sent;
+      j["cache_hits"] = am.cache_hits;
+      j["verify_batches"] = am.verify_batches;
+      j["sigs_batch_verified"] = am.sigs_batch_verified;
+      j["sig_cache_hits"] = am.sig_cache_hits;
+      j["sig_cache_misses"] = am.sig_cache_misses;
+      j["version_lag"] = auditor.version_lag();
+      j["backlog"] = auditor.backlog();
+      cache_hits += am.sig_cache_hits;
+      cache_misses += am.sig_cache_misses;
+      JsonValue auditors = JsonValue::Array();
+      auditors.Append(std::move(j));
+      root["auditors"] = std::move(auditors);
+      break;
+    }
+    case NodeKind::kSlave: {
+      const Slave& slave = *roles.slave;
+      const SlaveMetrics& sm = slave.metrics();
+      JsonValue j = JsonValue::Object();
+      j["index"] = index;
+      j["node"] = static_cast<int64_t>(slave.id());
+      j["applied_version"] = slave.applied_version();
+      j["reads_served"] = sm.reads_served;
+      j["reads_declined_stale"] = sm.reads_declined_stale;
+      j["lies_told"] = sm.lies_told;
+      j["consistent_lies_told"] = sm.consistent_lies_told;
+      j["work_units"] = sm.work_units_executed;
+      j["sig_cache_hits"] = sm.sig_cache_hits;
+      j["sig_cache_misses"] = sm.sig_cache_misses;
+      // No "excluded" flag here: exclusion is master-side state a slave
+      // process cannot observe; read it from the masters' reports.
+      cache_hits += sm.sig_cache_hits;
+      cache_misses += sm.sig_cache_misses;
+      JsonValue slaves = JsonValue::Array();
+      slaves.Append(std::move(j));
+      root["slaves"] = std::move(slaves);
+      break;
+    }
+    case NodeKind::kClient: {
+      const Client& client = *roles.client;
+      const ClientMetrics& cm = client.metrics();
+      JsonValue j = JsonValue::Object();
+      j["index"] = index;
+      j["node"] = static_cast<int64_t>(client.id());
+      j["reads_issued"] = cm.reads_issued;
+      j["reads_accepted"] = cm.reads_accepted;
+      j["reads_rejected_stale"] = cm.reads_rejected_stale;
+      j["reads_rejected_bad_sig"] = cm.reads_rejected_bad_sig;
+      j["reads_rejected_hash"] = cm.reads_rejected_hash;
+      j["double_checks_sent"] = cm.double_checks_sent;
+      j["double_check_mismatches"] = cm.double_check_mismatches;
+      j["writes_committed"] = cm.writes_committed;
+      j["bad_read_notices"] = cm.bad_read_notices;
+      j["sig_cache_hits"] = cm.sig_cache_hits;
+      j["sig_cache_misses"] = cm.sig_cache_misses;
+      j["read_latency_p50_us"] = cm.read_latency_us.Median();
+      j["read_latency_p99_us"] = cm.read_latency_us.P99();
+      cache_hits += cm.sig_cache_hits;
+      cache_misses += cm.sig_cache_misses;
+      JsonValue clients = JsonValue::Array();
+      clients.Append(std::move(j));
+      root["clients"] = std::move(clients);
+      break;
+    }
+  }
+
+  JsonValue& vc = root["verify_cache"];
+  vc["hits"] = cache_hits;
+  vc["misses"] = cache_misses;
+
+  JsonValue& net = root["network"];
+  net["messages_sent"] = env.messages_sent();
+  net["messages_delivered"] = env.messages_delivered();
+  net["bytes_sent"] = env.bytes_sent();
+  net["messages_dropped"] = env.messages_dropped();
+  net["reconnects"] = env.reconnects();
+
+  if (sink != nullptr) {
+    root["histograms"] = HistogramSummaryJson(sink->MergedHistograms());
+    JsonValue& tr = root["trace"];
+    tr["events"] = sink->total_emitted();
+    tr["dropped"] = sink->dropped();
+  }
+  return root;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags
+      .Define("config", "",
+              "node config file (required; see docs/RUNTIME.md)")
+      .Define("out", "",
+              "write the final JSON report to this file (default: stdout)")
+      .Define("stats_interval", "0",
+              "seconds between compact one-line JSON stats dumps to stdout "
+              "(0 = only the final report)")
+      .Define("trace", "true",
+              "enable the tracing subsystem (latency histograms in reports)")
+      .Define("trace_capacity", "262144", "trace ring-buffer capacity");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  const std::string config_path = flags.GetString("config");
+  if (config_path.empty()) {
+    std::fprintf(stderr, "sdrnode: --config is required\n");
+    return 1;
+  }
+  std::string config_text;
+  if (!ReadFileToString(config_path, &config_text)) {
+    std::fprintf(stderr, "sdrnode: cannot read %s\n", config_path.c_str());
+    return 1;
+  }
+  auto parsed = ParseNodeConfig(config_text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "sdrnode: %s: %s\n", config_path.c_str(),
+                 parsed.error().message().c_str());
+    return 1;
+  }
+  NodeConfig config = std::move(parsed).value();
+
+  DeploymentPlan plan = BuildDeployment(config.deployment);
+  if (config.node_id >= static_cast<NodeId>(plan.num_nodes() + 1)) {
+    std::fprintf(stderr, "sdrnode: node_id %u outside the %d-node roster\n",
+                 config.node_id, plan.num_nodes());
+    return 1;
+  }
+  const NodeKind kind = plan.KindOf(config.node_id);
+  const int index = plan.RoleIndexOf(config.node_id);
+
+  RealEnv::Options eopts;
+  eopts.listen_host = config.listen_host;
+  eopts.listen_port = config.listen_port;
+  // Private per-process stream; any collision-free derivation works, since
+  // unlike the simulator no cross-node stream sharing is possible.
+  eopts.rng_seed = config.deployment.seed * 1000003 + config.node_id;
+  eopts.epoch_realtime_us = config.epoch_us;
+  eopts.start_delay = config.start_delay_ms * kMillisecond;
+  RealEnv env(eopts);
+
+  RoleSet roles = BuildRole(plan, config, kind, index);
+  env.Attach(roles.node, config.node_id);
+  for (const auto& peer : config.peers) {
+    env.AddPeer(peer.id, peer.host, peer.port);
+  }
+
+  std::unique_ptr<TraceSink> sink;
+  if (flags.GetBool("trace")) {
+    TraceSink::Options topts;
+    topts.capacity = static_cast<size_t>(flags.GetInt("trace_capacity"));
+    sink = std::make_unique<TraceSink>(&env, topts);
+    sink->RegisterNode(config.node_id, TraceRoleFor(kind),
+                       std::string(NodeKindName(kind)) + "[" +
+                           std::to_string(index) + "]");
+    env.set_trace(sink.get());
+  }
+
+  g_env = &env;
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::fprintf(stderr, "sdrnode: node %u (%s[%d]) listening on %s:%u\n",
+               config.node_id, NodeKindName(kind), index,
+               config.listen_host.c_str(), env.listen_port());
+
+  const int64_t stats_s = flags.GetInt("stats_interval");
+  std::function<void()> stats_tick;  // re-arms itself
+  if (stats_s > 0) {
+    stats_tick = [&] {
+      JsonValue snapshot =
+          NodeReport(env, plan, kind, index, roles, sink.get());
+      std::printf("%s\n", snapshot.Dump().c_str());
+      std::fflush(stdout);
+      env.ScheduleAfter(stats_s * kSecond, [&] { stats_tick(); });
+    };
+    env.ScheduleAfter(stats_s * kSecond, [&] { stats_tick(); });
+  }
+
+  env.Run();  // until SIGINT/SIGTERM -> RequestStop
+
+  JsonValue report = NodeReport(env, plan, kind, index, roles, sink.get());
+  const std::string dump = report.Dump(2) + "\n";
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    std::printf("%s", dump.c_str());
+  } else if (!WriteFileString(out_path, dump)) {
+    return 1;
+  }
+  return 0;
+}
