@@ -184,13 +184,19 @@ int main(int argc, char** argv) {
     }
   });
 
-  auto report = [&](const char* name, double secs) {
+  auto report = [&](const char* name, const std::string& bench_name,
+                    double secs) {
     Row("%-34s %12.0f %14.2f %8.1fx", name, kN / secs, 1e6 * secs / kN,
         slave_secs / secs);
+    ReportBenchmark("E4_pipeline/" + bench_name, static_cast<int64_t>(kN),
+                    1e3 * secs, 1e3 * secs, "ms",
+                    {{"reads_per_sec", static_cast<double>(kN) / secs},
+                     {"us_per_read", 1e6 * secs / static_cast<double>(kN)},
+                     {"speedup_vs_slave", slave_secs / secs}});
   };
-  report("slave: exec+hash+sign", slave_secs);
-  report("auditor: exec+hash (no sign)", nocache_secs);
-  report("auditor: + result cache", cache_secs);
+  report("slave: exec+hash+sign", "slave", slave_secs);
+  report("auditor: exec+hash (no sign)", "auditor_nocache", nocache_secs);
+  report("auditor: + result cache", "auditor_cached", cache_secs);
   Row("  cache hit rate: %.0f%% (%llu/%zu)",
       100.0 * static_cast<double>(hits) / static_cast<double>(kN),
       static_cast<unsigned long long>(hits), kN);

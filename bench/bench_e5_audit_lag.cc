@@ -23,6 +23,9 @@ struct Series {
   std::vector<double> backlog;
   uint64_t received = 0;
   uint64_t audited = 0;
+  uint64_t deduped = 0;
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
   size_t final_backlog = 0;
 };
 
@@ -71,6 +74,9 @@ Series Run(double auditor_speed, double sample_fraction, bool use_cache,
   }
   s.received = cluster.auditor().metrics().pledges_received;
   s.audited = cluster.auditor().metrics().pledges_audited;
+  s.deduped = cluster.auditor().metrics().pledges_deduped;
+  s.memo_hits = cluster.auditor().metrics().reexec_memo_hits;
+  s.memo_misses = cluster.auditor().metrics().reexec_memo_misses;
   s.final_backlog = cluster.auditor().backlog();
   return s;
 }
@@ -92,6 +98,9 @@ void ReportSeries(const char* bench_name, const Series& s) {
                   virtual_s, "s",
                   {{"pledges_received", static_cast<double>(s.received)},
                    {"pledges_audited", static_cast<double>(s.audited)},
+                   {"pledges_deduped", static_cast<double>(s.deduped)},
+                   {"reexec_memo_hits", static_cast<double>(s.memo_hits)},
+                   {"reexec_memo_misses", static_cast<double>(s.memo_misses)},
                    {"backlog_peak", peak},
                    {"backlog_mean", mean},
                    {"backlog_final", static_cast<double>(s.final_backlog)}});

@@ -41,9 +41,10 @@ double MeasureRealSeconds(const std::function<void()>& fn) {
 // overhead mode — reads, pledge forwarding, audits, double-checks, one
 // lying slave. Virtual seconds are fixed, so the event count is
 // deterministic; wall time is what the hot path buys down.
-void BenchE4Events() {
+void BenchE4Events(int jobs) {
   ClusterConfig config;
   config.seed = 7;
+  config.audit_jobs = jobs;  // events and outputs are identical at any value
   config.num_masters = 1;
   config.slaves_per_master = 2;
   config.num_clients = 4;
@@ -80,7 +81,8 @@ void BenchE4Events() {
       "E4 workload events/sec", events_per_sec, 1e3 * best, events, kReps);
   ReportBenchmark("sim_core/e4_events", kReps, 1e3 * best, 1e3 * best, "ms",
                   {{"events_per_second", events_per_sec},
-                   {"events", static_cast<double>(events)}});
+                   {"events", static_cast<double>(events)},
+                   {"jobs", static_cast<double>(jobs)}});
 }
 
 // ---- E4-shaped simulator-core workload (no protocol compute) --------------
@@ -374,7 +376,7 @@ int main(int argc, char** argv) {
   Note("churn and fanout isolate the queue and the payload path; sweep");
   Note("runs an 8-seed chaos sweep at --jobs worker threads.");
   BenchE4Shape();
-  BenchE4Events();
+  BenchE4Events(jobs);
   BenchChurn();
   BenchFanout();
   BenchSweep(jobs);

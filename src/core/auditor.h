@@ -17,12 +17,39 @@
 //   - it sends no answers back to clients,
 //   - it caches results of repeated queries,
 //   - it spreads work over idle periods (it is a background queue).
+//
+// The audit pipeline processes admitted pledges in batches:
+//
+//   1. Admission dedup. Pledges in a batch are grouped by
+//      (content_version, canonical query encoding); one group leader pays
+//      for resolving the correct result, every follower is charged only a
+//      hash comparison. Each pledge's result_sha1 is still compared
+//      individually — a forged pledge hiding behind an honest twin is
+//      caught by its own comparison, never skipped.
+//   2. Cross-version memo. Correct result hashes are memoized per query
+//      with a validity interval [first, last] of content versions. A
+//      lookup at a version outside the interval tries to extend it by
+//      proving (QueryAffectedBy) that every intervening committed write
+//      batch misses the query's key footprint; committed versions are
+//      immutable, so an extension is a proof, not a heuristic. Entries die
+//      when their newest version finalizes.
+//   3. Re-execution pool. Groups that must actually execute fan out over a
+//      persistent WorkerPool (--audit_jobs lanes): snapshot
+//      materialization and query execution run on worker threads against
+//      the immutable oplog, each lane owning its QueryExecutor. Results
+//      land in pre-sized per-group slots and are merged on the simulation
+//      thread in deterministic batch order, so verdicts, metrics, and
+//      traces are byte-identical at any lane count. The pool threads never
+//      touch the Env: simulated service times are charged per pledge on
+//      the ordinary ServiceQueue exactly as before, so the simulated
+//      domain cannot observe the host-side parallelism.
 #ifndef SDR_SRC_CORE_AUDITOR_H_
 #define SDR_SRC_CORE_AUDITOR_H_
 
 #include <deque>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "src/broadcast/total_order.h"
 #include "src/core/config.h"
@@ -32,6 +59,7 @@
 #include "src/runtime/env.h"
 #include "src/store/executor.h"
 #include "src/store/oplog.h"
+#include "src/util/parallel.h"
 
 namespace sdr {
 
@@ -45,8 +73,13 @@ class Auditor : public Node {
     std::map<NodeId, Bytes> master_keys;
     uint64_t snapshot_interval = 16;
     TotalOrderBroadcast::Config broadcast;
-    // Ablation toggles (all true = the paper's auditor).
+    // Ablation toggles (all true = the paper's auditor). Disabling the
+    // result cache also disables admission dedup and the cross-version
+    // memo: every pledge pays full re-execution.
     bool use_result_cache = true;
+    // Host worker lanes for the re-execution pool. 1 = no threads, fully
+    // inline; any value produces byte-identical outputs (see above).
+    int audit_jobs = 1;
   };
 
   explicit Auditor(Options options);
@@ -70,6 +103,7 @@ class Auditor : public Node {
   const AuditorMetrics& metrics() const {
     metrics_.sig_cache_hits = verify_cache_.stats().hits;
     metrics_.sig_cache_misses = verify_cache_.stats().misses;
+    metrics_.sig_cache_evictions = verify_cache_.stats().evictions;
     return metrics_;
   }
   uint64_t head_version() const { return oplog_.head_version(); }
@@ -97,13 +131,35 @@ class Auditor : public Node {
     uint64_t trace_id = 0;
   };
 
+  // A memoized correct-result hash, valid for every content version in
+  // [first, last] (proven write-disjoint; see MemoLookup).
+  struct MemoEntry {
+    uint64_t first = 0;
+    uint64_t last = 0;
+    Bytes sha1;
+  };
+
   void OnDelivered(uint64_t seq, NodeId origin, const Bytes& payload);
   void PumpCommitQueue();
   void HandleAuditSubmit(NodeId from, BytesView body);
   void GossipAndFinalizeTick();
   void EnqueueForVerify(Pledge pledge, NodeId submitter, uint64_t trace_id);
   void FlushVerifyBatch();
-  void AuditOne(Pledge pledge, NodeId submitter, uint64_t trace_id);
+  // Audits a batch of signature-verified pledges at committed versions:
+  // dedup -> memo -> pooled re-execution -> deterministic merge -> one
+  // ServiceQueue entry per pledge (the comparison closure).
+  void AuditBatch(std::vector<PendingPledge> ready);
+  // The memo entry covering (query, version), extending an adjacent
+  // entry's validity interval when the intervening batches provably miss
+  // the query. nullptr = must re-execute.
+  const MemoEntry* MemoLookup(const Bytes& query_key, const Query& q,
+                              uint64_t version);
+  void MemoInsert(const Bytes& query_key, uint64_t version, Bytes sha1);
+  // The re-execution pool, created on first use (never for jobs <= 1).
+  WorkerPool* EnsurePool();
+  // Runs fn(lane, index) over [0, n): on the pool when enabled, inline
+  // otherwise. Callers merge results on the calling thread in index order.
+  void PoolRun(int n, const std::function<void(int, int)>& fn);
   void TryFinalizeVersions();
   void RaiseAccusation(const Pledge& pledge, uint64_t trace_id);
   void NotifyVictim(NodeId client, const Pledge& pledge,
@@ -116,7 +172,10 @@ class Auditor : public Node {
   std::unique_ptr<ServiceQueue> queue_;
 
   OpLog oplog_;
-  QueryExecutor executor_;
+  // One executor per pool lane (index 0 = the simulation thread), so the
+  // regex cache needs no locking.
+  std::vector<std::unique_ptr<QueryExecutor>> lane_executors_;
+  std::unique_ptr<WorkerPool> pool_;
   std::map<uint64_t, SimTime> commit_times_;  // version -> delivery time
 
   // Versions strictly below audited_version_ are closed: every pledge for
@@ -148,8 +207,10 @@ class Auditor : public Node {
   SimTime last_commit_time_ = 0;
   bool commit_timer_armed_ = false;
 
-  // Result cache: (version, query-encoding) -> result SHA-1.
-  std::map<std::pair<uint64_t, Bytes>, Bytes> cache_;
+  // Cross-version memo: canonical query encoding -> validity-interval
+  // entries (newest last, at most two per query — current interval plus
+  // the one a racing in-flight version may still need).
+  std::map<Bytes, std::vector<MemoEntry>> memo_;
 
   std::map<NodeId, Certificate> known_slave_certs_;
   std::map<NodeId, NodeId> slave_owner_;

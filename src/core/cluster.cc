@@ -124,6 +124,7 @@ Cluster::Cluster(ClusterConfig config)
     opts.snapshot_interval = config_.snapshot_interval;
     opts.broadcast = config_.broadcast;
     opts.use_result_cache = config_.auditor_use_cache;
+    opts.audit_jobs = config_.audit_jobs;
     auditors_.push_back(std::make_unique<Auditor>(std::move(opts)));
     got = net_.AddNode(auditors_.back().get());
     CheckId(got, auditor_ids[i]);

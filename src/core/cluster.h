@@ -67,6 +67,10 @@ struct ClusterConfig {
   // ablates it.
   bool auditor_use_cache = true;
 
+  // Host worker lanes for the auditor's re-execution engine. Purely a
+  // host-CPU knob: every simulated output is byte-identical at any value.
+  int audit_jobs = 1;
+
   uint64_t snapshot_interval = 16;
   TotalOrderBroadcast::Config broadcast;
 

@@ -42,6 +42,11 @@ struct ProtocolParams {
   uint32_t audit_verify_batch_size = 16;
   SimTime audit_verify_batch_window = 50 * kMillisecond;
 
+  // Capacity of the auditor's verify-dedup cache (entries, LRU). Sized so
+  // the working set of version tokens plus recently re-checked pledge
+  // signatures fits; evictions are counted in sig_cache_evictions.
+  uint32_t audit_verify_cache_entries = 1024;
+
   // Whether masters exclude slaves proven malicious. Disabling this is an
   // experimentation knob: it exposes steady-state wrong-answer rates that
   // exclusion would otherwise quickly drive to zero.

@@ -91,12 +91,25 @@ struct AuditorMetrics {
   uint64_t cache_hits = 0;
   uint64_t versions_finalized = 0;
   uint64_t work_units_executed = 0;
+  // Admission dedup: pledges answered by comparing against a twin's
+  // re-execution in the same batch (one exec, N comparisons).
+  uint64_t pledges_deduped = 0;
+  // Cross-version memo over the committed snapshot: hits reuse a prior
+  // re-execution whose validity interval covers the pledged version;
+  // misses are actual query executions.
+  uint64_t reexec_memo_hits = 0;
+  uint64_t reexec_memo_misses = 0;
+  // Work items (snapshot builds + re-executions) handed to the worker
+  // pool. Counts dispatched work, not thread occupancy, so it is
+  // identical at any --audit_jobs value.
+  uint64_t audit_workers_busy = 0;
   // Batched up-front signature verification of submitted pledges.
   uint64_t verify_batches = 0;
   uint64_t sigs_batch_verified = 0;
   // Verify-dedup cache (version tokens shared across pledges).
   uint64_t sig_cache_hits = 0;
   uint64_t sig_cache_misses = 0;
+  uint64_t sig_cache_evictions = 0;
   // Sampled at finalization: how far behind the head the auditor runs.
   Percentiles version_lag;
   Percentiles backlog_depth;

@@ -1,8 +1,11 @@
 #include "src/crypto/signer.h"
 
+#include <algorithm>
+
 #include "src/crypto/ed25519.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha2.h"
+#include "src/util/parallel.h"
 
 namespace sdr {
 
@@ -159,12 +162,24 @@ bool VerifyCache::Verify(SignatureScheme scheme, const Bytes& public_key,
 }
 
 std::vector<bool> VerifyCache::VerifyBatch(SignatureScheme scheme,
-                                           const std::vector<VerifyItem>& items) {
+                                           const std::vector<VerifyItem>& items,
+                                           WorkerPool* pool) {
   if (scheme == SignatureScheme::kNull) {
     return VerifySignatureBatch(scheme, items);
   }
   std::vector<bool> out(items.size(), false);
   std::vector<Key> keys(items.size());
+  if (pool != nullptr && pool->jobs() > 1 && items.size() >= 8) {
+    pool->Run(static_cast<int>(items.size()), [&](int, int i) {
+      keys[i] = MakeKey(scheme, items[i].public_key, items[i].message,
+                        items[i].signature);
+    });
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      keys[i] = MakeKey(scheme, items[i].public_key, items[i].message,
+                        items[i].signature);
+    }
+  }
   // item index -> slot in the deduplicated miss list. Duplicates inside one
   // batch (the same version token on many pledges) are verified once.
   std::vector<size_t> miss_slot(items.size());
@@ -173,8 +188,6 @@ std::vector<bool> VerifyCache::VerifyBatch(SignatureScheme scheme,
   std::vector<size_t> miss_idx;
   std::vector<VerifyItem> misses;
   for (size_t i = 0; i < items.size(); ++i) {
-    keys[i] = MakeKey(scheme, items[i].public_key, items[i].message,
-                      items[i].signature);
     auto dup = pending.find(keys[i]);
     if (dup != pending.end()) {
       ++stats_.hits;
@@ -193,7 +206,33 @@ std::vector<bool> VerifyCache::VerifyBatch(SignatureScheme scheme,
     misses.push_back(items[i]);
   }
   if (!misses.empty()) {
-    std::vector<bool> verdicts = VerifySignatureBatch(scheme, misses);
+    std::vector<bool> verdicts;
+    if (pool != nullptr && pool->jobs() > 1 && misses.size() >= 2) {
+      // Shard the misses into contiguous per-lane sub-batches. Each lane's
+      // verification is independent; per-item verdicts do not depend on
+      // which sub-batch an item landed in.
+      int lanes = std::min<int>(pool->jobs(), static_cast<int>(misses.size()));
+      size_t per = (misses.size() + lanes - 1) / static_cast<size_t>(lanes);
+      verdicts.resize(misses.size(), false);
+      std::vector<std::vector<bool>> shard(static_cast<size_t>(lanes));
+      pool->Run(lanes, [&](int, int c) {
+        size_t lo = static_cast<size_t>(c) * per;
+        size_t hi = std::min(misses.size(), lo + per);
+        if (lo >= hi) {
+          return;
+        }
+        std::vector<VerifyItem> sub(misses.begin() + lo, misses.begin() + hi);
+        shard[c] = VerifySignatureBatch(scheme, sub);
+      });
+      for (int c = 0; c < lanes; ++c) {
+        size_t lo = static_cast<size_t>(c) * per;
+        for (size_t k = 0; k < shard[c].size(); ++k) {
+          verdicts[lo + k] = shard[c][k];
+        }
+      }
+    } else {
+      verdicts = VerifySignatureBatch(scheme, misses);
+    }
     for (size_t i : miss_idx) {
       out[i] = verdicts[miss_slot[i]];
     }

@@ -29,6 +29,7 @@
 namespace sdr {
 
 struct Ed25519ExpandedKey;
+class WorkerPool;
 
 enum class SignatureScheme : uint8_t {
   kEd25519 = 0,
@@ -111,8 +112,16 @@ class VerifyCache {
   // Cached equivalent of VerifySignatureBatch: hits are answered from the
   // cache, the remaining misses go through one batch verification, and
   // their verdicts are inserted.
+  //
+  // With a WorkerPool the pure-compute phases — cache-key hashing and the
+  // miss verifications (sharded into per-lane sub-batches) — fan out across
+  // its lanes; cache lookups and inserts stay on the calling thread. The
+  // verdict vector is a function of the items alone, so it is byte-identical
+  // at any lane count (sub-batch boundaries cannot change per-item truth:
+  // batch verification reports exact per-item validity).
   std::vector<bool> VerifyBatch(SignatureScheme scheme,
-                                const std::vector<VerifyItem>& items);
+                                const std::vector<VerifyItem>& items,
+                                WorkerPool* pool = nullptr);
 
   const Stats& stats() const { return stats_; }
   size_t size() const { return map_.size(); }

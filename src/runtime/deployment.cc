@@ -142,6 +142,7 @@ Auditor::Options AuditorOptionsFor(const DeploymentPlan& plan, int index) {
     opts.group.push_back(a);
   }
   opts.master_keys = plan.master_key_map;
+  opts.audit_jobs = plan.config.audit_jobs;
   return opts;
 }
 
@@ -254,6 +255,8 @@ Result<NodeConfig> ParseNodeConfig(const std::string& text) {
       if (!(ls >> config.deployment.client_write_fraction)) {
         return fail("bad write_fraction");
       }
+    } else if (key == "audit_jobs") {
+      if (!(ls >> config.deployment.audit_jobs)) return fail("bad audit_jobs");
     } else if (key == "liar_index") {
       if (!(ls >> config.liar_index)) return fail("bad liar_index");
     } else if (key == "lie_probability") {
@@ -306,6 +309,7 @@ std::string FormatNodeConfig(const NodeConfig& config) {
   out << "think_ms " << config.deployment.client_think_time / kMillisecond
       << "\n";
   out << "write_fraction " << config.deployment.client_write_fraction << "\n";
+  out << "audit_jobs " << config.deployment.audit_jobs << "\n";
   out << "liar_index " << config.liar_index << "\n";
   out << "lie_probability " << config.lie_probability << "\n";
   out << "epoch_us " << config.epoch_us << "\n";

@@ -51,6 +51,10 @@ struct DeploymentConfig {
   // Client load shape (closed-loop in real deployments).
   SimTime client_think_time = 100 * kMillisecond;
   double client_write_fraction = 0.0;
+
+  // Worker lanes for the auditor's re-execution engine (host CPU only;
+  // every protocol-visible output is identical at any value).
+  int audit_jobs = 1;
 };
 
 enum class NodeKind : uint8_t {

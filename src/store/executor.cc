@@ -216,4 +216,26 @@ Result<QueryExecutor::Outcome> QueryExecutor::Execute(
   return Error(ErrorCode::kInvalidArgument, "unknown query kind");
 }
 
+bool QueryAffectedBy(const Query& q, const WriteBatch& batch) {
+  if (q.kind == QueryKind::kGet) {
+    for (const WriteOp& op : batch) {
+      if (op.key == q.key) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // Range footprint: [range_lo, range_hi), empty bound = unbounded.
+  for (const WriteOp& op : batch) {
+    if (!q.range_lo.empty() && op.key < q.range_lo) {
+      continue;
+    }
+    if (!q.range_hi.empty() && op.key >= q.range_hi) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
 }  // namespace sdr

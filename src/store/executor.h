@@ -77,6 +77,15 @@ class QueryExecutor {
   uint64_t regex_cache_hits_ = 0;
 };
 
+// True when applying `batch` could change the result of `q`: some written
+// (or deleted) key falls inside the query's key footprint. GET reads one
+// key; every other kind reads [range_lo, range_hi) with "" meaning
+// unbounded on either side. Conservative — a touched key inside the range
+// counts as interference even if the value is unchanged — so a `false` is
+// a proof that re-executing `q` before and after the batch yields the same
+// result. The auditor's cross-version memo rides on that proof.
+bool QueryAffectedBy(const Query& q, const WriteBatch& batch);
+
 }  // namespace sdr
 
 #endif  // SDR_SRC_STORE_EXECUTOR_H_

@@ -57,6 +57,35 @@ Result<DocumentStore> OpLog::MaterializeAt(uint64_t version) const {
   return store;
 }
 
+std::shared_ptr<const DocumentStore> OpLog::CachedSnapshot(
+    uint64_t version) const {
+  auto it = shared_.find(version);
+  return it == shared_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const DocumentStore> OpLog::AdoptSnapshot(
+    uint64_t version, DocumentStore store) {
+  auto it = shared_.find(version);
+  if (it != shared_.end()) {
+    return it->second;
+  }
+  auto shared = std::make_shared<const DocumentStore>(std::move(store));
+  shared_[version] = shared;
+  return shared;
+}
+
+Result<std::shared_ptr<const DocumentStore>> OpLog::MaterializeShared(
+    uint64_t version) {
+  if (auto cached = CachedSnapshot(version)) {
+    return cached;
+  }
+  auto store = MaterializeAt(version);
+  if (!store.ok()) {
+    return store.error();
+  }
+  return AdoptSnapshot(version, std::move(store).value());
+}
+
 void OpLog::PruneBelow(uint64_t version) {
   // Keep the newest snapshot at or below `version` so MaterializeAt(version)
   // still works; drop everything older.
@@ -71,6 +100,8 @@ void OpLog::PruneBelow(uint64_t version) {
   // kept snapshot can never be replayed again.
   uint64_t floor = snapshots_.empty() ? version : snapshots_.begin()->first;
   batches_.erase(batches_.begin(), batches_.upper_bound(floor));
+  // Shared materializations below `version` can never be requested again.
+  shared_.erase(shared_.begin(), shared_.lower_bound(version));
 }
 
 }  // namespace sdr

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/store/document_store.h"
@@ -35,7 +36,34 @@ class OpLog {
   // Materializes the store contents at `version` (0 = empty initial
   // content unless a base snapshot was installed). Fails for versions
   // beyond head.
+  //
+  // Thread-safety: const and touches no mutable state, so concurrent calls
+  // are safe as long as nothing mutates the log — the auditor's re-execution
+  // pool relies on this (the owning thread is blocked inside the fork-join
+  // while lanes materialize).
   Result<DocumentStore> MaterializeAt(uint64_t version) const;
+
+  // Shared-snapshot cache: committed versions are immutable, so the store
+  // at a version can be materialized once and handed out by reference to
+  // every re-execution against it, instead of a full map copy per query
+  // (the auditor's old per-pledge MaterializeAt dominated its host CPU).
+  // Entries are dropped by PruneBelow alongside the batches.
+
+  // The cached shared snapshot at `version`, or nullptr if none is cached.
+  std::shared_ptr<const DocumentStore> CachedSnapshot(uint64_t version) const;
+
+  // Installs `store` as the shared snapshot for `version` (first insert
+  // wins) and returns the cached pointer. The caller asserts `store` is the
+  // materialization of `version`; typically it came from MaterializeAt on a
+  // worker lane.
+  std::shared_ptr<const DocumentStore> AdoptSnapshot(uint64_t version,
+                                                     DocumentStore store);
+
+  // CachedSnapshot, materializing and caching on miss.
+  Result<std::shared_ptr<const DocumentStore>> MaterializeShared(
+      uint64_t version);
+
+  size_t shared_snapshots() const { return shared_.size(); }
 
   // Installs the initial content as version 0 (e.g. the corpus the owner
   // created before replication starts).
@@ -57,6 +85,8 @@ class OpLog {
   DocumentStore head_store_;
   std::map<uint64_t, WriteBatch> batches_;      // version -> batch
   std::map<uint64_t, DocumentStore> snapshots_;  // version -> full copy
+  // Immutable materializations handed out to re-executors; see above.
+  std::map<uint64_t, std::shared_ptr<const DocumentStore>> shared_;
 };
 
 }  // namespace sdr

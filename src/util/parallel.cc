@@ -1,0 +1,89 @@
+#include "src/util/parallel.h"
+
+namespace sdr {
+
+WorkerPool::WorkerPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {
+  threads_.reserve(static_cast<size_t>(jobs_ - 1));
+  for (int lane = 1; lane < jobs_; ++lane) {
+    threads_.emplace_back([this, lane] { WorkerMain(lane); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::Run(int n, const std::function<void(int, int)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (threads_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) {
+      fn(0, i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    total_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<int>(threads_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller is lane 0: it steals indices alongside the workers, so a
+  // Run() is never slower than the inline loop it replaces.
+  for (;;) {
+    int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      break;
+    }
+    fn(0, i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerMain(int lane) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int, int)>* fn = nullptr;
+    int n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen] { return stop_ || epoch_ != seen; });
+      if (stop_) {
+        return;
+      }
+      // Run() cannot start epoch k+1 until every worker has drained epoch
+      // k (active_ == 0), so each worker observes each epoch exactly once.
+      seen = epoch_;
+      fn = fn_;
+      n = total_;
+    }
+    for (;;) {
+      int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        break;
+      }
+      (*fn)(lane, i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace sdr

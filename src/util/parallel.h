@@ -1,0 +1,74 @@
+// A small persistent fork-join worker pool for pure-compute parallel
+// sections (the auditor's re-execution engine, batched signature
+// verification). Design constraints, in order:
+//
+//   1. Determinism: the pool runs *functions of the index only*. Which lane
+//      executes which index is scheduling noise; callers write results into
+//      pre-sized per-index slots and merge them on the calling thread in
+//      index order, so every observable byte is identical at any lane
+//      count. This mirrors the parallel seed-sweep discipline (PR 5).
+//   2. Cheap dispatch: the auditor flushes thousands of small batches per
+//      run, so lanes are persistent threads woken by condition variable —
+//      not a thread spawn per batch (RunIndexedParallel in bench_util spawns
+//      per call, fine for 4 long trials, ruinous for 7k flushes).
+//   3. Thread confinement: the callback receives the executing lane id so
+//      callers can keep per-lane mutable state (a QueryExecutor's regex
+//      cache) without locks.
+//
+// Indices are claimed from a shared atomic counter (work stealing), so a
+// lane stuck on one expensive GREP does not leave the others idle behind a
+// static stride.
+//
+// `jobs <= 1` creates no threads and Run() executes inline on the caller —
+// the single-lane engine and the pooled engine are the same code path.
+#ifndef SDR_SRC_UTIL_PARALLEL_H_
+#define SDR_SRC_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdr {
+
+class WorkerPool {
+ public:
+  // `jobs` lanes total: the calling thread participates as lane 0 and
+  // jobs - 1 worker threads are spawned (none for jobs <= 1).
+  explicit WorkerPool(int jobs);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  // Runs fn(lane, index) for every index in [0, n), blocking until all
+  // complete. `lane` is in [0, jobs); fn must not touch shared mutable
+  // state except per-index or per-lane slots. Exceptions must not escape fn.
+  void Run(int n, const std::function<void(int lane, int index)>& fn);
+
+ private:
+  void WorkerMain(int lane);
+
+  int jobs_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;   // caller waits for workers to drain
+  const std::function<void(int, int)>* fn_ = nullptr;  // valid within epoch
+  int total_ = 0;
+  uint64_t epoch_ = 0;  // bumped per Run; each worker joins each epoch once
+  int active_ = 0;      // workers still inside the current epoch
+  bool stop_ = false;
+
+  std::atomic<int> next_{0};  // next unclaimed index of the current epoch
+};
+
+}  // namespace sdr
+
+#endif  // SDR_SRC_UTIL_PARALLEL_H_

@@ -40,6 +40,9 @@ int main(int argc, char** argv) {
               "minimum accepted reads/sec outside partitions")
       .Define("jobs", "1", "worker threads for the sweep (report bytes are "
               "identical for any value)")
+      .Define("audit_jobs", "1",
+              "host worker lanes inside each auditor's re-execution engine "
+              "(report bytes are identical for any value)")
       .Define("fail_on_violation", "false",
               "exit nonzero when any invariant fails");
   if (!flags.Parse(argc, argv)) {
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
   config.default_link =
       LinkModel{flags.GetInt("link_ms") * kMillisecond,
                 flags.GetInt("link_ms") * kMillisecond / 2, 0.0};
+  config.audit_jobs = static_cast<int>(flags.GetInt("audit_jobs"));
 
   std::string scheme = flags.GetString("scheme");
   if (scheme == "hmac") {
@@ -108,8 +112,8 @@ int main(int argc, char** argv) {
               config.num_clients, scheme.c_str(), sweep.num_seeds,
               static_cast<long long>(flags.GetInt("seconds")));
   for (const auto& [name, value] : flags.NonDefault()) {
-    if (name == "jobs") {
-      continue;  // --jobs must not change output bytes
+    if (name == "jobs" || name == "audit_jobs") {
+      continue;  // host-parallelism knobs must not change output bytes
     }
     std::printf("  --%s=%s\n", name.c_str(), value.c_str());
   }

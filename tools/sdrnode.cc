@@ -218,10 +218,15 @@ JsonValue NodeReport(const RealEnv& env, const DeploymentPlan& plan,
       j["mismatches_found"] = am.mismatches_found;
       j["bad_read_notices_sent"] = am.bad_read_notices_sent;
       j["cache_hits"] = am.cache_hits;
+      j["pledges_deduped"] = am.pledges_deduped;
+      j["reexec_memo_hits"] = am.reexec_memo_hits;
+      j["reexec_memo_misses"] = am.reexec_memo_misses;
+      j["audit_workers_busy"] = am.audit_workers_busy;
       j["verify_batches"] = am.verify_batches;
       j["sigs_batch_verified"] = am.sigs_batch_verified;
       j["sig_cache_hits"] = am.sig_cache_hits;
       j["sig_cache_misses"] = am.sig_cache_misses;
+      j["sig_cache_evictions"] = am.sig_cache_evictions;
       j["version_lag"] = auditor.version_lag();
       j["backlog"] = auditor.backlog();
       cache_hits += am.sig_cache_hits;

@@ -114,6 +114,13 @@ void PrintReport(Cluster& cluster) {
                 cluster.auditor(a).backlog(),
                 (unsigned long long)am.pledges_version_pruned,
                 (unsigned long long)am.pledges_bad_signature);
+    std::printf("    engine: deduped=%llu memo-hits=%llu memo-misses=%llu "
+                "pool-work=%llu sig-evictions=%llu\n",
+                (unsigned long long)am.pledges_deduped,
+                (unsigned long long)am.reexec_memo_hits,
+                (unsigned long long)am.reexec_memo_misses,
+                (unsigned long long)am.audit_workers_busy,
+                (unsigned long long)am.sig_cache_evictions);
   }
   std::printf("network: %llu messages sent, %llu delivered, %.1f MB\n",
               (unsigned long long)cluster.net().messages_sent(),
@@ -236,10 +243,15 @@ JsonValue JsonReport(Cluster& cluster, const ChaosController* controller) {
     j["mismatches_found"] = am.mismatches_found;
     j["bad_read_notices_sent"] = am.bad_read_notices_sent;
     j["cache_hits"] = am.cache_hits;
+    j["pledges_deduped"] = am.pledges_deduped;
+    j["reexec_memo_hits"] = am.reexec_memo_hits;
+    j["reexec_memo_misses"] = am.reexec_memo_misses;
+    j["audit_workers_busy"] = am.audit_workers_busy;
     j["verify_batches"] = am.verify_batches;
     j["sigs_batch_verified"] = am.sigs_batch_verified;
     j["sig_cache_hits"] = am.sig_cache_hits;
     j["sig_cache_misses"] = am.sig_cache_misses;
+    j["sig_cache_evictions"] = am.sig_cache_evictions;
     j["version_lag"] = cluster.auditor(a).version_lag();
     j["backlog"] = cluster.auditor(a).backlog();
     cache_hits += am.sig_cache_hits;
@@ -313,6 +325,11 @@ int main(int argc, char** argv) {
       .Define("link_ms", "5", "one-way link latency")
       .Define("grep_weight", "0.10", "query-mix weight of GREP")
       .Define("auditor_cache", "true", "auditor result cache")
+      .Define("audit_jobs", "1",
+              "host worker lanes for the auditor's re-execution engine "
+              "(host CPU only; the report is byte-identical at any value)")
+      .Define("audit_verify_cache", "1024",
+              "auditor verify-dedup cache capacity (entries)")
       .Define("ground_truth", "true", "validate accepted reads")
       .Define("scenario", "",
               "chaos scenario applied during the run (see docs/CHAOS.md)")
@@ -354,6 +371,9 @@ int main(int argc, char** argv) {
                 flags.GetInt("link_ms") * kMillisecond / 2, 0.0};
   config.mix.grep_weight = flags.GetDouble("grep_weight");
   config.auditor_use_cache = flags.GetBool("auditor_cache");
+  config.audit_jobs = static_cast<int>(flags.GetInt("audit_jobs"));
+  config.params.audit_verify_cache_entries =
+      static_cast<uint32_t>(flags.GetInt("audit_verify_cache"));
   config.track_ground_truth = flags.GetBool("ground_truth");
 
   std::string scheme = flags.GetString("scheme");
@@ -416,6 +436,9 @@ int main(int argc, char** argv) {
     std::printf("seed: %llu\n",
                 static_cast<unsigned long long>(config.seed));
     for (const auto& [name, value] : flags.NonDefault()) {
+      if (name == "audit_jobs") {
+        continue;  // host-only knob; keep the report jobs-invariant
+      }
       std::printf("  --%s=%s\n", name.c_str(), value.c_str());
     }
   }
@@ -455,6 +478,9 @@ int main(int argc, char** argv) {
                                                           : &controller);
     JsonValue fl = JsonValue::Object();
     for (const auto& [name, value] : flags.NonDefault()) {
+      if (name == "audit_jobs") {
+        continue;  // host-only knob; keep the artifact jobs-invariant
+      }
       fl[name] = value;
     }
     root["flags"] = std::move(fl);
