@@ -173,7 +173,9 @@ class Auditor : public Node {
 
   OpLog oplog_;
   // One executor per pool lane (index 0 = the simulation thread), so the
-  // regex cache needs no locking.
+  // regex cache needs no locking. Inside a pool region each lane may only
+  // touch its own slot — sdrlint R6 enforces the [lane] subscript.
+  // sdrlint:lane_confined
   std::vector<std::unique_ptr<QueryExecutor>> lane_executors_;
   std::unique_ptr<WorkerPool> pool_;
   std::map<uint64_t, SimTime> commit_times_;  // version -> delivery time

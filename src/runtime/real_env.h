@@ -155,6 +155,8 @@ class RealEnv final : public Env {
   TimerQueue timers_;
   std::map<NodeId, Peer> peers_;
   std::map<int, Inbound> inbound_;  // by fd
+  // sdrlint:shared_atomic — set by Stop() from signal/other threads,
+  // polled by the event loop
   std::atomic<bool> stop_{false};
   bool running_ = false;
 

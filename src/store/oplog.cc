@@ -59,19 +59,23 @@ Result<DocumentStore> OpLog::MaterializeAt(uint64_t version) const {
 
 std::shared_ptr<const DocumentStore> OpLog::CachedSnapshot(
     uint64_t version) const {
+  std::lock_guard<std::mutex> lock(shared_mu_);
   auto it = shared_.find(version);
   return it == shared_.end() ? nullptr : it->second;
 }
 
 std::shared_ptr<const DocumentStore> OpLog::AdoptSnapshot(
     uint64_t version, DocumentStore store) {
+  // Build outside the lock (a DocumentStore move is cheap, but the
+  // make_shared allocation need not serialize lanes), insert under it.
+  auto built = std::make_shared<const DocumentStore>(std::move(store));
+  std::lock_guard<std::mutex> lock(shared_mu_);
   auto it = shared_.find(version);
   if (it != shared_.end()) {
-    return it->second;
+    return it->second;  // first insert won; drop ours
   }
-  auto shared = std::make_shared<const DocumentStore>(std::move(store));
-  shared_[version] = shared;
-  return shared;
+  shared_[version] = built;
+  return built;
 }
 
 Result<std::shared_ptr<const DocumentStore>> OpLog::MaterializeShared(
@@ -101,6 +105,7 @@ void OpLog::PruneBelow(uint64_t version) {
   uint64_t floor = snapshots_.empty() ? version : snapshots_.begin()->first;
   batches_.erase(batches_.begin(), batches_.upper_bound(floor));
   // Shared materializations below `version` can never be requested again.
+  std::lock_guard<std::mutex> lock(shared_mu_);
   shared_.erase(shared_.begin(), shared_.lower_bound(version));
 }
 

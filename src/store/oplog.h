@@ -12,10 +12,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/store/document_store.h"
 #include "src/util/result.h"
+#include "src/util/thread_annotations.h"
 
 namespace sdr {
 
@@ -48,6 +50,11 @@ class OpLog {
   // every re-execution against it, instead of a full map copy per query
   // (the auditor's old per-pledge MaterializeAt dominated its host CPU).
   // Entries are dropped by PruneBelow alongside the batches.
+  //
+  // Unlike the rest of OpLog (single-writer, lanes read only through the
+  // const MaterializeAt), the cache map itself is guarded by shared_mu_ so
+  // worker lanes may probe and adopt concurrently; the DocumentStores it
+  // hands out are immutable and need no lock.
 
   // The cached shared snapshot at `version`, or nullptr if none is cached.
   std::shared_ptr<const DocumentStore> CachedSnapshot(uint64_t version) const;
@@ -63,7 +70,10 @@ class OpLog {
   Result<std::shared_ptr<const DocumentStore>> MaterializeShared(
       uint64_t version);
 
-  size_t shared_snapshots() const { return shared_.size(); }
+  size_t shared_snapshots() const {
+    std::lock_guard<std::mutex> lock(shared_mu_);
+    return shared_.size();
+  }
 
   // Installs the initial content as version 0 (e.g. the corpus the owner
   // created before replication starts).
@@ -86,7 +96,10 @@ class OpLog {
   std::map<uint64_t, WriteBatch> batches_;      // version -> batch
   std::map<uint64_t, DocumentStore> snapshots_;  // version -> full copy
   // Immutable materializations handed out to re-executors; see above.
-  std::map<uint64_t, std::shared_ptr<const DocumentStore>> shared_;
+  mutable std::mutex shared_mu_;
+  // sdrlint:guarded_by(shared_mu_)
+  std::map<uint64_t, std::shared_ptr<const DocumentStore>> shared_
+      SDR_GUARDED_BY(shared_mu_);
 };
 
 }  // namespace sdr

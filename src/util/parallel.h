@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/thread_annotations.h"
+
 namespace sdr {
 
 class WorkerPool {
@@ -49,10 +51,15 @@ class WorkerPool {
   // Runs fn(lane, index) for every index in [0, n), blocking until all
   // complete. `lane` is in [0, jobs); fn must not touch shared mutable
   // state except per-index or per-lane slots. Exceptions must not escape fn.
-  void Run(int n, const std::function<void(int lane, int index)>& fn);
+  // Run and WorkerMain synchronize through condition-variable waits on a
+  // std::unique_lock, which clang's thread-safety analysis cannot model
+  // (unique_lock carries no capability annotations); sdrlint R6 still
+  // checks every guarded access inside both bodies.
+  void Run(int n, const std::function<void(int lane, int index)>& fn)
+      SDR_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
-  void WorkerMain(int lane);
+  void WorkerMain(int lane) SDR_NO_THREAD_SAFETY_ANALYSIS;
 
   int jobs_;
   std::vector<std::thread> threads_;
@@ -60,12 +67,18 @@ class WorkerPool {
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a new epoch
   std::condition_variable done_cv_;   // caller waits for workers to drain
-  const std::function<void(int, int)>* fn_ = nullptr;  // valid within epoch
-  int total_ = 0;
-  uint64_t epoch_ = 0;  // bumped per Run; each worker joins each epoch once
-  int active_ = 0;      // workers still inside the current epoch
-  bool stop_ = false;
+  // Epoch state handed from Run() to the lanes; every access is under mu_.
+  // sdrlint:guarded_by(mu_)
+  const std::function<void(int, int)>* fn_ SDR_GUARDED_BY(mu_) =
+      nullptr;  // valid within epoch
+  int total_ SDR_GUARDED_BY(mu_) = 0;  // sdrlint:guarded_by(mu_)
+  // sdrlint:guarded_by(mu_) — bumped per Run; workers join each epoch once
+  uint64_t epoch_ SDR_GUARDED_BY(mu_) = 0;
+  // sdrlint:guarded_by(mu_) — workers still inside the current epoch
+  int active_ SDR_GUARDED_BY(mu_) = 0;
+  bool stop_ SDR_GUARDED_BY(mu_) = false;  // sdrlint:guarded_by(mu_)
 
+  // sdrlint:shared_atomic — lock-free work stealing across lanes
   std::atomic<int> next_{0};  // next unclaimed index of the current epoch
 };
 

@@ -3,16 +3,24 @@
 // inline strings driven straight through AnalyzeSource.
 #include "tools/lint/lint.h"
 
+#include <fstream>
+
 #include <gtest/gtest.h>
 
 namespace sdr::lint {
 namespace {
 
+// Two-pass drive, same as the CLI: index the fixture (optionally on top of
+// a pre-seeded index, e.g. enums or serde bodies from "another file"), then
+// run the per-file rules plus the index-wide rules (R8).
 std::vector<Finding> Lint(const std::string& path, const std::string& src,
-                         const EnumRegistry& registry = {}) {
-  EnumRegistry reg = registry;
-  CollectProtocolEnums(src, reg);
-  return AnalyzeSource(path, src, ClassifyPath(path), reg);
+                          SymbolIndex index = {}) {
+  IndexSource(path, src, index);
+  std::vector<Finding> fs = AnalyzeSource(path, src, ClassifyPath(path), index);
+  for (const Finding& f : AnalyzeIndex(index)) {
+    fs.push_back(f);
+  }
+  return fs;
 }
 
 int CountRule(const std::vector<Finding>& fs, const std::string& rule) {
@@ -263,13 +271,13 @@ TEST(R3, UnannotatedEnumIsIgnored) {
 
 TEST(R3, RegistrySpansFiles) {
   // Enum annotated in a header; the switch lives in another file.
-  EnumRegistry reg;
-  CollectProtocolEnums(kEnumDecl, reg);
+  SymbolIndex index;
+  CollectProtocolEnums(kEnumDecl, index.enums);
   auto fs = Lint("src/core/other.cc",
                 "void f(MsgKind k) {\n"
                 "  switch (k) { case MsgKind::kRead: default: break; }\n"
                 "}\n",
-                reg);
+                index);
   EXPECT_GE(CountRule(fs, "R3"), 1);
 }
 
@@ -398,6 +406,356 @@ TEST(R5, AllowSuppressesDesignatedVariableTimeCode) {
                 "  return 0;\n"
                 "}\n");
   EXPECT_EQ(CountRule(fs, "R5"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R6 — thread confinement & lock discipline
+// ---------------------------------------------------------------------------
+
+TEST(R6, FiresOnUnguardedMemberAccess) {
+  auto fs = Lint("src/util/pool_like.h",
+                 "#include <mutex>\n"
+                 "class Pool {\n"
+                 " public:\n"
+                 "  void Bad() { total_ = 1; }\n"
+                 "  void Good() {\n"
+                 "    std::lock_guard<std::mutex> lock(mu_);\n"
+                 "    total_ = 2;\n"
+                 "  }\n"
+                 " private:\n"
+                 "  std::mutex mu_;\n"
+                 "  int total_ = 0;  // sdrlint:guarded_by(mu_)\n"
+                 "};\n");
+  ASSERT_EQ(CountRule(fs, "R6"), 1);
+  EXPECT_NE(fs[0].message.find("total_"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("mu_"), std::string::npos);
+}
+
+TEST(R6, ConstructorInitializationIsExempt) {
+  // Before the object escapes its constructor no other thread can hold a
+  // reference, so ctor writes need no lock.
+  auto fs = Lint("src/util/pool_like.h",
+                 "class Pool {\n"
+                 " public:\n"
+                 "  Pool() { total_ = 7; }\n"
+                 " private:\n"
+                 "  std::mutex mu_;\n"
+                 "  int total_ = 0;  // sdrlint:guarded_by(mu_)\n"
+                 "};\n");
+  EXPECT_EQ(CountRule(fs, "R6"), 0);
+}
+
+TEST(R6, AttributeMacroDoesNotHideTheMember) {
+  // The clang -Wthread-safety macro expands to nothing under GCC but its
+  // tokens are still in the declaration; the indexer must not mistake
+  // `total_ SDR_GUARDED_BY(mu_)` for a method named SDR_GUARDED_BY.
+  auto fs = Lint("src/util/pool_like.h",
+                 "#include <mutex>\n"
+                 "class Pool {\n"
+                 " public:\n"
+                 "  void Bad() { total_ = 1; }\n"
+                 " private:\n"
+                 "  std::mutex mu_;\n"
+                 "  int total_ SDR_GUARDED_BY(mu_) = 0;  "
+                 "// sdrlint:guarded_by(mu_)\n"
+                 "};\n");
+  EXPECT_EQ(CountRule(fs, "R6"), 1);
+}
+
+TEST(R6, LaneConfinedMemberNeedsLaneSubscriptInPoolRegion) {
+  auto fs = Lint("src/core/engine_like.cc",
+                 "void Engine::Sweep(int n) {\n"
+                 "  PoolRun(n, [&](int lane, int i) {\n"
+                 "    counts_[lane] += i;\n"
+                 "    counts_[0] += i;\n"
+                 "  });\n"
+                 "}\n"
+                 "class Engine {\n"
+                 "  // sdrlint:lane_confined\n"
+                 "  std::vector<int> counts_;\n"
+                 "};\n");
+  ASSERT_EQ(CountRule(fs, "R6"), 1);
+  EXPECT_NE(fs[0].message.find("lane-confined"), std::string::npos);
+}
+
+TEST(R6, SharedAtomicTagRequiresAtomicDeclaration) {
+  auto fs = Lint("src/core/engine_like.h",
+                 "#include <atomic>\n"
+                 "class Engine {\n"
+                 " private:\n"
+                 "  int not_atomic_ = 0;  // sdrlint:shared_atomic\n"
+                 "  std::atomic<int> next_{0};  // sdrlint:shared_atomic\n"
+                 "};\n");
+  ASSERT_EQ(CountRule(fs, "R6"), 1);
+  EXPECT_NE(fs[0].message.find("not_atomic_"), std::string::npos);
+}
+
+TEST(R6, SuppressedByAllow) {
+  auto fs = Lint("src/util/pool_like.h",
+                 "class Pool {\n"
+                 " public:\n"
+                 "  void Reset() {\n"
+                 "    total_ = 0;  // sdrlint:allow(R6 callers are single-"
+                 "threaded during reset)\n"
+                 "  }\n"
+                 " private:\n"
+                 "  std::mutex mu_;\n"
+                 "  int total_ = 0;  // sdrlint:guarded_by(mu_)\n"
+                 "};\n");
+  EXPECT_EQ(CountRule(fs, "R6"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R7 — BytesView lifetime
+// ---------------------------------------------------------------------------
+
+TEST(R7, FiresOnStoredViewWithoutOwner) {
+  auto fs = Lint("src/store/cache_like.h",
+                 "struct Entry {\n"
+                 "  BytesView view;\n"
+                 "  int refs = 0;\n"
+                 "};\n");
+  ASSERT_EQ(CountRule(fs, "R7"), 1);
+}
+
+TEST(R7, CleanWhenOwningPayloadIsCoStored) {
+  auto fs = Lint("src/store/cache_like.h",
+                 "struct Entry {\n"
+                 "  Payload owner;\n"
+                 "  BytesView view;  // into `owner`\n"
+                 "};\n");
+  EXPECT_EQ(CountRule(fs, "R7"), 0);
+}
+
+TEST(R7, FiresOnContainerOfViews) {
+  auto fs = Lint("src/store/batch_like.cc",
+                 "void Collect() {\n"
+                 "  std::vector<BytesView> parts;\n"
+                 "  Fill(parts);\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R7"), 1);
+}
+
+TEST(R7, ViewOfTemporaryFires) {
+  auto fs = Lint("src/core/frame_like.cc",
+                 "void Send(Env* env) {\n"
+                 "  Deliver(MakePayload().view());\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R7"), 1);
+}
+
+TEST(R7, SliceChainRootedAtNamedValueIsClean) {
+  // p.Slice(1).view() points into `p`, which outlives the expression —
+  // the canonical read path of the Payload API.
+  auto fs = Lint("src/core/frame_like.cc",
+                 "void Read(const Payload& p) {\n"
+                 "  Consume(p.Slice(1).view());\n"
+                 "  Consume(p.view().substr(4));\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R7"), 0);
+}
+
+TEST(R7, ReturnOfLocalBackedViewFires) {
+  auto fs = Lint("src/core/frame_like.cc",
+                 "BytesView Leak() {\n"
+                 "  Bytes buf = Build();\n"
+                 "  return BytesView(buf.data(), buf.size());\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R7"), 1);
+}
+
+TEST(R7, ByRefScheduleCaptureOfViewFires) {
+  auto fs = Lint("src/core/frame_like.cc",
+                 "void Arm(Env* env) {\n"
+                 "  BytesView window = Current();\n"
+                 "  env->ScheduleAfter(5, [&] { Consume(window); });\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R7"), 1);
+}
+
+TEST(R7, SuppressedByAllow) {
+  auto fs = Lint("src/store/cache_like.h",
+                 "struct Raw {\n"
+                 "  // sdrlint:allow(R7 arena outlives every entry)\n"
+                 "  BytesView view;\n"
+                 "};\n");
+  EXPECT_EQ(CountRule(fs, "R7"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R8 — serde field-order symmetry
+// ---------------------------------------------------------------------------
+
+TEST(R8, FiresOnSwappedFieldOrder) {
+  auto fs = Lint("src/core/messages.cc",
+                 "void Ping::Encode(Writer& w) const {\n"
+                 "  w.U32(seq);\n"
+                 "  w.Blob(body);\n"
+                 "}\n"
+                 "Ping Ping::Decode(Reader& r) {\n"
+                 "  Ping m;\n"
+                 "  m.body = r.Blob();\n"
+                 "  m.seq = r.U32();\n"
+                 "  return m;\n"
+                 "}\n");
+  ASSERT_GE(CountRule(fs, "R8"), 1);
+  bool named = false;
+  for (const Finding& f : fs) {
+    named |= f.rule == "R8" && f.message.find("seq") != std::string::npos &&
+             f.message.find("body") != std::string::npos;
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(R8, CleanWhenSequencesMatch) {
+  auto fs = Lint("src/core/messages.cc",
+                 "void Ping::Encode(Writer& w) const {\n"
+                 "  w.U32(seq);\n"
+                 "  w.Blob(body);\n"
+                 "}\n"
+                 "Ping Ping::Decode(Reader& r) {\n"
+                 "  Ping m;\n"
+                 "  m.seq = r.U32();\n"
+                 "  m.body = r.Blob();\n"
+                 "  return m;\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R8"), 0);
+}
+
+TEST(R8, PairsEncodeAndDecodeAcrossFiles) {
+  // Encode inline in the header, Decode out-of-line in the .cc — the
+  // symbol index spans both translation units.
+  SymbolIndex index;
+  IndexSource("src/core/messages.h",
+              "struct Ack {\n"
+              "  void Encode(Writer& w) const {\n"
+              "    w.U64(version);\n"
+              "    w.Blob(sig);\n"
+              "  }\n"
+              "};\n",
+              index);
+  auto fs = Lint("src/core/messages.cc",
+                 "Ack Ack::Decode(Reader& r) {\n"
+                 "  Ack m;\n"
+                 "  m.sig = r.Blob();\n"
+                 "  m.version = r.U64();\n"
+                 "  return m;\n"
+                 "}\n",
+                 index);
+  EXPECT_GE(CountRule(fs, "R8"), 1);
+}
+
+TEST(R8, AsymmetricStepCountFires) {
+  auto fs = Lint("src/core/messages.cc",
+                 "void Ping::Encode(Writer& w) const {\n"
+                 "  w.U32(seq);\n"
+                 "  w.Blob(body);\n"
+                 "}\n"
+                 "Ping Ping::Decode(Reader& r) {\n"
+                 "  Ping m;\n"
+                 "  m.seq = r.U32();\n"
+                 "  return m;\n"
+                 "}\n");
+  ASSERT_EQ(CountRule(fs, "R8"), 1);
+  EXPECT_NE(fs[0].message.find("2"), std::string::npos);
+}
+
+TEST(R8, DecodeIntoLocalsDoesNotFalselyMismatch) {
+  // Loop-style serde reads counts into locals; the field name is not
+  // recoverable, so only the op sequence is compared.
+  auto fs = Lint("src/core/messages.cc",
+                 "void Batch::Encode(Writer& w) const {\n"
+                 "  w.U32(static_cast<uint32_t>(certs.size()));\n"
+                 "  w.Blob(tail);\n"
+                 "}\n"
+                 "Batch Batch::Decode(Reader& r) {\n"
+                 "  Batch m;\n"
+                 "  uint32_t n = r.U32();\n"
+                 "  m.tail = r.Blob();\n"
+                 "  return m;\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R8"), 0);
+}
+
+TEST(R8, SuppressedByAllowOnEitherBody) {
+  auto fs = Lint("src/core/messages.cc",
+                 "void Ping::Encode(Writer& w) const {\n"
+                 "  w.U32(seq);\n"
+                 "  w.Blob(body);\n"
+                 "}\n"
+                 "// sdrlint:allow(R8 legacy wire order, migration tracked)\n"
+                 "Ping Ping::Decode(Reader& r) {\n"
+                 "  Ping m;\n"
+                 "  m.body = r.Blob();\n"
+                 "  m.seq = r.U32();\n"
+                 "  return m;\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R8"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline and report
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, FindingKeyExcludesLinesAndNormalizesPaths) {
+  Finding a{"R7", "/home/ci/checkout/src/store/cache.h", 12, "stored view"};
+  Finding b{"R7", "src/store/cache.h", 99, "stored view"};
+  EXPECT_EQ(FindingKey(a), FindingKey(b));
+  EXPECT_EQ(NormalizeRepoPath("/abs/src/x.h"), "src/x.h");
+  // "src/" must match at a path-component boundary, not mid-word.
+  EXPECT_EQ(NormalizeRepoPath("mysrc/x.h"), "mysrc/x.h");
+}
+
+TEST(Baseline, RoundTripsThroughJsonFile) {
+  std::vector<Finding> fs = {
+      {"R6", "src/a.cc", 3, "unguarded"},
+      {"R6", "src/a.cc", 9, "unguarded"},  // duplicate key, count 2
+      {"R8", "src/b.cc", 1, "swapped"},
+  };
+  const std::string path = testing::TempDir() + "/sdrlint_baseline.json";
+  {
+    std::ofstream out(path);
+    out << BaselineToJson(fs);
+  }
+  std::map<std::string, int> loaded;
+  ASSERT_TRUE(LoadBaseline(path, &loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[FindingKey(fs[0])], 2);
+  EXPECT_EQ(loaded[FindingKey(fs[2])], 1);
+}
+
+TEST(Baseline, LoadFailsOnMissingFile) {
+  std::map<std::string, int> loaded;
+  EXPECT_FALSE(LoadBaseline("/nonexistent/baseline.json", &loaded));
+}
+
+TEST(Baseline, DiffSplitsFreshSuppressedAndFixed) {
+  Finding known{"R6", "src/a.cc", 3, "unguarded"};
+  Finding fresh{"R8", "src/b.cc", 1, "swapped"};
+  std::map<std::string, int> baseline;
+  baseline[FindingKey(known)] = 2;  // one was fixed since the baseline
+  BaselineDiff diff = DiffAgainstBaseline({known, fresh}, baseline);
+  ASSERT_EQ(diff.suppressed.size(), 1u);
+  EXPECT_EQ(diff.suppressed[0].rule, "R6");
+  ASSERT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.fresh[0].rule, "R8");
+  ASSERT_EQ(diff.fixed.size(), 1u);
+  EXPECT_EQ(diff.fixed[0], FindingKey(known));
+}
+
+TEST(Report, JsonCarriesPerRuleCountsAndBaselineStatus) {
+  Finding known{"R6", "src/a.cc", 3, "unguarded"};
+  Finding fresh{"R8", "src/b.cc", 1, "swapped"};
+  std::map<std::string, int> baseline;
+  baseline[FindingKey(known)] = 1;
+  BaselineDiff diff = DiffAgainstBaseline({known, fresh}, baseline);
+  std::string json = ReportJson(42, {known, fresh}, &diff);
+  EXPECT_NE(json.find("\"files_scanned\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"per_rule\""), std::string::npos);
+  EXPECT_NE(json.find("\"R6\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"R8\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"fresh\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"baseline\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

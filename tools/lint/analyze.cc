@@ -1,291 +1,20 @@
-// Rule engine for sdrlint. Everything works over the token stream from
-// lexer.cc plus a per-line annotation table extracted from comments; no
-// type information is needed because the invariants are lexical by
-// construction (banned identifiers, annotated enums, tagged variables).
+// Per-file rule passes R1–R5 and the AnalyzeSource dispatcher. Everything
+// works over the token stream from lexer.cc plus a per-line annotation
+// table extracted from comments; no type information is needed because the
+// invariants are lexical by construction (banned identifiers, annotated
+// enums, tagged variables). Shared machinery lives in internal.h; the
+// cross-TU rule families R6–R8 live in concurrency.cc and index.cc.
 #include <algorithm>
 #include <cstring>
 
+#include "tools/lint/internal.h"
 #include "tools/lint/lint.h"
 
 namespace sdr::lint {
 
+using namespace internal;  // NOLINT — rule passes are built on these helpers
+
 namespace {
-
-// ---------------------------------------------------------------------------
-// Annotations
-// ---------------------------------------------------------------------------
-
-struct LineAnn {
-  std::set<std::string> allow;  // rule names from sdrlint:allow(Rn ...)
-  bool is_public = false;
-  bool is_secret = false;
-  bool protocol_enum = false;
-};
-
-// Extracts sdrlint markers from one comment's text.
-void ParseMarkers(const std::string& text, LineAnn& ann) {
-  size_t pos = 0;
-  while ((pos = text.find("sdrlint:", pos)) != std::string::npos) {
-    size_t word_start = pos + std::strlen("sdrlint:");
-    size_t word_end = word_start;
-    while (word_end < text.size() &&
-           (std::isalnum(static_cast<unsigned char>(text[word_end])) ||
-            text[word_end] == '-')) {
-      ++word_end;
-    }
-    std::string word = text.substr(word_start, word_end - word_start);
-    if (word == "secret") {
-      ann.is_secret = true;
-    } else if (word == "public") {
-      ann.is_public = true;
-    } else if (word == "protocol-enum") {
-      ann.protocol_enum = true;
-    } else if (word == "allow" && word_end < text.size() &&
-               text[word_end] == '(') {
-      size_t close = text.find(')', word_end);
-      std::string inner = close == std::string::npos
-                              ? text.substr(word_end + 1)
-                              : text.substr(word_end + 1,
-                                            close - word_end - 1);
-      // First whitespace-delimited word is the rule; the rest is rationale.
-      size_t sp = inner.find_first_of(" \t");
-      ann.allow.insert(sp == std::string::npos ? inner : inner.substr(0, sp));
-    }
-    pos = word_end;
-  }
-}
-
-class Annotations {
- public:
-  Annotations(const std::vector<Token>& toks) {
-    // Raw per-line markers, and which lines hold only comments.
-    for (const Token& t : toks) {
-      if (t.kind == TokKind::kComment) {
-        ParseMarkers(t.text, raw_[t.line]);
-        int lines_spanned =
-            (int)std::count(t.text.begin(), t.text.end(), '\n');
-        comment_only_.insert(t.line);
-        last_comment_line_[t.line] = t.line + lines_spanned;
-      } else {
-        code_lines_.insert(t.line);
-      }
-    }
-    for (int l : code_lines_) {
-      comment_only_.erase(l);
-    }
-  }
-
-  // Annotations governing `line`: markers on the line itself plus markers
-  // from an immediately preceding run of comment-only lines.
-  LineAnn Effective(int line) const {
-    LineAnn out = Get(line);
-    int l = line - 1;
-    while (comment_only_.count(l) != 0) {
-      Merge(out, Get(l));
-      --l;
-    }
-    // A multi-line block comment ending just above also governs this line.
-    for (const auto& [start, end] : last_comment_line_) {
-      if (comment_only_.count(start) != 0 && end == line - 1 && start < l) {
-        Merge(out, Get(start));
-      }
-    }
-    return out;
-  }
-
-  bool Allowed(int line, const char* rule) const {
-    LineAnn a = Effective(line);
-    return a.allow.count(rule) != 0 || (std::strcmp(rule, "R5") == 0 &&
-                                        a.is_public);
-  }
-
- private:
-  LineAnn Get(int line) const {
-    auto it = raw_.find(line);
-    return it == raw_.end() ? LineAnn{} : it->second;
-  }
-  static void Merge(LineAnn& into, const LineAnn& from) {
-    into.allow.insert(from.allow.begin(), from.allow.end());
-    into.is_public |= from.is_public;
-    into.is_secret |= from.is_secret;
-    into.protocol_enum |= from.protocol_enum;
-  }
-
-  std::map<int, LineAnn> raw_;
-  std::map<int, int> last_comment_line_;  // comment start line -> end line
-  std::set<int> comment_only_;
-  std::set<int> code_lines_;
-};
-
-// ---------------------------------------------------------------------------
-// Token-stream helpers (comments skipped)
-// ---------------------------------------------------------------------------
-
-// Indices of non-comment tokens, in order.
-std::vector<size_t> CodeIndex(const std::vector<Token>& toks) {
-  std::vector<size_t> idx;
-  idx.reserve(toks.size());
-  for (size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kComment) {
-      idx.push_back(i);
-    }
-  }
-  return idx;
-}
-
-bool IsPunct(const Token& t, const char* p) {
-  return t.kind == TokKind::kPunct && t.text == p;
-}
-bool IsIdent(const Token& t, const char* name) {
-  return t.kind == TokKind::kIdent && t.text == name;
-}
-
-// Matching close for the open bracket at code position `open` ("(" / "[" /
-// "{" / "<"); returns code-position of the closer, or `end` if unmatched.
-// For "<" the search bails out on tokens that cannot appear in a template
-// argument list, so comparison operators are not misparsed.
-size_t MatchForward(const std::vector<Token>& toks,
-                    const std::vector<size_t>& code, size_t open,
-                    const char* open_p, const char* close_p) {
-  int depth = 0;
-  const bool angle = std::strcmp(open_p, "<") == 0;
-  for (size_t i = open; i < code.size(); ++i) {
-    const Token& t = toks[code[i]];
-    if (angle) {
-      if (IsPunct(t, "<")) {
-        ++depth;
-      } else if (IsPunct(t, ">")) {
-        if (--depth == 0) {
-          return i;
-        }
-      } else if (IsPunct(t, ">>")) {
-        depth -= 2;
-        if (depth <= 0) {
-          return i;
-        }
-      } else if (t.kind == TokKind::kPunct &&
-                 (t.text == ";" || t.text == "{" || t.text == "}")) {
-        return code.size();  // not a template argument list after all
-      }
-      continue;
-    }
-    if (IsPunct(t, open_p)) {
-      ++depth;
-    } else if (IsPunct(t, close_p)) {
-      if (--depth == 0) {
-        return i;
-      }
-    }
-  }
-  return code.size();
-}
-
-// Function spans as line ranges, for scoping secret tags and sink checks.
-struct FuncSpan {
-  int start_line = 0;  // line of the opening "{"
-  int end_line = 0;    // line of the matching "}"
-  size_t header_code = 0;  // first token of the signature
-  size_t open_code = 0;
-  size_t close_code = 0;
-};
-
-std::vector<FuncSpan> FunctionSpans(const std::vector<Token>& toks,
-                                    const std::vector<size_t>& code) {
-  std::vector<FuncSpan> spans;
-  int depth = 0;
-  int open_depth = -1;
-  FuncSpan cur;
-  for (size_t i = 0; i < code.size(); ++i) {
-    const Token& t = toks[code[i]];
-    if (IsPunct(t, "{")) {
-      if (open_depth < 0) {
-        // A function body iff a ")" appears among the few preceding tokens
-        // before any statement terminator or declaration keyword.
-        bool is_func = false;
-        size_t back = i;
-        for (int steps = 0; steps < 8 && back > 0; ++steps) {
-          const Token& p = toks[code[--back]];
-          if (IsPunct(p, ")")) {
-            is_func = true;
-            break;
-          }
-          if (p.kind == TokKind::kPunct &&
-              (p.text == ";" || p.text == "{" || p.text == "}" ||
-               p.text == "=")) {
-            break;
-          }
-          if (IsIdent(p, "struct") || IsIdent(p, "class") ||
-              IsIdent(p, "enum") || IsIdent(p, "namespace") ||
-              IsIdent(p, "union")) {
-            break;
-          }
-        }
-        if (is_func) {
-          // Header starts after the previous statement/block boundary, so
-          // sink detection sees the function's own name (e.g. `Encode`).
-          size_t header = i;
-          while (header > 0) {
-            const Token& p = toks[code[header - 1]];
-            if (p.kind == TokKind::kPunct &&
-                (p.text == ";" || p.text == "{" || p.text == "}")) {
-              break;
-            }
-            --header;
-          }
-          open_depth = depth;
-          cur = FuncSpan{t.line, t.line, header, i, i};
-        }
-      }
-      ++depth;
-    } else if (IsPunct(t, "}")) {
-      --depth;
-      if (open_depth >= 0 && depth == open_depth) {
-        cur.end_line = t.line;
-        cur.close_code = i;
-        spans.push_back(cur);
-        open_depth = -1;
-      }
-    }
-  }
-  return spans;
-}
-
-const FuncSpan* SpanForLine(const std::vector<FuncSpan>& spans, int line) {
-  for (const FuncSpan& s : spans) {
-    if (line >= s.start_line && line <= s.end_line) {
-      return &s;
-    }
-  }
-  return nullptr;
-}
-
-// The span governing a tag written on a function's parameter line: the
-// span containing the line, or one opening within a few lines below it.
-const FuncSpan* SpanForTag(const std::vector<FuncSpan>& spans, int line) {
-  if (const FuncSpan* s = SpanForLine(spans, line)) {
-    return s;
-  }
-  for (const FuncSpan& s : spans) {
-    if (s.start_line >= line && s.start_line <= line + 4) {
-      return &s;
-    }
-  }
-  return nullptr;
-}
-
-bool IsTypeish(const std::string& s) {
-  static const std::set<std::string> kTypeish = {
-      "const",    "constexpr", "static",   "mutable",  "volatile", "register",
-      "signed",   "unsigned",  "int",      "char",     "short",    "long",
-      "float",    "double",    "bool",     "void",     "auto",     "struct",
-      "class",    "enum",      "union",    "typename", "template", "using",
-      "namespace", "return",   "if",       "else",     "while",    "for",
-      "switch",   "case",      "default",  "break",    "continue", "sizeof",
-      "true",     "false",     "nullptr",  "new",      "delete",   "operator",
-      "override", "final",     "noexcept", "inline",   "extern",   "this",
-  };
-  return kTypeish.count(s) != 0;
-}
 
 // ---------------------------------------------------------------------------
 // R1 — determinism
@@ -487,49 +216,6 @@ void CheckR2(const std::string& path, const std::vector<Token>& toks,
 // R3 — protocol-enum switch exhaustiveness
 // ---------------------------------------------------------------------------
 
-void CollectEnumsImpl(const std::vector<Token>& toks,
-                      const std::vector<size_t>& code, const Annotations& ann,
-                      EnumRegistry& registry) {
-  for (size_t i = 0; i + 2 < code.size(); ++i) {
-    if (!IsIdent(toks[code[i]], "enum")) {
-      continue;
-    }
-    size_t j = i + 1;
-    if (IsIdent(toks[code[j]], "class") || IsIdent(toks[code[j]], "struct")) {
-      ++j;
-    }
-    if (toks[code[j]].kind != TokKind::kIdent) {
-      continue;
-    }
-    const std::string name = toks[code[j]].text;
-    const int decl_line = toks[code[i]].line;
-    if (!ann.Effective(decl_line).protocol_enum) {
-      continue;
-    }
-    // Skip ": underlying_type" to the "{".
-    while (j < code.size() && !IsPunct(toks[code[j]], "{") &&
-           !IsPunct(toks[code[j]], ";")) {
-      ++j;
-    }
-    if (j >= code.size() || !IsPunct(toks[code[j]], "{")) {
-      continue;  // forward declaration
-    }
-    size_t close = MatchForward(toks, code, j, "{", "}");
-    std::vector<std::string> enumerators;
-    bool expect_name = true;
-    for (size_t k = j + 1; k < close; ++k) {
-      const Token& t = toks[code[k]];
-      if (expect_name && t.kind == TokKind::kIdent) {
-        enumerators.push_back(t.text);
-        expect_name = false;
-      } else if (IsPunct(t, ",")) {
-        expect_name = true;
-      }
-    }
-    registry[name] = enumerators;
-  }
-}
-
 void CheckR3(const std::string& path, const std::vector<Token>& toks,
              const std::vector<size_t>& code, const Annotations& ann,
              const EnumRegistry& registry, std::vector<Finding>& out) {
@@ -648,12 +334,7 @@ void CheckR4(const std::string& path, const std::vector<Token>& toks,
   // True when code position i sits inside a function body — a call site,
   // not an out-of-line definition (whose header precedes its own span).
   auto in_function_body = [&spans](size_t i) {
-    for (const FuncSpan& s : spans) {
-      if (i > s.open_code && i < s.close_code) {
-        return true;
-      }
-    }
-    return false;
+    return SpanForCode(spans, i) != nullptr;
   };
   struct Serde {
     bool encode = false, decode = false;
@@ -809,28 +490,6 @@ void CheckR5(const std::string& path, const std::vector<Token>& toks,
     }
     return false;
   };
-  auto statement_bounds = [&](size_t at, size_t* from, size_t* to) {
-    size_t a = at;
-    while (a > 0) {
-      const Token& t = toks[code[a - 1]];
-      if (t.kind == TokKind::kPunct &&
-          (t.text == ";" || t.text == "{" || t.text == "}")) {
-        break;
-      }
-      --a;
-    }
-    size_t b = at;
-    while (b < code.size()) {
-      const Token& t = toks[code[b]];
-      if (t.kind == TokKind::kPunct &&
-          (t.text == ";" || t.text == "{" || t.text == "}")) {
-        break;
-      }
-      ++b;
-    }
-    *from = a;
-    *to = b;
-  };
 
   for (size_t i = 0; i < code.size(); ++i) {
     const Token& t = toks[code[i]];
@@ -869,7 +528,7 @@ void CheckR5(const std::string& path, const std::vector<Token>& toks,
     // ==/!= with a secret operand in the same statement.
     if (t.kind == TokKind::kPunct && (t.text == "==" || t.text == "!=")) {
       size_t from, to;
-      statement_bounds(i, &from, &to);
+      StatementBounds(toks, code, i, &from, &to);
       if (range_has_secret(from, to, &which) && !ann.Allowed(t.line, "R5")) {
         out.push_back({"R5", path, t.line,
                        "variable-time comparison involving secret-tagged `" +
@@ -882,7 +541,7 @@ void CheckR5(const std::string& path, const std::vector<Token>& toks,
     // Ternary selection on a secret in the same statement.
     if (IsPunct(t, "?")) {
       size_t from, to;
-      statement_bounds(i, &from, &to);
+      StatementBounds(toks, code, i, &from, &to);
       if (range_has_secret(from, i, &which) && !ann.Allowed(t.line, "R5")) {
         out.push_back({"R5", path, t.line,
                        "ternary select on secret-tagged `" + which +
@@ -927,24 +586,32 @@ FileClass ClassifyPath(const std::string& path) {
           !has("util/rng");
   fc.r4 = has("src/core/messages.") || has("src/core/pledge.");
   fc.r5 = has("src/crypto/");
+  // R8 analyzes Encode/Decode bodies statement-by-statement, so it runs
+  // only where bodies follow the linear `w.Op(field)` / `m.f = r.Op()`
+  // idiom: the wire-message and store serde files.
+  fc.r8 = has("src/core/messages.") || has("src/core/pledge.") ||
+          has("src/core/certificate.") || has("src/store/query.") ||
+          has("src/store/document_store.") || has("src/store/executor.");
   return fc;
 }
 
 void CollectProtocolEnums(const std::string& src, EnumRegistry& registry) {
-  std::vector<Token> toks = Tokenize(src);
-  std::vector<size_t> code = CodeIndex(toks);
-  Annotations ann(toks);
-  CollectEnumsImpl(toks, code, ann, registry);
+  SymbolIndex tmp;
+  IndexSource("", src, tmp);
+  for (auto& [name, values] : tmp.enums) {
+    registry[name] = values;
+  }
 }
 
 std::vector<Finding> AnalyzeSource(const std::string& path,
                                    const std::string& src,
                                    const FileClass& fc,
-                                   const EnumRegistry& registry) {
+                                   const SymbolIndex& index) {
   std::vector<Token> toks = Tokenize(src);
   std::vector<size_t> code = CodeIndex(toks);
   Annotations ann(toks);
   std::vector<FuncSpan> spans = FunctionSpans(toks, code);
+  std::vector<ClassSpan> classes = ClassSpans(toks, code);
 
   std::vector<Finding> out;
   if (fc.r1) {
@@ -954,13 +621,19 @@ std::vector<Finding> AnalyzeSource(const std::string& path,
     CheckR2(path, toks, code, ann, spans, out);
   }
   if (fc.r3) {
-    CheckR3(path, toks, code, ann, registry, out);
+    CheckR3(path, toks, code, ann, index.enums, out);
   }
   if (fc.r4) {
     CheckR4(path, toks, code, ann, spans, out);
   }
   if (fc.r5) {
     CheckR5(path, toks, code, ann, spans, out);
+  }
+  if (fc.r6) {
+    CheckR6(path, toks, code, ann, spans, classes, index, out);
+  }
+  if (fc.r7) {
+    CheckR7(path, toks, code, ann, spans, classes, out);
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) {

@@ -1,0 +1,572 @@
+// Rule families R6 (thread confinement & lock discipline) and R7
+// (BytesView lifetime escape). R6 consumes the cross-TU SymbolIndex so a
+// member annotated in a header is checked at every use site in every
+// translation unit; R7 is purely per-file.
+#include <algorithm>
+
+#include "tools/lint/internal.h"
+#include "tools/lint/lint.h"
+
+namespace sdr::lint::internal {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// R6 helpers
+// ---------------------------------------------------------------------------
+
+bool IsLockClassName(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+// True when, scanning backward from the use at code position `use` to the
+// function's opening "{", a lock idiom over `mutex` is found in a scope
+// that still encloses the use: a lock_guard/unique_lock/scoped_lock/
+// shared_lock constructed over the mutex, or an explicit mutex.lock().
+// Scopes already closed before the use (sibling blocks) do not count.
+bool LockHeldAt(const std::vector<Token>& toks,
+                const std::vector<size_t>& code, size_t use,
+                const FuncSpan& span, const std::string& mutex) {
+  int level = 0;
+  for (size_t k = use; k > span.open_code; --k) {
+    const Token& u = toks[code[k - 1]];
+    if (IsPunct(u, "}")) {
+      ++level;
+    } else if (IsPunct(u, "{")) {
+      --level;
+    } else if (level <= 0 && u.kind == TokKind::kIdent) {
+      if (IsLockClassName(u.text)) {
+        size_t from, to;
+        StatementBounds(toks, code, k - 1, &from, &to);
+        for (size_t x = from; x < to; ++x) {
+          if (IsIdent(toks[code[x]], mutex.c_str())) {
+            return true;
+          }
+        }
+      } else if (u.text == mutex && k < code.size() &&
+                 IsPunct(toks[code[k]], ".") && k + 1 < code.size() &&
+                 IsIdent(toks[code[k + 1]], "lock")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// A worker-pool parallel region: the literal lambda argument of a
+// `PoolRun(...)` call or a `pool->Run(...)` / `pool.Run(...)` call.
+struct PoolRegion {
+  size_t body_open = 0;
+  size_t body_close = 0;
+  std::string lane_param;  // first lambda parameter name; "" when unnamed
+};
+
+std::vector<PoolRegion> FindPoolRegions(const std::vector<Token>& toks,
+                                        const std::vector<size_t>& code) {
+  std::vector<PoolRegion> regions;
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    const Token& t = toks[code[i]];
+    if (t.kind != TokKind::kIdent || !IsPunct(toks[code[i + 1]], "(")) {
+      continue;
+    }
+    bool is_pool_call = t.text == "PoolRun";
+    if (!is_pool_call && t.text == "Run" && i >= 2 &&
+        (IsPunct(toks[code[i - 1]], ".") ||
+         IsPunct(toks[code[i - 1]], "->")) &&
+        toks[code[i - 2]].kind == TokKind::kIdent) {
+      std::string recv = toks[code[i - 2]].text;
+      std::transform(recv.begin(), recv.end(), recv.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      is_pool_call = recv.find("pool") != std::string::npos;
+    }
+    if (!is_pool_call) {
+      continue;
+    }
+    const size_t args_close = MatchForward(toks, code, i + 1, "(", ")");
+    if (args_close == code.size()) {
+      continue;
+    }
+    // Lambda intro: a "[" directly after "(" or a top-level ",".
+    int depth = 0;
+    for (size_t m = i + 2; m < args_close; ++m) {
+      const Token& u = toks[code[m]];
+      if (IsPunct(u, "(") || IsPunct(u, "{")) {
+        ++depth;
+      } else if (IsPunct(u, ")") || IsPunct(u, "}")) {
+        --depth;
+      }
+      if (depth != 0 || !IsPunct(u, "[")) {
+        continue;
+      }
+      const Token& prev = toks[code[m - 1]];
+      if (!IsPunct(prev, "(") && !IsPunct(prev, ",")) {
+        continue;  // a subscript, not a lambda introducer
+      }
+      PoolRegion region;
+      size_t j = MatchForward(toks, code, m, "[", "]") + 1;
+      if (j < args_close && IsPunct(toks[code[j]], "(")) {
+        const size_t pclose = MatchForward(toks, code, j, "(", ")");
+        // First parameter: tokens up to the first top-level ",". A lone
+        // type token means the lane id is unnamed (and thus unusable).
+        std::vector<size_t> param;
+        for (size_t x = j + 1; x < pclose; ++x) {
+          if (IsPunct(toks[code[x]], ",")) {
+            break;
+          }
+          param.push_back(x);
+        }
+        if (param.size() >= 2 &&
+            toks[code[param.back()]].kind == TokKind::kIdent &&
+            !IsTypeish(toks[code[param.back()]].text)) {
+          region.lane_param = toks[code[param.back()]].text;
+        }
+        j = pclose + 1;
+      }
+      while (j < args_close && !IsPunct(toks[code[j]], "{")) {
+        ++j;
+      }
+      if (j >= args_close) {
+        break;
+      }
+      region.body_open = j;
+      region.body_close = MatchForward(toks, code, j, "{", "}");
+      regions.push_back(region);
+      m = region.body_close;
+    }
+  }
+  return regions;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// R6 — thread confinement & lock discipline
+// ---------------------------------------------------------------------------
+
+void CheckR6(const std::string& path, const std::vector<Token>& toks,
+             const std::vector<size_t>& code, const Annotations& ann,
+             const std::vector<FuncSpan>& spans,
+             const std::vector<ClassSpan>& classes, const SymbolIndex& index,
+             std::vector<Finding>& out) {
+  // (a) shared_atomic consistency: the declaration this file annotates must
+  // really be a std::atomic — the annotation is a claim, not a wish.
+  for (const auto& [cname, ci] : index.classes) {
+    if (ci.file != path) {
+      continue;
+    }
+    for (const auto& [mname, m] : ci.members) {
+      if (m.shared_atomic && !m.decl_atomic &&
+          !ann.Allowed(m.line, "R6")) {
+        out.push_back({"R6", path, m.line,
+                       "member `" + mname + "` of " + cname +
+                           " is tagged sdrlint:shared_atomic but its "
+                           "declaration is not a std::atomic; cross-thread "
+                           "plain loads/stores are data races"});
+      }
+    }
+  }
+
+  // Pre-resolve each function span's owning class and constructor-ness.
+  std::vector<std::string> owners(spans.size());
+  std::vector<bool> is_ctor(spans.size(), false);
+  for (size_t s = 0; s < spans.size(); ++s) {
+    owners[s] = SpanOwner(toks, code, spans[s], classes);
+    const std::string fname = SpanFuncName(toks, code, spans[s]);
+    if (!owners[s].empty() && fname == owners[s]) {
+      bool dtor = false;
+      for (size_t i = spans[s].header_code; i < spans[s].open_code; ++i) {
+        if (IsPunct(toks[code[i]], "~")) {
+          dtor = true;
+          break;
+        }
+      }
+      is_ctor[s] = !dtor;
+    }
+  }
+  auto span_index_of = [&](size_t i) -> int {
+    for (size_t s = 0; s < spans.size(); ++s) {
+      if (i > spans[s].open_code && i < spans[s].close_code) {
+        return (int)s;
+      }
+    }
+    return -1;
+  };
+
+  // (b) guarded members: every use inside the owning class's methods must
+  // have a lock idiom over the guard in scope. Constructors are exempt —
+  // the object is not shared until the constructor returns.
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Token& t = toks[code[i]];
+    if (t.kind != TokKind::kIdent || IsTypeish(t.text)) {
+      continue;
+    }
+    if (i > 0) {
+      const Token& prev = toks[code[i - 1]];
+      if (IsPunct(prev, ".") || IsPunct(prev, "::")) {
+        continue;  // member of some other object
+      }
+      if (IsPunct(prev, "->") &&
+          !(i >= 2 && IsIdent(toks[code[i - 2]], "this"))) {
+        continue;
+      }
+    }
+    const int s = span_index_of(i);
+    if (s < 0 || owners[s].empty() || is_ctor[s]) {
+      continue;
+    }
+    auto ci = index.classes.find(owners[s]);
+    if (ci == index.classes.end()) {
+      continue;
+    }
+    auto m = ci->second.members.find(t.text);
+    if (m == ci->second.members.end() || m->second.guarded_by.empty()) {
+      continue;
+    }
+    if (t.text == m->second.guarded_by) {
+      continue;  // the mutex itself is not guarded by itself
+    }
+    if (ann.Allowed(t.line, "R6")) {
+      continue;
+    }
+    if (!LockHeldAt(toks, code, i, spans[s], m->second.guarded_by)) {
+      out.push_back(
+          {"R6", path, t.line,
+           "member `" + t.text + "` of " + owners[s] +
+               " is sdrlint:guarded_by(" + m->second.guarded_by +
+               ") but no lock_guard/unique_lock/scoped_lock over `" +
+               m->second.guarded_by + "` is in scope here"});
+    }
+  }
+
+  // (c) lane-confined members inside worker-pool parallel regions: every
+  // access must be a per-lane subscript `member[lane]`; anything else —
+  // unsubscripted reads, container mutation, wrong index — crosses lanes
+  // and breaks the deterministic merge. Outside regions (constructor
+  // setup, post-join merge) access is unrestricted.
+  std::map<std::string, std::string> lane_members;  // member -> class
+  for (const auto& [cname, ci] : index.classes) {
+    for (const auto& [mname, m] : ci.members) {
+      if (m.lane_confined) {
+        lane_members[mname] = cname;
+      }
+    }
+  }
+  if (lane_members.empty()) {
+    return;
+  }
+  for (const PoolRegion& region : FindPoolRegions(toks, code)) {
+    for (size_t i = region.body_open + 1; i < region.body_close; ++i) {
+      const Token& t = toks[code[i]];
+      if (t.kind != TokKind::kIdent ||
+          lane_members.count(t.text) == 0) {
+        continue;
+      }
+      if (i > 0 && (IsPunct(toks[code[i - 1]], ".") ||
+                    IsPunct(toks[code[i - 1]], "::"))) {
+        continue;
+      }
+      if (ann.Allowed(t.line, "R6")) {
+        continue;
+      }
+      bool ok = false;
+      if (i + 1 < code.size() && IsPunct(toks[code[i + 1]], "[") &&
+          !region.lane_param.empty()) {
+        const size_t close = MatchForward(toks, code, i + 1, "[", "]");
+        for (size_t x = i + 2; x < close; ++x) {
+          if (IsIdent(toks[code[x]], region.lane_param.c_str())) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (!ok) {
+        out.push_back(
+            {"R6", path, t.line,
+             "lane-confined member `" + t.text + "` of " +
+                 lane_members[t.text] +
+                 " used inside a worker-pool region without a per-lane `[" +
+                 (region.lane_param.empty() ? "lane" : region.lane_param) +
+                 "]` subscript; cross-lane access breaks the deterministic "
+                 "merge"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R7 — BytesView lifetime escape
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool InAnyHeader(const std::vector<FuncSpan>& spans, size_t i) {
+  for (const FuncSpan& s : spans) {
+    if (i >= s.header_code && i <= s.open_code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// BytesView-typed locals declared in a span's body (not its parameters).
+std::set<std::string> ViewLocals(const std::vector<Token>& toks,
+                                 const std::vector<size_t>& code,
+                                 const FuncSpan& span) {
+  std::set<std::string> locals;
+  for (size_t i = span.open_code + 1; i + 1 < span.close_code; ++i) {
+    if (!IsIdent(toks[code[i]], "BytesView")) {
+      continue;
+    }
+    const Token& next = toks[code[i + 1]];
+    if (next.kind == TokKind::kIdent && !IsTypeish(next.text) &&
+        i + 2 < code.size()) {
+      const Token& after = toks[code[i + 2]];
+      if (after.kind == TokKind::kPunct &&
+          (after.text == "=" || after.text == ";" || after.text == "(" ||
+           after.text == "{")) {
+        locals.insert(next.text);
+      }
+    }
+  }
+  return locals;
+}
+
+}  // namespace
+
+void CheckR7(const std::string& path, const std::vector<Token>& toks,
+             const std::vector<size_t>& code, const Annotations& ann,
+             const std::vector<FuncSpan>& spans,
+             const std::vector<ClassSpan>& classes,
+             std::vector<Finding>& out) {
+  // (a1) BytesView data members: a stored view outlives the expression that
+  // made it, so the class must co-store the owning Payload/Bytes buffer.
+  for (const ClassSpan& cs : classes) {
+    bool co_stores_owner = false;
+    for (size_t i = cs.open_code + 1; i < cs.close_code; ++i) {
+      const Token& t = toks[code[i]];
+      if (IsIdent(t, "Payload") || IsIdent(t, "Bytes")) {
+        co_stores_owner = true;
+        break;
+      }
+    }
+    if (co_stores_owner) {
+      continue;
+    }
+    for (size_t i = cs.open_code + 1; i < cs.close_code; ++i) {
+      if (!IsIdent(toks[code[i]], "BytesView") ||
+          SpanForCode(spans, i) != nullptr || InAnyHeader(spans, i)) {
+        continue;  // method bodies and signatures may pass views freely
+      }
+      // A data member iff the statement declares a name and has no "(".
+      size_t from, to;
+      StatementBounds(toks, code, i, &from, &to);
+      bool has_paren = false;
+      bool declares = false;
+      for (size_t x = from; x < to; ++x) {
+        if (IsPunct(toks[code[x]], "(")) {
+          has_paren = true;
+        }
+        if (x > from && toks[code[x]].kind == TokKind::kIdent &&
+            !IsTypeish(toks[code[x]].text) &&
+            toks[code[x - 1]].kind == TokKind::kIdent) {
+          declares = true;
+        }
+      }
+      const int line = toks[code[i]].line;
+      if (has_paren || !declares || ann.Allowed(line, "R7")) {
+        continue;
+      }
+      out.push_back({"R7", path, line,
+                     "class " + cs.name +
+                         " stores a BytesView member without co-storing "
+                         "the owning Payload/Bytes; the view dangles when "
+                         "the buffer is released"});
+    }
+  }
+
+  // (a2) containers of BytesView anywhere (members or locals): the
+  // container outlives the expressions that filled it.
+  static const std::set<std::string> kContainers = {
+      "vector", "deque",         "list",          "array",
+      "set",    "map",           "unordered_map", "unordered_set",
+      "optional", "pair",        "tuple",
+  };
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    const Token& t = toks[code[i]];
+    if (t.kind != TokKind::kIdent || kContainers.count(t.text) == 0 ||
+        !IsPunct(toks[code[i + 1]], "<") || InAnyHeader(spans, i)) {
+      continue;
+    }
+    const size_t close = MatchForward(toks, code, i + 1, "<", ">");
+    if (close == code.size()) {
+      continue;
+    }
+    for (size_t x = i + 2; x < close; ++x) {
+      if (IsIdent(toks[code[x]], "BytesView") &&
+          !ann.Allowed(t.line, "R7")) {
+        out.push_back({"R7", path, t.line,
+                       "container of BytesView (`" + t.text +
+                           "<...BytesView...>`); the views outlive the "
+                           "expressions that made them — store Payload "
+                           "windows instead"});
+        break;
+      }
+    }
+  }
+
+  // (b) view-from-temporary: `MakeX().view()` — the buffer dies at the end
+  // of the full expression. Chains rooted in a named owner are safe:
+  // `p.Slice(1).view()` shares p's refcounted buffer.
+  for (size_t i = 2; i < code.size(); ++i) {
+    if (!IsIdent(toks[code[i]], "view") || !IsPunct(toks[code[i - 1]], ".") ||
+        !IsPunct(toks[code[i - 2]], ")")) {
+      continue;
+    }
+    bool safe = false;
+    size_t cur = i - 2;  // the ")" ending the receiver expression
+    while (true) {
+      const size_t open = MatchBackward(toks, code, cur, "(", ")");
+      if (open == code.size() || open == 0) {
+        break;
+      }
+      const Token& callee = toks[code[open - 1]];
+      if (callee.kind != TokKind::kIdent ||
+          (callee.text != "Slice" && callee.text != "substr")) {
+        break;  // a temporary from some other producer
+      }
+      if (open < 3) {
+        break;
+      }
+      const Token& sep = toks[code[open - 2]];
+      if (!IsPunct(sep, ".") && !IsPunct(sep, "->")) {
+        break;
+      }
+      const Token& recv = toks[code[open - 3]];
+      if (recv.kind == TokKind::kIdent) {
+        safe = true;  // rooted at a named Payload the caller keeps alive
+        break;
+      }
+      if (IsPunct(recv, ")")) {
+        cur = open - 3;  // keep walking the chain
+        continue;
+      }
+      break;
+    }
+    const int line = toks[code[i]].line;
+    if (!safe && !ann.Allowed(line, "R7")) {
+      out.push_back({"R7", path, line,
+                     ".view() taken on a temporary; the owning buffer dies "
+                     "at the end of this expression — bind the Payload to "
+                     "a local first"});
+    }
+  }
+
+  // (c) returning a view over a function-local buffer.
+  for (const FuncSpan& s : spans) {
+    bool returns_view = false;
+    for (size_t i = s.header_code; i < s.open_code; ++i) {
+      if (IsPunct(toks[code[i]], "(")) {
+        break;
+      }
+      if (IsIdent(toks[code[i]], "BytesView")) {
+        returns_view = true;
+        break;
+      }
+    }
+    if (!returns_view) {
+      continue;
+    }
+    // Owning buffers declared in the body (not parameters, which the
+    // caller keeps alive).
+    std::set<std::string> local_buffers;
+    for (size_t i = s.open_code + 1; i + 1 < s.close_code; ++i) {
+      const Token& t = toks[code[i]];
+      if (!IsIdent(t, "Bytes") && !IsIdent(t, "Payload") &&
+          !IsIdent(t, "Writer")) {
+        continue;
+      }
+      const Token& next = toks[code[i + 1]];
+      if (next.kind == TokKind::kIdent && !IsTypeish(next.text)) {
+        local_buffers.insert(next.text);
+      }
+    }
+    if (local_buffers.empty()) {
+      continue;
+    }
+    for (size_t i = s.open_code + 1; i < s.close_code; ++i) {
+      if (!IsIdent(toks[code[i]], "return")) {
+        continue;
+      }
+      size_t from, to;
+      StatementBounds(toks, code, i, &from, &to);
+      for (size_t x = i + 1; x < to; ++x) {
+        const Token& t = toks[code[x]];
+        if (t.kind == TokKind::kIdent && local_buffers.count(t.text) != 0 &&
+            !ann.Allowed(t.line, "R7")) {
+          out.push_back({"R7", path, t.line,
+                         "returns a BytesView over function-local buffer `" +
+                             t.text +
+                             "`, which is destroyed at return; return the "
+                             "owning Payload (or Bytes) instead"});
+          break;
+        }
+      }
+    }
+  }
+
+  // (d) BytesView locals captured by reference into deferred callbacks:
+  // the callback runs after the frame (and the view's target) is gone.
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    const Token& t = toks[code[i]];
+    if (t.kind != TokKind::kIdent ||
+        (t.text != "ScheduleAt" && t.text != "ScheduleAfter") ||
+        !IsPunct(toks[code[i + 1]], "(")) {
+      continue;
+    }
+    const FuncSpan* enclosing = SpanForCode(spans, i);
+    if (enclosing == nullptr) {
+      continue;  // a declaration, not a call
+    }
+    const std::set<std::string> view_locals =
+        ViewLocals(toks, code, *enclosing);
+    if (view_locals.empty()) {
+      continue;
+    }
+    const size_t args_close = MatchForward(toks, code, i + 1, "(", ")");
+    for (size_t m = i + 2; m < args_close; ++m) {
+      if (!IsPunct(toks[code[m]], "[") || m + 1 >= code.size() ||
+          !IsPunct(toks[code[m + 1]], "&")) {
+        continue;  // only by-reference captures can dangle
+      }
+      const size_t intro_close = MatchForward(toks, code, m, "[", "]");
+      size_t j = intro_close + 1;
+      if (j < args_close && IsPunct(toks[code[j]], "(")) {
+        j = MatchForward(toks, code, j, "(", ")") + 1;
+      }
+      while (j < args_close && !IsPunct(toks[code[j]], "{")) {
+        ++j;
+      }
+      if (j >= args_close) {
+        break;
+      }
+      const size_t body_close = MatchForward(toks, code, j, "{", "}");
+      for (size_t x = j + 1; x < body_close; ++x) {
+        const Token& u = toks[code[x]];
+        if (u.kind == TokKind::kIdent && view_locals.count(u.text) != 0 &&
+            !ann.Allowed(u.line, "R7")) {
+          out.push_back(
+              {"R7", path, u.line,
+               "BytesView local `" + u.text +
+                   "` captured by reference into a deferred callback; the "
+                   "view dangles when the callback runs — capture a "
+                   "Payload by value instead"});
+          break;
+        }
+      }
+      m = body_close;
+    }
+  }
+}
+
+}  // namespace sdr::lint::internal

@@ -2,7 +2,10 @@
 //
 // A self-contained static analyzer (own tokenizer, no libclang) that
 // enforces invariants the compiler cannot check but the paper's guarantees
-// depend on. Rules are named and individually suppressible:
+// depend on. Since v2 it is a two-pass, repo-wide analyzer: pass 1 builds a
+// cross-translation-unit SymbolIndex (protocol enums, annotated members,
+// Encode/Decode body shapes); pass 2 runs rule families over each file plus
+// index-wide checks. Rules are named and individually suppressible:
 //
 //   R1 determinism      — no ambient nondeterminism (rand, random_device,
 //                         wall clocks, clock_gettime/nanosleep, sockets,
@@ -34,12 +37,35 @@
 //                         downgrades a genuinely public line. Raw memcmp in
 //                         crypto code always needs a public annotation or
 //                         ConstantTimeEquals.
+//   R6 thread discipline — members tagged `sdrlint:guarded_by(m)` may only
+//                         be touched while a lock idiom over `m`
+//                         (lock_guard/unique_lock/scoped_lock/shared_lock or
+//                         m.lock()) is in scope; members tagged
+//                         `sdrlint:lane_confined` (per-worker-lane slot
+//                         vectors) must be subscripted by the lane id inside
+//                         worker-pool parallel regions and never mutated
+//                         there; `sdrlint:shared_atomic` asserts the
+//                         declaration really is a std::atomic.
+//   R7 view lifetime    — a BytesView (non-owning window) may not be stored
+//                         in a member or container unless the owning
+//                         Payload is co-stored in the same class; views
+//                         taken from temporaries (`MakeX().view()`),
+//                         returned over function-local buffers, or captured
+//                         by reference into deferred callbacks are flagged.
+//   R8 serde symmetry   — extends R4 from name pairing to body analysis:
+//                         the field write sequence in Encode/EncodeTo must
+//                         match the field read sequence in the paired
+//                         Decode/DecodeFrom, so a reordered or skipped
+//                         field fails lint instead of corrupting the wire.
 //
 // Annotation grammar (in any comment, same line or a comment-only line
 // directly above the code it governs):
 //   sdrlint:secret            tag variables declared on this line as secret
 //   sdrlint:public            declare this line's data public by design (R5)
 //   sdrlint:protocol-enum     mark the enum declared here as a protocol enum
+//   sdrlint:guarded_by(m)     member on this line is protected by mutex `m`
+//   sdrlint:lane_confined     member is a per-lane slot vector; see R6
+//   sdrlint:shared_atomic     member is cross-thread but atomic; see R6
 //   sdrlint:allow(Rn[ reason])  suppress rule Rn here
 //
 // See docs/ANALYSIS.md for the full rule catalogue and rationale.
@@ -83,7 +109,7 @@ std::vector<Token> Tokenize(const std::string& src);
 // ---------------------------------------------------------------------------
 
 struct Finding {
-  std::string rule;  // "R1".."R5"
+  std::string rule;  // "R1".."R8"
   std::string file;
   int line = 0;
   std::string message;
@@ -96,6 +122,9 @@ struct FileClass {
   bool r3 = true;   // everywhere
   bool r4 = false;  // serde files: src/core/messages.*, src/core/pledge.*
   bool r5 = false;  // src/crypto
+  bool r6 = true;   // everywhere (annotation-driven)
+  bool r7 = true;   // everywhere (BytesView/Payload lifetime)
+  bool r8 = false;  // serde-body domain; see ClassifyPath
 };
 
 FileClass ClassifyPath(const std::string& path);
@@ -103,14 +132,107 @@ FileClass ClassifyPath(const std::string& path);
 // Protocol-enum registry: enum name (unqualified) -> enumerator names.
 using EnumRegistry = std::map<std::string, std::vector<std::string>>;
 
-// First pass: records enums annotated `sdrlint:protocol-enum` in `src`.
+// Collects enums annotated `sdrlint:protocol-enum` from one file's source.
+// (Subsumed by IndexSource; kept as the narrow single-purpose entry point.)
 void CollectProtocolEnums(const std::string& src, EnumRegistry& registry);
 
-// Second pass: runs all applicable rules over one file's contents.
+// ---------------------------------------------------------------------------
+// Cross-translation-unit symbol index (pass 1)
+// ---------------------------------------------------------------------------
+
+// One thread-discipline-annotated member of a class.
+struct MemberAnn {
+  std::string guarded_by;      // mutex member name, if guarded
+  bool lane_confined = false;  // per-lane slot vector
+  bool shared_atomic = false;  // cross-thread atomic
+  bool decl_atomic = false;    // declaration statement mentions `atomic`
+  int line = 0;                // declaration line
+};
+
+struct ClassInfo {
+  std::string file;  // file that declared the class body
+  int line = 0;
+  std::map<std::string, MemberAnn> members;  // annotated members only
+};
+
+// One field access in an Encode/Decode body, in statement order.
+struct SerdeStep {
+  std::string field;  // "" when the field name is not recoverable
+  std::string op;     // "U8", "Blob", "nested", helper suffix, ...
+  int line = 0;
+};
+
+struct SerdeBody {
+  std::string file;
+  int line = 0;  // 0 == absent
+  bool allowed = false;  // sdrlint:allow(R8) on the definition
+  std::vector<SerdeStep> steps;
+};
+
+// The four serde methods of one struct (any may be absent).
+struct SerdeInfo {
+  SerdeBody encode, decode, encode_to, decode_from;
+};
+
+struct SymbolIndex {
+  EnumRegistry enums;
+  std::map<std::string, ClassInfo> classes;  // class name -> annotations
+  std::map<std::string, SerdeInfo> serde;    // struct name -> bodies
+};
+
+// Pass 1 over one file: protocol enums, annotated members, and (for files
+// in the serde-body domain) Encode/Decode field sequences.
+void IndexSource(const std::string& path, const std::string& src,
+                 SymbolIndex& index);
+
+// Pass 2 over one file: runs all applicable per-file rules.
 std::vector<Finding> AnalyzeSource(const std::string& path,
                                    const std::string& src,
                                    const FileClass& fc,
-                                   const EnumRegistry& registry);
+                                   const SymbolIndex& index);
+
+// Pass 2, index-wide: rules that need every translation unit at once
+// (R8 serde field-order symmetry). Findings point at the Decode side.
+std::vector<Finding> AnalyzeIndex(const SymbolIndex& index);
+
+// ---------------------------------------------------------------------------
+// Baseline and JSON report
+// ---------------------------------------------------------------------------
+
+// Stable identity of a finding across checkouts: "Rn|repo-path|message"
+// with the path normalized to start at src/, tools/, tests/, bench/, or
+// examples/ and quotes/backslashes in the message flattened. Line numbers
+// are deliberately excluded so unrelated edits above a baselined finding
+// do not break the gate.
+std::string FindingKey(const Finding& f);
+
+// Path normalization used by FindingKey (exposed for tests).
+std::string NormalizeRepoPath(const std::string& path);
+
+// Baseline: finding key -> count. Parses tools/lint/baseline.json (written
+// by --update_baseline); returns false on unreadable/malformed input.
+bool LoadBaseline(const std::string& path, std::map<std::string, int>* out);
+
+// Serializes a baseline for the given findings (sorted keys, duplicate
+// keys kept as repeated entries).
+std::string BaselineToJson(const std::vector<Finding>& findings);
+
+// Splits findings into fresh (beyond the baseline's count for their key)
+// and suppressed; `fixed` receives baseline keys whose count exceeds what
+// the current run produced (stale entries to delete from the file).
+struct BaselineDiff {
+  std::vector<Finding> fresh;
+  std::vector<Finding> suppressed;
+  std::vector<std::string> fixed;
+};
+BaselineDiff DiffAgainstBaseline(const std::vector<Finding>& findings,
+                                 const std::map<std::string, int>& baseline);
+
+// Machine-readable report: files scanned, findings with status, per-rule
+// counts, baseline summary. Sorted-key JSON, byte-stable across runs.
+std::string ReportJson(size_t files_scanned,
+                       const std::vector<Finding>& findings,
+                       const BaselineDiff* diff);
 
 // ---------------------------------------------------------------------------
 // Driver
@@ -120,10 +242,18 @@ std::vector<Finding> AnalyzeSource(const std::string& path,
 // given), sorted for deterministic output.
 std::vector<std::string> CollectFiles(const std::vector<std::string>& paths);
 
+struct RunOptions {
+  std::string baseline_path;   // compare findings against this baseline
+  std::string json_path;       // write the JSON report here
+  bool update_baseline = false;  // rewrite baseline_path from this run
+};
+
 // Runs the two-pass lint over the given files/directories; prints findings
 // gcc-style ("file:line: [Rn] message") to stdout. Returns the number of
-// findings (0 == clean).
+// findings that fail the gate: all of them without a baseline, only fresh
+// ones (plus baseline I/O errors) with one.
 int RunTool(const std::vector<std::string>& paths);
+int RunTool(const std::vector<std::string>& paths, const RunOptions& opts);
 
 }  // namespace sdr::lint
 
