@@ -1,5 +1,6 @@
 #include "src/chaos/checkers.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/chaos/scenario.h"
@@ -171,6 +172,83 @@ void AvailabilityFloor::OnTick(const ChaosContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// NoForkUndetected.
+// ---------------------------------------------------------------------------
+
+void NoForkUndetected::OnTick(const ChaosContext& ctx) {
+  for (int s = 0; s < ctx.cluster->num_slaves(); ++s) {
+    // Track a slave only once it has served *divergent* reads to BOTH of
+    // its client sets: a forked slave whose assigned clients all landed in
+    // one set presents one consistent history — there is no second head to
+    // catch, and freshness/audit bounds cover plain staleness. Once both
+    // counters tick, both chains carry a post-divergence commitment, so a
+    // conflicting pair provably exists and the detection clock can start.
+    if (ctx.cluster->slave(s).metrics().equivocations_served > 0 &&
+        ctx.cluster->slave(s).metrics().honest_serves_forked > 0 &&
+        tracks_.count(s) == 0) {
+      tracks_[s] = Track{ctx.now(), false};
+    }
+  }
+  for (auto& [s, track] : tracks_) {
+    if (track.resolved) {
+      continue;
+    }
+    NodeId node = ctx.cluster->slave(s).id();
+    bool named = false;
+    for (const EvidenceChain& chain : ctx.cluster->fork_evidence()) {
+      if (chain.a.vv.slave == node) {
+        named = true;
+        break;
+      }
+    }
+    bool excluded_ok = !ctx.cluster->config().params.exclusion_enabled ||
+                       ctx.cluster->ExcludedByAnyMaster(node);
+    if (named && excluded_ok) {
+      track.resolved = true;
+      continue;
+    }
+    if (ctx.now() - track.divergence_served > bound_) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "slave %d (node %u) served %llu equivocating reads "
+                    "(divergent both ways since ~%s) but %s within %s",
+                    s, node,
+                    static_cast<unsigned long long>(
+                        ctx.cluster->slave(s).metrics().equivocations_served),
+                    FormatSimTime(track.divergence_served).c_str(),
+                    named ? "no master excluded it"
+                          : "no fork evidence names it",
+                    FormatSimTime(bound_).c_str());
+      Report(ctx, buf);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EvidenceTransferable.
+// ---------------------------------------------------------------------------
+
+void EvidenceTransferable::OnTick(const ChaosContext& ctx) {
+  const std::vector<EvidenceChain>& chains = ctx.cluster->fork_evidence();
+  for (; checked_ < chains.size(); ++checked_) {
+    std::string why;
+    if (!VerifyEvidenceChain(ctx.cluster->config().params.scheme,
+                             ctx.cluster->content().content_public_key,
+                             chains[checked_], &why)) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "evidence chain %zu (slave node %u, version %llu) does "
+                    "not verify offline: %s",
+                    checked_, chains[checked_].a.vv.slave,
+                    static_cast<unsigned long long>(
+                        chains[checked_].a.vv.content_version),
+                    why.c_str());
+      Report(ctx, buf);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // TokenFreshness.
 // ---------------------------------------------------------------------------
 
@@ -217,6 +295,14 @@ std::vector<std::unique_ptr<InvariantChecker>> DefaultCheckers(
       /*min_accepts_per_second=*/0.5, /*warmup=*/5 * kSecond,
       /*min_window=*/10 * kSecond));
   checkers.push_back(std::make_unique<TokenFreshness>());
+  if (params.fork_check_enabled) {
+    // Fork detection additionally waits on client gossip or an audit
+    // submission to pair the conflicting commitments, then the evidence
+    // round trip to the owning master — all inside the detection bound's
+    // slack.
+    checkers.push_back(std::make_unique<NoForkUndetected>(detection_bound));
+    checkers.push_back(std::make_unique<EvidenceTransferable>());
+  }
   return checkers;
 }
 

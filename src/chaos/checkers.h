@@ -15,6 +15,14 @@
 //     clients keep accepting reads at no less than a configured rate.
 //   TokenFreshness — no accepted read's version token is older than the
 //     client's freshness bound (plus the double-check round-trip allowance).
+//   NoForkUndetected — a slave that served divergent reads to both of
+//     its client sets must be named by fork evidence — and excluded, when
+//     exclusion is on — within a bound of the divergence first being
+//     served both ways (each such read signs a chain commitment, so the
+//     conflicting pair exists as soon as both sets have one).
+//   EvidenceTransferable — every emitted evidence chain must verify
+//     offline against nothing but the content owner's public key.
+// The last two are installed only when params.fork_check_enabled.
 #ifndef SDR_SRC_CHAOS_CHECKERS_H_
 #define SDR_SRC_CHAOS_CHECKERS_H_
 
@@ -138,6 +146,33 @@ class AvailabilityFloor : public InvariantChecker {
   std::deque<WindowSample> window_;
   SimTime window_time_ = 0;
   uint64_t window_accepts_ = 0;
+};
+
+class NoForkUndetected : public InvariantChecker {
+ public:
+  explicit NoForkUndetected(SimTime bound) : bound_(bound) {}
+  std::string name() const override { return "NoForkUndetected"; }
+  void OnTick(const ChaosContext& ctx) override;
+
+ private:
+  struct Track {
+    // When both client sets had been served divergent reads — from that
+    // point conflicting signed commitments exist on both chains, so
+    // detection is possible and the clock starts.
+    SimTime divergence_served = 0;
+    bool resolved = false;
+  };
+  SimTime bound_;
+  std::map<int, Track> tracks_;  // slave index -> state
+};
+
+class EvidenceTransferable : public InvariantChecker {
+ public:
+  std::string name() const override { return "EvidenceTransferable"; }
+  void OnTick(const ChaosContext& ctx) override;
+
+ private:
+  size_t checked_ = 0;  // prefix of cluster.fork_evidence() already verified
 };
 
 class TokenFreshness : public InvariantChecker {

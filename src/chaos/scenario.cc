@@ -240,11 +240,21 @@ void BehaviorPatch::ApplyTo(Slave::Behavior& behavior) const {
   if (serve_despite_stale) {
     behavior.serve_despite_stale = *serve_despite_stale;
   }
+  if (fork_views) {
+    behavior.fork_views = *fork_views;
+  }
+  if (stale_pledge) {
+    behavior.stale_pledge = *stale_pledge;
+  }
+  if (split_serve) {
+    behavior.split_serve = *split_serve;
+  }
 }
 
 bool BehaviorPatch::empty() const {
   return !lie_probability && !inconsistent_lie_probability &&
-         !drop_probability && !ignore_updates && !serve_despite_stale;
+         !drop_probability && !ignore_updates && !serve_despite_stale &&
+         !fork_views && !stale_pledge && !split_serve;
 }
 
 std::string BehaviorPatch::ToString() const {
@@ -273,6 +283,15 @@ std::string BehaviorPatch::ToString() const {
     append(std::string("serve_despite_stale=") +
            (*serve_despite_stale ? "true" : "false"));
   }
+  if (fork_views) {
+    append(std::string("fork_views=") + (*fork_views ? "true" : "false"));
+  }
+  if (stale_pledge) {
+    append(std::string("stale_pledge=") + (*stale_pledge ? "true" : "false"));
+  }
+  if (split_serve) {
+    append(std::string("split_serve=") + (*split_serve ? "true" : "false"));
+  }
   return out;
 }
 
@@ -280,13 +299,23 @@ namespace {
 
 Status ApplyBehaviorField(BehaviorPatch& patch, const std::string& key,
                           const std::string& value) {
-  if (key == "ignore_updates" || key == "serve_despite_stale") {
+  if (key == "ignore_updates" || key == "serve_despite_stale" ||
+      key == "fork_views" || key == "stale_pledge" || key == "split_serve") {
     auto flag = ParseBool(value);
     if (!flag.ok()) {
       return flag.error();
     }
-    (key == "ignore_updates" ? patch.ignore_updates
-                             : patch.serve_despite_stale) = *flag;
+    if (key == "ignore_updates") {
+      patch.ignore_updates = *flag;
+    } else if (key == "serve_despite_stale") {
+      patch.serve_despite_stale = *flag;
+    } else if (key == "fork_views") {
+      patch.fork_views = *flag;
+    } else if (key == "stale_pledge") {
+      patch.stale_pledge = *flag;
+    } else {
+      patch.split_serve = *flag;
+    }
     return Status::Ok();
   }
   auto p = ParseDouble(value);

@@ -21,7 +21,9 @@
 // random:k (k distinct random slaves, drawn deterministically per seed).
 // set_behavior fields are Slave::Behavior members: lie_probability,
 // inconsistent_lie_probability, drop_probability, ignore_updates,
-// serve_despite_stale.
+// serve_despite_stale, and the equivocation flags fork_views,
+// stale_pledge, split_serve (caught by src/forkcheck/ when
+// --fork_check is on).
 #ifndef SDR_SRC_CHAOS_SCENARIO_H_
 #define SDR_SRC_CHAOS_SCENARIO_H_
 
@@ -68,6 +70,9 @@ struct BehaviorPatch {
   std::optional<double> drop_probability;
   std::optional<bool> ignore_updates;
   std::optional<bool> serve_despite_stale;
+  std::optional<bool> fork_views;
+  std::optional<bool> stale_pledge;
+  std::optional<bool> split_serve;
 
   void ApplyTo(Slave::Behavior& behavior) const;
   bool empty() const;

@@ -104,7 +104,7 @@ void Auditor::SetPaused(bool paused) {
   std::deque<PendingPledge> backlog = std::move(paused_backlog_);
   paused_backlog_.clear();
   for (PendingPledge& item : backlog) {
-    EnqueueForVerify(std::move(item.pledge), item.submitter, item.trace_id);
+    EnqueueForVerify(std::move(item));
   }
   FlushVerifyBatch();
   TryFinalizeVersions();
@@ -141,6 +141,8 @@ void Auditor::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kKeepAlive:
     case MsgType::kSlaveAck:
     case MsgType::kBadReadNotice:
+    case MsgType::kVvExchange:
+    case MsgType::kForkEvidence:
       break;
   }
 }
@@ -231,21 +233,21 @@ void Auditor::HandleAuditSubmit(NodeId from, BytesView body) {
       t->Instant(TraceRole::kAuditor, id(), "audit.park_paused",
                  msg->trace_id);
     }
-    paused_backlog_.push_back(
-        PendingPledge{std::move(msg->pledge), from, msg->trace_id});
+    paused_backlog_.push_back(PendingPledge{std::move(msg->pledge), from,
+                                            msg->trace_id,
+                                            std::move(msg->vv)});
     return;
   }
-  EnqueueForVerify(std::move(msg->pledge), from, msg->trace_id);
+  EnqueueForVerify(PendingPledge{std::move(msg->pledge), from, msg->trace_id,
+                                 std::move(msg->vv)});
 }
 
 // Admission stage: buffer the pledge for batched signature verification.
 // The pledge counts as in flight from here, so version finalization can
 // never overtake a buffered pledge.
-void Auditor::EnqueueForVerify(Pledge pledge, NodeId submitter,
-                               uint64_t trace_id) {
-  ++in_flight_[pledge.token.content_version];
-  pending_verify_.push_back(
-      PendingPledge{std::move(pledge), submitter, trace_id});
+void Auditor::EnqueueForVerify(PendingPledge item) {
+  ++in_flight_[item.pledge.token.content_version];
+  pending_verify_.push_back(std::move(item));
   if (pending_verify_.size() >=
       static_cast<size_t>(options_.params.audit_verify_batch_size)) {
     FlushVerifyBatch();
@@ -273,9 +275,11 @@ void Auditor::FlushVerifyBatch() {
   std::deque<PendingPledge> batch = std::move(pending_verify_);
   pending_verify_.clear();
 
-  // item index pairs per verifiable pledge: [slave sig, token sig].
+  // item index pairs per verifiable pledge: [slave sig, token sig], plus
+  // an optional third item for a piggybacked version vector.
   std::vector<VerifyItem> items;
   std::vector<int> first_item(batch.size(), -1);
+  std::vector<int> vv_item(batch.size(), -1);
   for (size_t i = 0; i < batch.size(); ++i) {
     const Pledge& pledge = batch[i].pledge;
     auto cert = known_slave_certs_.find(pledge.slave);
@@ -289,6 +293,15 @@ void Auditor::FlushVerifyBatch() {
                      pledge.signature});
     items.push_back({master_key->second, pledge.token.SignedBody(),
                      pledge.token.signature});
+    // The vector must name the pledging slave and the pledged version;
+    // anything else is ignored (a lone bogus vector proves nothing).
+    if (options_.params.fork_check_enabled && batch[i].vv.has_value() &&
+        batch[i].vv->slave == pledge.slave &&
+        batch[i].vv->content_version == pledge.token.content_version) {
+      vv_item[i] = static_cast<int>(items.size());
+      items.push_back({cert->second.subject_public_key,
+                       batch[i].vv->SignedBody(), batch[i].vv->signature});
+    }
   }
   std::vector<bool> ok;
   if (!items.empty()) {
@@ -313,6 +326,9 @@ void Auditor::FlushVerifyBatch() {
       }
       continue;
     }
+    if (vv_item[i] >= 0 && ok[vv_item[i]]) {
+      ReconcileVv(*item.vv, item.pledge, item.trace_id);
+    }
     if (item.pledge.token.content_version > oplog_.head_version()) {
       // The slave answered at a version whose commit has not reached us yet.
       if (t != nullptr) {
@@ -324,6 +340,43 @@ void Auditor::FlushVerifyBatch() {
     ready.push_back(std::move(item));
   }
   AuditBatch(std::move(ready));
+}
+
+void Auditor::ReconcileVv(const VersionVector& vv, const Pledge& pledge,
+                          uint64_t trace_id) {
+  auto cert = known_slave_certs_.find(pledge.slave);
+  if (cert == known_slave_certs_.end()) {
+    return;
+  }
+  ++metrics_.vvs_reconciled;
+  AttestedVv avv;
+  avv.vv = vv;
+  avv.token = pledge.token;
+  avv.slave_cert = cert->second;
+  auto conflict = fork_detector_.Observe(avv);
+  if (!conflict.has_value()) {
+    return;
+  }
+  ++metrics_.forks_detected;
+  if (TraceSink* t = env()->trace()) {
+    t->Instant(TraceRole::kAuditor, id(), "fork.detect", trace_id,
+               static_cast<int64_t>(vv.slave));
+  }
+  EvidenceChain chain = MakeEvidenceChain(conflict->first, conflict->second,
+                                          options_.master_certs);
+  ++metrics_.evidence_chains_emitted;
+  if (on_evidence) {
+    on_evidence(chain);
+  }
+  auto owner = slave_owner_.find(vv.slave);
+  if (owner == slave_owner_.end()) {
+    return;
+  }
+  ForkEvidence msg;
+  msg.trace_id = trace_id;
+  msg.chain = std::move(chain);
+  env()->Send(owner->second,
+              WithType(MsgType::kForkEvidence, msg.Encode()));
 }
 
 const Auditor::MemoEntry* Auditor::MemoLookup(const Bytes& query_key,

@@ -71,6 +71,9 @@ class Auditor : public Node {
     KeyPair key_pair;
     std::vector<NodeId> group;  // total-order group (masters + this node)
     std::map<NodeId, Bytes> master_keys;
+    // Content-signed master certificates, embedded in emitted fork-evidence
+    // chains so they verify offline (only used with fork_check_enabled).
+    std::vector<Certificate> master_certs;
     uint64_t snapshot_interval = 16;
     TotalOrderBroadcast::Config broadcast;
     // Ablation toggles (all true = the paper's auditor). Disabling the
@@ -106,6 +109,10 @@ class Auditor : public Node {
     metrics_.sig_cache_evictions = verify_cache_.stats().evictions;
     return metrics_;
   }
+  // Invoked on every fork-evidence chain assembled here (cross-client
+  // reconciliation); the harness collects them for offline verification.
+  std::function<void(const EvidenceChain&)> on_evidence;
+
   uint64_t head_version() const { return oplog_.head_version(); }
   uint64_t audited_version() const { return audited_version_; }
   // Audits accepted but not yet completed (queued on the simulated CPU),
@@ -129,6 +136,9 @@ class Auditor : public Node {
     Pledge pledge;
     NodeId submitter = kInvalidNode;
     uint64_t trace_id = 0;
+    // The slave's version-vector commitment piggybacked on the submission
+    // (absent unless fork checking is enabled).
+    std::optional<VersionVector> vv;
   };
 
   // A memoized correct-result hash, valid for every content version in
@@ -143,8 +153,13 @@ class Auditor : public Node {
   void PumpCommitQueue();
   void HandleAuditSubmit(NodeId from, BytesView body);
   void GossipAndFinalizeTick();
-  void EnqueueForVerify(Pledge pledge, NodeId submitter, uint64_t trace_id);
+  void EnqueueForVerify(PendingPledge item);
   void FlushVerifyBatch();
+  // Cross-client fork reconciliation: feed a batch-verified version vector
+  // to the detector; divergent chain heads for one (slave, version) become
+  // an evidence chain sent to the slave's owning master.
+  void ReconcileVv(const VersionVector& vv, const Pledge& pledge,
+                   uint64_t trace_id);
   // Audits a batch of signature-verified pledges at committed versions:
   // dedup -> memo -> pooled re-execution -> deterministic merge -> one
   // ServiceQueue entry per pledge (the comparison closure).
@@ -216,6 +231,11 @@ class Auditor : public Node {
 
   std::map<NodeId, Certificate> known_slave_certs_;
   std::map<NodeId, NodeId> slave_owner_;
+
+  // Divergence detector over every version vector submitted by any client
+  // (the auditor sees all sets of a forked slave, so it detects forks even
+  // when client gossip is partitioned or disabled).
+  ForkDetector fork_detector_;
 
   mutable AuditorMetrics metrics_;
 };

@@ -13,6 +13,9 @@ Client::Client(Options options)
 void Client::Start() {
   rng_ = Rng(options_.rng_seed ^ (static_cast<uint64_t>(id()) << 32));
   BeginSetup();
+  if (options_.params.fork_check_enabled && !options_.peer_clients.empty()) {
+    ScheduleVvGossip();
+  }
 }
 
 const Bytes* Client::MasterKey(NodeId master) const {
@@ -177,6 +180,137 @@ void Client::HandleBadReadNotice(BytesView body) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fork-consistency checking (src/forkcheck/; beyond the paper).
+// ---------------------------------------------------------------------------
+
+void Client::ScheduleVvGossip() {
+  env()->ScheduleAfter(options_.params.vv_gossip_period, [this] {
+    GossipVvs();
+    ScheduleVvGossip();
+  });
+}
+
+void Client::GossipVvs() {
+  if (latest_vv_.empty()) {
+    return;
+  }
+  std::vector<NodeId> peers;
+  peers.reserve(options_.peer_clients.size());
+  for (NodeId p : options_.peer_clients) {
+    if (p != id()) {
+      peers.push_back(p);
+    }
+  }
+  if (peers.empty()) {
+    return;
+  }
+  VvExchange msg;
+  msg.origin = id();
+  msg.entries.reserve(latest_vv_.size());
+  for (const auto& [slave, avv] : latest_vv_) {
+    (void)slave;
+    msg.entries.push_back(avv);
+  }
+  Bytes encoded = WithType(MsgType::kVvExchange, msg.Encode());
+  size_t fanout = std::min<size_t>(options_.params.vv_gossip_fanout,
+                                   peers.size());
+  // Partial Fisher-Yates: `fanout` distinct peers, uniform without bias.
+  for (size_t i = 0; i < fanout; ++i) {
+    size_t j = i + rng_.NextBounded(peers.size() - i);
+    std::swap(peers[i], peers[j]);
+    env()->Send(peers[i], encoded);
+    ++metrics_.vv_exchanges_sent;
+  }
+}
+
+bool Client::VerifyAttestedVv(const AttestedVv& avv) {
+  // Internal consistency first (cheap), then the three signatures: token
+  // under its master's key, slave certificate under some certified master,
+  // vector under the certified slave key. All through the verify cache —
+  // tokens and certificates repeat across gossip rounds, so most are hits.
+  if (avv.slave_cert.role != Role::kSlave ||
+      avv.vv.slave != avv.slave_cert.subject ||
+      avv.token.content_version != avv.vv.content_version) {
+    return false;
+  }
+  const Bytes* token_key = MasterKey(avv.token.master);
+  if (token_key == nullptr ||
+      !VerifyVersionToken(options_.params.scheme, *token_key, avv.token,
+                          &verify_cache_)) {
+    return false;
+  }
+  bool cert_ok = false;
+  for (const Certificate& mc : master_certs_) {
+    if (verify_cache_.Verify(options_.params.scheme, mc.subject_public_key,
+                             avv.slave_cert.SignedBody(),
+                             avv.slave_cert.signature)) {
+      cert_ok = true;
+      break;
+    }
+  }
+  if (!cert_ok) {
+    return false;
+  }
+  return VerifyVersionVector(options_.params.scheme,
+                             avv.slave_cert.subject_public_key, avv.vv,
+                             &verify_cache_);
+}
+
+void Client::HandleVvExchange(BytesView body) {
+  if (!options_.params.fork_check_enabled) {
+    return;
+  }
+  auto msg = VvExchange::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  ++metrics_.vv_exchanges_received;
+  for (const AttestedVv& avv : msg->entries) {
+    if (VerifyAttestedVv(avv)) {
+      ObserveVv(avv);
+    }
+  }
+}
+
+void Client::ObserveVv(const AttestedVv& avv) {
+  // "Latest" per slave means longest chain: lengths grow by one per served
+  // read, while the content version can stall across many reads.
+  auto it = latest_vv_.find(avv.vv.slave);
+  if (it == latest_vv_.end() ||
+      it->second.vv.chain_length < avv.vv.chain_length) {
+    latest_vv_[avv.vv.slave] = avv;
+  }
+  auto conflict = fork_detector_.Observe(avv);
+  if (!conflict.has_value()) {
+    return;
+  }
+  ++metrics_.forks_detected;
+  uint64_t trace_id = MintTraceId(id(), next_request_id_++);
+  if (TraceSink* t = env()->trace()) {
+    t->Instant(TraceRole::kClient, id(), "fork.detect", trace_id,
+               static_cast<int64_t>(avv.vv.slave));
+  }
+  EmitForkEvidence(*conflict, trace_id);
+}
+
+void Client::EmitForkEvidence(const ForkDetector::Conflict& conflict,
+                              uint64_t trace_id) {
+  EvidenceChain chain =
+      MakeEvidenceChain(conflict.first, conflict.second, master_certs_);
+  ++metrics_.evidence_chains_emitted;
+  if (on_evidence) {
+    on_evidence(chain);
+  }
+  if (master_ == kInvalidNode) {
+    return;
+  }
+  ForkEvidence msg;
+  msg.trace_id = trace_id;
+  msg.chain = std::move(chain);
+  env()->Send(master_, WithType(MsgType::kForkEvidence, msg.Encode()));
+}
+
 void Client::MasterSuspect() {
   // The master has gone silent: redo the setup phase with another master
   // ("all the clients connected to the crashed server will have to go
@@ -295,8 +429,46 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
     RetryRead(msg->request_id, 0);
     return;
   }
+  // Fork-consistency: ingest the slave's signed version-vector commitment.
+  // It must name the pledging slave and the pledged version; its signature
+  // is checked under the certified slave key. A vector that fails any of
+  // these is simply ignored — the read itself already passed the paper's
+  // checks, and a missing/bogus vector only deprives the slave of the
+  // chance to prove consistency (suspicious, but not falsifiable alone).
+  // This runs *before* the freshness gate: a commitment is a signed fact
+  // about the slave's chain whether or not the ride-along result is still
+  // fresh enough to accept, and a slow-serving equivocator (split_serve)
+  // must not be able to keep its commitments out of the detection pool by
+  // straddling the freshness deadline.
+  if (options_.params.fork_check_enabled && msg->vv.has_value() &&
+      msg->vv->slave == pledge.slave &&
+      msg->vv->content_version == pledge.token.content_version &&
+      VerifyVersionVector(options_.params.scheme,
+                          slave_cert_->subject_public_key, *msg->vv,
+                          &verify_cache_)) {
+    AttestedVv avv;
+    avv.vv = *msg->vv;
+    avv.token = pledge.token;
+    avv.slave_cert = *slave_cert_;
+    ObserveVv(avv);
+  }
+
   // 4. Freshness: reject results older than (the client's) max_latency.
   if (!TokenIsFresh(pledge.token, env()->Now(), effective_max_latency())) {
+    if (options_.params.fork_check_enabled &&
+        options_.params.audit_enabled && auditor_ != kInvalidNode) {
+      // The reply is too old to accept but its pledge and commitment are
+      // signature-verified facts; forwarding them keeps the auditor's
+      // cross-client chain reconciliation complete even when an
+      // equivocator serves its victims at the edge of the window.
+      AuditSubmit submit;
+      submit.trace_id = read.trace_id;
+      submit.pledge = pledge;
+      submit.vv = msg->vv;
+      ++metrics_.pledges_forwarded;
+      env()->Send(auditor_,
+                  WithType(MsgType::kAuditSubmit, submit.Encode()));
+    }
     ++metrics_.reads_rejected_stale;
     if (t != nullptr) {
       t->Instant(TraceRole::kClient, id(), "read.reject_stale", read.trace_id);
@@ -346,6 +518,10 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
     AuditSubmit submit;
     submit.trace_id = read.trace_id;
     submit.pledge = pledge;
+    // Piggyback the slave's vector so the auditor can reconcile chain
+    // heads across clients (nullopt — and absent on the wire — unless
+    // fork checking is on).
+    submit.vv = msg->vv;
     ++metrics_.pledges_forwarded;
     if (t != nullptr) {
       t->Instant(TraceRole::kClient, id(), "pledge.forward", read.trace_id);
@@ -617,6 +793,9 @@ void Client::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kBadReadNotice:
       HandleBadReadNotice(body);
       break;
+    case MsgType::kVvExchange:
+      HandleVvExchange(body);
+      break;
     // Not addressed to a client; ignored by design.
     case MsgType::kDirectoryLookup:
     case MsgType::kClientHello:
@@ -629,6 +808,7 @@ void Client::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kSlaveAck:
     case MsgType::kAuditSubmit:
     case MsgType::kBroadcastEnvelope:
+    case MsgType::kForkEvidence:
       break;
   }
 }

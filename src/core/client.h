@@ -23,6 +23,7 @@
 #include "src/core/config.h"
 #include "src/core/messages.h"
 #include "src/core/metrics.h"
+#include "src/forkcheck/fork.h"
 #include "src/runtime/env.h"
 #include "src/store/executor.h"
 #include "src/store/query.h"
@@ -59,6 +60,11 @@ class Client : public Node {
     int max_read_retries = 8;
     SimTime retry_backoff = 200 * kMillisecond;
     uint64_t rng_seed = 1;
+
+    // Peer clients for fork-consistency gossip (filled by the cluster
+    // harness; may include this client's own id, which is skipped). Only
+    // used when params.fork_check_enabled.
+    std::vector<NodeId> peer_clients;
   };
 
   explicit Client(Options options);
@@ -84,6 +90,11 @@ class Client : public Node {
   // accepted was wrong (delayed discovery, Section 3.5). The application
   // uses this to roll back whatever depended on the read.
   std::function<void(const Query&, uint64_t version)> on_bad_read;
+
+  // Invoked on every fork-evidence chain this client assembles (divergent
+  // signed chain heads for one slave + version). The harness collects
+  // these for offline verification (sdrtrace --evidence).
+  std::function<void(const EvidenceChain&)> on_evidence;
 
   bool ready() const { return phase_ == Phase::kReady; }
   NodeId master() const { return master_; }
@@ -146,6 +157,15 @@ class Client : public Node {
   // Master-silence recovery.
   void MasterSuspect();
 
+  // Fork-consistency checking (active only with params.fork_check_enabled).
+  void ScheduleVvGossip();
+  void GossipVvs();
+  void HandleVvExchange(BytesView body);
+  bool VerifyAttestedVv(const AttestedVv& avv);
+  void ObserveVv(const AttestedVv& avv);
+  void EmitForkEvidence(const ForkDetector::Conflict& conflict,
+                        uint64_t trace_id);
+
   const Bytes* MasterKey(NodeId master) const;
 
   Options options_;
@@ -165,6 +185,12 @@ class Client : public Node {
   std::map<uint64_t, PendingWrite> writes_;
   // Reads accepted pending their double-check verdict: request_id -> result.
   std::map<uint64_t, std::pair<QueryResult, Pledge>> double_checking_;
+
+  // Fork-consistency state: divergence detector over everything this
+  // client has seen (own replies + gossip) and the freshest attested
+  // vector per slave, re-gossiped each round.
+  ForkDetector fork_detector_;
+  std::map<NodeId, AttestedVv> latest_vv_;
 
   // Deduplicates signature verifications; the dominant hit source is the
   // version token, which is identical across every read until the master's

@@ -121,6 +121,7 @@ Cluster::Cluster(ClusterConfig config)
     opts.key_pair = auditor_keys[i];
     opts.group = group;
     opts.master_keys = master_key_map;
+    opts.master_certs = master_certs;
     opts.snapshot_interval = config_.snapshot_interval;
     opts.broadcast = config_.broadcast;
     opts.use_result_cache = config_.auditor_use_cache;
@@ -130,6 +131,9 @@ Cluster::Cluster(ClusterConfig config)
     CheckId(got, auditor_ids[i]);
     register_node(got, TraceRole::kAuditor, "auditor", static_cast<int>(i));
     auditors_.back()->SetBaseContent(base);
+    auditors_.back()->on_evidence = [this](const EvidenceChain& chain) {
+      fork_evidence_.push_back(chain);
+    };
   }
 
   // --- Slaves. ---
@@ -156,6 +160,17 @@ Cluster::Cluster(ClusterConfig config)
   }
 
   // --- Clients. ---
+  // Client ids follow the slaves in the roster; precompute them so every
+  // client knows its gossip peers before any node exists.
+  std::vector<NodeId> client_ids;
+  {
+    NodeId first_client =
+        static_cast<NodeId>(2 + config_.num_masters + auditor_ids.size() +
+                            config_.num_masters * config_.slaves_per_master);
+    for (int c = 0; c < config_.num_clients; ++c) {
+      client_ids.push_back(first_client + static_cast<NodeId>(c));
+    }
+  }
   for (int c = 0; c < config_.num_clients; ++c) {
     Client::Options opts;
     opts.params = config_.params;
@@ -175,12 +190,17 @@ Cluster::Cluster(ClusterConfig config)
     opts.write_source = [write_gen](Rng& rng) {
       return write_gen.Generate(rng);
     };
+    opts.peer_clients = client_ids;
     if (config_.tweak_client) {
       config_.tweak_client(c, opts);
     }
     clients_.push_back(std::make_unique<Client>(std::move(opts)));
     NodeId cid = net_.AddNode(clients_.back().get());
+    CheckId(cid, client_ids[c]);
     register_node(cid, TraceRole::kClient, "client", c);
+    clients_.back()->on_evidence = [this](const EvidenceChain& chain) {
+      fork_evidence_.push_back(chain);
+    };
     clients_.back()->on_accept = [this, c](const Query& query,
                                            const Pledge& pledge,
                                            const QueryResult& result) {
@@ -296,6 +316,9 @@ Cluster::Totals Cluster::ComputeTotals() const {
     t.double_check_mismatches += m.double_check_mismatches;
     t.pledges_forwarded += m.pledges_forwarded;
     t.writes_committed_clients += m.writes_committed;
+    t.forks_detected += m.forks_detected;
+    t.evidence_chains_emitted += m.evidence_chains_emitted;
+    t.vv_exchanges += m.vv_exchanges_sent;
   }
   for (const auto& s : slaves_) {
     t.slave_work_units += s->metrics().work_units_executed;
@@ -308,6 +331,8 @@ Cluster::Totals Cluster::ComputeTotals() const {
   for (const auto& a : auditors_) {
     t.auditor_work_units += a->metrics().work_units_executed;
     t.auditor_mismatches += a->metrics().mismatches_found;
+    t.forks_detected += a->metrics().forks_detected;
+    t.evidence_chains_emitted += a->metrics().evidence_chains_emitted;
   }
   return t;
 }

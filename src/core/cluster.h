@@ -123,6 +123,12 @@ class Cluster {
   const ContentIdentity& content() const { return content_; }
   const ClusterConfig& config() const { return config_; }
 
+  // Every fork-evidence chain assembled anywhere in the cluster (clients
+  // and auditors), in emission order. Empty unless fork_check_enabled.
+  const std::vector<EvidenceChain>& fork_evidence() const {
+    return fork_evidence_;
+  }
+
   // Ground-truth accounting (only meaningful with track_ground_truth).
   uint64_t accepted_checked() const { return accepted_checked_; }
   uint64_t accepted_wrong() const { return accepted_wrong_; }
@@ -144,6 +150,10 @@ class Cluster {
     uint64_t slaves_excluded = 0;
     uint64_t auditor_mismatches = 0;
     uint64_t lies_told = 0;
+    // Fork-consistency aggregates (zero unless fork_check_enabled).
+    uint64_t forks_detected = 0;
+    uint64_t evidence_chains_emitted = 0;
+    uint64_t vv_exchanges = 0;
   };
   Totals ComputeTotals() const;
 
@@ -178,6 +188,7 @@ class Cluster {
   uint64_t accepted_checked_ = 0;
   uint64_t accepted_wrong_ = 0;
   uint64_t accepted_uncheckable_ = 0;
+  std::vector<EvidenceChain> fork_evidence_;
 };
 
 }  // namespace sdr

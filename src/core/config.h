@@ -69,6 +69,17 @@ struct ProtocolParams {
   double greedy_burst = 20.0;
   bool greedy_policing_enabled = false;
 
+  // ---- Fork-consistency checking (src/forkcheck/, beyond the paper) ----
+  // Off by default: with fork checking disabled no wire message, timer,
+  // rng draw or report field changes, so disabled-mode outputs stay
+  // byte-identical to the fork-unaware protocol.
+  bool fork_check_enabled = false;
+  // How often a client gossips its latest per-slave version vectors to
+  // randomly chosen peer clients (client <-> client kVvExchange).
+  SimTime vv_gossip_period = 1 * kSecond;
+  // How many peers each gossip round targets.
+  uint32_t vv_gossip_fanout = 2;
+
   // Signature scheme for all protocol signatures. Ed25519 exercises the
   // real cost asymmetry; HMAC is for very large simulations.
   SignatureScheme scheme = SignatureScheme::kEd25519;

@@ -80,6 +80,9 @@ void Master::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kAccusation:
       HandleAccusation(from, body);
       break;
+    case MsgType::kForkEvidence:
+      HandleForkEvidence(from, body);
+      break;
     case MsgType::kSlaveAck:
       HandleSlaveAck(from, body);
       break;
@@ -99,6 +102,7 @@ void Master::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kKeepAlive:
     case MsgType::kAuditSubmit:
     case MsgType::kBadReadNotice:
+    case MsgType::kVvExchange:
       break;
   }
 }
@@ -553,6 +557,43 @@ void Master::HandleAccusation(NodeId /*from*/, BytesView body) {
     ++metrics_.accusations_confirmed;
   } else {
     ++metrics_.accusations_unfounded;
+  }
+}
+
+void Master::HandleForkEvidence(NodeId /*from*/, BytesView body) {
+  if (!options_.params.fork_check_enabled) {
+    return;
+  }
+  auto msg = ForkEvidence::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  ++metrics_.fork_evidence_received;
+  // The chain is self-contained: it verifies against nothing but the
+  // content public key, so a master never has to trust the reporter.
+  if (!VerifyEvidenceChain(options_.params.scheme,
+                           options_.content.content_public_key, msg->chain)) {
+    return;
+  }
+  ++metrics_.fork_evidence_confirmed;
+  NodeId slave = msg->chain.a.vv.slave;
+  if (TraceSink* t = env()->trace()) {
+    t->Instant(TraceRole::kMaster, id(), "fork.confirmed", msg->trace_id,
+               static_cast<int64_t>(slave));
+  }
+  if (!options_.params.exclusion_enabled) {
+    return;
+  }
+  if (my_slaves_.count(slave) > 0) {
+    if (excluded_.count(slave) == 0) {
+      ExcludeSlave(slave, msg->trace_id);
+    }
+    return;
+  }
+  auto owner = slave_owner_.find(slave);
+  if (owner != slave_owner_.end() && owner->second != id()) {
+    env()->Send(owner->second,
+                WithType(MsgType::kForkEvidence, msg->Encode()));
   }
 }
 

@@ -102,6 +102,11 @@ class Master : public Node {
   void HandleWriteRequest(NodeId from, BytesView body);
   void HandleDoubleCheck(NodeId from, BytesView body);
   void HandleAccusation(NodeId from, BytesView body);
+  // Fork evidence (src/forkcheck/): two signed version vectors claiming the
+  // same version with different chain heads. Verified entirely offline
+  // against the content key — no re-execution — then punished like a
+  // confirmed accusation.
+  void HandleForkEvidence(NodeId from, BytesView body);
   void HandleSlaveAck(NodeId from, BytesView body);
 
   // Total-order deliveries.

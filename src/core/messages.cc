@@ -38,6 +38,40 @@ QueryResult DecodeResult(Reader& r) {
   auto res = QueryResult::Decode(enc);
   return res.ok() ? *res : QueryResult{};
 }
+
+// Optional trailing version vector (fork checking). Writing nothing when
+// absent keeps disabled-mode encodings byte-identical to the fork-unaware
+// wire format; the decoder keys off the remaining byte count, which only
+// works because the vector is the last field of its messages.
+void EncodeOptionalVv(Writer& w, const std::optional<VersionVector>& vv) {
+  if (vv.has_value()) {
+    vv->EncodeTo(w);
+  }
+}
+
+std::optional<VersionVector> DecodeOptionalVv(Reader& r) {
+  if (r.remaining() == 0) {
+    return std::nullopt;
+  }
+  return VersionVector::DecodeFrom(r);
+}
+
+void EncodeAvvs(Writer& w, const std::vector<AttestedVv>& entries) {
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const AttestedVv& e : entries) {
+    e.EncodeTo(w);
+  }
+}
+
+std::vector<AttestedVv> DecodeAvvs(Reader& r) {
+  uint32_t n = r.U32();
+  std::vector<AttestedVv> entries;
+  entries.reserve(std::min<uint32_t>(n, 256));
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    entries.push_back(AttestedVv::DecodeFrom(r));
+  }
+  return entries;
+}
 }  // namespace
 
 Result<MsgType> PeekType(BytesView payload) {
@@ -165,6 +199,7 @@ Bytes ReadReply::Encode() const {
   w.Bool(ok);
   EncodeResult(w, result);
   pledge.EncodeTo(w);
+  EncodeOptionalVv(w, vv);
   return w.Take();
 }
 
@@ -176,6 +211,7 @@ Result<ReadReply> ReadReply::Decode(BytesView body) {
   m.ok = r.Bool();
   m.result = DecodeResult(r);
   m.pledge = Pledge::DecodeFrom(r);
+  m.vv = DecodeOptionalVv(r);
   return FinishDecode(std::move(m), r);
 }
 
@@ -346,6 +382,7 @@ Bytes AuditSubmit::Encode() const {
   Writer w;
   w.U64(trace_id);
   pledge.EncodeTo(w);
+  EncodeOptionalVv(w, vv);
   return w.Take();
 }
 
@@ -354,6 +391,7 @@ Result<AuditSubmit> AuditSubmit::Decode(BytesView body) {
   AuditSubmit m;
   m.trace_id = r.U64();
   m.pledge = Pledge::DecodeFrom(r);
+  m.vv = DecodeOptionalVv(r);
   return FinishDecode(std::move(m), r);
 }
 
@@ -371,6 +409,36 @@ Result<BadReadNotice> BadReadNotice::Decode(BytesView body) {
   m.trace_id = r.U64();
   m.pledge = Pledge::DecodeFrom(r);
   m.correct_sha1 = r.Blob();
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes VvExchange::Encode() const {
+  Writer w;
+  w.U32(origin);
+  EncodeAvvs(w, entries);
+  return w.Take();
+}
+
+Result<VvExchange> VvExchange::Decode(BytesView body) {
+  Reader r(body);
+  VvExchange m;
+  m.origin = r.U32();
+  m.entries = DecodeAvvs(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes ForkEvidence::Encode() const {
+  Writer w;
+  w.U64(trace_id);
+  chain.EncodeTo(w);
+  return w.Take();
+}
+
+Result<ForkEvidence> ForkEvidence::Decode(BytesView body) {
+  Reader r(body);
+  ForkEvidence m;
+  m.trace_id = r.U64();
+  m.chain = EvidenceChain::DecodeFrom(r);
   return FinishDecode(std::move(m), r);
 }
 

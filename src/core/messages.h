@@ -6,10 +6,12 @@
 #define SDR_SRC_CORE_MESSAGES_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/core/certificate.h"
 #include "src/core/pledge.h"
+#include "src/forkcheck/fork.h"
 #include "src/store/document_store.h"
 #include "src/store/executor.h"
 #include "src/store/query.h"
@@ -50,6 +52,9 @@ enum class MsgType : uint8_t {
   // Delayed discovery (Section 3.5): the auditor tells the client that a
   // read it already accepted was wrong, so the application can roll back.
   kBadReadNotice = 18,  // auditor -> client
+  // Fork-consistency checking (src/forkcheck/, beyond the paper).
+  kVvExchange = 19,    // client <-> client version-vector gossip
+  kForkEvidence = 20,  // anyone -> master: transferable equivocation proof
 };
 
 // Payloads carried *inside* the total-order broadcast. The auditor is a
@@ -120,6 +125,10 @@ struct ReadReply {
   bool ok = false;          // false: slave declined (e.g. stale, excluded)
   QueryResult result;
   Pledge pledge;
+  // Fork-consistency commitment for the pledged version; attached only
+  // when fork checking is enabled (optional trailing field, so disabled
+  // encodings are byte-identical to the fork-unaware wire format).
+  std::optional<VersionVector> vv;
   Bytes Encode() const;
   static Result<ReadReply> Decode(BytesView body);
 };
@@ -201,6 +210,10 @@ struct SlaveAck {
 struct AuditSubmit {
   uint64_t trace_id = 0;
   Pledge pledge;
+  // The slave's fork-consistency commitment as received on the read reply,
+  // so the auditor can reconcile chain heads across client sets that never
+  // gossip with each other. Optional trailing field like ReadReply::vv.
+  std::optional<VersionVector> vv;
   Bytes Encode() const;
   static Result<AuditSubmit> Decode(BytesView body);
 };
@@ -215,6 +228,24 @@ struct BadReadNotice {
   Bytes correct_sha1;
   Bytes Encode() const;
   static Result<BadReadNotice> Decode(BytesView body);
+};
+
+// Client <-> client fork-consistency gossip: the sender's latest attested
+// version vector per slave it has heard from.
+struct VvExchange {
+  NodeId origin = kInvalidNode;
+  std::vector<AttestedVv> entries;
+  Bytes Encode() const;
+  static Result<VvExchange> Decode(BytesView body);
+};
+
+// A transferable equivocation proof en route to a master (which verifies
+// it offline and excludes the forked slave).
+struct ForkEvidence {
+  uint64_t trace_id = 0;
+  EvidenceChain chain;
+  Bytes Encode() const;
+  static Result<ForkEvidence> Decode(BytesView body);
 };
 
 // ---- Total-order broadcast inner payloads ----------------------------------

@@ -31,6 +31,11 @@ struct ClientMetrics {
   uint64_t setups_completed = 0;
   // Delayed discovery: accepted reads later reported wrong by the auditor.
   uint64_t bad_read_notices = 0;
+  // Fork-consistency checking (src/forkcheck/; all zero unless enabled).
+  uint64_t vv_exchanges_sent = 0;
+  uint64_t vv_exchanges_received = 0;
+  uint64_t forks_detected = 0;
+  uint64_t evidence_chains_emitted = 0;
   // Verify-dedup cache (mostly version tokens reused across reads).
   uint64_t sig_cache_hits = 0;
   uint64_t sig_cache_misses = 0;
@@ -50,6 +55,9 @@ struct MasterMetrics {
   uint64_t accusations_unfounded = 0;
   uint64_t slaves_excluded = 0;
   uint64_t clients_reassigned = 0;
+  // Fork-consistency evidence (src/forkcheck/; zero unless enabled).
+  uint64_t fork_evidence_received = 0;
+  uint64_t fork_evidence_confirmed = 0;
   uint64_t state_updates_sent = 0;
   uint64_t keepalives_sent = 0;
   uint64_t slave_sets_adopted = 0;  // from crashed peers
@@ -67,6 +75,15 @@ struct SlaveMetrics {
   // that can pass client-side checks and so the only kind the protocol
   // must (and can) eventually punish by exclusion.
   uint64_t consistent_lies_told = 0;
+  // Fork-consistency bookkeeping (src/forkcheck/).
+  uint64_t vvs_attached = 0;           // signed commitments on read replies
+  // Reads answered from a forked view that is *behind* the applied
+  // version, and real-store reads while such a divergent view is live.
+  // Both non-zero means both client sets saw the divergence — the forked
+  // chains then provably carry conflicting commitments.
+  uint64_t equivocations_served = 0;
+  uint64_t honest_serves_forked = 0;
+  uint64_t stale_serves = 0;           // reads answered from a lagged view
   uint64_t state_updates_applied = 0;
   uint64_t keepalives_received = 0;
   uint64_t work_units_executed = 0;
@@ -87,6 +104,10 @@ struct AuditorMetrics {
   uint64_t pledges_bad_signature = 0;
   uint64_t mismatches_found = 0;
   uint64_t accusations_sent = 0;
+  // Cross-client fork reconciliation (src/forkcheck/; zero unless enabled).
+  uint64_t vvs_reconciled = 0;
+  uint64_t forks_detected = 0;
+  uint64_t evidence_chains_emitted = 0;
   uint64_t bad_read_notices_sent = 0;
   uint64_t cache_hits = 0;
   uint64_t versions_finalized = 0;

@@ -78,6 +78,8 @@ void MultiReadClient::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kAuditSubmit:
     case MsgType::kBroadcastEnvelope:
     case MsgType::kBadReadNotice:
+    case MsgType::kVvExchange:
+    case MsgType::kForkEvidence:
       break;
   }
 }

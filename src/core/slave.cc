@@ -51,6 +51,8 @@ void Slave::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kAuditSubmit:
     case MsgType::kBroadcastEnvelope:
     case MsgType::kBadReadNotice:
+    case MsgType::kVvExchange:
+    case MsgType::kForkEvidence:
       break;
   }
 }
@@ -93,6 +95,11 @@ void Slave::HandleStateUpdate(NodeId from, BytesView body) {
 void Slave::ApplyBuffered() {
   auto it = buffered_updates_.find(applied_version_ + 1);
   while (it != buffered_updates_.end()) {
+    if (options_.behavior.stale_pledge) {
+      // Keep a one-version-lagged snapshot: stale_pledge serves content
+      // from here while the pledge token claims the new version.
+      lag_view_ = FrozenView{store_, applied_version_};
+    }
     store_.ApplyBatch(it->second.batch);
     ++applied_version_;
     ++metrics_.state_updates_applied;
@@ -150,7 +157,45 @@ void Slave::HandleReadRequest(NodeId from, BytesView body) {
     return;
   }
 
-  auto outcome = executor_.Execute(store_, msg->query);
+  // Equivocation behaviors: pick which view of the content this client is
+  // served from. A forked slave splits its clients by id parity — the odd
+  // half reads a view frozen when the fork began, the even half the real
+  // store — while both pledges claim the current version. Views are
+  // dropped as soon as the behavior heals so a recovered slave serves
+  // honestly again.
+  const bool fork_active =
+      options_.behavior.fork_views || options_.behavior.split_serve;
+  const bool fork_target = fork_active && (from % 2 == 1);
+  if (!fork_active && fork_view_.has_value()) {
+    fork_view_.reset();
+  }
+  if (!options_.behavior.stale_pledge && lag_view_.has_value()) {
+    lag_view_.reset();
+  }
+  const DocumentStore* exec_store = &store_;
+  if (fork_target) {
+    if (!fork_view_.has_value()) {
+      fork_view_ = FrozenView{store_, applied_version_};
+    }
+    exec_store = &fork_view_->store;
+    if (fork_view_->version < applied_version_) {
+      // Only reads answered from a view the slave knows is behind count as
+      // equivocation: until a write lands, the frozen view tells the truth.
+      ++metrics_.equivocations_served;
+    }
+  } else if (fork_active) {
+    // A fork only splits *observable* history when both client sets read
+    // while the views diverge; a forked slave whose clients all fall in
+    // one set presents a single consistent (if stale) story.
+    if (fork_view_.has_value() && fork_view_->version < applied_version_) {
+      ++metrics_.honest_serves_forked;
+    }
+  } else if (options_.behavior.stale_pledge && lag_view_.has_value()) {
+    exec_store = &lag_view_->store;
+    ++metrics_.stale_serves;
+  }
+
+  auto outcome = executor_.Execute(*exec_store, msg->query);
   if (!outcome.ok()) {
     ReadReply reply;
     reply.request_id = msg->request_id;
@@ -206,6 +251,33 @@ void Slave::HandleReadRequest(NodeId from, BytesView body) {
       options_.cost.ExecuteTime(outcome->cost, result.Encode().size()) +
       options_.cost.SignTime();
 
+  SimTime hold_until = 0;
+  if (options_.behavior.split_serve && fork_target) {
+    // Targeted slow-lie: hold the equivocating reply until just inside the
+    // freshness window, so the victim set's view lags as far as the
+    // protocol allows while every pledge still passes the client's checks.
+    // The hold delays only the send — stalling a reply costs the slave no
+    // CPU, so the service queue (and with it the honest set) keeps moving.
+    const SimTime margin = 300 * kMillisecond;  // network slack
+    SimTime deadline = token_->timestamp + options_.params.max_latency;
+    if (deadline > margin) {
+      hold_until = deadline - margin;
+    }
+  }
+
+  // Fork-consistency commitment: every served read folds its pledge into
+  // the serving chain and signs a fresh VersionVector over the new head.
+  // An equivocating slave necessarily runs the targeted set on its own
+  // chain — one unified chain would commit it to a single history that
+  // contradicts one set's answers — so the per-set heads diverge and both
+  // chains walk every length past the copy point. Selection happens here;
+  // the fold and signature happen in the closure, in queue (FIFO) order,
+  // so chain state and commitments match the order replies actually leave.
+  const int chain = options_.params.fork_check_enabled && fork_target ? 1 : 0;
+  if (options_.params.fork_check_enabled) {
+    service_time += options_.cost.SignTime();  // the commitment signature
+  }
+
   // Capture everything needed — including the token the result was computed
   // under — so a state update arriving mid-service cannot skew the pledge;
   // the reply leaves when the simulated CPU has produced and signed it.
@@ -215,18 +287,42 @@ void Slave::HandleReadRequest(NodeId from, BytesView body) {
   queue_->Enqueue(service_time, [this, from, request_id = msg->request_id,
                                  trace_id = msg->trace_id, query = msg->query,
                                  result = std::move(result),
-                                 hashed = std::move(hashed), token = *token_] {
+                                 hashed = std::move(hashed), token = *token_,
+                                 chain, hold_until] {
     ReadReply reply;
     reply.request_id = request_id;
     reply.trace_id = trace_id;
     reply.ok = true;
     reply.result = result;
     reply.pledge = MakePledge(signer_, id(), query, hashed, token);
+    if (options_.params.fork_check_enabled) {
+      if (chain == 1 && !chain1_forked_) {
+        chains_[1] = chains_[0];  // the fork copies the honest history
+        chain1_forked_ = true;
+      }
+      reply.vv = chains_[chain].ExtendAndCommit(signer_, id(),
+                                                token.content_version,
+                                                reply.pledge);
+      ++metrics_.vvs_attached;
+    }
     ++metrics_.reads_served;
+    Payload payload = WithType(MsgType::kReadReply, reply.Encode());
+    SimTime now = env()->Now();
+    if (hold_until > now) {
+      env()->ScheduleAfter(hold_until - now,
+                           [this, from, trace_id,
+                            payload = std::move(payload)] {
+        if (TraceSink* sink = env()->trace()) {
+          sink->SpanEnd(TraceRole::kSlave, id(), "slave.serve", trace_id);
+        }
+        env()->Send(from, payload);
+      });
+      return;
+    }
     if (TraceSink* sink = env()->trace()) {
       sink->SpanEnd(TraceRole::kSlave, id(), "slave.serve", trace_id);
     }
-    env()->Send(from, WithType(MsgType::kReadReply, reply.Encode()));
+    env()->Send(from, payload);
   });
 }
 

@@ -16,6 +16,7 @@
 #include "src/core/metrics.h"
 #include "src/core/pledge.h"
 #include "src/core/service_queue.h"
+#include "src/forkcheck/fork.h"
 #include "src/runtime/env.h"
 #include "src/store/document_store.h"
 #include "src/store/executor.h"
@@ -41,6 +42,18 @@ class Slave : public Node {
     bool serve_despite_stale = false;
     // Drop read requests with this probability (unresponsiveness).
     double drop_probability = 0.0;
+    // ---- Equivocation behaviors (caught by src/forkcheck/) ----
+    // Maintain a forked view for the odd-id half of the clients: they get
+    // results frozen at enablement time while the pledge still claims the
+    // current version — an internally-consistent fork per client set that
+    // produces no single falsifiable answer *within* either set.
+    bool fork_views = false;
+    // Serve every client from a one-version-lagged snapshot under the
+    // current (fresh) token: stale content, freshly signed pledge.
+    bool stale_pledge = false;
+    // Like fork_views, but the equivocating replies are additionally held
+    // back to just inside the freshness window (targeted slow-lies).
+    bool split_serve = false;
   };
 
   struct Options {
@@ -95,6 +108,23 @@ class Slave : public Node {
   std::map<uint64_t, StateUpdate> buffered_updates_;
   std::optional<VersionToken> token_;
   std::unique_ptr<ServiceQueue> queue_;
+
+  // ---- Fork-consistency state (chains used only with fork_check_enabled,
+  // views only while an equivocation behavior is active) ----
+  // chains_[0] is the canonical pledge chain covering every client; an
+  // equivocating slave lazily forks chains_[1] off it for the targeted
+  // client set — the per-set chains are exactly what lets each set see an
+  // internally-consistent history, and exactly what the signed
+  // VersionVectors expose when the sets compare notes.
+  PledgeChain chains_[2];
+  bool chain1_forked_ = false;
+  // Frozen content snapshots backing the attack behaviors.
+  struct FrozenView {
+    DocumentStore store;
+    uint64_t version = 0;
+  };
+  std::optional<FrozenView> fork_view_;  // fork_views / split_serve
+  std::optional<FrozenView> lag_view_;   // stale_pledge
 
   // Deduplicates token verifications: the same token arrives repeatedly via
   // keepalives and state updates during its lifetime.

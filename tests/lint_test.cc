@@ -677,6 +677,60 @@ TEST(R8, DecodeIntoLocalsDoesNotFalselyMismatch) {
   EXPECT_EQ(CountRule(fs, "R8"), 0);
 }
 
+TEST(R8, VersionVectorShapedSerdeIsCleanWhenSymmetric) {
+  // The forkcheck wire shape: scalars then two blobs, one of them the
+  // signature last — the order every commitment-like struct must keep.
+  auto fs = Lint("src/forkcheck/vv_like.cc",
+                 "void Vv::EncodeTo(Writer& w) const {\n"
+                 "  w.U32(slave);\n"
+                 "  w.U64(content_version);\n"
+                 "  w.U64(chain_length);\n"
+                 "  w.Blob(head_sha1);\n"
+                 "  w.Blob(signature);\n"
+                 "}\n"
+                 "Vv Vv::DecodeFrom(Reader& r) {\n"
+                 "  Vv v;\n"
+                 "  v.slave = r.U32();\n"
+                 "  v.content_version = r.U64();\n"
+                 "  v.chain_length = r.U64();\n"
+                 "  v.head_sha1 = r.Blob();\n"
+                 "  v.signature = r.Blob();\n"
+                 "  return v;\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R8"), 0);
+}
+
+TEST(R8, VersionVectorShapedSerdeFiresWhenDecodeSwapsBlobs) {
+  // Swapping the two trailing blobs type-checks (both are Bytes) and even
+  // round-trips in isolation — only the cross-function sequence diff
+  // catches that signatures would be verified against hashes.
+  auto fs = Lint("src/forkcheck/vv_like.cc",
+                 "void Vv::EncodeTo(Writer& w) const {\n"
+                 "  w.U32(slave);\n"
+                 "  w.U64(content_version);\n"
+                 "  w.U64(chain_length);\n"
+                 "  w.Blob(head_sha1);\n"
+                 "  w.Blob(signature);\n"
+                 "}\n"
+                 "Vv Vv::DecodeFrom(Reader& r) {\n"
+                 "  Vv v;\n"
+                 "  v.slave = r.U32();\n"
+                 "  v.content_version = r.U64();\n"
+                 "  v.chain_length = r.U64();\n"
+                 "  v.signature = r.Blob();\n"
+                 "  v.head_sha1 = r.Blob();\n"
+                 "  return v;\n"
+                 "}\n");
+  ASSERT_GE(CountRule(fs, "R8"), 1);
+  bool named = false;
+  for (const Finding& f : fs) {
+    named |= f.rule == "R8" &&
+             f.message.find("head_sha1") != std::string::npos &&
+             f.message.find("signature") != std::string::npos;
+  }
+  EXPECT_TRUE(named);
+}
+
 TEST(R8, SuppressedByAllowOnEitherBody) {
   auto fs = Lint("src/core/messages.cc",
                  "void Ping::Encode(Writer& w) const {\n"

@@ -591,7 +591,8 @@ FileClass ClassifyPath(const std::string& path) {
   // idiom: the wire-message and store serde files.
   fc.r8 = has("src/core/messages.") || has("src/core/pledge.") ||
           has("src/core/certificate.") || has("src/store/query.") ||
-          has("src/store/document_store.") || has("src/store/executor.");
+          has("src/store/document_store.") || has("src/store/executor.") ||
+          has("src/forkcheck/");
   return fc;
 }
 

@@ -43,6 +43,13 @@ int main(int argc, char** argv) {
       .Define("audit_jobs", "1",
               "host worker lanes inside each auditor's re-execution engine "
               "(report bytes are identical for any value)")
+      .Define("fork_check", "false",
+              "enable the fork-consistency subsystem and its invariants "
+              "(NoForkUndetected, EvidenceTransferable)")
+      .Define("vv_gossip_ms", "1000",
+              "client version-vector gossip period (with --fork_check)")
+      .Define("vv_fanout", "2",
+              "gossip targets per round (with --fork_check)")
       .Define("fail_on_violation", "false",
               "exit nonzero when any invariant fails");
   if (!flags.Parse(argc, argv)) {
@@ -73,6 +80,10 @@ int main(int argc, char** argv) {
       LinkModel{flags.GetInt("link_ms") * kMillisecond,
                 flags.GetInt("link_ms") * kMillisecond / 2, 0.0};
   config.audit_jobs = static_cast<int>(flags.GetInt("audit_jobs"));
+  config.params.fork_check_enabled = flags.GetBool("fork_check");
+  config.params.vv_gossip_period = flags.GetInt("vv_gossip_ms") * kMillisecond;
+  config.params.vv_gossip_fanout =
+      static_cast<uint32_t>(flags.GetInt("vv_fanout"));
 
   std::string scheme = flags.GetString("scheme");
   if (scheme == "hmac") {

@@ -59,6 +59,13 @@ void PrintReport(Cluster& cluster) {
   std::printf("  writes committed=%llu  pledges forwarded=%llu\n",
               (unsigned long long)totals.writes_committed_clients,
               (unsigned long long)totals.pledges_forwarded);
+  if (cluster.config().params.fork_check_enabled) {
+    std::printf("  fork check: vv-exchanges=%llu forks-detected=%llu "
+                "evidence-chains=%llu\n",
+                (unsigned long long)totals.vv_exchanges,
+                (unsigned long long)totals.forks_detected,
+                (unsigned long long)totals.evidence_chains_emitted);
+  }
   if (cluster.config().track_ground_truth) {
     std::printf("  ground truth: checked=%llu WRONG-ACCEPTED=%llu\n",
                 (unsigned long long)cluster.accepted_checked(),
@@ -153,6 +160,13 @@ JsonValue JsonReport(Cluster& cluster, const ChaosController* controller) {
   t["slaves_excluded"] = totals.slaves_excluded;
   t["auditor_mismatches"] = totals.auditor_mismatches;
   t["lies_told"] = totals.lies_told;
+  // Fork-consistency counters appear only when the subsystem is on, so
+  // disabled-mode artifacts stay byte-identical to pre-forkcheck runs.
+  if (cluster.config().params.fork_check_enabled) {
+    t["forks_detected"] = totals.forks_detected;
+    t["evidence_chains_emitted"] = totals.evidence_chains_emitted;
+    t["vv_exchanges"] = totals.vv_exchanges;
+  }
   if (cluster.config().track_ground_truth) {
     JsonValue& g = root["ground_truth"];
     g["accepted_checked"] = cluster.accepted_checked();
@@ -331,6 +345,17 @@ int main(int argc, char** argv) {
       .Define("audit_verify_cache", "1024",
               "auditor verify-dedup cache capacity (entries)")
       .Define("ground_truth", "true", "validate accepted reads")
+      .Define("fork_check", "false",
+              "enable the fork-consistency subsystem (signed version "
+              "vectors on read replies, client gossip, auditor "
+              "reconciliation; see src/forkcheck/)")
+      .Define("vv_gossip_ms", "1000",
+              "client version-vector gossip period (with --fork_check)")
+      .Define("vv_fanout", "2",
+              "gossip targets per round (with --fork_check)")
+      .Define("evidence_out", "",
+              "write collected fork-evidence chains as a verifiable "
+              "bundle to this file (for sdrtrace --evidence)")
       .Define("scenario", "",
               "chaos scenario applied during the run (see docs/CHAOS.md)")
       .Define("chaos_cadence_ms", "250", "invariant-checking cadence")
@@ -375,6 +400,10 @@ int main(int argc, char** argv) {
   config.params.audit_verify_cache_entries =
       static_cast<uint32_t>(flags.GetInt("audit_verify_cache"));
   config.track_ground_truth = flags.GetBool("ground_truth");
+  config.params.fork_check_enabled = flags.GetBool("fork_check");
+  config.params.vv_gossip_period = flags.GetInt("vv_gossip_ms") * kMillisecond;
+  config.params.vv_gossip_fanout =
+      static_cast<uint32_t>(flags.GetInt("vv_fanout"));
 
   std::string scheme = flags.GetString("scheme");
   if (scheme == "hmac") {
@@ -469,6 +498,20 @@ int main(int argc, char** argv) {
         !WriteFileString(trace_chrome,
                          ChromeTraceJson(data).Dump() + "\n")) {
       return 1;
+    }
+  }
+  const std::string evidence_out = flags.GetString("evidence_out");
+  if (!evidence_out.empty()) {
+    EvidenceBundle bundle;
+    bundle.scheme = config.params.scheme;
+    bundle.content_public_key = cluster.content().content_public_key;
+    bundle.chains = cluster.fork_evidence();
+    if (!WriteFileBytes(evidence_out, bundle.Encode())) {
+      return 1;
+    }
+    if (!emit_json) {
+      std::printf("evidence bundle: %zu chain(s) -> %s\n",
+                  bundle.chains.size(), evidence_out.c_str());
     }
   }
   if (emit_json) {

@@ -16,9 +16,13 @@
 //
 //   # re-export as Chrome trace_event JSON (chrome://tracing, Perfetto)
 //   ./build/tools/sdrtrace run.sdrt --chrome trace.json
+//
+//   # verify a fork-evidence bundle (sdrsim --evidence_out) offline
+//   ./build/tools/sdrtrace evidence.sdrb --evidence
 #include <cstdio>
 #include <string>
 
+#include "src/forkcheck/fork.h"
 #include "src/trace/export.h"
 #include "src/trace/query.h"
 #include "src/util/flags.h"
@@ -47,6 +51,56 @@ bool ReadFileBytes(const std::string& path, Bytes* out) {
   return ok;
 }
 
+const char* SchemeName(SignatureScheme scheme) {
+  switch (scheme) {
+    case SignatureScheme::kEd25519:
+      return "ed25519";
+    case SignatureScheme::kHmacSha256:
+      return "hmac";
+    case SignatureScheme::kNull:
+      return "null";
+  }
+  return "?";
+}
+
+// --evidence mode: the positional file is an EvidenceBundle, not a trace.
+// The point of the exercise is that this verification needs nothing from
+// the run — only the bundle and the content owner's public key inside it.
+int VerifyEvidenceBundle(const std::string& path, const Bytes& raw) {
+  auto decoded = EvidenceBundle::Decode(raw);
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "sdrtrace: %s is not an evidence bundle: %s\n",
+                 path.c_str(), decoded.error().message().c_str());
+    return 1;
+  }
+  EvidenceBundle bundle = std::move(decoded).value();
+  std::printf("evidence bundle: %zu chain(s), scheme=%s\n",
+              bundle.chains.size(), SchemeName(bundle.scheme));
+  size_t bad = 0;
+  for (size_t i = 0; i < bundle.chains.size(); ++i) {
+    const EvidenceChain& chain = bundle.chains[i];
+    std::string why;
+    bool ok = VerifyEvidenceChain(bundle.scheme, bundle.content_public_key,
+                                  chain, &why);
+    if (ok) {
+      std::printf(
+          "  chain %zu: VERIFIED — slave node %u equivocated at version "
+          "%llu (heads differ under its own signature)\n",
+          i, chain.a.vv.slave,
+          static_cast<unsigned long long>(chain.a.vv.content_version));
+    } else {
+      ++bad;
+      std::printf("  chain %zu: FAILED — %s\n", i, why.c_str());
+    }
+  }
+  if (bundle.chains.empty()) {
+    std::printf("  (no equivocation evidence was collected)\n");
+  }
+  std::printf("verdict: %s\n",
+              bad == 0 ? "ALL CHAINS VERIFY" : "BUNDLE DOES NOT VERIFY");
+  return bad == 0 ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,20 +115,28 @@ int main(int argc, char** argv) {
               "event/name/node/histogram overview of the trace")
       .Define("ids", "false", "list every trace id present")
       .Define("chrome", "",
-              "write the trace as Chrome trace_event JSON to this file");
+              "write the trace as Chrome trace_event JSON to this file")
+      .Define("evidence", "false",
+              "treat the input as a fork-evidence bundle (sdrsim "
+              "--evidence_out) and verify every chain offline; exits 3 "
+              "if any chain fails");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: sdrtrace <trace.sdrt> [--follow ID] [--slowest N] "
-                 "[--verdicts] [--summary] [--ids] [--chrome FILE]\n");
+                 "[--verdicts] [--summary] [--ids] [--chrome FILE]\n"
+                 "       sdrtrace <bundle.sdrb> --evidence\n");
     return 1;
   }
 
   Bytes raw;
   if (!ReadFileBytes(flags.positional()[0], &raw)) {
     return 1;
+  }
+  if (flags.GetBool("evidence")) {
+    return VerifyEvidenceBundle(flags.positional()[0], raw);
   }
   auto decoded = DecodeTrace(raw);
   if (!decoded.ok()) {
