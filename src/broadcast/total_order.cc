@@ -186,10 +186,24 @@ void TotalOrderBroadcast::DeliverReady() {
 void TotalOrderBroadcast::MaybeNackGap() {
   uint64_t max_seen = MaxKnownSeq();
   if (max_seen > delivered_seq_ && log_.count(delivered_seq_ + 1) == 0) {
+    // One nack per distinct gap per retransmit window (when enabled).
+    // Jitter-scale gaps close by themselves; a gap from real loss is
+    // re-nacked after the window here, and independently whenever a
+    // sequencer heartbeat shows us behind.
+    uint64_t want = delivered_seq_ + 1;
+    if (config_.dedup_gap_nacks) {
+      SimTime now = env_->Now();
+      if (want == last_nack_seq_ &&
+          now - last_nack_time_ < config_.retransmit_timeout) {
+        return;
+      }
+      last_nack_seq_ = want;
+      last_nack_time_ = now;
+    }
     Writer w;
     w.U8(kNack);
     w.U64(epoch_);
-    w.U64(delivered_seq_ + 1);
+    w.U64(want);
     if (!IsSequencer()) {
       send_(sequencer(), w.Take());
     }

@@ -44,6 +44,16 @@ class TotalOrderBroadcast {
     SimTime failure_timeout = 1 * kSecond;
     SimTime retransmit_timeout = 300 * kMillisecond;
     SimTime sync_window = 400 * kMillisecond;  // takeover state-sync wait
+    // Ask for a gap at most once per retransmit window instead of on every
+    // arrival behind it (see MaybeNackGap). Off by default: duplicate gap
+    // nacks are visible in network message counts, and classic
+    // single-group configs must stay byte-identical to the original
+    // protocol. The cluster turns this on with any scale-out feature —
+    // at high broadcast rates per-message link jitter reorders the
+    // ordered stream constantly, and re-nacking per arrival makes the
+    // sequencer re-serve a retransmission window per message, a storm
+    // quadratic in the broadcast rate.
+    bool dedup_gap_nacks = false;
   };
 
   using SendFn = std::function<void(NodeId to, const Bytes& payload)>;
@@ -130,6 +140,12 @@ class TotalOrderBroadcast {
   // Our unacknowledged submissions.
   uint64_t next_local_id_ = 1;
   std::map<uint64_t, Bytes> pending_;
+
+  // Gap-nack suppression (see MaybeNackGap): the last sequence number we
+  // nacked and when, so a reordered burst asks for a gap once per
+  // retransmit window instead of once per arrival.
+  uint64_t last_nack_seq_ = 0;
+  SimTime last_nack_time_ = 0;
 
   // Takeover state (valid while we are the epoch's sequencer and syncing).
   // A takeover completes only after a majority of the group answered the

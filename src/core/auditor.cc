@@ -143,6 +143,9 @@ void Auditor::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kBadReadNotice:
     case MsgType::kVvExchange:
     case MsgType::kForkEvidence:
+    case MsgType::kPlacementQuery:
+    case MsgType::kPlacementReply:
+    case MsgType::kStateUpdateBatch:
       break;
   }
 }
@@ -160,7 +163,21 @@ void Auditor::OnDelivered(uint64_t /*seq*/, NodeId /*origin*/,
       if (!write.ok()) {
         return;
       }
-      commit_queue_.push_back(std::move(write->batch));
+      commit_queue_.push_back({std::move(write->batch)});
+      PumpCommitQueue();
+      break;
+    }
+    case TobPayloadType::kWriteBundle: {
+      auto bundle = TobWriteBundle::Decode(body);
+      if (!bundle.ok() || bundle->writes.empty()) {
+        return;
+      }
+      std::vector<WriteBatch> unit;
+      unit.reserve(bundle->writes.size());
+      for (TobWrite& write : bundle->writes) {
+        unit.push_back(std::move(write.batch));
+      }
+      commit_queue_.push_back(std::move(unit));
       PumpCommitQueue();
       break;
     }
@@ -184,11 +201,13 @@ void Auditor::PumpCommitQueue() {
   }
   SimTime earliest = last_commit_time_ + options_.params.max_latency;
   if (env()->Now() >= earliest) {
-    uint64_t version = oplog_.head_version() + 1;
-    oplog_.Append(version, commit_queue_.front());
+    for (const WriteBatch& batch : commit_queue_.front()) {
+      uint64_t version = oplog_.head_version() + 1;
+      oplog_.Append(version, batch);
+      commit_times_[version] = env()->Now();
+    }
     commit_queue_.pop_front();
     last_commit_time_ = env()->Now();
-    commit_times_[version] = last_commit_time_;
     // Pledges that were waiting for this version can now be audited.
     std::deque<PendingPledge> still_future;
     std::vector<PendingPledge> ready;

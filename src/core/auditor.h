@@ -220,7 +220,10 @@ class Auditor : public Node {
   // that pacing or its version numbers and commit times run ahead of what
   // slaves actually serve, and finalization would prune versions whose
   // pledges are still arriving.
-  std::deque<WriteBatch> commit_queue_;
+  // One entry per commit slot: a single batch on the paper's path, all
+  // batches of a group-commit bundle otherwise (they share the slot, so
+  // the auditor's versions and commit times track the masters' exactly).
+  std::deque<std::vector<WriteBatch>> commit_queue_;
   SimTime last_commit_time_ = 0;
   bool commit_timer_armed_ = false;
 

@@ -27,6 +27,28 @@ const Bytes* Client::MasterKey(NodeId master) const {
   return nullptr;
 }
 
+const std::optional<Certificate>& Client::LaneSlaveCert(uint32_t shard) const {
+  static const std::optional<Certificate> kNone;
+  if (!sharded()) {
+    return slave_cert_;
+  }
+  return shard < lanes_.size() ? lanes_[shard].slave_cert : kNone;
+}
+
+NodeId Client::LaneMaster(uint32_t shard) const {
+  if (!sharded()) {
+    return master_;
+  }
+  return shard < lanes_.size() ? lanes_[shard].master : kInvalidNode;
+}
+
+NodeId Client::LaneAuditor(uint32_t shard) const {
+  if (!sharded()) {
+    return auditor_;
+  }
+  return shard < lanes_.size() ? lanes_[shard].auditor : kInvalidNode;
+}
+
 // ---------------------------------------------------------------------------
 // Setup phase (Section 2).
 // ---------------------------------------------------------------------------
@@ -69,6 +91,19 @@ void Client::HandleDirectoryReply(BytesView body) {
   }
   master_certs_ = std::move(verified);
 
+  if (sharded()) {
+    // The directory only told us *who* the masters are; the signed
+    // placement says which shard each serves. Fetch it (a placement-cache
+    // miss — every op until the next re-setup plans from the cached copy).
+    phase_ = Phase::kAwaitPlacement;
+    ++metrics_.placement_cache_misses;
+    PlacementQuery query;
+    query.content_public_key = options_.content.content_public_key;
+    env()->Send(options_.directory,
+                WithType(MsgType::kPlacementQuery, query.Encode()));
+    return;
+  }
+
   // Pick a master; avoid the one that just went silent on us, if any.
   std::vector<NodeId> candidates;
   for (const Certificate& cert : master_certs_) {
@@ -89,8 +124,120 @@ void Client::HandleDirectoryReply(BytesView body) {
               WithType(MsgType::kClientHello, hello.Encode()));
 }
 
+void Client::HandlePlacementReply(BytesView body) {
+  if (phase_ != Phase::kAwaitPlacement) {
+    return;
+  }
+  auto msg = PlacementReply::Decode(body);
+  if (!msg.ok() || !msg->found) {
+    return;  // setup timeout will retry
+  }
+  // The placement is signed by the content key — the directory merely
+  // relays it, exactly like the master certificates.
+  if (!VerifyShardPlacement(options_.content.scheme,
+                            options_.content.content_public_key,
+                            msg->placement) ||
+      msg->placement.map.num_shards() != options_.num_shards) {
+    return;
+  }
+  placement_ = msg->placement;
+
+  // One lane per shard: pick a certified master for each, avoiding the
+  // lane's previous master (the one that may have just gone silent).
+  std::vector<Lane> lanes(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    std::vector<NodeId> candidates;
+    for (NodeId m : placement_->shard_masters[s]) {
+      if (MasterKey(m) != nullptr) {
+        candidates.push_back(m);
+      }
+    }
+    if (candidates.empty()) {
+      return;  // setup timeout will retry
+    }
+    NodeId previous = s < lanes_.size() ? lanes_[s].master : kInvalidNode;
+    std::vector<NodeId> fresh;
+    for (NodeId m : candidates) {
+      if (m != previous || candidates.size() == 1) {
+        fresh.push_back(m);
+      }
+    }
+    if (fresh.empty()) {
+      fresh.push_back(candidates[0]);
+    }
+    lanes[s].master = fresh[rng_.NextBounded(fresh.size())];
+    lanes[s].nonce = rng_.NextBytes(16);
+  }
+  lanes_ = std::move(lanes);
+
+  phase_ = Phase::kAwaitHello;
+  for (const Lane& lane : lanes_) {
+    ClientHello hello;
+    hello.client_nonce = lane.nonce;
+    env()->Send(lane.master, WithType(MsgType::kClientHello, hello.Encode()));
+  }
+}
+
+void Client::HandleShardHelloReply(NodeId from, BytesView body) {
+  Lane* lane = nullptr;
+  for (Lane& l : lanes_) {
+    if (l.master == from && !l.ready) {
+      lane = &l;
+      break;
+    }
+  }
+  if (lane == nullptr) {
+    return;
+  }
+  auto msg = ClientHelloReply::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  const Bytes* master_key = MasterKey(from);
+  if (master_key == nullptr ||
+      !VerifySignature(options_.params.scheme, *master_key,
+                       msg->SignedBody(lane->nonce), msg->signature)) {
+    return;
+  }
+  if (msg->slave_cert.role != Role::kSlave ||
+      !VerifyCertificate(options_.params.scheme, *master_key,
+                         msg->slave_cert)) {
+    return;
+  }
+  lane->slave_cert = msg->slave_cert;
+  lane->auditor = msg->auditor;
+  lane->ready = true;
+  for (const Lane& l : lanes_) {
+    if (!l.ready) {
+      return;  // the other lanes' hellos are still in flight
+    }
+  }
+  phase_ = Phase::kReady;
+  env()->Cancel(setup_timeout_);
+  ++metrics_.setups_completed;
+  for (auto& [request_id, read] : reads_) {
+    if (!read.awaiting_double_check) {
+      SendRead(request_id);
+    }
+  }
+  for (auto& [request_id, write] : writes_) {
+    (void)write;
+    SendWrite(request_id);
+  }
+  if (options_.mode != LoadMode::kManual && metrics_.setups_completed == 1) {
+    ScheduleNextOp();
+  }
+}
+
 void Client::HandleHelloReply(NodeId from, BytesView body) {
-  if (phase_ != Phase::kAwaitHello || from != master_) {
+  if (phase_ != Phase::kAwaitHello) {
+    return;
+  }
+  if (sharded()) {
+    HandleShardHelloReply(from, body);
+    return;
+  }
+  if (from != master_) {
     return;
   }
   auto msg = ClientHelloReply::Decode(body);
@@ -131,14 +278,25 @@ void Client::HandleHelloReply(NodeId from, BytesView body) {
 }
 
 void Client::HandleReassignment(NodeId from, BytesView body) {
-  if (from != master_) {
+  Lane* lane = nullptr;
+  if (sharded()) {
+    for (Lane& l : lanes_) {
+      if (l.master == from) {
+        lane = &l;
+        break;
+      }
+    }
+    if (lane == nullptr) {
+      return;
+    }
+  } else if (from != master_) {
     return;
   }
   auto msg = Reassignment::Decode(body);
   if (!msg.ok()) {
     return;
   }
-  const Bytes* master_key = MasterKey(master_);
+  const Bytes* master_key = MasterKey(from);
   if (master_key == nullptr ||
       !VerifySignature(options_.params.scheme, *master_key, msg->SignedBody(),
                        msg->signature) ||
@@ -146,9 +304,16 @@ void Client::HandleReassignment(NodeId from, BytesView body) {
                          msg->new_slave_cert)) {
     return;
   }
-  slave_cert_ = msg->new_slave_cert;
-  if (msg->auditor != kInvalidNode) {
-    auditor_ = msg->auditor;  // the new slave may audit elsewhere
+  if (lane != nullptr) {
+    lane->slave_cert = msg->new_slave_cert;
+    if (msg->auditor != kInvalidNode) {
+      lane->auditor = msg->auditor;
+    }
+  } else {
+    slave_cert_ = msg->new_slave_cert;
+    if (msg->auditor != kInvalidNode) {
+      auditor_ = msg->auditor;  // the new slave may audit elsewhere
+    }
   }
   ++metrics_.reassignments;
   if (TraceSink* t = env()->trace()) {
@@ -302,13 +467,17 @@ void Client::EmitForkEvidence(const ForkDetector::Conflict& conflict,
   if (on_evidence) {
     on_evidence(chain);
   }
-  if (master_ == kInvalidNode) {
+  // Sharded mode keeps no single "my master" — route the evidence to the
+  // (certified) master that signed the conflicting token, i.e. the one
+  // whose slave group the equivocator belongs to.
+  NodeId target = sharded() ? conflict.first.token.master : master_;
+  if (target == kInvalidNode) {
     return;
   }
   ForkEvidence msg;
   msg.trace_id = trace_id;
   msg.chain = std::move(chain);
-  env()->Send(master_, WithType(MsgType::kForkEvidence, msg.Encode()));
+  env()->Send(target, WithType(MsgType::kForkEvidence, msg.Encode()));
 }
 
 void Client::MasterSuspect() {
@@ -326,6 +495,10 @@ void Client::MasterSuspect() {
 // ---------------------------------------------------------------------------
 
 void Client::IssueRead(Query query, ReadCallback cb) {
+  if (sharded()) {
+    IssueShardedRead(std::move(query), std::move(cb));
+    return;
+  }
   uint64_t request_id = next_request_id_++;
   PendingRead read;
   read.query = std::move(query);
@@ -340,9 +513,74 @@ void Client::IssueRead(Query query, ReadCallback cb) {
   SendRead(request_id);
 }
 
+void Client::IssueShardedRead(Query query, ReadCallback cb) {
+  if (!placement_.has_value()) {
+    if (cb) {
+      cb(false, QueryResult{});
+    }
+    return;
+  }
+  ++metrics_.placement_cache_hits;
+  std::vector<ShardSubquery> plan = PlanShardQuery(placement_->map, query);
+  if (plan.size() == 1) {
+    // Single owning shard: a normal read, just routed down that lane.
+    uint64_t request_id = next_request_id_++;
+    PendingRead read;
+    read.query = std::move(plan[0].query);
+    read.shard = plan[0].shard;
+    read.first_issued = env()->Now();
+    read.cb = std::move(cb);
+    read.trace_id = MintTraceId(id(), request_id);
+    if (TraceSink* t = env()->trace()) {
+      t->SpanBegin(TraceRole::kClient, id(), "read", read.trace_id);
+    }
+    reads_.emplace(request_id, std::move(read));
+    ++metrics_.reads_issued;
+    SendRead(request_id);
+    return;
+  }
+  // The query spans shards: fan one leg out per plan entry. Every leg runs
+  // the full verification pipeline (hash, pledge + token signatures,
+  // freshness, probabilistic double-check) before it counts.
+  uint64_t parent_id = next_request_id_++;
+  MultiRead multi;
+  multi.query = std::move(query);
+  multi.plan = plan;
+  multi.results.resize(plan.size());
+  multi.pledges.resize(plan.size());
+  multi.remaining = plan.size();
+  multi.first_issued = env()->Now();
+  multi.cb = std::move(cb);
+  multi.trace_id = MintTraceId(id(), parent_id);
+  if (TraceSink* t = env()->trace()) {
+    t->SpanBegin(TraceRole::kClient, id(), "read", multi.trace_id);
+  }
+  ++metrics_.reads_issued;
+  ++metrics_.multi_shard_reads;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    uint64_t sub_id = next_request_id_++;
+    PendingRead sub;
+    sub.query = plan[i].query;
+    sub.shard = plan[i].shard;
+    sub.parent = parent_id;
+    sub.leg = static_cast<uint32_t>(i);
+    sub.first_issued = env()->Now();
+    sub.trace_id = multi.trace_id;
+    multi.sub_ids.push_back(sub_id);
+    reads_.emplace(sub_id, std::move(sub));
+    ++metrics_.shard_subreads_issued;
+  }
+  auto [it, inserted] = multireads_.emplace(parent_id, std::move(multi));
+  (void)inserted;
+  for (uint64_t sub_id : it->second.sub_ids) {
+    SendRead(sub_id);
+  }
+}
+
 void Client::SendRead(uint64_t request_id) {
   auto it = reads_.find(request_id);
-  if (it == reads_.end() || !slave_cert_.has_value()) {
+  if (it == reads_.end() ||
+      !LaneSlaveCert(it->second.shard).has_value()) {
     return;
   }
   PendingRead& read = it->second;
@@ -358,7 +596,7 @@ void Client::SendRead(uint64_t request_id) {
   msg.request_id = request_id;
   msg.trace_id = read.trace_id;
   msg.query = read.query;
-  env()->Send(slave_cert_->subject,
+  env()->Send(LaneSlaveCert(read.shard)->subject,
               WithType(MsgType::kReadRequest, msg.Encode()));
   env()->Cancel(read.timeout);
   read.timeout =
@@ -385,7 +623,9 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
   if (it == reads_.end() || it->second.awaiting_double_check) {
     return;
   }
-  if (!slave_cert_.has_value() || from != slave_cert_->subject) {
+  const std::optional<Certificate>& lane_cert =
+      LaneSlaveCert(it->second.shard);
+  if (!lane_cert.has_value() || from != lane_cert->subject) {
     return;  // stale reply from a slave we no longer trust/use
   }
   PendingRead& read = it->second;
@@ -418,9 +658,9 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
   // changes on keepalives), and for batch-capable schemes a cold pair
   // shares one combined equation.
   const Bytes* master_key = MasterKey(pledge.token.master);
-  if (pledge.slave != slave_cert_->subject || master_key == nullptr ||
+  if (pledge.slave != lane_cert->subject || master_key == nullptr ||
       !VerifyPledgeAndToken(options_.params.scheme,
-                            slave_cert_->subject_public_key, *master_key,
+                            lane_cert->subject_public_key, *master_key,
                             pledge, &verify_cache_)) {
     ++metrics_.reads_rejected_bad_sig;
     if (t != nullptr) {
@@ -444,19 +684,20 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
       msg->vv->slave == pledge.slave &&
       msg->vv->content_version == pledge.token.content_version &&
       VerifyVersionVector(options_.params.scheme,
-                          slave_cert_->subject_public_key, *msg->vv,
+                          lane_cert->subject_public_key, *msg->vv,
                           &verify_cache_)) {
     AttestedVv avv;
     avv.vv = *msg->vv;
     avv.token = pledge.token;
-    avv.slave_cert = *slave_cert_;
+    avv.slave_cert = *lane_cert;
     ObserveVv(avv);
   }
 
+  NodeId lane_auditor = LaneAuditor(read.shard);
   // 4. Freshness: reject results older than (the client's) max_latency.
   if (!TokenIsFresh(pledge.token, env()->Now(), effective_max_latency())) {
     if (options_.params.fork_check_enabled &&
-        options_.params.audit_enabled && auditor_ != kInvalidNode) {
+        options_.params.audit_enabled && lane_auditor != kInvalidNode) {
       // The reply is too old to accept but its pledge and commitment are
       // signature-verified facts; forwarding them keeps the auditor's
       // cross-client chain reconciliation complete even when an
@@ -466,7 +707,7 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
       submit.pledge = pledge;
       submit.vv = msg->vv;
       ++metrics_.pledges_forwarded;
-      env()->Send(auditor_,
+      env()->Send(lane_auditor,
                   WithType(MsgType::kAuditSubmit, submit.Encode()));
     }
     ++metrics_.reads_rejected_stale;
@@ -492,7 +733,7 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
     dc.request_id = msg->request_id;
     dc.trace_id = read.trace_id;
     dc.pledge = pledge;
-    env()->Send(master_,
+    env()->Send(LaneMaster(read.shard),
                 WithType(MsgType::kDoubleCheckRequest, dc.Encode()));
     env()->Cancel(read.timeout);
     read.timeout = env()->ScheduleAfter(
@@ -514,7 +755,7 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
   // No double-check: forward the pledge to the auditor, then accept
   // ("clients accept read results only after they have forwarded the
   // corresponding pledges to the auditor", Section 3.4).
-  if (options_.params.audit_enabled && auditor_ != kInvalidNode) {
+  if (options_.params.audit_enabled && lane_auditor != kInvalidNode) {
     AuditSubmit submit;
     submit.trace_id = read.trace_id;
     submit.pledge = pledge;
@@ -526,7 +767,7 @@ void Client::HandleReadReply(NodeId from, BytesView body) {
     if (t != nullptr) {
       t->Instant(TraceRole::kClient, id(), "pledge.forward", read.trace_id);
     }
-    env()->Send(auditor_,
+    env()->Send(lane_auditor,
                 WithType(MsgType::kAuditSubmit, submit.Encode()));
   }
   AcceptRead(msg->request_id, msg->result, pledge);
@@ -600,6 +841,10 @@ void Client::AcceptRead(uint64_t request_id, const QueryResult& result,
   if (it == reads_.end()) {
     return;
   }
+  if (it->second.parent != 0) {
+    AcceptShardSubread(request_id, result, pledge);
+    return;
+  }
   ++metrics_.reads_accepted;
   metrics_.read_latency_us.Add(
       static_cast<double>(env()->Now() - it->second.first_issued));
@@ -622,9 +867,69 @@ void Client::AcceptRead(uint64_t request_id, const QueryResult& result,
   }
 }
 
+void Client::AcceptShardSubread(uint64_t request_id,
+                                const QueryResult& result,
+                                const Pledge& pledge) {
+  auto it = reads_.find(request_id);
+  if (it == reads_.end()) {
+    return;
+  }
+  ++metrics_.shard_subreads_accepted;
+  env()->Cancel(it->second.timeout);
+  // on_accept fires per *leg* — each leg carries its own pledge, so the
+  // harness validates every shard-local result against that shard's
+  // ground truth. The merged parent has no single pledge to validate.
+  if (on_accept) {
+    on_accept(it->second.query, pledge, result);
+  }
+  uint64_t parent_id = it->second.parent;
+  uint32_t leg = it->second.leg;
+  reads_.erase(it);
+
+  auto mit = multireads_.find(parent_id);
+  if (mit == multireads_.end()) {
+    return;
+  }
+  MultiRead& multi = mit->second;
+  multi.results[leg] = result;
+  multi.pledges[leg] = pledge;
+  if (--multi.remaining > 0) {
+    return;
+  }
+  // Every leg verified and in: merge. The merge is only as fresh as its
+  // *oldest* shard token — record that age as the effective bound.
+  QueryResult merged = MergeShardResults(multi.query, multi.plan,
+                                         multi.results);
+  SimTime oldest = multi.pledges[0].token.timestamp;
+  for (const Pledge& p : multi.pledges) {
+    oldest = std::min(oldest, p.token.timestamp);
+  }
+  metrics_.merged_token_age_us.Add(static_cast<double>(env()->Now() - oldest));
+  ++metrics_.reads_accepted;
+  metrics_.read_latency_us.Add(
+      static_cast<double>(env()->Now() - multi.first_issued));
+  if (TraceSink* t = env()->trace()) {
+    t->Hist(TraceRole::kClient, id(), "read_rtt_us")
+        .Record(env()->Now() - multi.first_issued);
+    t->SpanEnd(TraceRole::kClient, id(), "read", multi.trace_id, 1);
+  }
+  ReadCallback cb = std::move(multi.cb);
+  multireads_.erase(mit);
+  if (cb) {
+    cb(true, merged);
+  }
+  if (options_.mode == LoadMode::kClosedLoop) {
+    ScheduleNextOp();
+  }
+}
+
 void Client::FailRead(uint64_t request_id) {
   auto it = reads_.find(request_id);
   if (it == reads_.end()) {
+    return;
+  }
+  if (it->second.parent != 0) {
+    FailMultiRead(it->second.parent);
     return;
   }
   if (TraceSink* t = env()->trace()) {
@@ -642,11 +947,43 @@ void Client::FailRead(uint64_t request_id) {
   }
 }
 
+void Client::FailMultiRead(uint64_t parent_id) {
+  auto mit = multireads_.find(parent_id);
+  if (mit == multireads_.end()) {
+    return;
+  }
+  // One failed leg fails the whole fan-out: there is no merged result to
+  // return without it. Cancel and drop the surviving siblings.
+  for (uint64_t sub_id : mit->second.sub_ids) {
+    auto sit = reads_.find(sub_id);
+    if (sit != reads_.end()) {
+      env()->Cancel(sit->second.timeout);
+      reads_.erase(sit);
+    }
+    double_checking_.erase(sub_id);
+  }
+  if (TraceSink* t = env()->trace()) {
+    t->SpanEnd(TraceRole::kClient, id(), "read", mit->second.trace_id, 0);
+  }
+  ReadCallback cb = std::move(mit->second.cb);
+  multireads_.erase(mit);
+  if (cb) {
+    cb(false, QueryResult{});
+  }
+  if (options_.mode == LoadMode::kClosedLoop) {
+    ScheduleNextOp();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Writes (Section 3.1).
 // ---------------------------------------------------------------------------
 
 void Client::IssueWrite(WriteBatch batch, WriteCallback cb) {
+  if (sharded()) {
+    IssueShardedWrite(std::move(batch), std::move(cb));
+    return;
+  }
   uint64_t request_id = next_request_id_++;
   PendingWrite write;
   write.batch = std::move(batch);
@@ -661,6 +998,65 @@ void Client::IssueWrite(WriteBatch batch, WriteCallback cb) {
   SendWrite(request_id);
 }
 
+void Client::IssueShardedWrite(WriteBatch batch, WriteCallback cb) {
+  if (!placement_.has_value()) {
+    if (cb) {
+      cb(false, 0);
+    }
+    return;
+  }
+  ++metrics_.placement_cache_hits;
+  // Split the batch by owning shard (preserving op order within a shard).
+  std::map<uint32_t, WriteBatch> by_shard;
+  for (WriteOp& op : batch) {
+    by_shard[placement_->map.ShardForKey(op.key)].push_back(std::move(op));
+  }
+  if (by_shard.size() <= 1) {
+    uint32_t shard = by_shard.empty() ? 0 : by_shard.begin()->first;
+    uint64_t request_id = next_request_id_++;
+    PendingWrite write;
+    if (!by_shard.empty()) {
+      write.batch = std::move(by_shard.begin()->second);
+    }
+    write.shard = shard;
+    write.first_issued = env()->Now();
+    write.cb = std::move(cb);
+    writes_.emplace(request_id, std::move(write));
+    ++metrics_.writes_issued;
+    if (TraceSink* t = env()->trace()) {
+      t->SpanBegin(TraceRole::kClient, id(), "write",
+                   MintTraceId(id(), request_id));
+    }
+    SendWrite(request_id);
+    return;
+  }
+  // Cross-shard batch: one sub-write per shard. The parent reports
+  // committed only if every shard-local sub-batch commits; there is no
+  // cross-shard atomicity (each shard serializes independently).
+  uint64_t parent_id = next_request_id_++;
+  MultiWrite multi;
+  multi.remaining = by_shard.size();
+  multi.first_issued = env()->Now();
+  multi.cb = std::move(cb);
+  multi.trace_id = MintTraceId(id(), parent_id);
+  ++metrics_.writes_issued;
+  ++metrics_.multi_shard_writes;
+  if (TraceSink* t = env()->trace()) {
+    t->SpanBegin(TraceRole::kClient, id(), "write", multi.trace_id);
+  }
+  multiwrites_.emplace(parent_id, std::move(multi));
+  for (auto& [shard, sub_batch] : by_shard) {
+    uint64_t sub_id = next_request_id_++;
+    PendingWrite write;
+    write.batch = std::move(sub_batch);
+    write.shard = shard;
+    write.parent = parent_id;
+    write.first_issued = env()->Now();
+    writes_.emplace(sub_id, std::move(write));
+    SendWrite(sub_id);
+  }
+}
+
 void Client::SendWrite(uint64_t request_id) {
   auto it = writes_.find(request_id);
   if (it == writes_.end()) {
@@ -671,7 +1067,7 @@ void Client::SendWrite(uint64_t request_id) {
   WriteRequest msg;
   msg.request_id = request_id;
   msg.batch = write.batch;
-  env()->Send(master_,
+  env()->Send(LaneMaster(write.shard),
               WithType(MsgType::kWriteRequest, msg.Encode()));
   env()->Cancel(write.timeout);
   write.timeout =
@@ -701,6 +1097,46 @@ void Client::HandleWriteReply(BytesView body) {
     return;
   }
   env()->Cancel(it->second.timeout);
+  if (it->second.parent != 0) {
+    // One leg of a cross-shard write: fold into the parent.
+    uint64_t parent_id = it->second.parent;
+    writes_.erase(it);
+    if (msg->ok) {
+      ++metrics_.shard_subwrites_committed;
+    }
+    auto mit = multiwrites_.find(parent_id);
+    if (mit == multiwrites_.end()) {
+      return;
+    }
+    MultiWrite& multi = mit->second;
+    multi.all_ok = multi.all_ok && msg->ok;
+    multi.max_version = std::max(multi.max_version, msg->committed_version);
+    if (--multi.remaining > 0) {
+      return;
+    }
+    if (multi.all_ok) {
+      ++metrics_.writes_committed;
+      metrics_.write_latency_us.Add(
+          static_cast<double>(env()->Now() - multi.first_issued));
+    } else {
+      ++metrics_.writes_rejected;
+    }
+    if (TraceSink* t = env()->trace()) {
+      t->SpanEnd(TraceRole::kClient, id(), "write", multi.trace_id,
+                 multi.all_ok ? 1 : 0);
+    }
+    WriteCallback cb = std::move(multi.cb);
+    bool all_ok = multi.all_ok;
+    uint64_t max_version = multi.max_version;
+    multiwrites_.erase(mit);
+    if (cb) {
+      cb(all_ok, max_version);
+    }
+    if (options_.mode == LoadMode::kClosedLoop) {
+      ScheduleNextOp();
+    }
+    return;
+  }
   if (msg->ok) {
     ++metrics_.writes_committed;
     metrics_.write_latency_us.Add(
@@ -796,6 +1232,9 @@ void Client::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kVvExchange:
       HandleVvExchange(body);
       break;
+    case MsgType::kPlacementReply:
+      HandlePlacementReply(body);
+      break;
     // Not addressed to a client; ignored by design.
     case MsgType::kDirectoryLookup:
     case MsgType::kClientHello:
@@ -804,11 +1243,13 @@ void Client::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kDoubleCheckRequest:
     case MsgType::kAccusation:
     case MsgType::kStateUpdate:
+    case MsgType::kStateUpdateBatch:
     case MsgType::kKeepAlive:
     case MsgType::kSlaveAck:
     case MsgType::kAuditSubmit:
     case MsgType::kBroadcastEnvelope:
     case MsgType::kForkEvidence:
+    case MsgType::kPlacementQuery:
       break;
   }
 }

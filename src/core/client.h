@@ -65,6 +65,13 @@ class Client : public Node {
     // harness; may include this client's own id, which is skipped). Only
     // used when params.fork_check_enabled.
     std::vector<NodeId> peer_clients;
+
+    // Keyspace sharding (src/core/shard.h). At 1 (or 0) the client runs
+    // the paper's single-group protocol bit-for-bit. Above 1 the setup
+    // phase additionally fetches the signed shard placement from the
+    // directory, opens one lane (master + assigned slave + auditor) per
+    // shard, and plans every operation against the cached placement map.
+    uint32_t num_shards = 1;
   };
 
   explicit Client(Options options);
@@ -111,7 +118,13 @@ class Client : public Node {
   }
 
  private:
-  enum class Phase { kIdle, kAwaitDirectory, kAwaitHello, kReady };
+  enum class Phase {
+    kIdle,
+    kAwaitDirectory,
+    kAwaitPlacement,  // sharded mode only: waiting for the placement map
+    kAwaitHello,
+    kReady,
+  };
 
   struct PendingRead {
     Query query;
@@ -121,6 +134,11 @@ class Client : public Node {
     ReadCallback cb;
     bool awaiting_double_check = false;
     uint64_t trace_id = 0;  // causal id spanning retries and double-checks
+    // Sharded mode: which lane serves this read, and — when it is one leg
+    // of a fanned-out multi-shard read — the parent id and leg index.
+    uint32_t shard = 0;
+    uint64_t parent = 0;  // 0 = standalone read
+    uint32_t leg = 0;
   };
   struct PendingWrite {
     WriteBatch batch;
@@ -128,6 +146,44 @@ class Client : public Node {
     int attempts = 0;
     EventId timeout = 0;
     WriteCallback cb;
+    uint32_t shard = 0;
+    uint64_t parent = 0;  // 0 = standalone write
+  };
+
+  // One per shard in sharded mode: the paper's per-group client state
+  // (chosen master, assigned slave, auditor) replicated across lanes.
+  struct Lane {
+    NodeId master = kInvalidNode;
+    std::optional<Certificate> slave_cert;
+    NodeId auditor = kInvalidNode;
+    Bytes nonce;        // hello nonce for this lane's setup exchange
+    bool ready = false;
+  };
+
+  // A read fanned out to several shards: legs accumulate here and the
+  // merged result is released only when every leg has been individually
+  // verified and accepted. Freshness of the merge is bounded by the
+  // *oldest* per-shard token (recorded in merged_token_age_us).
+  struct MultiRead {
+    Query query;  // the original, pre-planning query
+    std::vector<ShardSubquery> plan;
+    std::vector<QueryResult> results;  // one slot per plan leg
+    std::vector<Pledge> pledges;
+    size_t remaining = 0;
+    SimTime first_issued = 0;
+    ReadCallback cb;
+    uint64_t trace_id = 0;
+    std::vector<uint64_t> sub_ids;
+  };
+  // A write batch split across shards; commits only if every shard-local
+  // sub-batch commits (no cross-shard atomicity — see docs/PERF.md).
+  struct MultiWrite {
+    size_t remaining = 0;
+    bool all_ok = true;
+    uint64_t max_version = 0;
+    SimTime first_issued = 0;
+    WriteCallback cb;
+    uint64_t trace_id = 0;
   };
 
   // Setup phase.
@@ -136,6 +192,17 @@ class Client : public Node {
   void HandleHelloReply(NodeId from, BytesView body);
   void HandleReassignment(NodeId from, BytesView body);
   void HandleBadReadNotice(BytesView body);
+
+  // Sharded setup: placement fetch and per-lane hello handshakes.
+  void HandlePlacementReply(BytesView body);
+  void HandleShardHelloReply(NodeId from, BytesView body);
+
+  bool sharded() const { return options_.num_shards > 1; }
+  // Lane-aware accessors; in single-shard mode they return the classic
+  // globals, so the paper's path is untouched.
+  const std::optional<Certificate>& LaneSlaveCert(uint32_t shard) const;
+  NodeId LaneMaster(uint32_t shard) const;
+  NodeId LaneAuditor(uint32_t shard) const;
 
   // Reads.
   void SendRead(uint64_t request_id);
@@ -146,9 +213,18 @@ class Client : public Node {
                   const Pledge& pledge);
   void FailRead(uint64_t request_id);
 
+  // Sharded reads: planning, fan-out, leg accounting.
+  void IssueShardedRead(Query query, ReadCallback cb);
+  void AcceptShardSubread(uint64_t request_id, const QueryResult& result,
+                          const Pledge& pledge);
+  void FailMultiRead(uint64_t parent_id);
+
   // Writes.
   void SendWrite(uint64_t request_id);
   void HandleWriteReply(BytesView body);
+
+  // Sharded writes: per-shard batch splitting.
+  void IssueShardedWrite(WriteBatch batch, WriteCallback cb);
 
   // Load generation.
   void ScheduleNextOp();
@@ -180,9 +256,17 @@ class Client : public Node {
   EventId setup_timeout_ = 0;
   int setup_attempts_ = 0;
 
+  // Sharded mode: the verified placement (the client-side placement
+  // cache — every op planned from it is a cache hit; every directory
+  // fetch a miss) and one lane per shard.
+  std::optional<ShardPlacement> placement_;
+  std::vector<Lane> lanes_;
+
   uint64_t next_request_id_ = 1;
   std::map<uint64_t, PendingRead> reads_;
   std::map<uint64_t, PendingWrite> writes_;
+  std::map<uint64_t, MultiRead> multireads_;
+  std::map<uint64_t, MultiWrite> multiwrites_;
   // Reads accepted pending their double-check verdict: request_id -> result.
   std::map<uint64_t, std::pair<QueryResult, Pledge>> double_checking_;
 

@@ -43,40 +43,101 @@ Cluster::Cluster(ClusterConfig config)
   content_.content_public_key = content_key.public_key;
 
   // Node ids are assigned sequentially by AddNode; lay the roster out
-  // deterministically: directory, masters, auditor, slaves, clients.
+  // deterministically and shard-major: directory, every shard's masters,
+  // every shard's auditors, every shard's slaves, clients, then (last) the
+  // optional fleet node. At num_shards == 1 every loop below collapses to
+  // the single-group roster — same ids, same key_rng draw order — so
+  // classic runs are byte-identical.
+  const int S = num_shards();
+  const int M = config_.num_masters;
+  const int A = std::max(1, config_.num_auditors);
+  // Scale-out configs drive the broadcast orders of magnitude harder than
+  // the classic roster; without nack dedup the reordered ordered-stream
+  // nack traffic grows quadratically with the write rate, and without
+  // catch-up dedup a loaded slave's delayed batch application triggers
+  // redundant per-version pushes that defeat group commit's signature
+  // amortization. Classic configs keep both knobs off so their message
+  // and signature counts stay byte-identical.
+  const bool scale_out =
+      S > 1 || config_.params.commit_batch > 1 || config_.fleet_clients > 0;
+  if (scale_out) {
+    config_.broadcast.dedup_gap_nacks = true;
+  }
   const NodeId directory_id = 1;
-  std::vector<NodeId> master_ids;
-  for (int i = 0; i < config_.num_masters; ++i) {
-    master_ids.push_back(static_cast<NodeId>(2 + i));
-  }
-  std::vector<NodeId> auditor_ids;
-  for (int i = 0; i < std::max(1, config_.num_auditors); ++i) {
-    auditor_ids.push_back(static_cast<NodeId>(2 + config_.num_masters + i));
-  }
-
-  std::vector<NodeId> group = master_ids;
-  for (NodeId a : auditor_ids) {
-    group.push_back(a);
+  std::vector<std::vector<NodeId>> shard_master_ids(S);
+  std::vector<std::vector<NodeId>> shard_auditor_ids(S);
+  for (int sh = 0; sh < S; ++sh) {
+    for (int i = 0; i < M; ++i) {
+      shard_master_ids[sh].push_back(static_cast<NodeId>(2 + sh * M + i));
+    }
+    for (int i = 0; i < A; ++i) {
+      shard_auditor_ids[sh].push_back(
+          static_cast<NodeId>(2 + S * M + sh * A + i));
+    }
   }
 
-  // --- Keys and certificates. ---
-  std::vector<KeyPair> master_keys;
+  // Per-shard TOB group: the shard's masters plus its auditors (== the
+  // whole group in classic runs).
+  std::vector<std::vector<NodeId>> shard_group(S);
+  for (int sh = 0; sh < S; ++sh) {
+    shard_group[sh] = shard_master_ids[sh];
+    for (NodeId a : shard_auditor_ids[sh]) {
+      shard_group[sh].push_back(a);
+    }
+  }
+
+  // --- Keys and certificates. One content key certifies every shard's
+  // masters; verification stays rooted in the single content identity.
+  std::vector<KeyPair> master_keys;  // shard-major, sh * M + i
   std::map<NodeId, Bytes> master_key_map;
-  std::vector<Certificate> master_certs;
-  for (int i = 0; i < config_.num_masters; ++i) {
-    master_keys.push_back(KeyPair::Generate(config_.params.scheme, key_rng));
-    master_key_map[master_ids[i]] = master_keys.back().public_key;
-    master_certs.push_back(IssueCertificate(
-        owner, master_ids[i], Role::kMaster, master_keys.back().public_key));
+  std::vector<std::map<NodeId, Bytes>> shard_key_map(S);
+  std::vector<Certificate> master_certs;  // shard-major
+  std::vector<std::vector<Certificate>> shard_certs(S);
+  for (int sh = 0; sh < S; ++sh) {
+    for (int i = 0; i < M; ++i) {
+      NodeId mid = shard_master_ids[sh][i];
+      master_keys.push_back(KeyPair::Generate(config_.params.scheme, key_rng));
+      master_key_map[mid] = master_keys.back().public_key;
+      shard_key_map[sh][mid] = master_keys.back().public_key;
+      master_certs.push_back(IssueCertificate(owner, mid, Role::kMaster,
+                                              master_keys.back().public_key));
+      shard_certs[sh].push_back(master_certs.back());
+      shard_of_master_[mid] = sh;
+    }
   }
-  std::vector<KeyPair> auditor_keys;
-  for (size_t i = 0; i < auditor_ids.size(); ++i) {
-    auditor_keys.push_back(KeyPair::Generate(config_.params.scheme, key_rng));
+  std::vector<KeyPair> auditor_keys;  // shard-major, sh * A + i
+  for (int sh = 0; sh < S; ++sh) {
+    for (int i = 0; i < A; ++i) {
+      auditor_keys.push_back(KeyPair::Generate(config_.params.scheme, key_rng));
+    }
   }
 
   // --- Initial content. ---
   Rng corpus_rng = sim_.rng().Fork();
   DocumentStore base = BuildCatalogCorpus(config_.corpus, corpus_rng);
+
+  // --- Shard map and per-shard content. Classic runs never touch the
+  // corpus: shard_map_ stays trivial and `base` is installed unfiltered.
+  std::vector<DocumentStore> shard_base;
+  if (S > 1) {
+    std::vector<std::string> corpus_keys;
+    corpus_keys.reserve(base.data().size());
+    for (const auto& [key, value] : base.data()) {
+      corpus_keys.push_back(key);
+    }
+    shard_map_ = BuildShardMap(std::move(corpus_keys), static_cast<uint32_t>(S));
+    if (shard_map_.num_shards() != static_cast<uint32_t>(S)) {
+      SDR_LOG(kError) << "corpus too small to split into " << S << " shards";
+      std::abort();
+    }
+    shard_base.resize(S);
+    for (const auto& [key, value] : base.data()) {
+      shard_base[shard_map_.ShardForKey(key)].Apply(WriteOp::Put(key, value));
+    }
+  }
+  auto base_for_shard = [&](int sh) -> const DocumentStore& {
+    return S > 1 ? shard_base[sh] : base;
+  };
 
   // Names the node in trace exports; no-op when tracing is off.
   auto register_node = [this](NodeId id, TraceRole role, const char* kind,
@@ -93,69 +154,84 @@ Cluster::Cluster(ClusterConfig config)
   CheckId(got, directory_id);
   register_node(got, TraceRole::kDirectory, "directory", 0);
   directory_->Publish(content_.content_public_key, master_certs);
+  if (S > 1) {
+    directory_->PublishPlacement(
+        content_.content_public_key,
+        MakeShardPlacement(owner, 1, shard_map_, shard_master_ids));
+  }
 
   // --- Masters. ---
-  for (int i = 0; i < config_.num_masters; ++i) {
-    Master::Options opts;
-    opts.params = config_.params;
-    opts.cost = config_.cost;
-    opts.key_pair = master_keys[i];
-    opts.content = content_;
-    opts.group = group;
-    opts.auditors = auditor_ids;
-    opts.master_keys = master_key_map;
-    opts.snapshot_interval = config_.snapshot_interval;
-    opts.broadcast = config_.broadcast;
-    masters_.push_back(std::make_unique<Master>(std::move(opts)));
-    got = net_.AddNode(masters_.back().get());
-    CheckId(got, master_ids[i]);
-    register_node(got, TraceRole::kMaster, "master", i);
-    masters_.back()->SetBaseContent(base);
+  for (int sh = 0; sh < S; ++sh) {
+    for (int i = 0; i < M; ++i) {
+      Master::Options opts;
+      opts.params = config_.params;
+      opts.cost = config_.cost;
+      opts.key_pair = master_keys[sh * M + i];
+      opts.content = content_;
+      opts.group = shard_group[sh];
+      opts.auditors = shard_auditor_ids[sh];
+      opts.master_keys = shard_key_map[sh];
+      opts.snapshot_interval = config_.snapshot_interval;
+      opts.broadcast = config_.broadcast;
+      opts.dedup_catchup_pushes = scale_out;
+      masters_.push_back(std::make_unique<Master>(std::move(opts)));
+      got = net_.AddNode(masters_.back().get());
+      CheckId(got, shard_master_ids[sh][i]);
+      register_node(got, TraceRole::kMaster, "master", sh * M + i);
+      masters_.back()->SetBaseContent(base_for_shard(sh));
+    }
   }
 
   // --- Auditors (the elected trusted servers without slave sets). ---
-  for (size_t i = 0; i < auditor_ids.size(); ++i) {
-    Auditor::Options opts;
-    opts.params = config_.params;
-    opts.cost = config_.cost;
-    opts.key_pair = auditor_keys[i];
-    opts.group = group;
-    opts.master_keys = master_key_map;
-    opts.master_certs = master_certs;
-    opts.snapshot_interval = config_.snapshot_interval;
-    opts.broadcast = config_.broadcast;
-    opts.use_result_cache = config_.auditor_use_cache;
-    opts.audit_jobs = config_.audit_jobs;
-    auditors_.push_back(std::make_unique<Auditor>(std::move(opts)));
-    got = net_.AddNode(auditors_.back().get());
-    CheckId(got, auditor_ids[i]);
-    register_node(got, TraceRole::kAuditor, "auditor", static_cast<int>(i));
-    auditors_.back()->SetBaseContent(base);
-    auditors_.back()->on_evidence = [this](const EvidenceChain& chain) {
-      fork_evidence_.push_back(chain);
-    };
-  }
-
-  // --- Slaves. ---
-  int slave_index = 0;
-  for (int m = 0; m < config_.num_masters; ++m) {
-    Signer master_signer(master_keys[m]);
-    for (int s = 0; s < config_.slaves_per_master; ++s, ++slave_index) {
-      Slave::Options opts;
+  for (int sh = 0; sh < S; ++sh) {
+    for (int i = 0; i < A; ++i) {
+      Auditor::Options opts;
       opts.params = config_.params;
       opts.cost = config_.cost;
-      opts.key_pair = KeyPair::Generate(config_.params.scheme, key_rng);
-      opts.master_keys = master_key_map;
-      opts.rng_seed = config_.seed * 1000003 + slave_index;
-      if (config_.slave_behavior) {
-        opts.behavior = config_.slave_behavior(slave_index);
+      opts.key_pair = auditor_keys[sh * A + i];
+      opts.group = shard_group[sh];
+      opts.master_keys = shard_key_map[sh];
+      opts.master_certs = shard_certs[sh];
+      opts.snapshot_interval = config_.snapshot_interval;
+      opts.broadcast = config_.broadcast;
+      opts.use_result_cache = config_.auditor_use_cache;
+      opts.audit_jobs = config_.audit_jobs;
+      auditors_.push_back(std::make_unique<Auditor>(std::move(opts)));
+      got = net_.AddNode(auditors_.back().get());
+      CheckId(got, shard_auditor_ids[sh][i]);
+      register_node(got, TraceRole::kAuditor, "auditor", sh * A + i);
+      auditors_.back()->SetBaseContent(base_for_shard(sh));
+      auditors_.back()->on_evidence = [this](const EvidenceChain& chain) {
+        fork_evidence_.push_back(chain);
+      };
+    }
+  }
+
+  // --- Slaves (shard-major; saved certs wire the fleet below). ---
+  std::vector<std::vector<Certificate>> shard_slave_certs(S);
+  int slave_index = 0;
+  for (int sh = 0; sh < S; ++sh) {
+    for (int m = 0; m < M; ++m) {
+      Signer master_signer(master_keys[sh * M + m]);
+      for (int s = 0; s < config_.slaves_per_master; ++s, ++slave_index) {
+        Slave::Options opts;
+        opts.params = config_.params;
+        opts.cost = config_.cost;
+        opts.key_pair = KeyPair::Generate(config_.params.scheme, key_rng);
+        opts.master_keys = master_key_map;
+        opts.rng_seed = config_.seed * 1000003 + slave_index;
+        if (config_.slave_behavior) {
+          opts.behavior = config_.slave_behavior(slave_index);
+        }
+        slaves_.push_back(std::make_unique<Slave>(std::move(opts)));
+        NodeId sid = net_.AddNode(slaves_.back().get());
+        register_node(sid, TraceRole::kSlave, "slave", slave_index);
+        slaves_.back()->SetBaseContent(base_for_shard(sh));
+        Certificate cert = IssueCertificate(master_signer, sid, Role::kSlave,
+                                            slaves_.back()->public_key());
+        masters_[sh * M + m]->AddSlave(cert);
+        shard_slave_certs[sh].push_back(std::move(cert));
       }
-      slaves_.push_back(std::make_unique<Slave>(std::move(opts)));
-      NodeId sid = net_.AddNode(slaves_.back().get());
-      register_node(sid, TraceRole::kSlave, "slave", slave_index);
-      slaves_.back()->SetBaseContent(base);
-      masters_[m]->AddSlave(IssueCertificate(master_signer, sid, Role::kSlave,
-                                             slaves_.back()->public_key()));
     }
   }
 
@@ -164,9 +240,8 @@ Cluster::Cluster(ClusterConfig config)
   // client knows its gossip peers before any node exists.
   std::vector<NodeId> client_ids;
   {
-    NodeId first_client =
-        static_cast<NodeId>(2 + config_.num_masters + auditor_ids.size() +
-                            config_.num_masters * config_.slaves_per_master);
+    NodeId first_client = static_cast<NodeId>(
+        2 + S * M + S * A + S * M * config_.slaves_per_master);
     for (int c = 0; c < config_.num_clients; ++c) {
       client_ids.push_back(first_client + static_cast<NodeId>(c));
     }
@@ -176,6 +251,7 @@ Cluster::Cluster(ClusterConfig config)
     opts.params = config_.params;
     opts.content = content_;
     opts.directory = directory_id;
+    opts.num_shards = static_cast<uint32_t>(S);
     opts.mode = config_.client_mode;
     opts.think_time = config_.client_think_time;
     opts.reads_per_second = config_.client_reads_per_second;
@@ -206,6 +282,37 @@ Cluster::Cluster(ClusterConfig config)
                                            const QueryResult& result) {
       OnClientAccept(c, query, pledge, result);
     };
+  }
+
+  // --- Fleet (optional, always the last roster entry so every id above is
+  // unchanged whether or not it exists). ---
+  if (config_.fleet_clients > 0) {
+    ClientFleet::Options opts;
+    opts.params = config_.params;
+    opts.num_clients = static_cast<size_t>(config_.fleet_clients);
+    opts.reads_per_second = config_.fleet_reads_per_second;
+    opts.write_fraction = config_.fleet_write_fraction;
+    opts.rng_seed = config_.seed * 104729 + 1;
+    QueryMix mix = config_.mix;
+    mix.n_items = config_.corpus.n_items;
+    opts.query_source = [mix](Rng& rng) { return mix.Generate(rng); };
+    WriteGen write_gen = config_.write_gen;
+    write_gen.n_items = config_.corpus.n_items;
+    opts.write_source = [write_gen](Rng& rng) {
+      return write_gen.Generate(rng);
+    };
+    opts.shard_map = shard_map_;
+    opts.master_keys = master_key_map;
+    for (int sh = 0; sh < S; ++sh) {
+      ClientFleet::Options::ShardWiring wiring;
+      wiring.slave_certs = shard_slave_certs[sh];
+      wiring.masters = shard_master_ids[sh];
+      wiring.auditor = shard_auditor_ids[sh][0];
+      opts.shards.push_back(std::move(wiring));
+    }
+    fleet_ = std::make_unique<ClientFleet>(std::move(opts));
+    NodeId fid = net_.AddNode(fleet_.get());
+    register_node(fid, TraceRole::kClient, "fleet", 0);
   }
 
   net_.StartAll();
@@ -242,6 +349,11 @@ void Cluster::AddTickHook(SimTime period, std::function<void()> hook) {
   tick_hooks_.push_back(TickHook{period, sim_.Now() + period, std::move(hook)});
 }
 
+int Cluster::shard_of_master(NodeId master) const {
+  auto it = shard_of_master_.find(master);
+  return it == shard_of_master_.end() ? 0 : it->second;
+}
+
 bool Cluster::ExcludedByAnyMaster(NodeId slave) const {
   for (const auto& m : masters_) {
     if (m->IsExcluded(slave)) {
@@ -260,7 +372,8 @@ void Cluster::OnClientAccept(int client_index, const Query& query,
   record.token_timestamp = pledge.token.timestamp;
   record.accepted_at = sim_.Now();
   if (config_.track_ground_truth) {
-    ValidateAcceptedRead(query, record.version, result, &record);
+    ValidateAcceptedRead(query, record.version, result,
+                         shard_of_master(pledge.token.master), &record);
   }
   if (on_accepted_read) {
     on_accepted_read(record);
@@ -268,19 +381,23 @@ void Cluster::OnClientAccept(int client_index, const Query& query,
 }
 
 void Cluster::ValidateAcceptedRead(const Query& query, uint64_t version,
-                                   const QueryResult& result,
+                                   const QueryResult& result, int shard,
                                    AcceptedRead* record) {
   // Prefer a live master's full op log; fall back to the auditor's (which
-  // prunes closed versions).
+  // prunes closed versions). Versions are per shard, so only the owning
+  // shard's servers are consulted (= all of them in classic runs).
   const OpLog* log = nullptr;
-  for (const auto& m : masters_) {
+  const int M = masters_per_shard();
+  for (int i = shard * M; i < (shard + 1) * M; ++i) {
+    const auto& m = masters_[i];
     if (m->up() && m->oplog().head_version() >= version) {
       log = &m->oplog();
       break;
     }
   }
-  if (log == nullptr && auditors_[0]->oplog().head_version() >= version) {
-    log = &auditors_[0]->oplog();
+  const auto& auditor = auditors_[shard * auditors_per_shard()];
+  if (log == nullptr && auditor->oplog().head_version() >= version) {
+    log = &auditor->oplog();
   }
   if (log == nullptr) {
     ++accepted_uncheckable_;
@@ -319,14 +436,26 @@ Cluster::Totals Cluster::ComputeTotals() const {
     t.forks_detected += m.forks_detected;
     t.evidence_chains_emitted += m.evidence_chains_emitted;
     t.vv_exchanges += m.vv_exchanges_sent;
+    t.placement_cache_hits += m.placement_cache_hits;
+    t.placement_cache_misses += m.placement_cache_misses;
+    t.multi_shard_reads += m.multi_shard_reads;
+    t.multi_shard_writes += m.multi_shard_writes;
+    t.shard_subreads_issued += m.shard_subreads_issued;
+    t.shard_subreads_accepted += m.shard_subreads_accepted;
+    t.shard_subwrites_committed += m.shard_subwrites_committed;
   }
   for (const auto& s : slaves_) {
     t.slave_work_units += s->metrics().work_units_executed;
     t.lies_told += s->metrics().lies_told;
+    t.state_update_batches += s->metrics().state_update_batches_received;
   }
   for (const auto& m : masters_) {
     t.master_work_units += m->metrics().work_units_executed;
     t.slaves_excluded += m->metrics().slaves_excluded;
+    t.writes_committed_masters += m->metrics().writes_committed;
+    t.writes_batched += m->metrics().writes_batched;
+    t.batches_committed += m->metrics().batches_committed;
+    t.commit_signatures += m->metrics().commit_signatures;
   }
   for (const auto& a : auditors_) {
     t.auditor_work_units += a->metrics().work_units_executed;

@@ -16,10 +16,12 @@
 #include "src/core/client.h"
 #include "src/core/directory.h"
 #include "src/core/master.h"
+#include "src/core/shard.h"
 #include "src/core/slave.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace.h"
+#include "src/workload/fleet.h"
 #include "src/workload/workload.h"
 
 namespace sdr {
@@ -39,6 +41,21 @@ struct ClusterConfig {
   int num_auditors = 1;      // Section 3.4: "add extra auditors" to scale
   int slaves_per_master = 2;
   int num_clients = 4;
+
+  // Keyspace sharding (src/core/shard.h). 1 = the paper's single group,
+  // bit-for-bit. Above 1 the cluster builds one independent group
+  // (num_masters masters + num_auditors auditors + their slaves) per
+  // shard, splits the corpus by a directory-published signed placement,
+  // and every client runs in sharded (multi-lane) mode. All counts above
+  // are per shard.
+  int num_shards = 1;
+
+  // Simulated-client fleet (src/workload/fleet.h): one multiplexing node,
+  // appended last in the roster, modeling `fleet_clients` open-loop
+  // clients. 0 = no fleet node (classic roster, byte-identical).
+  int fleet_clients = 0;
+  double fleet_reads_per_second = 1.0;
+  double fleet_write_fraction = 0.0;
 
   ProtocolParams params;
   CostModel cost;
@@ -120,6 +137,21 @@ class Cluster {
   int num_slaves() const { return static_cast<int>(slaves_.size()); }
   int num_clients() const { return static_cast<int>(clients_.size()); }
 
+  // Sharding topology. The flat accessors above stay valid in sharded
+  // runs: nodes are laid out shard-major, so shard s owns masters
+  // [s*masters_per_shard, ...), auditors and slaves likewise.
+  int num_shards() const { return std::max(1, config_.num_shards); }
+  int masters_per_shard() const { return config_.num_masters; }
+  int auditors_per_shard() const { return std::max(1, config_.num_auditors); }
+  int slaves_per_shard() const {
+    return config_.num_masters * config_.slaves_per_master;
+  }
+  // Which shard a (master) node serves; 0 for unknown ids.
+  int shard_of_master(NodeId master) const;
+  const ShardMap& shard_map() const { return shard_map_; }
+  // Null unless config.fleet_clients > 0.
+  ClientFleet* fleet() { return fleet_.get(); }
+
   const ContentIdentity& content() const { return content_; }
   const ClusterConfig& config() const { return config_; }
 
@@ -154,6 +186,19 @@ class Cluster {
     uint64_t forks_detected = 0;
     uint64_t evidence_chains_emitted = 0;
     uint64_t vv_exchanges = 0;
+    // Group-commit / sharding aggregates (zero in classic runs).
+    uint64_t writes_committed_masters = 0;
+    uint64_t writes_batched = 0;
+    uint64_t batches_committed = 0;
+    uint64_t state_update_batches = 0;
+    uint64_t commit_signatures = 0;
+    uint64_t placement_cache_hits = 0;
+    uint64_t placement_cache_misses = 0;
+    uint64_t multi_shard_reads = 0;
+    uint64_t multi_shard_writes = 0;
+    uint64_t shard_subreads_issued = 0;
+    uint64_t shard_subreads_accepted = 0;
+    uint64_t shard_subwrites_committed = 0;
   };
   Totals ComputeTotals() const;
 
@@ -161,7 +206,8 @@ class Cluster {
   void OnClientAccept(int client_index, const Query& query,
                       const Pledge& pledge, const QueryResult& result);
   void ValidateAcceptedRead(const Query& query, uint64_t version,
-                            const QueryResult& result, AcceptedRead* record);
+                            const QueryResult& result, int shard,
+                            AcceptedRead* record);
 
   struct TickHook {
     SimTime period;
@@ -183,6 +229,11 @@ class Cluster {
   std::vector<std::unique_ptr<Auditor>> auditors_;
   std::vector<std::unique_ptr<Slave>> slaves_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<ClientFleet> fleet_;
+
+  // Trivial (one shard, no boundaries) unless config.num_shards > 1.
+  ShardMap shard_map_;
+  std::map<NodeId, int> shard_of_master_;
 
   QueryExecutor truth_executor_;
   uint64_t accepted_checked_ = 0;

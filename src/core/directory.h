@@ -22,13 +22,24 @@ class Directory : public Node {
   void Publish(const Bytes& content_public_key,
                std::vector<Certificate> master_certs);
 
+  // Registers the shard placement for a content (scale-out). Like the
+  // certificates, the placement is signed by the content key, so the
+  // directory merely relays it; clients verify.
+  void PublishPlacement(const Bytes& content_public_key,
+                        ShardPlacement placement);
+
   void HandleMessage(NodeId from, const Payload& payload) override;
 
   uint64_t lookups_served() const { return lookups_served_; }
+  uint64_t placement_lookups_served() const {
+    return placement_lookups_served_;
+  }
 
  private:
   std::map<Bytes, std::vector<Certificate>> by_content_;
+  std::map<Bytes, ShardPlacement> placement_by_content_;
   uint64_t lookups_served_ = 0;
+  uint64_t placement_lookups_served_ = 0;
 };
 
 }  // namespace sdr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/crypto/sha1.h"
 #include "src/trace/trace.h"
 #include "src/util/logging.h"
 
@@ -103,6 +104,9 @@ void Master::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kAuditSubmit:
     case MsgType::kBadReadNotice:
     case MsgType::kVvExchange:
+    case MsgType::kPlacementQuery:
+    case MsgType::kPlacementReply:
+    case MsgType::kStateUpdateBatch:
       break;
   }
 }
@@ -196,7 +200,40 @@ void Master::HandleWriteRequest(NodeId from, BytesView body) {
   write.client = from;
   write.request_id = msg->request_id;
   write.batch = std::move(msg->batch);
-  broadcast_->Broadcast(WithTobType(TobPayloadType::kWrite, write.Encode()));
+  if (!batching()) {
+    broadcast_->Broadcast(WithTobType(TobPayloadType::kWrite, write.Encode()));
+    return;
+  }
+  bundle_.push_back(std::move(write));
+  if (bundle_.size() >= options_.params.commit_batch) {
+    FlushBundle();
+  } else if (!bundle_timer_armed_) {
+    bundle_timer_armed_ = true;
+    env()->ScheduleAfter(options_.params.commit_window, [this] {
+      bundle_timer_armed_ = false;
+      FlushBundle();
+    });
+  }
+}
+
+void Master::FlushBundle() {
+  if (bundle_.empty()) {
+    return;
+  }
+  if (bundle_.size() == 1) {
+    // A lone write (window expired before a second arrived) needs no
+    // bundle framing; it commits on the paper's per-write path.
+    broadcast_->Broadcast(
+        WithTobType(TobPayloadType::kWrite, bundle_[0].Encode()));
+    bundle_.clear();
+    return;
+  }
+  TobWriteBundle bundle;
+  bundle.writes = std::move(bundle_);
+  bundle_.clear();
+  metrics_.writes_batched += bundle.writes.size();
+  broadcast_->Broadcast(
+      WithTobType(TobPayloadType::kWriteBundle, bundle.Encode()));
 }
 
 void Master::OnDelivered(uint64_t /*seq*/, NodeId /*origin*/,
@@ -221,11 +258,26 @@ void Master::OnDelivered(uint64_t /*seq*/, NodeId /*origin*/,
       }
       break;
     }
+    case TobPayloadType::kWriteBundle: {
+      auto bundle = TobWriteBundle::Decode(body);
+      if (bundle.ok()) {
+        OnTobWriteBundle(std::move(*bundle));
+      }
+      break;
+    }
   }
 }
 
 void Master::OnTobWrite(const TobWrite& write) {
-  commit_queue_.push_back(write);
+  commit_queue_.push_back(CommitUnit{{write}});
+  PumpCommitQueue();
+}
+
+void Master::OnTobWriteBundle(TobWriteBundle bundle) {
+  if (bundle.writes.empty()) {
+    return;
+  }
+  commit_queue_.push_back(CommitUnit{std::move(bundle.writes)});
   PumpCommitQueue();
 }
 
@@ -235,9 +287,13 @@ void Master::PumpCommitQueue() {
   }
   SimTime earliest = last_commit_time_ + options_.params.max_latency;
   if (env()->Now() >= earliest) {
-    TobWrite write = std::move(commit_queue_.front());
+    CommitUnit unit = std::move(commit_queue_.front());
     commit_queue_.pop_front();
-    CommitWrite(write);
+    if (unit.writes.size() == 1) {
+      CommitWrite(unit.writes[0]);
+    } else {
+      CommitBundle(unit.writes);
+    }
     PumpCommitQueue();
     return;
   }
@@ -276,15 +332,77 @@ void Master::CommitWrite(const TobWrite& write) {
   }
 }
 
+void Master::CommitBundle(const std::vector<TobWrite>& writes) {
+  uint64_t first_version = oplog_.head_version() + 1;
+  uint64_t version = first_version;
+  for (const TobWrite& write : writes) {
+    metrics_.work_units_executed += write.batch.size();
+    oplog_.Append(version, write.batch);
+    ++metrics_.writes_committed;
+    if (TraceSink* t = env()->trace()) {
+      t->Instant(TraceRole::kMaster, id(), "write.commit", kNoTrace,
+                 static_cast<int64_t>(version));
+    }
+    if (write.origin_master == id()) {
+      pending_writes_.erase({write.client, write.request_id});
+      committed_writes_[{write.client, write.request_id}] = version;
+      WriteReply reply;
+      reply.request_id = write.request_id;
+      reply.ok = true;
+      reply.committed_version = version;
+      env()->Send(write.client,
+                  WithType(MsgType::kWriteReply, reply.Encode()));
+    }
+    ++version;
+  }
+  uint64_t last_version = version - 1;
+  last_commit_time_ = env()->Now();
+  ++metrics_.batches_committed;
+
+  // One token plus one certificate cover the whole run — the signing cost
+  // the bundle amortizes (vs one token signature per slave per write).
+  StateUpdateBatch update;
+  update.first_version = first_version;
+  update.batches.reserve(writes.size());
+  Sha1 digest;
+  for (uint64_t v = first_version; v <= last_version; ++v) {
+    const WriteBatch* batch = oplog_.BatchFor(v);
+    Writer w;
+    EncodeBatch(w, *batch);
+    digest.Update(w.Take());
+    update.batches.push_back(*batch);
+  }
+  update.token = CurrentToken();
+  ++metrics_.commit_signatures;
+  update.commit = MakeBatchCommit(signer_, id(), first_version, last_version,
+                                  digest.Final(), env()->Now());
+  ++metrics_.commit_signatures;
+
+  // One shared buffer for the whole fan-out, like the keep-alive path.
+  Payload wire = WithType(MsgType::kStateUpdateBatch, update.Encode());
+  for (auto& [slave_id, state] : my_slaves_) {
+    ++metrics_.state_update_batches_sent;
+    state.sent_version = std::max(state.sent_version, last_version);
+    state.sent_time = env()->Now();
+    env()->Send(slave_id, wire);
+  }
+}
+
 void Master::PushStateUpdate(NodeId slave, uint64_t version) {
   const WriteBatch* batch = oplog_.BatchFor(version);
   if (batch == nullptr) {
     return;
   }
+  auto it = my_slaves_.find(slave);
+  if (it != my_slaves_.end()) {
+    it->second.sent_version = std::max(it->second.sent_version, version);
+    it->second.sent_time = env()->Now();
+  }
   StateUpdate update;
   update.version = version;
   update.batch = *batch;
   update.token = CurrentToken();
+  ++metrics_.commit_signatures;
   ++metrics_.state_updates_sent;
   env()->Send(slave,
               WithType(MsgType::kStateUpdate, update.Encode()));
@@ -303,6 +421,16 @@ void Master::HandleSlaveAck(NodeId from, BytesView body) {
   // Catch-up: push missing versions (bounded per ack; acks ratchet).
   uint64_t head = oplog_.head_version();
   uint64_t next = msg->applied_version + 1;
+  if (options_.dedup_catchup_pushes && next <= it->second.sent_version &&
+      env()->Now() - it->second.sent_time <
+          options_.params.keepalive_period) {
+    // Everything missing is already in flight — typically a state-update
+    // batch waiting behind the slave's read queue — and re-signing it per
+    // version here defeats group commit's amortization. A genuinely lost
+    // update is re-pushed once the slave's acks have stalled for a
+    // keepalive period.
+    return;
+  }
   for (int i = 0; i < 8 && next <= head; ++i, ++next) {
     PushStateUpdate(from, next);
   }

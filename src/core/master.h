@@ -49,6 +49,14 @@ class Master : public Node {
     std::set<NodeId> writers;
     uint64_t snapshot_interval = 16;
     TotalOrderBroadcast::Config broadcast;  // group is filled from `group`
+    // Skip ack-driven catch-up pushes for versions already in flight to
+    // the slave (see HandleSlaveAck). Off by default: classic single-group
+    // configs must keep their exact message and signature counts. The
+    // harness turns it on together with any scale-out feature, where a
+    // loaded slave's delayed batch application otherwise triggers
+    // redundant per-version pushes — each costing a signature — that
+    // defeat group commit's amortization.
+    bool dedup_catchup_pushes = false;
   };
 
   explicit Master(Options options);
@@ -92,6 +100,11 @@ class Master : public Node {
   struct SlaveState {
     Certificate cert;
     uint64_t acked_version = 0;
+    // Highest version pushed (or batch-sent) to this slave and when —
+    // read only under Options::dedup_catchup_pushes, to avoid re-signing
+    // versions still in flight when an ack races a state-update batch.
+    uint64_t sent_version = 0;
+    SimTime sent_time = 0;
     // The crashed master this slave was adopted from (kInvalidNode if the
     // slave was originally assigned to us); yielded back on resurrection.
     NodeId adopted_from = kInvalidNode;
@@ -112,12 +125,21 @@ class Master : public Node {
   // Total-order deliveries.
   void OnDelivered(uint64_t seq, NodeId origin, const Bytes& payload);
   void OnTobWrite(const TobWrite& write);
+  void OnTobWriteBundle(TobWriteBundle bundle);
   void OnTobGossip(const TobGossip& gossip);
 
   // Write pipeline: delivered writes queue up and commit spaced by
-  // max_latency.
+  // max_latency. With group commit (commit_batch > 1) a whole bundle
+  // occupies one commit slot, so throughput rises to commit_batch /
+  // max_latency while the inconsistency-window bound is untouched.
   void PumpCommitQueue();
   void CommitWrite(const TobWrite& write);
+  void CommitBundle(const std::vector<TobWrite>& writes);
+
+  // Group commit, origin side: accumulate until commit_batch writes or
+  // commit_window elapse, then broadcast one bundle.
+  bool batching() const { return options_.params.commit_batch > 1; }
+  void FlushBundle();
 
   // Slave management.
   void PushStateUpdate(NodeId slave, uint64_t version);
@@ -152,8 +174,15 @@ class Master : public Node {
   OpLog oplog_;
   QueryExecutor executor_;
   SimTime last_commit_time_;
-  std::deque<TobWrite> commit_queue_;
+  // One queue entry per commit slot: a single write on the paper's path,
+  // a whole bundle under group commit.
+  struct CommitUnit {
+    std::vector<TobWrite> writes;
+  };
+  std::deque<CommitUnit> commit_queue_;
   bool commit_timer_armed_ = false;
+  std::vector<TobWrite> bundle_;  // origin-side accumulation (batching)
+  bool bundle_timer_armed_ = false;
 
   std::map<NodeId, SlaveState> my_slaves_;
   std::set<NodeId> excluded_;

@@ -442,6 +442,60 @@ Result<ForkEvidence> ForkEvidence::Decode(BytesView body) {
   return FinishDecode(std::move(m), r);
 }
 
+Bytes PlacementQuery::Encode() const {
+  Writer w;
+  w.Blob(content_public_key);
+  return w.Take();
+}
+
+Result<PlacementQuery> PlacementQuery::Decode(BytesView body) {
+  Reader r(body);
+  PlacementQuery m;
+  m.content_public_key = r.Blob();
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes PlacementReply::Encode() const {
+  Writer w;
+  w.Bool(found);
+  placement.EncodeTo(w);
+  return w.Take();
+}
+
+Result<PlacementReply> PlacementReply::Decode(BytesView body) {
+  Reader r(body);
+  PlacementReply m;
+  m.found = r.Bool();
+  m.placement = ShardPlacement::DecodeFrom(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes StateUpdateBatch::Encode() const {
+  Writer w;
+  w.U64(first_version);
+  w.U32(static_cast<uint32_t>(batches.size()));
+  for (const WriteBatch& b : batches) {
+    EncodeBatch(w, b);
+  }
+  token.EncodeTo(w);
+  commit.EncodeTo(w);
+  return w.Take();
+}
+
+Result<StateUpdateBatch> StateUpdateBatch::Decode(BytesView body) {
+  Reader r(body);
+  StateUpdateBatch m;
+  m.first_version = r.U64();
+  uint32_t n = r.U32();
+  m.batches.reserve(std::min<uint32_t>(n, 256));
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    m.batches.push_back(DecodeBatch(r));
+  }
+  m.token = VersionToken::DecodeFrom(r);
+  m.commit = BatchCommit::DecodeFrom(r);
+  return FinishDecode(std::move(m), r);
+}
+
 Bytes TobWrite::Encode() const {
   Writer w;
   w.U32(origin_master);
@@ -458,6 +512,34 @@ Result<TobWrite> TobWrite::Decode(BytesView body) {
   m.client = r.U32();
   m.request_id = r.U64();
   m.batch = DecodeBatch(r);
+  return FinishDecode(std::move(m), r);
+}
+
+Bytes TobWriteBundle::Encode() const {
+  Writer w;
+  w.U32(static_cast<uint32_t>(writes.size()));
+  for (const TobWrite& tw : writes) {
+    w.U32(tw.origin_master);
+    w.U32(tw.client);
+    w.U64(tw.request_id);
+    EncodeBatch(w, tw.batch);
+  }
+  return w.Take();
+}
+
+Result<TobWriteBundle> TobWriteBundle::Decode(BytesView body) {
+  Reader r(body);
+  TobWriteBundle m;
+  uint32_t n = r.U32();
+  m.writes.reserve(std::min<uint32_t>(n, 256));
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    TobWrite tw;
+    tw.origin_master = r.U32();
+    tw.client = r.U32();
+    tw.request_id = r.U64();
+    tw.batch = DecodeBatch(r);
+    m.writes.push_back(std::move(tw));
+  }
   return FinishDecode(std::move(m), r);
 }
 

@@ -11,6 +11,7 @@
 
 #include "src/core/certificate.h"
 #include "src/core/pledge.h"
+#include "src/core/shard.h"
 #include "src/forkcheck/fork.h"
 #include "src/store/document_store.h"
 #include "src/store/executor.h"
@@ -55,6 +56,12 @@ enum class MsgType : uint8_t {
   // Fork-consistency checking (src/forkcheck/, beyond the paper).
   kVvExchange = 19,    // client <-> client version-vector gossip
   kForkEvidence = 20,  // anyone -> master: transferable equivocation proof
+  // Keyspace sharding (src/core/shard.h, beyond the paper).
+  kPlacementQuery = 21,  // client -> directory: which shards serve a content
+  kPlacementReply = 22,  // directory -> client: signed ShardPlacement
+  // Group commit (master -> slave): one certificate + one token cover a
+  // contiguous run of versions.
+  kStateUpdateBatch = 23,
 };
 
 // Payloads carried *inside* the total-order broadcast. The auditor is a
@@ -65,6 +72,7 @@ enum class MsgType : uint8_t {
 enum class TobPayloadType : uint8_t {
   kWrite = 1,   // a client write to be committed by every master
   kGossip = 2,  // a master's current slave set (liveness + crash recovery)
+  kWriteBundle = 3,  // group commit: N client writes under one broadcast
 };
 
 // Returns the MsgType of a payload, or kCorrupt error when empty.
@@ -248,6 +256,36 @@ struct ForkEvidence {
   static Result<ForkEvidence> Decode(BytesView body);
 };
 
+// Asks the directory for the shard placement of a content. Sent once per
+// setup; clients cache the verified reply (the client-side placement
+// cache) until a master suspicion forces a re-setup.
+struct PlacementQuery {
+  Bytes content_public_key;
+  Bytes Encode() const;
+  static Result<PlacementQuery> Decode(BytesView body);
+};
+
+struct PlacementReply {
+  bool found = false;  // false: content is unsharded (or unknown)
+  ShardPlacement placement;
+  Bytes Encode() const;
+  static Result<PlacementReply> Decode(BytesView body);
+};
+
+// Group commit's state propagation: batches for versions
+// [first_version, first_version + batches.size() - 1], one head token and
+// one BatchCommit certificate instead of per-version signatures. The slave
+// decomposes it into buffered per-version updates, so its apply path (and
+// everything downstream — pledges, audits, fork chains) is unchanged.
+struct StateUpdateBatch {
+  uint64_t first_version = 0;
+  std::vector<WriteBatch> batches;
+  VersionToken token;  // covers the last version of the run
+  BatchCommit commit;
+  Bytes Encode() const;
+  static Result<StateUpdateBatch> Decode(BytesView body);
+};
+
 // ---- Total-order broadcast inner payloads ----------------------------------
 
 Result<TobPayloadType> PeekTobType(BytesView payload);
@@ -260,6 +298,16 @@ struct TobWrite {
   WriteBatch batch;
   Bytes Encode() const;
   static Result<TobWrite> Decode(BytesView body);
+};
+
+// Group commit: the origin master accumulates client writes for a window
+// or count and broadcasts them as one ordered unit, amortizing broadcast
+// and signature cost over the bundle. Commit order within the bundle is
+// its vector order.
+struct TobWriteBundle {
+  std::vector<TobWrite> writes;
+  Bytes Encode() const;
+  static Result<TobWriteBundle> Decode(BytesView body);
 };
 
 struct TobGossip {

@@ -39,8 +39,19 @@ struct ClientMetrics {
   // Verify-dedup cache (mostly version tokens reused across reads).
   uint64_t sig_cache_hits = 0;
   uint64_t sig_cache_misses = 0;
+  // Keyspace sharding (src/core/shard.h; all zero unless num_shards > 1).
+  uint64_t placement_cache_hits = 0;    // ops planned from the cached map
+  uint64_t placement_cache_misses = 0;  // placement fetched from directory
+  uint64_t multi_shard_reads = 0;       // parent reads fanned to >1 shard
+  uint64_t multi_shard_writes = 0;      // parent writes split across shards
+  uint64_t shard_subreads_issued = 0;
+  uint64_t shard_subreads_accepted = 0;
+  uint64_t shard_subwrites_committed = 0;
   Percentiles read_latency_us;
   Percentiles write_latency_us;
+  // Age of the oldest per-shard token backing a merged multi-shard read —
+  // the merged freshness bound (empty unless sharded reads fan out).
+  Percentiles merged_token_age_us;
 };
 
 struct MasterMetrics {
@@ -62,6 +73,15 @@ struct MasterMetrics {
   uint64_t keepalives_sent = 0;
   uint64_t slave_sets_adopted = 0;  // from crashed peers
   uint64_t work_units_executed = 0;
+  // Group commit (all zero unless commit_batch > 1).
+  uint64_t writes_batched = 0;       // writes that rode a bundle broadcast
+  uint64_t batches_committed = 0;    // bundles applied on the commit path
+  uint64_t state_update_batches_sent = 0;
+  // Signatures produced on the commit/state-propagation path (tokens for
+  // state updates + batch certificates; keepalives excluded). The per-write
+  // signing cost group commit amortizes is commit_signatures /
+  // writes_committed.
+  uint64_t commit_signatures = 0;
   // Verify-dedup cache (accusation / incriminating-pledge checks).
   uint64_t sig_cache_hits = 0;
   uint64_t sig_cache_misses = 0;
@@ -85,6 +105,8 @@ struct SlaveMetrics {
   uint64_t honest_serves_forked = 0;
   uint64_t stale_serves = 0;           // reads answered from a lagged view
   uint64_t state_updates_applied = 0;
+  // Group commit (zero unless the master batches).
+  uint64_t state_update_batches_received = 0;
   uint64_t keepalives_received = 0;
   uint64_t work_units_executed = 0;
   // Verify-dedup cache (token adoption checks).

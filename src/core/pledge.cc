@@ -143,6 +143,61 @@ bool VerifyPledgeSignature(SignatureScheme scheme,
                        pledge.signature);
 }
 
+Bytes BatchCommit::SignedBody() const {
+  Writer w;
+  w.Reserve(4 + 11 + 4 + 8 + 8 + 4 + batches_sha1.size() + 8);
+  w.Blob(std::string_view("sdr-bcom-v1"));
+  w.U32(master);
+  w.U64(first_version);
+  w.U64(last_version);
+  w.Blob(batches_sha1);
+  w.I64(timestamp);
+  return w.Take();
+}
+
+void BatchCommit::EncodeTo(Writer& w) const {
+  w.U32(master);
+  w.U64(first_version);
+  w.U64(last_version);
+  w.Blob(batches_sha1);
+  w.I64(timestamp);
+  w.Blob(signature);
+}
+
+BatchCommit BatchCommit::DecodeFrom(Reader& r) {
+  BatchCommit c;
+  c.master = r.U32();
+  c.first_version = r.U64();
+  c.last_version = r.U64();
+  c.batches_sha1 = r.Blob();
+  c.timestamp = r.I64();
+  c.signature = r.Blob();
+  return c;
+}
+
+BatchCommit MakeBatchCommit(const Signer& master_signer, NodeId master,
+                            uint64_t first_version, uint64_t last_version,
+                            const Bytes& batches_sha1, SimTime now) {
+  BatchCommit c;
+  c.master = master;
+  c.first_version = first_version;
+  c.last_version = last_version;
+  c.batches_sha1 = batches_sha1;
+  c.timestamp = now;
+  c.signature = master_signer.Sign(c.SignedBody());
+  return c;
+}
+
+bool VerifyBatchCommit(SignatureScheme scheme, const Bytes& master_public_key,
+                       const BatchCommit& commit, VerifyCache* cache) {
+  if (cache == nullptr) {
+    return VerifySignature(scheme, master_public_key, commit.SignedBody(),
+                           commit.signature);
+  }
+  return cache->Verify(scheme, master_public_key, commit.SignedBody(),
+                       commit.signature);
+}
+
 bool VerifyPledgeAndToken(SignatureScheme scheme, const Bytes& slave_public_key,
                           const Bytes& master_public_key, const Pledge& pledge,
                           VerifyCache* cache) {

@@ -88,6 +88,37 @@ bool VerifyPledgeAndToken(SignatureScheme scheme, const Bytes& slave_public_key,
                           const Bytes& master_public_key, const Pledge& pledge,
                           VerifyCache* cache);
 
+// Group-commit certificate (scale-out, beyond the paper): one master
+// signature covering a contiguous run of committed versions
+// [first_version, last_version]. batches_sha1 binds the certificate to the
+// exact write batches (SHA-1 over their canonical encodings in version
+// order), so a slave applying a batched state update holds the same
+// irrefutable evidence of what the master committed as it would from
+// per-version tokens, at 1/N the signing cost. Pledges are unchanged —
+// they still embed the head VersionToken — which is why auditing, fork
+// checking and the chaos invariants work identically in batched mode.
+struct BatchCommit {
+  NodeId master = kInvalidNode;
+  uint64_t first_version = 0;
+  uint64_t last_version = 0;
+  Bytes batches_sha1;
+  SimTime timestamp = 0;  // master clock at signing
+  Bytes signature;        // by the master key
+
+  Bytes SignedBody() const;
+  void EncodeTo(Writer& w) const;
+  static BatchCommit DecodeFrom(Reader& r);
+
+  bool operator==(const BatchCommit&) const = default;
+};
+
+BatchCommit MakeBatchCommit(const Signer& master_signer, NodeId master,
+                            uint64_t first_version, uint64_t last_version,
+                            const Bytes& batches_sha1, SimTime now);
+
+bool VerifyBatchCommit(SignatureScheme scheme, const Bytes& master_public_key,
+                       const BatchCommit& commit, VerifyCache* cache);
+
 }  // namespace sdr
 
 #endif  // SDR_SRC_CORE_PLEDGE_H_

@@ -1,5 +1,6 @@
 #include "src/core/slave.h"
 
+#include "src/crypto/sha1.h"
 #include "src/trace/trace.h"
 #include "src/util/logging.h"
 
@@ -29,6 +30,9 @@ void Slave::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kStateUpdate:
       HandleStateUpdate(from, body);
       break;
+    case MsgType::kStateUpdateBatch:
+      HandleStateUpdateBatch(from, body);
+      break;
     case MsgType::kKeepAlive:
       HandleKeepAlive(from, body);
       break;
@@ -53,6 +57,8 @@ void Slave::HandleMessage(NodeId from, const Payload& payload) {
     case MsgType::kBadReadNotice:
     case MsgType::kVvExchange:
     case MsgType::kForkEvidence:
+    case MsgType::kPlacementQuery:
+    case MsgType::kPlacementReply:
       break;
   }
 }
@@ -107,6 +113,57 @@ void Slave::ApplyBuffered() {
     buffered_updates_.erase(it);
     it = buffered_updates_.find(applied_version_ + 1);
   }
+}
+
+void Slave::HandleStateUpdateBatch(NodeId from, BytesView body) {
+  auto msg = StateUpdateBatch::Decode(body);
+  if (!msg.ok()) {
+    return;
+  }
+  if (options_.behavior.ignore_updates) {
+    return;
+  }
+  // The one certificate must be genuine and must cover exactly these
+  // batches before any of them touches the store: a mismatched digest
+  // means someone spliced batches under a real signature.
+  auto key = options_.master_keys.find(msg->commit.master);
+  if (key == options_.master_keys.end() || msg->batches.empty() ||
+      msg->commit.first_version != msg->first_version ||
+      msg->commit.last_version !=
+          msg->first_version + msg->batches.size() - 1) {
+    return;
+  }
+  Sha1 digest;
+  for (const WriteBatch& batch : msg->batches) {
+    Writer w;
+    EncodeBatch(w, batch);
+    digest.Update(w.Take());
+  }
+  if (digest.Final() != msg->commit.batches_sha1 ||
+      !VerifyBatchCommit(options_.params.scheme, key->second, msg->commit,
+                         &verify_cache_)) {
+    return;
+  }
+  ++metrics_.state_update_batches_received;
+  // Decompose into per-version updates so the apply path — lag views,
+  // buffering across gaps, token adoption at the head — is the one the
+  // unbatched protocol already exercises. The head token rides on every
+  // decomposed update but only becomes adoptable once the last version of
+  // the run is applied (MaybeAdoptToken's content_version check).
+  for (size_t i = 0; i < msg->batches.size(); ++i) {
+    uint64_t version = msg->first_version + i;
+    if (version <= applied_version_) {
+      continue;
+    }
+    StateUpdate update;
+    update.version = version;
+    update.batch = msg->batches[i];
+    update.token = msg->token;
+    buffered_updates_[version] = std::move(update);
+  }
+  ApplyBuffered();
+  MaybeAdoptToken(msg->token);
+  AckTo(from);
 }
 
 void Slave::HandleKeepAlive(NodeId from, BytesView body) {

@@ -91,6 +91,9 @@ class Slave : public Node {
 
  private:
   void HandleStateUpdate(NodeId from, BytesView body);
+  // Group commit: one verified BatchCommit certificate admits a whole run
+  // of versions, decomposed into the per-version apply path.
+  void HandleStateUpdateBatch(NodeId from, BytesView body);
   void HandleKeepAlive(NodeId from, BytesView body);
   void HandleReadRequest(NodeId from, BytesView body);
   void ApplyBuffered();

@@ -243,6 +243,14 @@ Result<NodeConfig> ParseNodeConfig(const std::string& text) {
       int64_t ms;
       if (!(ls >> ms)) return fail("bad audit_slack_ms");
       config.deployment.params.audit_slack = ms * kMillisecond;
+    } else if (key == "commit_batch") {
+      if (!(ls >> config.deployment.params.commit_batch)) {
+        return fail("bad commit_batch");
+      }
+    } else if (key == "commit_window_us") {
+      int64_t us;
+      if (!(ls >> us)) return fail("bad commit_window_us");
+      config.deployment.params.commit_window = us * kMicrosecond;
     } else if (key == "double_check_p") {
       if (!(ls >> config.deployment.params.double_check_probability)) {
         return fail("bad double_check_p");
@@ -304,6 +312,9 @@ std::string FormatNodeConfig(const NodeConfig& config) {
       << config.deployment.params.keepalive_period / kMillisecond << "\n";
   out << "audit_slack_ms "
       << config.deployment.params.audit_slack / kMillisecond << "\n";
+  out << "commit_batch " << config.deployment.params.commit_batch << "\n";
+  out << "commit_window_us "
+      << config.deployment.params.commit_window / kMicrosecond << "\n";
   out << "double_check_p " << config.deployment.params.double_check_probability
       << "\n";
   out << "think_ms " << config.deployment.client_think_time / kMillisecond

@@ -747,6 +747,54 @@ TEST(R8, SuppressedByAllowOnEitherBody) {
   EXPECT_EQ(CountRule(fs, "R8"), 0);
 }
 
+// The shard-map serialization (placement query/response, batch commit
+// certificate) lives in src/core/shard.*, which joined the R4/R8 domains
+// with keyspace sharding.
+
+TEST(R4, AppliesToShardSerdeFiles) {
+  auto fs = Lint("src/core/shard.h",
+                 "struct PlacementQuery {\n"
+                 "  void Encode(Buf& out) const;\n"
+                 "};\n");
+  EXPECT_EQ(CountRule(fs, "R4"), 1);
+}
+
+TEST(R8, PlacementResponseShapedSerdeIsCleanWhenSymmetric) {
+  auto fs = Lint("src/core/shard.cc",
+                 "void PlacementResponse::Encode(Writer& w) const {\n"
+                 "  w.U64(epoch);\n"
+                 "  w.U32(num_shards);\n"
+                 "  w.Blob(map);\n"
+                 "}\n"
+                 "PlacementResponse PlacementResponse::Decode(Reader& r) {\n"
+                 "  PlacementResponse m;\n"
+                 "  m.epoch = r.U64();\n"
+                 "  m.num_shards = r.U32();\n"
+                 "  m.map = r.Blob();\n"
+                 "  return m;\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(fs, "R8"), 0);
+}
+
+TEST(R8, BatchCommitShapedSerdeFiresWhenDecodeSwapsBlobs) {
+  auto fs = Lint("src/core/shard.cc",
+                 "void BatchCert::Encode(Writer& w) const {\n"
+                 "  w.U64(first_version);\n"
+                 "  w.U64(last_version);\n"
+                 "  w.Blob(digest);\n"
+                 "  w.Blob(sig);\n"
+                 "}\n"
+                 "BatchCert BatchCert::Decode(Reader& r) {\n"
+                 "  BatchCert m;\n"
+                 "  m.first_version = r.U64();\n"
+                 "  m.last_version = r.U64();\n"
+                 "  m.sig = r.Blob();\n"
+                 "  m.digest = r.Blob();\n"
+                 "  return m;\n"
+                 "}\n");
+  ASSERT_GE(CountRule(fs, "R8"), 1);
+}
+
 // ---------------------------------------------------------------------------
 // Baseline and report
 // ---------------------------------------------------------------------------

@@ -584,7 +584,8 @@ FileClass ClassifyPath(const std::string& path) {
   fc.r1 = (has("src/sim/") || has("src/core/") || has("src/chaos/") ||
            has("src/trace/")) &&
           !has("util/rng");
-  fc.r4 = has("src/core/messages.") || has("src/core/pledge.");
+  fc.r4 = has("src/core/messages.") || has("src/core/pledge.") ||
+          has("src/core/shard.");
   fc.r5 = has("src/crypto/");
   // R8 analyzes Encode/Decode bodies statement-by-statement, so it runs
   // only where bodies follow the linear `w.Op(field)` / `m.f = r.Op()`
@@ -592,7 +593,7 @@ FileClass ClassifyPath(const std::string& path) {
   fc.r8 = has("src/core/messages.") || has("src/core/pledge.") ||
           has("src/core/certificate.") || has("src/store/query.") ||
           has("src/store/document_store.") || has("src/store/executor.") ||
-          has("src/forkcheck/");
+          has("src/forkcheck/") || has("src/core/shard.");
   return fc;
 }
 

@@ -244,10 +244,22 @@ std::string FirstFieldIdent(const std::vector<Token>& toks,
   };
   for (size_t i = from; i < to && i < code.size(); ++i) {
     const Token& t = toks[code[i]];
-    if (t.kind == TokKind::kIdent && !IsTypeish(t.text) &&
-        kSkip.count(t.text) == 0) {
-      return t.text;
+    if (t.kind != TokKind::kIdent || IsTypeish(t.text) ||
+        kSkip.count(t.text) != 0) {
+      continue;
     }
+    // Walk the member chain (`tw.origin_master` names the field
+    // `origin_master`, matching the decode extractor's lhs member), but
+    // stop before a method call: `msg.Encode()` names `msg`.
+    size_t last = i;
+    while (last + 2 < to && last + 2 < code.size() &&
+           (IsPunct(toks[code[last + 1]], ".") ||
+            IsPunct(toks[code[last + 1]], "->")) &&
+           toks[code[last + 2]].kind == TokKind::kIdent &&
+           !(last + 3 < code.size() && IsPunct(toks[code[last + 3]], "("))) {
+      last += 2;
+    }
+    return toks[code[last]].text;
   }
   return "";
 }

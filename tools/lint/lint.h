@@ -120,7 +120,7 @@ struct FileClass {
   bool r1 = false;  // determinism domain: src/sim, src/core, src/chaos
   bool r2 = true;   // everywhere
   bool r3 = true;   // everywhere
-  bool r4 = false;  // serde files: src/core/messages.*, src/core/pledge.*
+  bool r4 = false;  // serde files: src/core/{messages,pledge,shard}.*
   bool r5 = false;  // src/crypto
   bool r6 = true;   // everywhere (annotation-driven)
   bool r7 = true;   // everywhere (BytesView/Payload lifetime)

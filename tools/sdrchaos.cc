@@ -29,6 +29,12 @@ int main(int argc, char** argv) {
       .Define("auditors", "1", "number of auditors")
       .Define("slaves_per_master", "2", "slaves per master")
       .Define("clients", "4", "number of clients")
+      .Define("shards", "1",
+              "keyspace shards (each with its own master group; 1 = the "
+              "paper's single group, byte-identical)")
+      .Define("commit_batch", "1",
+              "master-side group commit bundle size (1 = byte-identical "
+              "classic path)")
       .Define("items", "200", "catalogue size (documents = 3x)")
       .Define("max_latency_ms", "2000", "freshness bound / write spacing")
       .Define("double_check_p", "0.05", "double-check probability")
@@ -70,6 +76,9 @@ int main(int argc, char** argv) {
   config.slaves_per_master =
       static_cast<int>(flags.GetInt("slaves_per_master"));
   config.num_clients = static_cast<int>(flags.GetInt("clients"));
+  config.num_shards = static_cast<int>(flags.GetInt("shards"));
+  config.params.commit_batch =
+      static_cast<uint32_t>(flags.GetInt("commit_batch"));
   config.corpus.n_items = static_cast<size_t>(flags.GetInt("items"));
   config.params.max_latency = flags.GetInt("max_latency_ms") * kMillisecond;
   config.params.double_check_probability = flags.GetDouble("double_check_p");

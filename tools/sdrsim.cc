@@ -10,6 +10,7 @@
 //
 //   # stress the auditor with an expensive mix and no cache
 //   ./build/tools/sdrsim --grep_weight=0.4 --auditor_cache=false
+#include <algorithm>
 #include <cstdio>
 
 #include "src/chaos/runner.h"
@@ -74,6 +75,71 @@ void PrintReport(Cluster& cluster) {
   std::printf("  read latency: p50=%.1fms p99=%.1fms (client 0)\n",
               cluster.client(0).metrics().read_latency_us.Median() / 1000.0,
               cluster.client(0).metrics().read_latency_us.P99() / 1000.0);
+
+  // Scale-out counters only exist when sharding or group commit is on, so
+  // classic reports stay byte-identical.
+  if (cluster.num_shards() > 1 || cluster.config().params.commit_batch > 1) {
+    std::printf("scale-out:\n");
+    std::printf("  shards=%d  placement cache: hits=%llu misses=%llu\n",
+                cluster.num_shards(),
+                (unsigned long long)totals.placement_cache_hits,
+                (unsigned long long)totals.placement_cache_misses);
+    std::printf("  multi-shard: reads=%llu (legs %llu/%llu) writes=%llu "
+                "(legs committed=%llu)\n",
+                (unsigned long long)totals.multi_shard_reads,
+                (unsigned long long)totals.shard_subreads_accepted,
+                (unsigned long long)totals.shard_subreads_issued,
+                (unsigned long long)totals.multi_shard_writes,
+                (unsigned long long)totals.shard_subwrites_committed);
+    std::printf("  group commit: writes_batched=%llu batches=%llu "
+                "batch-updates=%llu commit-sigs=%llu (sigs/write=%.2f)\n",
+                (unsigned long long)totals.writes_batched,
+                (unsigned long long)totals.batches_committed,
+                (unsigned long long)totals.state_update_batches,
+                (unsigned long long)totals.commit_signatures,
+                totals.writes_committed_masters == 0
+                    ? 0.0
+                    : static_cast<double>(totals.commit_signatures) /
+                          static_cast<double>(totals.writes_committed_masters));
+    for (int sh = 0; sh < cluster.num_shards(); ++sh) {
+      uint64_t version = 0, writes = 0, served = 0, audited = 0;
+      for (int i = 0; i < cluster.masters_per_shard(); ++i) {
+        const Master& m = cluster.master(sh * cluster.masters_per_shard() + i);
+        version = std::max(version, m.version());
+        writes += m.metrics().writes_committed;
+      }
+      for (int i = 0; i < cluster.slaves_per_shard(); ++i) {
+        served += cluster.slave(sh * cluster.slaves_per_shard() + i)
+                      .metrics().reads_served;
+      }
+      for (int i = 0; i < cluster.auditors_per_shard(); ++i) {
+        audited += cluster.auditor(sh * cluster.auditors_per_shard() + i)
+                       .metrics().pledges_audited;
+      }
+      std::printf("  shard[%d]: version=%llu writes=%llu reads-served=%llu "
+                  "audited=%llu\n",
+                  sh, (unsigned long long)version, (unsigned long long)writes,
+                  (unsigned long long)served, (unsigned long long)audited);
+    }
+  }
+  if (ClientFleet* fleet = cluster.fleet()) {
+    const ClientFleet::Metrics& fm = fleet->metrics();
+    std::printf("fleet: %zu simulated clients\n", fleet->num_clients());
+    std::printf("  reads: issued=%llu accepted=%llu failed=%llu legs=%llu\n",
+                (unsigned long long)fm.reads_issued,
+                (unsigned long long)fm.reads_accepted,
+                (unsigned long long)fm.reads_failed,
+                (unsigned long long)fm.subreads_sent);
+    std::printf("  writes: issued=%llu committed=%llu failed=%llu  "
+                "pledges forwarded=%llu\n",
+                (unsigned long long)fm.writes_issued,
+                (unsigned long long)fm.writes_committed,
+                (unsigned long long)fm.writes_failed,
+                (unsigned long long)fm.pledges_forwarded);
+    std::printf("  read rtt: p50=%.1fms p99=%.1fms\n",
+                fm.read_rtt_us.Median() / 1000.0,
+                fm.read_rtt_us.P99() / 1000.0);
+  }
 
   std::printf("masters:\n");
   for (int m = 0; m < cluster.num_masters(); ++m) {
@@ -167,6 +233,67 @@ JsonValue JsonReport(Cluster& cluster, const ChaosController* controller) {
     t["evidence_chains_emitted"] = totals.evidence_chains_emitted;
     t["vv_exchanges"] = totals.vv_exchanges;
   }
+  // Scale-out counters appear only when sharding or group commit is on,
+  // so classic artifacts stay byte-identical to pre-scale-out runs.
+  if (cluster.num_shards() > 1 || cluster.config().params.commit_batch > 1) {
+    t["writes_committed_masters"] = totals.writes_committed_masters;
+    t["writes_batched"] = totals.writes_batched;
+    t["batches_committed"] = totals.batches_committed;
+    t["state_update_batches"] = totals.state_update_batches;
+    t["commit_signatures"] = totals.commit_signatures;
+    t["placement_cache_hits"] = totals.placement_cache_hits;
+    t["placement_cache_misses"] = totals.placement_cache_misses;
+    t["multi_shard_reads"] = totals.multi_shard_reads;
+    t["multi_shard_writes"] = totals.multi_shard_writes;
+    t["shard_subreads_issued"] = totals.shard_subreads_issued;
+    t["shard_subreads_accepted"] = totals.shard_subreads_accepted;
+    t["shard_subwrites_committed"] = totals.shard_subwrites_committed;
+    JsonValue shards = JsonValue::Array();
+    for (int sh = 0; sh < cluster.num_shards(); ++sh) {
+      uint64_t version = 0, writes = 0, served = 0, audited = 0;
+      for (int i = 0; i < cluster.masters_per_shard(); ++i) {
+        const Master& m =
+            cluster.master(sh * cluster.masters_per_shard() + i);
+        version = std::max(version, m.version());
+        writes += m.metrics().writes_committed;
+      }
+      for (int i = 0; i < cluster.slaves_per_shard(); ++i) {
+        served += cluster.slave(sh * cluster.slaves_per_shard() + i)
+                      .metrics().reads_served;
+      }
+      for (int i = 0; i < cluster.auditors_per_shard(); ++i) {
+        audited += cluster.auditor(sh * cluster.auditors_per_shard() + i)
+                       .metrics().pledges_audited;
+      }
+      JsonValue j = JsonValue::Object();
+      j["index"] = sh;
+      j["version"] = version;
+      j["writes_committed"] = writes;
+      j["reads_served"] = served;
+      j["pledges_audited"] = audited;
+      shards.Append(std::move(j));
+    }
+    root["shards"] = std::move(shards);
+  }
+  if (ClientFleet* fleet = cluster.fleet()) {
+    const ClientFleet::Metrics& fm = fleet->metrics();
+    JsonValue& f = root["fleet"];
+    f["num_clients"] = fleet->num_clients();
+    f["reads_issued"] = fm.reads_issued;
+    f["reads_accepted"] = fm.reads_accepted;
+    f["reads_failed"] = fm.reads_failed;
+    f["subreads_sent"] = fm.subreads_sent;
+    f["writes_issued"] = fm.writes_issued;
+    f["writes_committed"] = fm.writes_committed;
+    f["writes_failed"] = fm.writes_failed;
+    f["pledges_forwarded"] = fm.pledges_forwarded;
+    f["sig_cache_hits"] = fm.sig_cache_hits;
+    f["sig_cache_misses"] = fm.sig_cache_misses;
+    f["read_rtt_p50_us"] = fm.read_rtt_us.Median();
+    f["read_rtt_p99_us"] = fm.read_rtt_us.P99();
+    f["write_rtt_p50_us"] = fm.write_rtt_us.Median();
+    f["write_rtt_p99_us"] = fm.write_rtt_us.P99();
+  }
   if (cluster.config().track_ground_truth) {
     JsonValue& g = root["ground_truth"];
     g["accepted_checked"] = cluster.accepted_checked();
@@ -174,6 +301,8 @@ JsonValue JsonReport(Cluster& cluster, const ChaosController* controller) {
     g["accepted_uncheckable"] = cluster.accepted_uncheckable();
   }
 
+  const bool scale_out = cluster.num_shards() > 1 ||
+                         cluster.config().params.commit_batch > 1;
   JsonValue clients = JsonValue::Array();
   uint64_t cache_hits = 0, cache_misses = 0;
   for (int c = 0; c < cluster.num_clients(); ++c) {
@@ -181,6 +310,14 @@ JsonValue JsonReport(Cluster& cluster, const ChaosController* controller) {
     JsonValue j = JsonValue::Object();
     j["index"] = c;
     j["node"] = (int64_t)cluster.client(c).id();
+    if (scale_out) {
+      j["placement_cache_hits"] = cm.placement_cache_hits;
+      j["placement_cache_misses"] = cm.placement_cache_misses;
+      j["multi_shard_reads"] = cm.multi_shard_reads;
+      j["multi_shard_writes"] = cm.multi_shard_writes;
+      j["merged_token_age_p50_us"] = cm.merged_token_age_us.Median();
+      j["merged_token_age_p99_us"] = cm.merged_token_age_us.P99();
+    }
     j["reads_issued"] = cm.reads_issued;
     j["reads_accepted"] = cm.reads_accepted;
     j["reads_rejected_stale"] = cm.reads_rejected_stale;
@@ -325,6 +462,22 @@ int main(int argc, char** argv) {
       .Define("slaves_per_master", "2", "slaves per master")
       .Define("clients", "4", "number of clients")
       .Define("items", "200", "catalogue size (documents = 3x)")
+      .Define("shards", "1",
+              "keyspace shards, each with its own master group + slaves + "
+              "auditors and an independent version sequence (1 = the "
+              "paper's single group, byte-identical)")
+      .Define("commit_batch", "1",
+              "master-side group commit: writes bundled per broadcast "
+              "(1 = the paper's one-write-per-commit path, byte-identical)")
+      .Define("commit_window_us", "10000",
+              "max time a write waits for its bundle to fill "
+              "(with --commit_batch > 1)")
+      .Define("fleet_clients", "0",
+              "simulated open-loop clients multiplexed onto one fleet "
+              "node (0 = none; see src/workload/fleet.h)")
+      .Define("fleet_rps", "1.0", "per-fleet-client reads per second")
+      .Define("fleet_write_fraction", "0.0",
+              "fraction of fleet ops that write")
       .Define("max_latency_ms", "2000", "freshness bound / write spacing")
       .Define("keepalive_ms", "500", "keep-alive period")
       .Define("double_check_p", "0.05", "double-check probability")
@@ -383,6 +536,14 @@ int main(int argc, char** argv) {
   config.slaves_per_master =
       static_cast<int>(flags.GetInt("slaves_per_master"));
   config.num_clients = static_cast<int>(flags.GetInt("clients"));
+  config.num_shards = static_cast<int>(flags.GetInt("shards"));
+  config.params.commit_batch =
+      static_cast<uint32_t>(flags.GetInt("commit_batch"));
+  config.params.commit_window =
+      flags.GetInt("commit_window_us") * kMicrosecond;
+  config.fleet_clients = static_cast<int>(flags.GetInt("fleet_clients"));
+  config.fleet_reads_per_second = flags.GetDouble("fleet_rps");
+  config.fleet_write_fraction = flags.GetDouble("fleet_write_fraction");
   config.corpus.n_items = static_cast<size_t>(flags.GetInt("items"));
   config.params.max_latency = flags.GetInt("max_latency_ms") * kMillisecond;
   config.params.keepalive_period = flags.GetInt("keepalive_ms") * kMillisecond;
